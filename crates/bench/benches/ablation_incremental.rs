@@ -1,0 +1,36 @@
+//! Ablation E5 as a wall-clock benchmark: incremental frontier collection
+//! vs full collection on a 250-task supergraph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openwf_core::{Constructor, IncrementalConstructor, InMemoryFragmentStore, Supergraph};
+use openwf_scenario::generator::GeneratedKnowledge;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let knowledge = GeneratedKnowledge::generate(250, 0xE5);
+    let mut rng = StdRng::seed_from_u64(3);
+    let path = knowledge.sample_path(8, &mut rng, 256).expect("sampleable");
+    let spec = path.spec;
+
+    let mut group = c.benchmark_group("ablation_250_tasks");
+    group.bench_function("full_collection", |b| {
+        b.iter(|| {
+            let sg = Supergraph::from_fragments(knowledge.fragments()).unwrap();
+            Constructor::new().construct(&sg, &spec).expect("satisfiable")
+        });
+    });
+    group.bench_function("incremental_frontier", |b| {
+        b.iter(|| {
+            let mut store: InMemoryFragmentStore =
+                knowledge.fragments().iter().cloned().collect();
+            IncrementalConstructor::new()
+                .construct(&mut store, &spec)
+                .expect("satisfiable")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmark: auction-manager bid processing — the §3.2 selection
+//! criterion applied to a stream of bids from communities of varying size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openwf_core::{Label, TaskId};
+use openwf_runtime::auction::ProblemAuctions;
+use openwf_runtime::auction_part::Bid;
+use openwf_runtime::TaskMetadata;
+use openwf_simnet::{HostId, SimDuration, SimTime};
+
+fn meta() -> TaskMetadata {
+    TaskMetadata {
+        level: 0,
+        inputs: vec![Label::new("a")],
+        outputs: vec![Label::new("b")],
+        location: None,
+        earliest_start: SimTime::ZERO,
+    }
+}
+
+fn bench_auction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auction_bids");
+    for &hosts in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| {
+                let task = TaskId::new("t");
+                let mut pa = ProblemAuctions::open(vec![(task.clone(), meta())], hosts);
+                for h in 0..hosts {
+                    let bid = Bid {
+                        start: SimTime::from_micros((h * 7 % 13) as u64),
+                        travel: SimDuration::ZERO,
+                        duration: SimDuration::from_secs(1),
+                        specialization: (h % 5) as u32 + 1,
+                        deadline: SimTime::from_micros(1_000_000),
+                    };
+                    pa.on_bid(&task, HostId(h as u32), bid);
+                }
+                assert!(pa.all_decided());
+                pa
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_auction);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmark: workflow composition (§2.2 semantic-identity union)
+//! over chains of fragments of varying length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openwf_core::{compose_all, Fragment, Mode, Workflow};
+
+fn chain(n: usize) -> Vec<Workflow> {
+    (0..n)
+        .map(|i| {
+            Fragment::single_task(
+                format!("f{i}"),
+                format!("t{i}"),
+                Mode::Disjunctive,
+                [format!("l{i}")],
+                [format!("l{}", i + 1)],
+            )
+            .unwrap()
+            .into()
+        })
+        .collect()
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose_chain");
+    for &n in &[10usize, 100, 1_000] {
+        let parts = chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &parts, |b, parts| {
+            b.iter(|| compose_all(parts.iter()).expect("chain composes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compose);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Micro-benchmark: Algorithm 1 itself (no network, no runtime) — full
+//! supergraph assembly plus coloring construction, across supergraph
+//! sizes. Separates the algorithmic cost from protocol latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openwf_core::{Constructor, Supergraph};
+use openwf_scenario::generator::GeneratedKnowledge;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_algorithm");
+    for &tasks in &[25usize, 100, 500] {
+        let knowledge = GeneratedKnowledge::generate(tasks, 77);
+        let sg = Supergraph::from_fragments(knowledge.fragments()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let path = knowledge
+            .sample_path((tasks / 5).clamp(2, 12), &mut rng, 256)
+            .expect("sampleable");
+        group.bench_with_input(
+            BenchmarkId::new("color_and_sweep", tasks),
+            &(&sg, &path.spec),
+            |b, (sg, spec)| {
+                b.iter(|| {
+                    Constructor::new()
+                        .construct(sg, spec)
+                        .expect("guaranteed satisfiable")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("supergraph_merge", tasks),
+            &knowledge,
+            |b, k| {
+                b.iter(|| Supergraph::from_fragments(k.fragments()).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4 (wall-clock counterpart): one full construct+allocate problem
+//! on a 100-task supergraph, sweeping community size. The paper's
+//! observation — time grows roughly linearly with the number of hosts —
+//! shows up as monotonically growing per-iteration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openwf_scenario::{run_series, ExperimentConfig, LatencyKind};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_hosts");
+    group.sample_size(10);
+    for &hosts in &[2usize, 5, 10, 15] {
+        let config = ExperimentConfig::new(100, hosts, LatencyKind::SimulatedLan)
+            .path_lengths([10])
+            .runs(3)
+            .seed(4_000 + hosts as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &config, |b, cfg| {
+            b.iter(|| {
+                let pts = run_series(cfg);
+                assert!(!pts.is_empty());
+                pts
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 5 (wall-clock counterpart): 2 hosts, sweeping supergraph size.
+//! The paper: "the rate of increase grows with the number of task nodes
+//! because the Workflow Manager encounters more nodes during its search
+//! through the densely connected supergraph."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openwf_scenario::{run_series, ExperimentConfig, LatencyKind};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_tasks");
+    group.sample_size(10);
+    for &tasks in &[25usize, 100, 500] {
+        let config = ExperimentConfig::new(tasks, 2, LatencyKind::SimulatedLan)
+            .path_lengths([8])
+            .runs(3)
+            .seed(5_000 + tasks as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &config, |b, cfg| {
+            b.iter(|| run_series(cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

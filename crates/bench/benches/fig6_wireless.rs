@@ -1,0 +1,24 @@
+//! Figure 6 (wall-clock counterpart): 4 hosts on the 802.11g ad hoc
+//! wireless model (the documented substitution for the paper's laptop
+//! testbed), sweeping supergraph size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openwf_scenario::{run_series, ExperimentConfig, LatencyKind};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_wireless");
+    group.sample_size(10);
+    for &tasks in &[25usize, 50, 100] {
+        let config = ExperimentConfig::new(tasks, 4, LatencyKind::Wireless)
+            .path_lengths([10])
+            .runs(3)
+            .seed(6_000 + tasks as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &config, |b, cfg| {
+            b.iter(|| run_series(cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Workflow composition.
+//!
+//! §2.2: "This definition allows us to compose two workflows by merging
+//! (a) identical sinks from one workflow with the corresponding sources from
+//! the other workflow and (b) identical sources in both workflows. Two
+//! workflows are composable if and only if matching sinks and sources yields
+//! a valid workflow."
+//!
+//! Because nodes are identified semantically, composition is simply graph
+//! union followed by validation: equal labels/tasks collapse into one node,
+//! which realizes exactly the sink/source merging described in the paper,
+//! and the validity check rejects unions that would give a label two
+//! producers or create a cycle.
+
+use crate::error::ComposeError;
+use crate::graph::Graph;
+use crate::workflow::Workflow;
+
+/// Composes two workflows by semantic-identity union.
+///
+/// The paper's example: `W1` with sources `{a, b, c}` and sinks `{d, e, f}`
+/// composed with `W2` with sources `{c, d, e}` and sinks `{g, h}` yields a
+/// workflow with sources `{a, b, c}` and sinks `{f, g, h}`.
+///
+/// # Errors
+///
+/// Returns [`ComposeError::NotComposable`] when the union violates a
+/// workflow constraint (most commonly: both operands produce the same label,
+/// or the union creates a cycle), and
+/// [`ComposeError::ConflictingTaskMode`] when a task appears in both with
+/// different modes.
+pub fn compose(left: &Workflow, right: &Workflow) -> Result<Workflow, ComposeError> {
+    let mut g: Graph = left.graph().clone();
+    g.merge_from(right.graph()).map_err(|e| match e {
+        crate::error::ModelError::ConflictingTaskMode { task, existing, requested } => {
+            ComposeError::ConflictingTaskMode { task, existing, requested }
+        }
+        // merge_from only returns mode conflicts; anything else is a bug.
+        other => unreachable!("unexpected merge error: {other}"),
+    })?;
+    Workflow::from_graph(g).map_err(ComposeError::NotComposable)
+}
+
+/// Composes any number of workflows left-to-right.
+///
+/// The empty iterator yields [`Workflow::empty`]. Composition by semantic
+/// union is associative and commutative (when defined), so the order only
+/// affects internal node numbering, never the result's shape.
+///
+/// # Errors
+///
+/// Returns the first composition failure encountered.
+pub fn compose_all<'a, I>(workflows: I) -> Result<Workflow, ComposeError>
+where
+    I: IntoIterator<Item = &'a Workflow>,
+{
+    let mut g = Graph::new();
+    for w in workflows {
+        g.merge_from(w.graph()).map_err(|e| match e {
+            crate::error::ModelError::ConflictingTaskMode { task, existing, requested } => {
+                ComposeError::ConflictingTaskMode { task, existing, requested }
+            }
+            other => unreachable!("unexpected merge error: {other}"),
+        })?;
+    }
+    Workflow::from_graph(g).map_err(ComposeError::NotComposable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragment;
+    use crate::ids::{Label, Mode, TaskId};
+
+    fn wf(
+        id: &str,
+        tasks: &[(&str, &[&str], &[&str])], // (task, inputs, outputs)
+    ) -> Workflow {
+        let mut b = Fragment::builder(id);
+        for (t, ins, outs) in tasks {
+            b = b
+                .task(*t, Mode::Conjunctive)
+                .inputs(ins.iter().copied())
+                .outputs(outs.iter().copied())
+                .done();
+        }
+        b.build().unwrap().into()
+    }
+
+    #[test]
+    fn paper_example_w1_w2() {
+        // W1: sources {a,b,c}, sinks {d,e,f}
+        let w1 = wf("w1", &[("t1", &["a", "b", "c"], &["d", "e", "f"])]);
+        // W2: sources {c,d,e}, sinks {g,h}
+        let w2 = wf("w2", &[("t2", &["c", "d", "e"], &["g", "h"])]);
+        let w = compose(&w1, &w2).unwrap();
+        let ins: Vec<&str> = w.inset().iter().map(|l| l.as_str()).collect();
+        let outs: Vec<&str> = w.outset().iter().map(|l| l.as_str()).collect();
+        assert_eq!(ins, ["a", "b", "c"]);
+        assert_eq!(outs, ["f", "g", "h"]);
+    }
+
+    #[test]
+    fn composition_is_commutative_in_shape() {
+        let w1 = wf("w1", &[("t1", &["a"], &["b"])]);
+        let w2 = wf("w2", &[("t2", &["b"], &["c"])]);
+        let lr = compose(&w1, &w2).unwrap();
+        let rl = compose(&w2, &w1).unwrap();
+        assert_eq!(lr.inset(), rl.inset());
+        assert_eq!(lr.outset(), rl.outset());
+        assert_eq!(lr.task_count(), rl.task_count());
+    }
+
+    #[test]
+    fn double_production_is_not_composable() {
+        let w1 = wf("w1", &[("t1", &["a"], &["x"])]);
+        let w2 = wf("w2", &[("t2", &["b"], &["x"])]);
+        let err = compose(&w1, &w2).unwrap_err();
+        assert!(matches!(err, ComposeError::NotComposable(_)), "{err}");
+    }
+
+    #[test]
+    fn cycle_is_not_composable() {
+        let w1 = wf("w1", &[("t1", &["a"], &["b"])]);
+        let w2 = wf("w2", &[("t2", &["b"], &["a"])]);
+        let err = compose(&w1, &w2).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn shared_task_is_merged_not_duplicated() {
+        let w1 = wf("w1", &[("t", &["a"], &["b"])]);
+        let w2 = wf("w2", &[("t", &["a"], &["b"])]);
+        let w = compose(&w1, &w2).unwrap();
+        assert_eq!(w.task_count(), 1);
+        assert!(w.contains_task(&TaskId::new("t")));
+    }
+
+    #[test]
+    fn mode_conflict_is_reported() {
+        let w1: Workflow = Fragment::single_task("f1", "t", Mode::Conjunctive, ["a"], ["b"])
+            .unwrap()
+            .into();
+        let w2: Workflow = Fragment::single_task("f2", "t", Mode::Disjunctive, ["a"], ["b"])
+            .unwrap()
+            .into();
+        let err = compose(&w1, &w2).unwrap_err();
+        assert!(matches!(err, ComposeError::ConflictingTaskMode { .. }));
+    }
+
+    #[test]
+    fn compose_all_chains_many() {
+        let parts: Vec<Workflow> = (0..5)
+            .map(|i| {
+                wf(
+                    &format!("w{i}"),
+                    &[(
+                        &format!("t{i}") as &str,
+                        &[&format!("l{i}") as &str],
+                        &[&format!("l{}", i + 1) as &str],
+                    )],
+                )
+            })
+            .collect();
+        let w = compose_all(parts.iter()).unwrap();
+        assert_eq!(w.task_count(), 5);
+        assert_eq!(w.inset().iter().next().unwrap(), &Label::new("l0"));
+        assert_eq!(w.outset().iter().next().unwrap(), &Label::new("l5"));
+    }
+
+    #[test]
+    fn compose_all_empty_is_empty_workflow() {
+        let w = compose_all(std::iter::empty()).unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn compose_with_empty_is_identity() {
+        let w1 = wf("w1", &[("t1", &["a"], &["b"])]);
+        let e = Workflow::empty();
+        let w = compose(&w1, &e).unwrap();
+        assert_eq!(w.inset(), w1.inset());
+        assert_eq!(w.outset(), w1.outset());
+    }
+}

@@ -1,0 +1,282 @@
+//! Richer specifications (§5.1 future work, implemented).
+//!
+//! "Weakening our initial assumption that a specification only involves
+//! the inset and outset would allow specifications that include
+//! constraints on all aspects of the workflow graph, such as path length
+//! and task preferences."
+//!
+//! [`SpecConstraints`] adds exactly those two families on top of the
+//! canonical [`Spec`]:
+//!
+//! * **task preferences** — forbidden tasks are excluded during
+//!   construction (they compose with the capability filter), and avoided
+//!   tasks are used only when no alternative exists;
+//! * **graph-shape limits** — a maximum task count for the constructed
+//!   workflow, checked after construction.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::construct::{ConstructError, Construction, Constructor};
+use crate::ids::TaskId;
+use crate::spec::Spec;
+use crate::supergraph::Supergraph;
+
+/// Additional constraints layered over a canonical [`Spec`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpecConstraints {
+    /// Tasks that must not appear in the workflow.
+    pub forbidden_tasks: BTreeSet<TaskId>,
+    /// Tasks to avoid when alternatives exist (soft preference).
+    pub avoided_tasks: BTreeSet<TaskId>,
+    /// Upper bound on the number of tasks in the result.
+    pub max_tasks: Option<usize>,
+}
+
+impl SpecConstraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        SpecConstraints::default()
+    }
+
+    /// Forbids a task outright.
+    pub fn forbidding(mut self, task: impl Into<TaskId>) -> Self {
+        self.forbidden_tasks.insert(task.into());
+        self
+    }
+
+    /// Prefers to avoid a task (used only if nothing else works).
+    pub fn avoiding(mut self, task: impl Into<TaskId>) -> Self {
+        self.avoided_tasks.insert(task.into());
+        self
+    }
+
+    /// Caps the constructed workflow's task count.
+    pub fn with_max_tasks(mut self, max: usize) -> Self {
+        self.max_tasks = Some(max);
+        self
+    }
+
+    /// True if no constraint is set.
+    pub fn is_empty(&self) -> bool {
+        self.forbidden_tasks.is_empty()
+            && self.avoided_tasks.is_empty()
+            && self.max_tasks.is_none()
+    }
+}
+
+impl fmt::Display for SpecConstraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "constraints(forbid={}, avoid={}, max_tasks={:?})",
+            self.forbidden_tasks.len(),
+            self.avoided_tasks.len(),
+            self.max_tasks
+        )
+    }
+}
+
+/// Failure modes of constrained construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConstrainedError {
+    /// The underlying construction failed.
+    Construct(ConstructError),
+    /// A workflow was found but exceeds `max_tasks`.
+    TooManyTasks {
+        /// Tasks in the best workflow found.
+        found: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ConstrainedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstrainedError::Construct(e) => write!(f, "{e}"),
+            ConstrainedError::TooManyTasks { found, limit } => write!(
+                f,
+                "constructed workflow has {found} tasks, exceeding the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConstrainedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConstrainedError::Construct(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConstructError> for ConstrainedError {
+    fn from(e: ConstructError) -> Self {
+        ConstrainedError::Construct(e)
+    }
+}
+
+/// Constructs a workflow satisfying `spec` under `constraints`, with an
+/// additional capability oracle (pass `|_| true` when every task is
+/// feasible).
+///
+/// Strategy: first try with forbidden **and** avoided tasks excluded
+/// (the preferred world); if that fails, retry with only the forbidden
+/// tasks excluded. Finally enforce `max_tasks`.
+///
+/// # Errors
+///
+/// [`ConstrainedError::Construct`] when no workflow exists within the
+/// hard constraints; [`ConstrainedError::TooManyTasks`] when the best
+/// workflow found exceeds the task budget.
+pub fn construct_constrained(
+    constructor: &Constructor,
+    supergraph: &Supergraph,
+    spec: &Spec,
+    constraints: &SpecConstraints,
+    mut feasible: impl FnMut(&TaskId) -> bool,
+) -> Result<Construction, ConstrainedError> {
+    // Preferred attempt: avoid soft-avoided tasks too.
+    let preferred = constructor.construct_filtered(supergraph, spec, |t| {
+        feasible(t) && !constraints.forbidden_tasks.contains(t) && !constraints.avoided_tasks.contains(t)
+    });
+    let construction = match preferred {
+        Ok(c) => c,
+        Err(_) if !constraints.avoided_tasks.is_empty() => {
+            // Fall back: avoided tasks allowed, forbidden still excluded.
+            constructor.construct_filtered(supergraph, spec, |t| {
+                feasible(t) && !constraints.forbidden_tasks.contains(t)
+            })?
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if let Some(limit) = constraints.max_tasks {
+        let found = construction.workflow().task_count();
+        if found > limit {
+            return Err(ConstrainedError::TooManyTasks { found, limit });
+        }
+    }
+    Ok(construction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragment;
+    use crate::ids::Mode;
+
+    fn frag(id: &str, task: &str, input: &str, output: &str) -> Fragment {
+        Fragment::single_task(id, task, Mode::Disjunctive, [input], [output]).unwrap()
+    }
+
+    /// Direct route (1 task) and scenic route (2 tasks) to the goal.
+    fn two_route_supergraph() -> Supergraph {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("d", "direct", "a", "goal"));
+        sg.merge_fragment(&frag("s1", "step1", "a", "mid"));
+        sg.merge_fragment(&frag("s2", "step2", "mid", "goal"));
+        sg
+    }
+
+    #[test]
+    fn unconstrained_behaves_like_plain_construction() {
+        let sg = two_route_supergraph();
+        let spec = Spec::new(["a"], ["goal"]);
+        let c = construct_constrained(
+            &Constructor::new(),
+            &sg,
+            &spec,
+            &SpecConstraints::none(),
+            |_| true,
+        )
+        .unwrap();
+        assert!(spec.accepts(c.workflow()));
+    }
+
+    #[test]
+    fn forbidden_task_forces_alternative() {
+        let sg = two_route_supergraph();
+        let spec = Spec::new(["a"], ["goal"]);
+        let constraints = SpecConstraints::none().forbidding("direct");
+        let c = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
+            .unwrap();
+        assert!(!c.workflow().contains_task(&TaskId::new("direct")));
+        assert!(c.workflow().contains_task(&TaskId::new("step1")));
+    }
+
+    #[test]
+    fn forbidding_all_routes_fails() {
+        let sg = two_route_supergraph();
+        let spec = Spec::new(["a"], ["goal"]);
+        let constraints = SpecConstraints::none()
+            .forbidding("direct")
+            .forbidding("step1");
+        let err = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
+            .unwrap_err();
+        assert!(matches!(err, ConstrainedError::Construct(_)));
+    }
+
+    #[test]
+    fn avoided_task_is_soft() {
+        let sg = two_route_supergraph();
+        let spec = Spec::new(["a"], ["goal"]);
+        // Avoiding the direct route picks the scenic one…
+        let constraints = SpecConstraints::none().avoiding("direct");
+        let c = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
+            .unwrap();
+        assert!(!c.workflow().contains_task(&TaskId::new("direct")));
+        // …but avoiding everything still succeeds via fallback.
+        let constraints = SpecConstraints::none()
+            .avoiding("direct")
+            .avoiding("step1")
+            .avoiding("step2");
+        let c = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
+            .unwrap();
+        assert!(spec.accepts(c.workflow()));
+    }
+
+    #[test]
+    fn max_tasks_rejects_long_workflows() {
+        let sg = two_route_supergraph();
+        let spec = Spec::new(["a"], ["goal"]);
+        // Forbid the short route, cap at 1 task: impossible.
+        let constraints = SpecConstraints::none()
+            .forbidding("direct")
+            .with_max_tasks(1);
+        let err = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConstrainedError::TooManyTasks { found: 2, limit: 1 }
+        );
+        assert!(err.to_string().contains("exceeding"));
+    }
+
+    #[test]
+    fn constraints_compose_with_capability_oracle() {
+        let sg = two_route_supergraph();
+        let spec = Spec::new(["a"], ["goal"]);
+        // Capability excludes the scenic route; constraint forbids the
+        // direct one: nothing remains.
+        let constraints = SpecConstraints::none().forbidding("direct");
+        let err = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |t| {
+            t != &TaskId::new("step2")
+        })
+        .unwrap_err();
+        assert!(matches!(err, ConstrainedError::Construct(_)));
+    }
+
+    #[test]
+    fn builder_and_display() {
+        let c = SpecConstraints::none()
+            .forbidding("x")
+            .avoiding("y")
+            .with_max_tasks(5);
+        assert!(!c.is_empty());
+        assert!(SpecConstraints::none().is_empty());
+        assert_eq!(c.to_string(), "constraints(forbid=1, avoid=1, max_tasks=Some(5))");
+    }
+}

@@ -1,0 +1,469 @@
+//! The exploration phase of Algorithm 1.
+//!
+//! "We start by coloring the nodes corresponding to set ι of the
+//! specification S. Following the data flows, we explore the graph, growing
+//! the colored section as we identify which tasks and labels are reachable
+//! from ι. We call a label reachable when it is in ι or when it denotes the
+//! output of a reachable task; a task is reachable when all necessary input
+//! labels are available for its execution via some path starting from ι."
+//!
+//! The implementation is worklist-driven but preserves the paper's
+//! nondeterministic-choice semantics: any eligible node may be processed
+//! next ([`crate::construct::PickOrder`]), and a node is (re)examined
+//! whenever one of its parents changed. The key invariant — *every green
+//! node's required parents are green with strictly smaller distance* — is
+//! maintained by construction and checked by `debug_assert!`.
+
+use std::collections::VecDeque;
+use std::collections::HashMap;
+
+use crate::construct::color::{Color, ColorState, Distance};
+use crate::construct::trace::{Trace, TraceEvent};
+use crate::construct::PickOrder;
+use crate::graph::{Graph, NodeIdx};
+use crate::ids::{Label, Mode, NodeKind, TaskId};
+use crate::spec::Spec;
+
+/// Result of one exploration run.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// Worklist pops (guard evaluations).
+    pub steps: u64,
+    /// Number of green nodes after the run.
+    pub colored_green: usize,
+    /// Goals that are not reachable; empty means ω ⊆ green (success).
+    pub unreachable_goals: Vec<Label>,
+}
+
+/// A deterministic splitmix/xorshift-style PRNG so the core crate stays
+/// dependency-free while still offering randomized pick orders.
+#[derive(Clone, Debug)]
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> Self {
+        // Zero state would be a fixed point; nudge it.
+        XorShift(seed | 0x9E37_79B9_7F4A_7C15)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Worklist honoring a [`PickOrder`], with duplicate suppression.
+#[derive(Debug)]
+pub(crate) struct Worklist {
+    order: PickOrder,
+    queue: VecDeque<NodeIdx>,
+    queued: Vec<bool>,
+    rng: XorShift,
+}
+
+impl Worklist {
+    pub(crate) fn new(order: PickOrder, len: usize) -> Self {
+        let seed = match order {
+            PickOrder::Random(s) => s,
+            _ => 0,
+        };
+        Worklist {
+            order,
+            queue: VecDeque::new(),
+            queued: vec![false; len],
+            rng: XorShift::new(seed),
+        }
+    }
+
+    #[allow(dead_code)] // used by resumable exploration when graphs grow
+    pub(crate) fn ensure_len(&mut self, len: usize) {
+        if self.queued.len() < len {
+            self.queued.resize(len, false);
+        }
+    }
+
+    pub(crate) fn push(&mut self, n: NodeIdx) {
+        if !self.queued[n.index()] {
+            self.queued[n.index()] = true;
+            self.queue.push_back(n);
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<NodeIdx> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let n = match self.order {
+            PickOrder::Fifo => self.queue.pop_front().expect("non-empty"),
+            PickOrder::Lifo => self.queue.pop_back().expect("non-empty"),
+            PickOrder::Random(_) => {
+                let i = self.rng.below(self.queue.len());
+                self.queue.swap(0, i);
+                self.queue.pop_front().expect("non-empty")
+            }
+        };
+        self.queued[n.index()] = false;
+        Some(n)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Runs (or resumes) the exploration phase.
+///
+/// The function is *resumable*: calling it again after the graph gained
+/// nodes/edges (incremental construction) continues from the existing
+/// coloring — green coloring is monotone, so re-seeding from the current
+/// green region is sound.
+pub fn explore(
+    g: &Graph,
+    state: &mut ColorState,
+    spec: &Spec,
+    feasible: &mut dyn FnMut(&TaskId) -> bool,
+    order: PickOrder,
+    mut trace: Option<&mut Trace>,
+) -> ExploreOutcome {
+    state.ensure_len(g.node_count());
+    let mut worklist = Worklist::new(order, g.node_count());
+    let mut feasibility: HashMap<NodeIdx, bool> = HashMap::new();
+
+    // Color ι (distance 0) and seed the frontier: children of every green
+    // node. Seeding from *all* green nodes (not just ι) makes resumed runs
+    // pick up edges added since the last round.
+    for label in spec.triggers() {
+        if let Some(idx) = g.find_label(label) {
+            if state.color(idx) == Color::Uncolored {
+                state.set_color(idx, Color::Green);
+                state.set_distance(idx, Distance::ZERO);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::Colored {
+                        node: g.key(idx).clone(),
+                        color: Color::Green,
+                        distance: Distance::ZERO,
+                    });
+                }
+            }
+        }
+    }
+    for idx in g.node_indices() {
+        if state.color(idx) == Color::Green {
+            for &c in g.children(idx) {
+                worklist.push(c);
+            }
+        }
+    }
+
+    // Goal accounting. Goals absent from the graph can never be colored;
+    // they are trivially satisfied when they are triggers (handled by the
+    // caller), otherwise unreachable.
+    let mut goals_remaining = 0usize;
+    for goal in spec.goals() {
+        match g.find_label(goal) {
+            Some(idx) if state.color(idx) != Color::Green => goals_remaining += 1,
+            _ => {}
+        }
+    }
+
+    let mut steps = 0u64;
+    while goals_remaining > 0 || !worklist.is_empty() {
+        let Some(n) = worklist.pop() else { break };
+        steps += 1;
+
+        if !node_feasible(g, n, &mut feasibility, feasible) {
+            continue;
+        }
+
+        let mode = effective_mode(g, n);
+        let new_distance = match mode {
+            Mode::Disjunctive => {
+                // "d ← min over green parents of p.distance"
+                g.parents(n)
+                    .iter()
+                    .filter(|&&p| state.color(p) == Color::Green)
+                    .map(|&p| state.distance(p))
+                    .min()
+                    .map(Distance::succ)
+            }
+            Mode::Conjunctive => {
+                // "all of n's parents are green" → d = max distance
+                let parents = g.parents(n);
+                if !parents.is_empty()
+                    && parents.iter().all(|&p| state.color(p) == Color::Green)
+                {
+                    parents
+                        .iter()
+                        .map(|&p| state.distance(p))
+                        .max()
+                        .map(Distance::succ)
+                } else {
+                    None
+                }
+            }
+        };
+
+        let Some(d) = new_distance else { continue };
+
+        let improved = match state.color(n) {
+            Color::Uncolored => true,
+            Color::Green => state.distance(n) > d,
+            // Exploration never runs after the back-sweep started.
+            other => unreachable!("exploration saw {other} node"),
+        };
+        if !improved {
+            continue;
+        }
+
+        debug_assert!(
+            required_parents_are_closer(g, state, n, d),
+            "green invariant violated at {:?}",
+            g.key(n)
+        );
+
+        let was_uncolored = state.color(n) == Color::Uncolored;
+        state.set_color(n, Color::Green);
+        state.set_distance(n, d);
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent::Colored {
+                node: g.key(n).clone(),
+                color: Color::Green,
+                distance: d,
+            });
+        }
+
+        if was_uncolored && g.kind(n) == NodeKind::Label {
+            if let Some(label) = g.key(n).as_label() {
+                if spec.goals().contains(&label) {
+                    goals_remaining -= 1;
+                    if goals_remaining == 0 {
+                        // "until ω ⊆ greenNodes": stop as soon as every
+                        // goal is reached, like the paper's loop guard.
+                        break;
+                    }
+                }
+            }
+        }
+
+        for &c in g.children(n) {
+            worklist.push(c);
+        }
+    }
+
+    let unreachable_goals: Vec<Label> = spec
+        .goals()
+        .iter()
+        .filter(|goal| match g.find_label(goal) {
+            Some(idx) => state.color(idx) != Color::Green,
+            // Absent from the supergraph: fine iff trivially satisfied.
+            None => !spec.triggers().contains(*goal),
+        })
+        .cloned()
+        .collect();
+
+    ExploreOutcome {
+        steps,
+        colored_green: state.count(Color::Green),
+        unreachable_goals,
+    }
+}
+
+/// Labels behave disjunctively; tasks use their declared mode.
+pub(crate) fn effective_mode(g: &Graph, n: NodeIdx) -> Mode {
+    match g.kind(n) {
+        NodeKind::Label => Mode::Disjunctive,
+        NodeKind::Task => g.mode(n),
+    }
+}
+
+fn node_feasible(
+    g: &Graph,
+    n: NodeIdx,
+    memo: &mut HashMap<NodeIdx, bool>,
+    feasible: &mut dyn FnMut(&TaskId) -> bool,
+) -> bool {
+    if g.kind(n) != NodeKind::Task {
+        return true;
+    }
+    if let Some(&f) = memo.get(&n) {
+        return f;
+    }
+    let task = g.key(n).as_task().expect("task kind");
+    let f = feasible(&task);
+    memo.insert(n, f);
+    f
+}
+
+/// Debug invariant: for the distance `d` about to be assigned to `n`, the
+/// required parents are green and strictly closer.
+fn required_parents_are_closer(g: &Graph, state: &ColorState, n: NodeIdx, d: Distance) -> bool {
+    match effective_mode(g, n) {
+        Mode::Disjunctive => g
+            .parents(n)
+            .iter()
+            .any(|&p| state.color(p) == Color::Green && state.distance(p) < d),
+        Mode::Conjunctive => g
+            .parents(n)
+            .iter()
+            .all(|&p| state.color(p) == Color::Green && state.distance(p) < d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragment;
+    use crate::supergraph::Supergraph;
+
+    fn explore_all(sg: &Supergraph, spec: &Spec) -> (ColorState, ExploreOutcome) {
+        let mut state = ColorState::with_len(sg.graph().node_count());
+        let out = explore(
+            sg.graph(),
+            &mut state,
+            spec,
+            &mut |_| true,
+            PickOrder::Fifo,
+            None,
+        );
+        (state, out)
+    }
+
+    fn frag(id: &str, task: &str, mode: Mode, ins: &[&str], outs: &[&str]) -> Fragment {
+        Fragment::single_task(id, task, mode, ins.iter().copied(), outs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn triggers_get_distance_zero() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f", "t", Mode::Disjunctive, &["a"], &["b"]));
+        let spec = Spec::new(["a"], ["b"]);
+        let (state, out) = explore_all(&sg, &spec);
+        assert!(out.unreachable_goals.is_empty());
+        let a = sg.graph().find_label(&Label::new("a")).unwrap();
+        assert_eq!(state.distance(a), Distance::ZERO);
+        assert_eq!(state.color(a), Color::Green);
+    }
+
+    #[test]
+    fn distances_increase_along_chain() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["b"]));
+        sg.merge_fragment(&frag("f2", "t2", Mode::Disjunctive, &["b"], &["c"]));
+        let spec = Spec::new(["a"], ["c"]);
+        let (state, _) = explore_all(&sg, &spec);
+        let g = sg.graph();
+        let d = |name: &str| state.distance(g.find_label(&Label::new(name)).unwrap());
+        assert_eq!(d("a"), Distance(0));
+        assert_eq!(d("b"), Distance(2)); // a(0) -> t1(1) -> b(2)
+        assert_eq!(d("c"), Distance(4));
+    }
+
+    #[test]
+    fn conjunctive_waits_for_all_parents() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["x"]));
+        sg.merge_fragment(&frag("fj", "join", Mode::Conjunctive, &["x", "y"], &["z"]));
+        let spec = Spec::new(["a"], ["z"]);
+        let (state, out) = explore_all(&sg, &spec);
+        assert_eq!(out.unreachable_goals, vec![Label::new("z")]);
+        let j = sg.graph().find_task(&TaskId::new("join")).unwrap();
+        assert_eq!(state.color(j), Color::Uncolored);
+    }
+
+    #[test]
+    fn conjunctive_distance_is_max_plus_one() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["x"]));
+        sg.merge_fragment(&frag("fj", "join", Mode::Conjunctive, &["x", "a"], &["z"]));
+        let spec = Spec::new(["a"], ["z"]);
+        let (state, out) = explore_all(&sg, &spec);
+        assert!(out.unreachable_goals.is_empty());
+        let g = sg.graph();
+        let j = g.find_task(&TaskId::new("join")).unwrap();
+        // parents: x at distance 2, a at 0 -> max 2, so join is 3.
+        assert_eq!(state.distance(j), Distance(3));
+    }
+
+    #[test]
+    fn early_exit_stops_at_goal() {
+        // Long chain, goal early: exploration should not color the far end.
+        let mut sg = Supergraph::new();
+        for i in 0..10 {
+            sg.merge_fragment(&frag(
+                &format!("f{i}"),
+                &format!("t{i}"),
+                Mode::Disjunctive,
+                &[&format!("l{i}")],
+                &[&format!("l{}", i + 1)],
+            ));
+        }
+        let spec = Spec::new(["l0"], ["l1"]);
+        let (state, out) = explore_all(&sg, &spec);
+        assert!(out.unreachable_goals.is_empty());
+        let far = sg.graph().find_label(&Label::new("l10")).unwrap();
+        assert_eq!(state.color(far), Color::Uncolored, "must stop early");
+    }
+
+    #[test]
+    fn cycles_do_not_loop_forever() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["b"]));
+        sg.merge_fragment(&frag("f2", "t2", Mode::Disjunctive, &["b"], &["a"]));
+        let spec = Spec::new(["a"], ["missing"]);
+        let (_, out) = explore_all(&sg, &spec);
+        assert_eq!(out.unreachable_goals, vec![Label::new("missing")]);
+        assert!(out.steps < 100, "bounded work on cyclic graphs");
+    }
+
+    #[test]
+    fn resumed_exploration_picks_up_new_edges() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["b"]));
+        let spec = Spec::new(["a"], ["c"]);
+        let mut state = ColorState::with_len(sg.graph().node_count());
+        let out = explore(sg.graph(), &mut state, &spec, &mut |_| true, PickOrder::Fifo, None);
+        assert_eq!(out.unreachable_goals, vec![Label::new("c")]);
+
+        // Community supplies another fragment; resume.
+        sg.merge_fragment(&frag("f2", "t2", Mode::Disjunctive, &["b"], &["c"]));
+        let out = explore(sg.graph(), &mut state, &spec, &mut |_| true, PickOrder::Fifo, None);
+        assert!(out.unreachable_goals.is_empty());
+    }
+
+    #[test]
+    fn worklist_orders_pop_all_nodes() {
+        for order in [PickOrder::Fifo, PickOrder::Lifo, PickOrder::Random(7)] {
+            let mut wl = Worklist::new(order, 10);
+            for i in 0..10u32 {
+                wl.push(NodeIdx(i));
+                wl.push(NodeIdx(i)); // duplicate suppressed
+            }
+            let mut seen = Vec::new();
+            while let Some(n) = wl.pop() {
+                seen.push(n.index());
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>(), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_varied() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert!(distinct.len() >= 7);
+    }
+}

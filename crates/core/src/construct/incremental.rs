@@ -1,0 +1,351 @@
+//! Incremental, frontier-driven construction.
+//!
+//! "We extend the basic algorithm by relaxing the assumption that all of
+//! the workflow fragments are collected from the community before the
+//! coloring process begins. The coloring of nodes requires only local
+//! knowledge. In our implementation, we build the supergraph incrementally,
+//! drawing from the community only the fragments that we need to extend the
+//! supergraph along the boundaries of the colored region." (§3.1)
+//!
+//! The driver alternates between (a) querying a [`FragmentSource`] for
+//! fragments whose tasks consume the labels on the green frontier and
+//! (b) resuming the exploration coloring over the grown supergraph, until
+//! every goal is green or the frontier stops growing. Green coloring is
+//! monotone, so resuming is sound; completeness relative to full collection
+//! follows by induction on distance (every prerequisite of a reachable node
+//! is reachable at a smaller distance, so its fragments are eventually
+//! queried).
+
+use std::collections::BTreeSet;
+
+use crate::construct::color::{Color, ColorState};
+use crate::construct::explore::{explore, ExploreOutcome};
+use crate::construct::trace::{Trace, TraceEvent};
+use crate::construct::{finish, ConstructError, ConstructStats, Construction, PickOrder};
+use crate::fragment::Fragment;
+use crate::graph::NodeIdx;
+use crate::ids::{Label, NodeKind, TaskId};
+use crate::spec::Spec;
+use crate::supergraph::Supergraph;
+
+/// A queryable source of community knowhow.
+///
+/// In the distributed runtime this is backed by fragment queries over the
+/// network (each host's Fragment Manager answers from its local database);
+/// [`crate::store::InMemoryFragmentStore`] provides the local equivalent.
+pub trait FragmentSource {
+    /// Returns fragments containing at least one task that **consumes** any
+    /// of the given labels. Implementations may return duplicates or
+    /// already-known fragments; merging is idempotent.
+    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Fragment>;
+}
+
+impl<T: FragmentSource + ?Sized> FragmentSource for &mut T {
+    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Fragment> {
+        (**self).fragments_consuming(labels)
+    }
+}
+
+/// Drives Algorithm 1 while collecting fragments on demand.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalConstructor {
+    order: PickOrder,
+    record_trace: bool,
+}
+
+impl IncrementalConstructor {
+    /// Creates an incremental constructor with FIFO pick order.
+    pub fn new() -> Self {
+        IncrementalConstructor::default()
+    }
+
+    /// Sets the node pick order used during coloring.
+    pub fn pick_order(mut self, order: PickOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Constructs a workflow satisfying `spec`, pulling fragments from
+    /// `source` only as the colored frontier grows. Returns the
+    /// construction together with the (partial) supergraph that was
+    /// actually assembled.
+    ///
+    /// # Errors
+    ///
+    /// [`ConstructError::NoSolution`] when the goals stay unreachable after
+    /// the frontier stops producing new knowledge.
+    pub fn construct(
+        &self,
+        mut source: impl FragmentSource,
+        spec: &Spec,
+    ) -> Result<(Construction, Supergraph), ConstructError> {
+        self.construct_filtered(&mut source, spec, |_| true)
+    }
+
+    /// Like [`IncrementalConstructor::construct`], restricted to tasks the
+    /// capability oracle deems feasible.
+    ///
+    /// # Errors
+    ///
+    /// [`ConstructError::NoSolution`] when the goals are unreachable with
+    /// feasible tasks only.
+    pub fn construct_filtered(
+        &self,
+        mut source: impl FragmentSource,
+        spec: &Spec,
+        mut feasible: impl FnMut(&TaskId) -> bool,
+    ) -> Result<(Construction, Supergraph), ConstructError> {
+        let mut sg = Supergraph::new();
+        let mut state = ColorState::with_len(0);
+        let mut trace = self.record_trace.then(Trace::new);
+        let mut queried: BTreeSet<Label> = BTreeSet::new();
+        let mut stats = ConstructStats::default();
+        let mut last_outcome: Option<ExploreOutcome> = None;
+
+        loop {
+            // Frontier = green labels (plus, initially, the triggers) whose
+            // consumers we have not asked the community about yet.
+            let frontier: Vec<Label> = if stats.query_rounds == 0 {
+                spec.triggers()
+                    .iter()
+                    .filter(|l| !queried.contains(*l))
+                    .cloned()
+                    .collect()
+            } else {
+                green_labels(&sg, &state)
+                    .into_iter()
+                    .filter(|l| !queried.contains(l))
+                    .collect()
+            };
+
+            if frontier.is_empty() {
+                break;
+            }
+            queried.extend(frontier.iter().cloned());
+
+            let fragments = source.fragments_consuming(&frontier);
+            stats.query_rounds += 1;
+            let mut new_fragments = 0usize;
+            for f in &fragments {
+                match sg.try_merge_fragment(f) {
+                    Ok(true) => new_fragments += 1,
+                    Ok(false) => {}
+                    Err(_) => {
+                        // Conflicting knowhow from different hosts: skip the
+                        // conflicting fragment rather than failing the whole
+                        // construction; the first-merged definition wins.
+                        continue;
+                    }
+                }
+            }
+            stats.fragments_pulled += new_fragments;
+            if let Some(t) = trace.as_mut() {
+                t.push(TraceEvent::QueryRound {
+                    labels: frontier.len(),
+                    fragments: new_fragments,
+                });
+            }
+
+            let outcome = explore(
+                sg.graph(),
+                &mut state,
+                spec,
+                &mut feasible,
+                self.order,
+                trace.as_mut(),
+            );
+            stats.explore_steps += outcome.steps;
+            let done = outcome.unreachable_goals.is_empty();
+            last_outcome = Some(outcome);
+            if done {
+                break;
+            }
+        }
+
+        let outcome = match last_outcome {
+            Some(o) => o,
+            None => {
+                // No queries at all (no triggers): only trivial specs can
+                // succeed. Run one explore pass over the empty graph to get
+                // a well-formed outcome.
+                explore(
+                    sg.graph(),
+                    &mut state,
+                    spec,
+                    &mut feasible,
+                    self.order,
+                    trace.as_mut(),
+                )
+            }
+        };
+
+        stats.colored_green = state.count(Color::Green);
+        stats.supergraph_nodes = sg.graph().node_count();
+        stats.supergraph_edges = sg.graph().edge_count();
+
+        let construction = finish(&sg, spec, state, outcome, stats, trace)?;
+        Ok((construction, sg))
+    }
+}
+
+/// All labels currently colored green.
+fn green_labels(sg: &Supergraph, state: &ColorState) -> Vec<Label> {
+    let g = sg.graph();
+    g.node_indices()
+        .filter(|&i| i.index() < state.len() && state.color(i) == Color::Green)
+        .filter(|&i| g.kind(i) == NodeKind::Label)
+        .filter_map(|i: NodeIdx| g.key(i).as_label())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Mode;
+    use crate::store::InMemoryFragmentStore;
+
+    fn frag(id: &str, task: &str, ins: &[&str], outs: &[&str]) -> Fragment {
+        Fragment::single_task(id, task, Mode::Disjunctive, ins.iter().copied(), outs.iter().copied())
+            .unwrap()
+    }
+
+    fn chain_store(n: usize) -> InMemoryFragmentStore {
+        let mut store = InMemoryFragmentStore::new();
+        for i in 0..n {
+            store.insert(frag(
+                &format!("f{i}"),
+                &format!("t{i}"),
+                &[&format!("l{i}")],
+                &[&format!("l{}", i + 1)],
+            ));
+        }
+        store
+    }
+
+    #[test]
+    fn incremental_solves_chain() {
+        let mut store = chain_store(5);
+        let spec = Spec::new(["l0"], ["l5"]);
+        let (c, sg) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        assert!(spec.is_satisfied_strict(c.workflow()));
+        assert_eq!(c.workflow().task_count(), 5);
+        assert_eq!(sg.fragment_count(), 5);
+        assert_eq!(c.stats().query_rounds, 5, "one round per frontier step");
+    }
+
+    #[test]
+    fn incremental_pulls_only_needed_fragments() {
+        // A 10-step chain plus an unrelated island: the island is never
+        // queried because its labels never become green.
+        let mut store = chain_store(10);
+        for i in 0..20 {
+            store.insert(frag(
+                &format!("island{i}"),
+                &format!("it{i}"),
+                &[&format!("ix{i}")],
+                &[&format!("iy{i}")],
+            ));
+        }
+        let spec = Spec::new(["l0"], ["l3"]);
+        let (c, sg) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        assert!(spec.accepts(c.workflow()));
+        assert!(
+            sg.fragment_count() <= 5,
+            "pulled {} fragments, expected only the prefix of the chain",
+            sg.fragment_count()
+        );
+        assert_eq!(c.stats().fragments_pulled, sg.fragment_count());
+    }
+
+    #[test]
+    fn incremental_detects_no_solution() {
+        let mut store = chain_store(3);
+        let spec = Spec::new(["l0"], ["unknown goal"]);
+        let err = IncrementalConstructor::new().construct(&mut store, &spec).unwrap_err();
+        assert!(matches!(err, ConstructError::NoSolution { .. }));
+    }
+
+    #[test]
+    fn incremental_matches_full_construction_feasibility() {
+        // Same knowledge, both strategies: both must succeed with
+        // equivalent insets/outsets.
+        let store = chain_store(6);
+        let spec = Spec::new(["l1"], ["l4"]);
+
+        let sg = Supergraph::from_fragments(store.fragments()).unwrap();
+        let full = crate::construct::Constructor::new().construct(&sg, &spec).unwrap();
+
+        let mut store = store;
+        let (inc, _) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+
+        assert_eq!(full.workflow().inset(), inc.workflow().inset());
+        assert_eq!(full.workflow().outset(), inc.workflow().outset());
+        assert_eq!(full.workflow().task_count(), inc.workflow().task_count());
+    }
+
+    #[test]
+    fn trivial_spec_with_no_knowledge() {
+        let mut store = InMemoryFragmentStore::new();
+        let spec = Spec::new(["a"], ["a"]);
+        let (c, _) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        assert_eq!(c.workflow().task_count(), 0);
+        assert!(c.workflow().contains_label(&Label::new("a")));
+    }
+
+    #[test]
+    fn conjunctive_join_needs_second_round_of_queries() {
+        // join needs x and y; y's producer is only discoverable from b,
+        // which is a separate trigger.
+        let mut store = InMemoryFragmentStore::new();
+        store.insert(Fragment::single_task("fx", "make x", Mode::Disjunctive, ["a"], ["x"]).unwrap());
+        store.insert(Fragment::single_task("fy", "make y", Mode::Disjunctive, ["b"], ["y"]).unwrap());
+        store.insert(
+            Fragment::single_task("fj", "join", Mode::Conjunctive, ["x", "y"], ["z"]).unwrap(),
+        );
+        let spec = Spec::new(["a", "b"], ["z"]);
+        let (c, _) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        assert!(spec.accepts(c.workflow()));
+        assert_eq!(c.workflow().task_count(), 3);
+    }
+
+    #[test]
+    fn infeasible_task_blocks_and_alternative_wins() {
+        let mut store = InMemoryFragmentStore::new();
+        store.insert(frag("f1", "infeasible", &["a"], &["goal"]));
+        store.insert(frag("f2", "step1", &["a"], &["mid"]));
+        store.insert(frag("f3", "step2", &["mid"], &["goal"]));
+        let spec = Spec::new(["a"], ["goal"]);
+        let (c, _) = IncrementalConstructor::new()
+            .construct_filtered(
+                &mut store,
+                &spec,
+                |t| t != &TaskId::new("infeasible"),
+            )
+            .unwrap();
+        assert!(c.workflow().contains_task(&TaskId::new("step1")));
+        assert!(!c.workflow().contains_task(&TaskId::new("infeasible")));
+    }
+
+    #[test]
+    fn trace_records_query_rounds() {
+        let mut store = chain_store(3);
+        let spec = Spec::new(["l0"], ["l3"]);
+        let (c, _) = IncrementalConstructor::new()
+            .record_trace(true)
+            .construct(&mut store, &spec)
+            .unwrap();
+        let trace = c.trace().unwrap();
+        let rounds = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::QueryRound { .. }))
+            .count();
+        assert_eq!(rounds, c.stats().query_rounds);
+    }
+}

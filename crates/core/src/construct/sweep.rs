@@ -1,0 +1,238 @@
+//! The pruning (back-sweep) phase of Algorithm 1.
+//!
+//! "Once we have reached all the elements of ω, we prune the reachable set
+//! down to a valid workflow. Working backwards with a new color, we
+//! identify only those paths which are actually required to reach ω. The
+//! pruning phase removes cycles, ensures only one task produces each
+//! output, and excludes undesirable outputs."
+//!
+//! Each purple node picks its required parents — none if it is a trigger
+//! (distance 0), the minimum-distance parent if disjunctive, all parents if
+//! conjunctive — colors those edges blue, promotes green parents to purple,
+//! and becomes blue. Termination follows from distances strictly
+//! decreasing towards ι.
+
+use crate::construct::color::{Color, ColorState, Distance};
+use crate::construct::explore::effective_mode;
+use crate::construct::trace::{Trace, TraceEvent};
+use crate::graph::{Graph, NodeIdx};
+use crate::ids::Mode;
+
+/// Runs the back-sweep from the goal nodes, which must all be green (or be
+/// goal labels that are also triggers, i.e. green at distance 0).
+///
+/// On return, the blue nodes plus [`ColorState::blue_edges`] form the
+/// constructed workflow.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if invoked on a state where some goal is not
+/// green — the exploration phase must succeed first.
+pub fn back_sweep(
+    g: &Graph,
+    state: &mut ColorState,
+    goals: &[NodeIdx],
+    mut trace: Option<&mut Trace>,
+) {
+    let mut purple: Vec<NodeIdx> = Vec::new();
+    for &n in goals {
+        debug_assert_eq!(
+            state.color(n),
+            Color::Green,
+            "goal {:?} must be green before pruning",
+            g.key(n)
+        );
+        if state.color(n) == Color::Green {
+            state.set_color(n, Color::Purple);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent::Colored {
+                    node: g.key(n).clone(),
+                    color: Color::Purple,
+                    distance: state.distance(n),
+                });
+            }
+            purple.push(n);
+        }
+    }
+
+    // "until purpleNodes = ∅ for some n ∈ purpleNodes do …"
+    while let Some(n) = purple.pop() {
+        let d = state.distance(n);
+        debug_assert!(d.is_finite(), "purple node {:?} must be reached", g.key(n));
+
+        let required: Vec<NodeIdx> = if d == Distance::ZERO {
+            //
+
+            // Triggers need no parents: they are supplied by the
+            // environment.
+            Vec::new()
+        } else {
+            match effective_mode(g, n) {
+                Mode::Disjunctive => vec![min_distance_parent(g, state, n)],
+                Mode::Conjunctive => g.parents(n).to_vec(),
+            }
+        };
+
+        for p in required {
+            state.color_edge_blue(p, n);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent::EdgeBlue {
+                    from: g.key(p).clone(),
+                    to: g.key(n).clone(),
+                });
+            }
+            debug_assert!(
+                state.distance(p) < d || effective_mode(g, n) == Mode::Conjunctive,
+                "required parent must be strictly closer for disjunctive nodes"
+            );
+            if state.color(p) == Color::Green {
+                state.set_color(p, Color::Purple);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceEvent::Colored {
+                        node: g.key(p).clone(),
+                        color: Color::Purple,
+                        distance: state.distance(p),
+                    });
+                }
+                purple.push(p);
+            }
+        }
+
+        state.set_color(n, Color::Blue);
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent::Colored {
+                node: g.key(n).clone(),
+                color: Color::Blue,
+                distance: state.distance(n),
+            });
+        }
+    }
+}
+
+/// "requiredParents ← {the parent of n with minimum distance}".
+///
+/// Uncolored parents carry distance ∞, so any green/purple/blue parent wins
+/// over them; ties break on the lower node index for determinism.
+fn min_distance_parent(g: &Graph, state: &ColorState, n: NodeIdx) -> NodeIdx {
+    let mut best: Option<(Distance, NodeIdx)> = None;
+    for &p in g.parents(n) {
+        let d = state.distance(p);
+        let better = match best {
+            None => true,
+            Some((bd, bi)) => d < bd || (d == bd && p < bi),
+        };
+        if better {
+            best = Some((d, p));
+        }
+    }
+    let (d, p) = best.expect("reached non-trigger node must have parents");
+    debug_assert!(d.is_finite(), "required parent must be reached");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::explore::explore;
+    use crate::construct::PickOrder;
+    use crate::fragment::Fragment;
+    use crate::ids::{Label, TaskId};
+    use crate::spec::Spec;
+    use crate::supergraph::Supergraph;
+
+    fn frag(id: &str, task: &str, mode: Mode, ins: &[&str], outs: &[&str]) -> Fragment {
+        Fragment::single_task(id, task, mode, ins.iter().copied(), outs.iter().copied()).unwrap()
+    }
+
+    fn run(sg: &Supergraph, spec: &Spec) -> ColorState {
+        let g = sg.graph();
+        let mut state = ColorState::with_len(g.node_count());
+        let out = explore(g, &mut state, spec, &mut |_| true, PickOrder::Fifo, None);
+        assert!(out.unreachable_goals.is_empty(), "setup must be solvable");
+        let goals: Vec<NodeIdx> = spec
+            .goals()
+            .iter()
+            .filter_map(|l| g.find_label(l))
+            .collect();
+        back_sweep(g, &mut state, &goals, None);
+        state
+    }
+
+    #[test]
+    fn sweep_reaches_back_to_triggers() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["b"]));
+        sg.merge_fragment(&frag("f2", "t2", Mode::Disjunctive, &["b"], &["c"]));
+        let spec = Spec::new(["a"], ["c"]);
+        let state = run(&sg, &spec);
+        let g = sg.graph();
+        for name in ["a", "b", "c"] {
+            let idx = g.find_label(&Label::new(name)).unwrap();
+            assert_eq!(state.color(idx), Color::Blue, "label {name}");
+        }
+        assert_eq!(state.blue_edges().len(), 4);
+    }
+
+    #[test]
+    fn disjunctive_label_keeps_single_producer() {
+        // Both t1 and t2 produce x; only the closer one stays blue.
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f0", "t0", Mode::Disjunctive, &["a"], &["mid"]));
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["mid"], &["x"])); // farther
+        sg.merge_fragment(&frag("f2", "t2", Mode::Disjunctive, &["a"], &["x"])); // closer
+        let spec = Spec::new(["a"], ["x"]);
+        let state = run(&sg, &spec);
+        let g = sg.graph();
+        let x = g.find_label(&Label::new("x")).unwrap();
+        let blue_in: Vec<_> = state
+            .blue_edges()
+            .iter()
+            .filter(|(_, to)| *to == x)
+            .collect();
+        assert_eq!(blue_in.len(), 1, "exactly one producer survives");
+        let t2 = g.find_task(&TaskId::new("t2")).unwrap();
+        assert_eq!(state.color(t2), Color::Blue);
+        let t1 = g.find_task(&TaskId::new("t1")).unwrap();
+        assert_ne!(state.color(t1), Color::Blue);
+    }
+
+    #[test]
+    fn trigger_goals_are_isolated_blue() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["b"]));
+        let spec = Spec::new(["a"], ["a"]);
+        let state = run(&sg, &spec);
+        let g = sg.graph();
+        let a = g.find_label(&Label::new("a")).unwrap();
+        assert_eq!(state.color(a), Color::Blue);
+        assert!(state.blue_edges().is_empty());
+    }
+
+    #[test]
+    fn conjunctive_keeps_all_parents() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["x"]));
+        sg.merge_fragment(&frag("f2", "t2", Mode::Disjunctive, &["b"], &["y"]));
+        sg.merge_fragment(&frag("fj", "join", Mode::Conjunctive, &["x", "y"], &["z"]));
+        let spec = Spec::new(["a", "b"], ["z"]);
+        let state = run(&sg, &spec);
+        let g = sg.graph();
+        let join = g.find_task(&TaskId::new("join")).unwrap();
+        let blue_in: Vec<_> = state
+            .blue_edges()
+            .iter()
+            .filter(|(_, to)| *to == join)
+            .collect();
+        assert_eq!(blue_in.len(), 2, "conjunctive task keeps both inputs");
+    }
+
+    #[test]
+    fn no_purple_remains_after_sweep() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["b"]));
+        sg.merge_fragment(&frag("f2", "t2", Mode::Disjunctive, &["b"], &["c"]));
+        let spec = Spec::new(["a"], ["c"]);
+        let state = run(&sg, &spec);
+        assert_eq!(state.count(Color::Purple), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Optional construction traces for debugging, visualization and tests.
+
+use std::fmt;
+
+use crate::construct::color::{Color, Distance};
+use crate::ids::NodeKey;
+
+/// One observable step of Algorithm 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A node changed color (green during exploration; purple/blue during
+    /// the back-sweep).
+    Colored {
+        /// The node.
+        node: NodeKey,
+        /// New color.
+        color: Color,
+        /// Node distance at the time of coloring.
+        distance: Distance,
+    },
+    /// An edge joined the constructed workflow.
+    EdgeBlue {
+        /// Edge origin.
+        from: NodeKey,
+        /// Edge destination.
+        to: NodeKey,
+    },
+    /// An incremental frontier query round completed.
+    QueryRound {
+        /// Number of frontier labels queried this round.
+        labels: usize,
+        /// Number of fragments received.
+        fragments: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Colored { node, color, distance } => {
+                write!(f, "{node} -> {color} (d={distance})")
+            }
+            TraceEvent::EdgeBlue { from, to } => write!(f, "edge {from} -> {to} -> blue"),
+            TraceEvent::QueryRound { labels, fragments } => {
+                write!(f, "queried {labels} labels, received {fragments} fragments")
+            }
+        }
+    }
+}
+
+/// An append-only sequence of [`TraceEvent`]s.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events of the given color-change kind.
+    pub fn color_count(&self, color: Color) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Colored { color: c, .. } if *c == color))
+            .count()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            writeln!(f, "{i:4}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Label;
+
+    #[test]
+    fn trace_accumulates_and_counts() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Colored {
+            node: Label::new("a").key(),
+            color: Color::Green,
+            distance: Distance::ZERO,
+        });
+        t.push(TraceEvent::Colored {
+            node: Label::new("b").key(),
+            color: Color::Blue,
+            distance: Distance(2),
+        });
+        t.push(TraceEvent::EdgeBlue {
+            from: Label::new("a").key(),
+            to: Label::new("b").key(),
+        });
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.color_count(Color::Green), 1);
+        assert_eq!(t.color_count(Color::Blue), 1);
+        assert_eq!(t.color_count(Color::Purple), 0);
+    }
+
+    #[test]
+    fn display_renders_one_event_per_line() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::QueryRound { labels: 3, fragments: 2 });
+        let s = t.to_string();
+        assert!(s.contains("queried 3 labels"), "{s}");
+    }
+}

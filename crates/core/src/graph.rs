@@ -1,0 +1,532 @@
+//! Bipartite directed graph storage shared by fragments, workflows and the
+//! supergraph.
+//!
+//! The graph enforces only the *bipartite* structure (edges connect a label
+//! to a task or a task to a label) and node uniqueness (one node per
+//! [`NodeKey`]); the stricter workflow constraints — acyclicity, sources and
+//! sinks are labels, label in-degree at most one — are checked by
+//! [`crate::validate`], since the supergraph deliberately violates them.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::ids::{Label, Mode, NodeKey, NodeKind, TaskId};
+
+/// Dense index of a node within one [`Graph`].
+///
+/// Indices are only meaningful within the graph that produced them; they are
+/// stable for the lifetime of the graph (nodes are never removed from the
+/// underlying store — removal is expressed by rebuilding, which keeps all
+/// traversal state simple and cache-friendly).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIdx(pub(crate) u32);
+
+impl NodeIdx {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct NodeData {
+    key: NodeKey,
+    mode: Mode,
+    parents: Vec<NodeIdx>,
+    children: Vec<NodeIdx>,
+}
+
+/// A bipartite directed graph over label and task nodes.
+///
+/// Iteration orders (`nodes()`, `edges()`, adjacency lists) follow insertion
+/// order and are fully deterministic, which the simulation harness relies on
+/// for reproducibility.
+#[derive(Clone, Default)]
+pub struct Graph {
+    nodes: Vec<NodeData>,
+    index: HashMap<NodeKey, NodeIdx>,
+    edge_set: HashSet<(NodeIdx, NodeIdx)>,
+    edge_order: Vec<(NodeIdx, NodeIdx)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes (labels + tasks).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_order.len()
+    }
+
+    /// Number of task nodes.
+    pub fn task_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.key.kind == NodeKind::Task).count()
+    }
+
+    /// Number of label nodes.
+    pub fn label_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.key.kind == NodeKind::Label).count()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds (or finds) a label node, returning its index.
+    pub fn add_label(&mut self, label: impl Into<Label>) -> NodeIdx {
+        self.intern(label.into().key(), Mode::Disjunctive)
+    }
+
+    /// Adds (or finds) a task node with the given mode, returning its index.
+    ///
+    /// If the task already exists its mode is left unchanged; callers that
+    /// need to detect conflicting redefinitions should use
+    /// [`Graph::try_add_task`].
+    pub fn add_task(&mut self, task: impl Into<TaskId>, mode: Mode) -> NodeIdx {
+        self.intern(task.into().key(), mode)
+    }
+
+    /// Adds a task node, erroring if it already exists with a different mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ConflictingTaskMode`] when the task exists with
+    /// the opposite [`Mode`]; merging such fragments would silently change
+    /// the meaning of someone's knowhow.
+    pub fn try_add_task(&mut self, task: impl Into<TaskId>, mode: Mode) -> Result<NodeIdx, ModelError> {
+        let task = task.into();
+        if let Some(&idx) = self.index.get(&task.key()) {
+            let existing = self.nodes[idx.index()].mode;
+            if existing != mode {
+                return Err(ModelError::ConflictingTaskMode {
+                    task,
+                    existing,
+                    requested: mode,
+                });
+            }
+            return Ok(idx);
+        }
+        Ok(self.intern(task.key(), mode))
+    }
+
+    fn intern(&mut self, key: NodeKey, mode: Mode) -> NodeIdx {
+        if let Some(&idx) = self.index.get(&key) {
+            return idx;
+        }
+        let idx = NodeIdx(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            key: key.clone(),
+            mode,
+            parents: Vec::new(),
+            children: Vec::new(),
+        });
+        self.index.insert(key, idx);
+        idx
+    }
+
+    /// Adds a directed edge; both endpoints must already exist.
+    ///
+    /// Duplicate edges are ignored (the paper's graphs are simple). Returns
+    /// `true` when the edge was newly inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotBipartite`] if both endpoints are the same
+    /// kind: the workflow graph "may be considered nodes in a bipartite
+    /// directed acyclic graph" (§2.2) — labels only connect to tasks and
+    /// vice versa.
+    pub fn add_edge(&mut self, from: NodeIdx, to: NodeIdx) -> Result<bool, ModelError> {
+        let fk = self.nodes[from.index()].key.kind;
+        let tk = self.nodes[to.index()].key.kind;
+        if fk == tk {
+            return Err(ModelError::NotBipartite {
+                from: self.nodes[from.index()].key.clone(),
+                to: self.nodes[to.index()].key.clone(),
+            });
+        }
+        if !self.edge_set.insert((from, to)) {
+            return Ok(false);
+        }
+        self.edge_order.push((from, to));
+        self.nodes[from.index()].children.push(to);
+        self.nodes[to.index()].parents.push(from);
+        Ok(true)
+    }
+
+    /// Looks up a node by key.
+    pub fn find(&self, key: &NodeKey) -> Option<NodeIdx> {
+        self.index.get(key).copied()
+    }
+
+    /// Looks up a label node.
+    pub fn find_label(&self, label: &Label) -> Option<NodeIdx> {
+        self.find(&label.key())
+    }
+
+    /// Looks up a task node.
+    pub fn find_task(&self, task: &TaskId) -> Option<NodeIdx> {
+        self.find(&task.key())
+    }
+
+    /// True if the graph contains the edge `from -> to`.
+    pub fn has_edge(&self, from: NodeIdx, to: NodeIdx) -> bool {
+        self.edge_set.contains(&(from, to))
+    }
+
+    /// The key of a node.
+    pub fn key(&self, idx: NodeIdx) -> &NodeKey {
+        &self.nodes[idx.index()].key
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, idx: NodeIdx) -> NodeKind {
+        self.nodes[idx.index()].key.kind
+    }
+
+    /// The mode of a node. Labels are always [`Mode::Disjunctive`]: a label
+    /// is available as soon as *any* producer provides it.
+    pub fn mode(&self, idx: NodeIdx) -> Mode {
+        self.nodes[idx.index()].mode
+    }
+
+    /// Parent (predecessor) indices, in insertion order.
+    pub fn parents(&self, idx: NodeIdx) -> &[NodeIdx] {
+        &self.nodes[idx.index()].parents
+    }
+
+    /// Child (successor) indices, in insertion order.
+    pub fn children(&self, idx: NodeIdx) -> &[NodeIdx] {
+        &self.nodes[idx.index()].children
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, idx: NodeIdx) -> usize {
+        self.nodes[idx.index()].parents.len()
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, idx: NodeIdx) -> usize {
+        self.nodes[idx.index()].children.len()
+    }
+
+    /// Iterates over all node indices in insertion order.
+    pub fn node_indices(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        (0..self.nodes.len() as u32).map(NodeIdx)
+    }
+
+    /// Iterates over `(index, key)` pairs in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeIdx, &NodeKey)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeIdx(i as u32), &n.key))
+    }
+
+    /// Iterates over all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeIdx, NodeIdx)> + '_ {
+        self.edge_order.iter().copied()
+    }
+
+    /// All label identifiers present in the graph, in insertion order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        self.nodes.iter().filter_map(|n| n.key.as_label())
+    }
+
+    /// All task identifiers present in the graph, in insertion order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.nodes.iter().filter_map(|n| n.key.as_task())
+    }
+
+    /// Source nodes (no incoming edges), in insertion order.
+    pub fn sources(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.node_indices().filter(|&i| self.in_degree(i) == 0)
+    }
+
+    /// Sink nodes (no outgoing edges), in insertion order.
+    pub fn sinks(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.node_indices().filter(|&i| self.out_degree(i) == 0)
+    }
+
+    /// True if the graph is acyclic (Kahn's algorithm).
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// A topological order of node indices, or `None` if the graph has a
+    /// cycle.
+    pub fn topological_order(&self) -> Option<Vec<NodeIdx>> {
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.parents.len()).collect();
+        let mut queue: Vec<NodeIdx> = self
+            .node_indices()
+            .filter(|i| indeg[i.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop() {
+            order.push(n);
+            for &c in self.children(n) {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() == self.nodes.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Extracts the sub-graph induced by `keep_nodes` and `keep_edges`.
+    ///
+    /// Edges in `keep_edges` whose endpoints are not both kept are dropped.
+    /// Node and edge insertion order of the result follows the order of this
+    /// graph, keeping extraction deterministic.
+    pub fn subgraph(
+        &self,
+        keep_nodes: &HashSet<NodeIdx>,
+        keep_edges: &HashSet<(NodeIdx, NodeIdx)>,
+    ) -> Graph {
+        let mut g = Graph::new();
+        let mut map: HashMap<NodeIdx, NodeIdx> = HashMap::with_capacity(keep_nodes.len());
+        for idx in self.node_indices() {
+            if keep_nodes.contains(&idx) {
+                let node = &self.nodes[idx.index()];
+                let new = g.intern(node.key.clone(), node.mode);
+                map.insert(idx, new);
+            }
+        }
+        for &(f, t) in &self.edge_order {
+            if keep_edges.contains(&(f, t)) {
+                if let (Some(&nf), Some(&nt)) = (map.get(&f), map.get(&t)) {
+                    g.add_edge(nf, nt).expect("subgraph preserves bipartite structure");
+                }
+            }
+        }
+        g
+    }
+
+    /// Merges every node and edge of `other` into `self`, deduplicating by
+    /// semantic key. Returns the number of new nodes and new edges added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ConflictingTaskMode`] if a task exists in both
+    /// graphs with different modes.
+    pub fn merge_from(&mut self, other: &Graph) -> Result<(usize, usize), ModelError> {
+        let mut map: HashMap<NodeIdx, NodeIdx> = HashMap::with_capacity(other.node_count());
+        let mut new_nodes = 0;
+        for idx in other.node_indices() {
+            let node = &other.nodes[idx.index()];
+            let before = self.nodes.len();
+            let new = match node.key.kind {
+                NodeKind::Label => self.intern(node.key.clone(), Mode::Disjunctive),
+                NodeKind::Task => {
+                    if let Some(&existing) = self.index.get(&node.key) {
+                        let have = self.nodes[existing.index()].mode;
+                        if have != node.mode {
+                            return Err(ModelError::ConflictingTaskMode {
+                                task: node.key.as_task().expect("task key"),
+                                existing: have,
+                                requested: node.mode,
+                            });
+                        }
+                        existing
+                    } else {
+                        self.intern(node.key.clone(), node.mode)
+                    }
+                }
+            };
+            if self.nodes.len() > before {
+                new_nodes += 1;
+            }
+            map.insert(idx, new);
+        }
+        let mut new_edges = 0;
+        for (f, t) in other.edges() {
+            let inserted = self
+                .add_edge(map[&f], map[&t])
+                .expect("merging bipartite graphs preserves bipartite structure");
+            if inserted {
+                new_edges += 1;
+            }
+        }
+        Ok((new_nodes, new_edges))
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Graph");
+        s.field("nodes", &self.node_count());
+        s.field("edges", &self.edge_count());
+        let keys: Vec<String> = self.nodes.iter().map(|n| n.key.to_string()).collect();
+        s.field("keys", &keys);
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // a -> t1 -> b -> t2 -> c
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let t1 = g.add_task("t1", Mode::Conjunctive);
+        let b = g.add_label("b");
+        let t2 = g.add_task("t2", Mode::Disjunctive);
+        let c = g.add_label("c");
+        g.add_edge(a, t1).unwrap();
+        g.add_edge(t1, b).unwrap();
+        g.add_edge(b, t2).unwrap();
+        g.add_edge(t2, c).unwrap();
+        g
+    }
+
+    #[test]
+    fn nodes_are_deduplicated_by_key() {
+        let mut g = Graph::new();
+        let a1 = g.add_label("a");
+        let a2 = g.add_label("a");
+        assert_eq!(a1, a2);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let t = g.add_task("t", Mode::Conjunctive);
+        assert!(g.add_edge(a, t).unwrap());
+        assert!(!g.add_edge(a, t).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.parents(t), &[a]);
+    }
+
+    #[test]
+    fn edges_must_be_bipartite() {
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let b = g.add_label("b");
+        let err = g.add_edge(a, b).unwrap_err();
+        assert!(matches!(err, ModelError::NotBipartite { .. }));
+
+        let t1 = g.add_task("t1", Mode::Conjunctive);
+        let t2 = g.add_task("t2", Mode::Conjunctive);
+        assert!(g.add_edge(t1, t2).is_err());
+    }
+
+    #[test]
+    fn conflicting_task_modes_are_detected() {
+        let mut g = Graph::new();
+        g.add_task("t", Mode::Conjunctive);
+        let err = g.try_add_task("t", Mode::Disjunctive).unwrap_err();
+        assert!(matches!(err, ModelError::ConflictingTaskMode { .. }));
+        // Same mode is fine.
+        assert!(g.try_add_task("t", Mode::Conjunctive).is_ok());
+    }
+
+    #[test]
+    fn degrees_sources_and_sinks() {
+        let g = diamond();
+        let a = g.find_label(&Label::new("a")).unwrap();
+        let c = g.find_label(&Label::new("c")).unwrap();
+        let t1 = g.find_task(&TaskId::new("t1")).unwrap();
+        assert_eq!(g.in_degree(a), 0);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(t1), 1);
+        let sources: Vec<_> = g.sources().collect();
+        let sinks: Vec<_> = g.sinks().collect();
+        assert_eq!(sources, vec![a]);
+        assert_eq!(sinks, vec![c]);
+    }
+
+    #[test]
+    fn topological_order_on_chain() {
+        let g = diamond();
+        let order = g.topological_order().expect("acyclic");
+        let pos: HashMap<NodeIdx, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (f, t) in g.edges() {
+            assert!(pos[&f] < pos[&t], "edge {f:?}->{t:?} violates topo order");
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let t = g.add_task("t", Mode::Conjunctive);
+        let b = g.add_label("b");
+        let u = g.add_task("u", Mode::Conjunctive);
+        g.add_edge(a, t).unwrap();
+        g.add_edge(t, b).unwrap();
+        g.add_edge(b, u).unwrap();
+        g.add_edge(u, a).unwrap();
+        assert!(!g.is_acyclic());
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn subgraph_extraction() {
+        let g = diamond();
+        let a = g.find_label(&Label::new("a")).unwrap();
+        let t1 = g.find_task(&TaskId::new("t1")).unwrap();
+        let b = g.find_label(&Label::new("b")).unwrap();
+        let keep: HashSet<_> = [a, t1, b].into_iter().collect();
+        let keep_edges: HashSet<_> = [(a, t1), (t1, b)].into_iter().collect();
+        let sub = g.subgraph(&keep, &keep_edges);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.find_label(&Label::new("c")).is_none());
+    }
+
+    #[test]
+    fn merge_from_deduplicates_and_counts() {
+        let mut g1 = diamond();
+        let mut g2 = Graph::new();
+        let b = g2.add_label("b"); // shared with g1
+        let t3 = g2.add_task("t3", Mode::Conjunctive);
+        let d = g2.add_label("d");
+        g2.add_edge(b, t3).unwrap();
+        g2.add_edge(t3, d).unwrap();
+
+        let (nn, ne) = g1.merge_from(&g2).unwrap();
+        assert_eq!(nn, 2, "only t3 and d are new");
+        assert_eq!(ne, 2);
+        assert_eq!(g1.node_count(), 7);
+        // Merging again is a no-op.
+        let (nn, ne) = g1.merge_from(&g2).unwrap();
+        assert_eq!((nn, ne), (0, 0));
+    }
+
+    #[test]
+    fn merge_detects_mode_conflicts() {
+        let mut g1 = Graph::new();
+        g1.add_task("t", Mode::Conjunctive);
+        let mut g2 = Graph::new();
+        g2.add_task("t", Mode::Disjunctive);
+        assert!(g1.merge_from(&g2).is_err());
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let g = diamond();
+        let keys: Vec<String> = g.nodes().map(|(_, k)| k.to_string()).collect();
+        assert_eq!(keys, ["label:a", "task:t1", "label:b", "task:t2", "label:c"]);
+    }
+}

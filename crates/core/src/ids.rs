@@ -1,0 +1,318 @@
+//! Semantic identifiers for workflow nodes.
+//!
+//! The paper assumes "each node has a semantic identifier; nodes with the
+//! same identifier are equivalent" (§2.2). We realize semantic identifiers
+//! as cheaply cloneable interned strings, namespaced by node kind so that a
+//! label named `"x"` and a task named `"x"` are distinct nodes.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, Serializer};
+
+/// A shared immutable name. Cloning is an `Arc` bump.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct Name(Arc<str>);
+
+impl Name {
+    pub(crate) fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    pub(crate) fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+macro_rules! semantic_id {
+    ($(#[$meta:meta])* $name:ident, $kind:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) Name);
+
+        impl $name {
+            /// Creates an identifier from its semantic name.
+            ///
+            /// Two identifiers created from equal strings are equal — this
+            /// is the paper's "nodes with the same identifier are
+            /// equivalent" rule.
+            pub fn new(name: impl AsRef<str>) -> Self {
+                $name(Name::new(name))
+            }
+
+            /// The semantic name as a string slice.
+            pub fn as_str(&self) -> &str {
+                self.0.as_str()
+            }
+
+            /// The node kind this identifier belongs to.
+            pub fn kind(&self) -> NodeKind {
+                $kind
+            }
+
+            /// This identifier as a kind-qualified [`NodeKey`].
+            pub fn key(&self) -> NodeKey {
+                NodeKey { kind: $kind, name: self.0.clone() }
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), self.as_str())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<&String> for $name {
+            fn from(s: &String) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<&$name> for $name {
+            fn from(s: &$name) -> Self {
+                s.clone()
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                self.as_str()
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                self.as_str()
+            }
+        }
+
+        impl Serialize for $name {
+            fn serialize<Se: Serializer>(&self, s: Se) -> Result<Se::Ok, Se::Error> {
+                s.serialize_str(self.as_str())
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $name {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let s = String::deserialize(d)?;
+                Ok($name::new(s))
+            }
+        }
+    };
+}
+
+semantic_id!(
+    /// The semantic identifier of a **label** node.
+    ///
+    /// Labels represent preconditions and postconditions of tasks; "each
+    /// label has a distinct meaning" and tasks are joined "by matching the
+    /// labels on inputs and outputs exactly" (§2.2).
+    Label,
+    NodeKind::Label
+);
+
+semantic_id!(
+    /// The semantic identifier of a **task** node.
+    ///
+    /// A task "represents a single abstract behavior or accomplishment
+    /// without completely specifying how it must be performed" (§2.2). A
+    /// *service* (see `openwf-runtime`) is a concrete implementation of a
+    /// task.
+    TaskId,
+    NodeKind::Task
+);
+
+/// Whether a task requires **all** of its inputs or **any one** of them.
+///
+/// "A task is either conjunctive, requiring all of its inputs, or
+/// disjunctive, requiring only one of its inputs" (§2.2). Label nodes are
+/// always treated as disjunctive by the construction algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Mode {
+    /// All inputs are required before the node can fire / be reached.
+    Conjunctive,
+    /// Any single input suffices.
+    Disjunctive,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Conjunctive => f.write_str("conjunctive"),
+            Mode::Disjunctive => f.write_str("disjunctive"),
+        }
+    }
+}
+
+/// The two kinds of nodes in the bipartite workflow graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NodeKind {
+    /// A data/condition label (oval in the paper's Figure 1).
+    Label,
+    /// An abstract task (box in the paper's Figure 1).
+    Task,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Label => f.write_str("label"),
+            NodeKind::Task => f.write_str("task"),
+        }
+    }
+}
+
+/// A kind-qualified semantic identifier: the global identity of a node.
+///
+/// Node identity is `(kind, name)`, so a label and a task may share a name
+/// without colliding, while two labels (or two tasks) with the same name are
+/// the *same* node wherever they appear — the basis for fragment
+/// composition.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeKey {
+    pub(crate) kind: NodeKind,
+    pub(crate) name: Name,
+}
+
+impl NodeKey {
+    /// The node kind.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The semantic name.
+    pub fn name(&self) -> &str {
+        self.name.as_str()
+    }
+
+    /// Returns the label identifier if this key names a label.
+    pub fn as_label(&self) -> Option<Label> {
+        match self.kind {
+            NodeKind::Label => Some(Label(self.name.clone())),
+            NodeKind::Task => None,
+        }
+    }
+
+    /// Returns the task identifier if this key names a task.
+    pub fn as_task(&self) -> Option<TaskId> {
+        match self.kind {
+            NodeKind::Task => Some(TaskId(self.name.clone())),
+            NodeKind::Label => None,
+        }
+    }
+}
+
+impl fmt::Debug for NodeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:?}", self.kind, self.name.as_str())
+    }
+}
+
+impl fmt::Display for NodeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.kind, self.name)
+    }
+}
+
+impl From<Label> for NodeKey {
+    fn from(l: Label) -> Self {
+        l.key()
+    }
+}
+
+impl From<TaskId> for NodeKey {
+    fn from(t: TaskId) -> Self {
+        t.key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_with_equal_names_are_equal() {
+        assert_eq!(Label::new("breakfast served"), Label::from("breakfast served"));
+        assert_ne!(Label::new("a"), Label::new("b"));
+    }
+
+    #[test]
+    fn label_and_task_namespaces_are_distinct() {
+        let l = Label::new("x").key();
+        let t = TaskId::new("x").key();
+        assert_ne!(l, t);
+        assert_eq!(l.name(), t.name());
+        assert_eq!(l.kind(), NodeKind::Label);
+        assert_eq!(t.kind(), NodeKind::Task);
+    }
+
+    #[test]
+    fn key_round_trips_to_typed_ids() {
+        let key = Label::new("lunch served").key();
+        assert_eq!(key.as_label(), Some(Label::new("lunch served")));
+        assert_eq!(key.as_task(), None);
+
+        let key = TaskId::new("serve buffet").key();
+        assert_eq!(key.as_task(), Some(TaskId::new("serve buffet")));
+        assert_eq!(key.as_label(), None);
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        assert_eq!(Label::new("a").to_string(), "a");
+        assert_eq!(TaskId::new("t").to_string(), "t");
+        assert_eq!(Label::new("a").key().to_string(), "label:a");
+        assert_eq!(format!("{:?}", TaskId::new("t")), "TaskId(\"t\")");
+        assert_eq!(Mode::Conjunctive.to_string(), "conjunctive");
+        assert_eq!(Mode::Disjunctive.to_string(), "disjunctive");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_name() {
+        let mut v = [Label::new("b"), Label::new("a"), Label::new("c")];
+        v.sort();
+        let names: Vec<&str> = v.iter().map(|l| l.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn borrow_str_allows_set_lookup() {
+        use std::collections::HashSet;
+        let mut s: HashSet<Label> = HashSet::new();
+        s.insert(Label::new("x"));
+        assert!(s.contains("x"));
+        assert!(!s.contains("y"));
+    }
+}

@@ -1,0 +1,110 @@
+//! # openwf-core — the open workflow model and construction algorithm
+//!
+//! This crate implements the *formal core* of the open workflow paradigm
+//! introduced by Thomas, Wilson, Roman and Gill in *"Achieving Coordination
+//! Through Dynamic Construction of Open Workflows"* (WUCSE-2009-14, 2009):
+//!
+//! * **Workflow graphs** (§2.2 of the paper): bipartite directed acyclic
+//!   graphs whose nodes are [`Label`]s and tasks (see [`TaskId`], [`Mode`]),
+//!   with the paper's three validity constraints — all sources and sinks are
+//!   labels, a label has at most one incoming edge, and there are no
+//!   duplicate nodes ([`Workflow`], [`validate`]).
+//! * **Workflow fragments** and their **composition** by merging identical
+//!   sources and sinks ([`Fragment`], [`compose()`]).
+//! * **Pruning** of unnecessary data flows under the paper's three
+//!   constraints ([`prune`]).
+//! * **Specifications** `S(W.in, W.out)` in the paper's canonical form
+//!   `W.in ⊆ ι ∧ W.out = ω` ([`Spec`]).
+//! * **Algorithm 1** — the supergraph coloring construction: an exploration
+//!   phase that colors reachable nodes *green* with distances, and a pruning
+//!   phase that sweeps *purple*/*blue* backwards from the goal to extract one
+//!   feasible, valid workflow ([`construct`], [`Supergraph`]).
+//! * The **incremental** variant that pulls fragments from a
+//!   [`FragmentSource`] on demand, extending the supergraph only along the
+//!   boundary of the colored region (`construct::incremental`).
+//! * **Richer specifications** (§5.1 future work, implemented): task
+//!   preferences and graph-shape limits ([`SpecConstraints`]).
+//!
+//! The distributed runtime (managers, auctions, execution) lives in the
+//! `openwf-runtime` crate; this crate is purely algorithmic and has no
+//! networking or time dependencies, which makes it easy to test exhaustively
+//! and to embed anywhere.
+//!
+//! ## Quick example
+//!
+//! Build the two-fragment breakfast knowledge base, then construct a workflow
+//! that serves breakfast from available ingredients:
+//!
+//! ```rust
+//! use openwf_core::{Fragment, Mode, Spec, Supergraph, construct::Constructor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let setup = Fragment::builder("setup")
+//!     .task("set out ingredients", Mode::Conjunctive)
+//!     .inputs(["breakfast ingredients"])
+//!     .outputs(["omelet bar setup"])
+//!     .done()
+//!     .build()?;
+//! let cook = Fragment::builder("cook")
+//!     .task("cook omelets", Mode::Conjunctive)
+//!     .inputs(["omelet bar setup"])
+//!     .outputs(["breakfast served"])
+//!     .done()
+//!     .build()?;
+//!
+//! let mut sg = Supergraph::new();
+//! sg.merge_fragment(&setup);
+//! sg.merge_fragment(&cook);
+//!
+//! let spec = Spec::new(["breakfast ingredients"], ["breakfast served"]);
+//! let built = Constructor::new().construct(&sg, &spec)?;
+//! assert!(spec.accepts(built.workflow()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compose;
+pub mod constraints;
+pub mod construct;
+pub mod dot;
+pub mod error;
+pub mod fragment;
+pub mod graph;
+pub mod ids;
+pub mod prune;
+mod serde_impls;
+pub mod spec;
+pub mod store;
+pub mod supergraph;
+pub mod validate;
+pub mod workflow;
+
+pub use compose::{compose, compose_all};
+pub use constraints::{construct_constrained, ConstrainedError, SpecConstraints};
+pub use construct::incremental::{FragmentSource, IncrementalConstructor};
+pub use construct::{ConstructError, Construction, Constructor, PickOrder};
+pub use error::{ComposeError, ModelError};
+pub use fragment::{Fragment, FragmentBuilder, FragmentId};
+pub use graph::{Graph, NodeIdx};
+pub use ids::{Label, Mode, NodeKey, NodeKind, TaskId};
+pub use spec::Spec;
+pub use store::InMemoryFragmentStore;
+pub use supergraph::Supergraph;
+pub use validate::ValidityError;
+pub use workflow::Workflow;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::compose::{compose, compose_all};
+    pub use crate::construct::{Constructor, PickOrder};
+    pub use crate::fragment::{Fragment, FragmentBuilder};
+    pub use crate::ids::{Label, Mode, TaskId};
+    pub use crate::spec::Spec;
+    pub use crate::store::InMemoryFragmentStore;
+    pub use crate::supergraph::Supergraph;
+    pub use crate::workflow::Workflow;
+}

@@ -1,0 +1,484 @@
+//! Pruning of unnecessary data flows (§2.2).
+//!
+//! "We can prune a workflow to remove unnecessary data flows, subject to the
+//! following constraints which ensure the result remains a valid workflow:
+//! (1) task outputs that are sinks can be pruned so long as every task has
+//! at least one output, (2) task inputs that are sources can be pruned for
+//! disjunctive tasks so long as every task has at least one input, and
+//! (3) tasks can be pruned so long as any task inputs that are sources and
+//! any task outputs that are sinks are also pruned."
+//!
+//! [`Pruner`] exposes the three constrained operations on a workflow;
+//! [`prune_to_spec`] is the derived bulk operation used after composition to
+//! drop everything a specification does not need.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::error::{ModelError, PruneViolation};
+use crate::graph::NodeIdx;
+use crate::ids::{Label, Mode, NodeKind, TaskId};
+use crate::spec::Spec;
+use crate::workflow::Workflow;
+
+/// Applies the paper's three pruning operations to a workflow.
+///
+/// The pruner tracks removals against a snapshot of the workflow graph and
+/// rebuilds (and re-validates) the workflow in [`Pruner::finish`]. Each
+/// operation checks its §2.2 side conditions and fails without changing
+/// anything if they do not hold.
+#[derive(Debug)]
+pub struct Pruner {
+    workflow: Workflow,
+    live_parents: HashMap<NodeIdx, BTreeSet<NodeIdx>>,
+    live_children: HashMap<NodeIdx, BTreeSet<NodeIdx>>,
+    removed_nodes: HashSet<NodeIdx>,
+}
+
+impl Pruner {
+    /// Starts a pruning session over a copy of `workflow`.
+    pub fn new(workflow: &Workflow) -> Self {
+        let g = workflow.graph();
+        let mut live_parents = HashMap::with_capacity(g.node_count());
+        let mut live_children = HashMap::with_capacity(g.node_count());
+        for idx in g.node_indices() {
+            live_parents.insert(idx, g.parents(idx).iter().copied().collect());
+            live_children.insert(idx, g.children(idx).iter().copied().collect());
+        }
+        Pruner {
+            workflow: workflow.clone(),
+            live_parents,
+            live_children,
+            removed_nodes: HashSet::new(),
+        }
+    }
+
+    fn task_idx(&self, task: &TaskId) -> Result<NodeIdx, ModelError> {
+        self.workflow
+            .graph()
+            .find_task(task)
+            .filter(|i| !self.removed_nodes.contains(i))
+            .ok_or_else(|| ModelError::UnknownTask(task.clone()))
+    }
+
+    fn label_idx(&self, label: &Label) -> Result<NodeIdx, ModelError> {
+        self.workflow
+            .graph()
+            .find_label(label)
+            .filter(|i| !self.removed_nodes.contains(i))
+            .ok_or_else(|| ModelError::UnknownLabel(label.clone()))
+    }
+
+    fn remove_edge(&mut self, from: NodeIdx, to: NodeIdx) {
+        self.live_children.get_mut(&from).map(|s| s.remove(&to));
+        self.live_parents.get_mut(&to).map(|s| s.remove(&from));
+    }
+
+    fn is_isolated(&self, idx: NodeIdx) -> bool {
+        self.live_parents[&idx].is_empty() && self.live_children[&idx].is_empty()
+    }
+
+    fn remove_if_isolated(&mut self, idx: NodeIdx) {
+        if self.is_isolated(idx) {
+            self.removed_nodes.insert(idx);
+        }
+    }
+
+    /// Rule 1: removes the `task -> label` output edge where `label` is a
+    /// sink. The label node itself is removed if it becomes isolated.
+    ///
+    /// # Errors
+    ///
+    /// * [`PruneViolation::NoSuchEdge`] — the edge is absent.
+    /// * [`PruneViolation::OutputNotSink`] — the label has consumers.
+    /// * [`PruneViolation::LastOutput`] — it is the task's only output.
+    pub fn prune_sink_output(&mut self, task: &TaskId, label: &Label) -> Result<(), ModelError> {
+        let t = self.task_idx(task)?;
+        let l = self.label_idx(label)?;
+        if !self.live_children[&t].contains(&l) {
+            return Err(PruneViolation::NoSuchEdge(task.clone(), label.clone()).into());
+        }
+        if !self.live_children[&l].is_empty() {
+            return Err(PruneViolation::OutputNotSink(task.clone(), label.clone()).into());
+        }
+        if self.live_children[&t].len() < 2 {
+            return Err(PruneViolation::LastOutput(task.clone()).into());
+        }
+        self.remove_edge(t, l);
+        self.remove_if_isolated(l);
+        Ok(())
+    }
+
+    /// Rule 2: removes the `label -> task` input edge where `label` is a
+    /// source and `task` is disjunctive. The label node is removed if it
+    /// becomes isolated.
+    ///
+    /// # Errors
+    ///
+    /// * [`PruneViolation::NoSuchEdge`] — the edge is absent.
+    /// * [`PruneViolation::ConjunctiveInput`] — the task requires all inputs.
+    /// * [`PruneViolation::InputNotSource`] — the label has a producer.
+    /// * [`PruneViolation::LastInput`] — it is the task's only input.
+    pub fn prune_source_input(&mut self, task: &TaskId, label: &Label) -> Result<(), ModelError> {
+        let t = self.task_idx(task)?;
+        let l = self.label_idx(label)?;
+        if !self.live_parents[&t].contains(&l) {
+            return Err(PruneViolation::NoSuchEdge(task.clone(), label.clone()).into());
+        }
+        if self.workflow.graph().mode(t) != Mode::Disjunctive {
+            return Err(PruneViolation::ConjunctiveInput(task.clone(), label.clone()).into());
+        }
+        if !self.live_parents[&l].is_empty() {
+            return Err(PruneViolation::InputNotSource(task.clone(), label.clone()).into());
+        }
+        if self.live_parents[&t].len() < 2 {
+            return Err(PruneViolation::LastInput(task.clone()).into());
+        }
+        self.remove_edge(l, t);
+        self.remove_if_isolated(l);
+        Ok(())
+    }
+
+    /// Rule 3: removes a task together with its dangling labels: former
+    /// input labels and former output labels that become isolated are
+    /// removed with it (the rule's "task inputs that are sources and task
+    /// outputs that are sinks are also pruned").
+    ///
+    /// Output labels that still have consumers stay and become sources;
+    /// input labels that still have a producer or other consumers stay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownTask`] if the task is absent or already
+    /// removed.
+    pub fn prune_task(&mut self, task: &TaskId) -> Result<(), ModelError> {
+        let t = self.task_idx(task)?;
+        let parents: Vec<NodeIdx> = self.live_parents[&t].iter().copied().collect();
+        let children: Vec<NodeIdx> = self.live_children[&t].iter().copied().collect();
+        for p in &parents {
+            self.remove_edge(*p, t);
+        }
+        for c in &children {
+            self.remove_edge(t, *c);
+        }
+        self.removed_nodes.insert(t);
+        for p in parents {
+            self.remove_if_isolated(p);
+        }
+        for c in children {
+            self.remove_if_isolated(c);
+        }
+        Ok(())
+    }
+
+    /// Rebuilds and re-validates the pruned workflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Invalid`] if the removals left the graph
+    /// structurally invalid (this indicates a sequencing of rule-3 removals
+    /// that stranded a task; individual rules preserve validity).
+    pub fn finish(self) -> Result<Workflow, ModelError> {
+        let g = self.workflow.graph();
+        let keep_nodes: HashSet<NodeIdx> = g
+            .node_indices()
+            .filter(|i| !self.removed_nodes.contains(i))
+            .collect();
+        let mut keep_edges: HashSet<(NodeIdx, NodeIdx)> = HashSet::new();
+        for (&from, children) in &self.live_children {
+            if !keep_nodes.contains(&from) {
+                continue;
+            }
+            for &to in children {
+                if keep_nodes.contains(&to) {
+                    keep_edges.insert((from, to));
+                }
+            }
+        }
+        let sub = g.subgraph(&keep_nodes, &keep_edges);
+        Workflow::from_graph(sub).map_err(ModelError::Invalid)
+    }
+}
+
+/// Prunes a composed workflow down to what a specification needs: the
+/// backward closure of the goal set ω.
+///
+/// Every label in ω, every task producing a needed label, and every input of
+/// a kept task is kept; everything else is removed. Kept tasks always retain
+/// at least one output (the needed one) and all of their inputs, so the
+/// result is a valid workflow. Extra sinks can survive only when they are
+/// the sole output of a kept task (rule 1 forbids removing those).
+///
+/// Note: this utility keeps *all* inputs of disjunctive tasks. Choosing a
+/// single input among alternatives is the job of the construction
+/// algorithm's pruning phase (`construct`), which uses distance information
+/// to pick one.
+///
+/// # Errors
+///
+/// Returns [`ModelError::UnknownLabel`] if some goal label of `spec` does
+/// not appear in the workflow at all.
+pub fn prune_to_spec(workflow: &Workflow, spec: &Spec) -> Result<Workflow, ModelError> {
+    let g = workflow.graph();
+    // Backward closure from ω.
+    let mut needed: HashSet<NodeIdx> = HashSet::new();
+    let mut stack: Vec<NodeIdx> = Vec::new();
+    for goal in spec.goals() {
+        let idx = g
+            .find_label(goal)
+            .ok_or_else(|| ModelError::UnknownLabel(goal.clone()))?;
+        if needed.insert(idx) {
+            stack.push(idx);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        for &p in g.parents(n) {
+            if needed.insert(p) {
+                stack.push(p);
+            }
+        }
+        // For tasks keep all inputs; for labels keep the (single) producer —
+        // both are exactly "parents".
+        if g.kind(n) == NodeKind::Task {
+            // inputs already covered by parents loop above
+        }
+    }
+
+    let keep_edges: HashSet<(NodeIdx, NodeIdx)> = g
+        .edges()
+        .filter(|(f, t)| needed.contains(f) && needed.contains(t))
+        .collect();
+    let sub = g.subgraph(&needed, &keep_edges);
+    Workflow::from_graph(sub).map_err(ModelError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::Fragment;
+    use crate::ids::Mode;
+
+    /// a -> t1 -> {b, x}; b -> t2 -> c     (x is an extra sink)
+    fn with_extra_sink() -> Workflow {
+        Fragment::builder("w")
+            .task("t1", Mode::Conjunctive)
+            .inputs(["a"])
+            .outputs(["b", "x"])
+            .done()
+            .task("t2", Mode::Conjunctive)
+            .inputs(["b"])
+            .outputs(["c"])
+            .done()
+            .build()
+            .unwrap()
+            .into()
+    }
+
+    #[test]
+    fn rule1_removes_extra_sink_output() {
+        let w = with_extra_sink();
+        let mut p = Pruner::new(&w);
+        p.prune_sink_output(&TaskId::new("t1"), &Label::new("x")).unwrap();
+        let w2 = p.finish().unwrap();
+        assert!(!w2.contains_label(&Label::new("x")));
+        assert_eq!(w2.outset().iter().map(|l| l.as_str()).collect::<Vec<_>>(), ["c"]);
+    }
+
+    #[test]
+    fn rule1_refuses_last_output() {
+        let w = with_extra_sink();
+        let mut p = Pruner::new(&w);
+        let err = p.prune_sink_output(&TaskId::new("t2"), &Label::new("c")).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::PruneViolation(PruneViolation::LastOutput(_))
+        ));
+    }
+
+    #[test]
+    fn rule1_refuses_non_sink() {
+        let w = with_extra_sink();
+        let mut p = Pruner::new(&w);
+        let err = p.prune_sink_output(&TaskId::new("t1"), &Label::new("b")).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::PruneViolation(PruneViolation::OutputNotSink(..))
+        ));
+    }
+
+    /// {a, b} -> disjunctive t -> c
+    fn disjunctive_two_inputs() -> Workflow {
+        Fragment::builder("w")
+            .task("t", Mode::Disjunctive)
+            .inputs(["a", "b"])
+            .outputs(["c"])
+            .done()
+            .build()
+            .unwrap()
+            .into()
+    }
+
+    #[test]
+    fn rule2_removes_alternative_source_input() {
+        let w = disjunctive_two_inputs();
+        let mut p = Pruner::new(&w);
+        p.prune_source_input(&TaskId::new("t"), &Label::new("b")).unwrap();
+        let w2 = p.finish().unwrap();
+        assert!(!w2.contains_label(&Label::new("b")));
+        assert_eq!(w2.inset().iter().map(|l| l.as_str()).collect::<Vec<_>>(), ["a"]);
+    }
+
+    #[test]
+    fn rule2_refuses_conjunctive_task() {
+        let w = with_extra_sink();
+        let mut p = Pruner::new(&w);
+        let err = p.prune_source_input(&TaskId::new("t1"), &Label::new("a")).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::PruneViolation(PruneViolation::ConjunctiveInput(..))
+        ));
+    }
+
+    #[test]
+    fn rule2_refuses_last_input() {
+        let mut w = disjunctive_two_inputs();
+        let mut p = Pruner::new(&w);
+        p.prune_source_input(&TaskId::new("t"), &Label::new("b")).unwrap();
+        let err = p.prune_source_input(&TaskId::new("t"), &Label::new("a")).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::PruneViolation(PruneViolation::LastInput(_))
+        ));
+        w = p.finish().unwrap();
+        assert!(w.contains_label(&Label::new("a")));
+    }
+
+    #[test]
+    fn rule2_refuses_input_with_producer() {
+        // a -> t1 -> b; {b, z} -> t2(disj) -> c. Input b of t2 has a producer.
+        let w: Workflow = Fragment::builder("w")
+            .task("t1", Mode::Conjunctive)
+            .inputs(["a"])
+            .outputs(["b"])
+            .done()
+            .task("t2", Mode::Disjunctive)
+            .inputs(["b", "z"])
+            .outputs(["c"])
+            .done()
+            .build()
+            .unwrap()
+            .into();
+        let mut p = Pruner::new(&w);
+        let err = p.prune_source_input(&TaskId::new("t2"), &Label::new("b")).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::PruneViolation(PruneViolation::InputNotSource(..))
+        ));
+        // but z is prunable
+        p.prune_source_input(&TaskId::new("t2"), &Label::new("z")).unwrap();
+        assert!(p.finish().is_ok());
+    }
+
+    #[test]
+    fn rule3_removes_task_and_dangling_labels() {
+        // Two independent chains; remove one entirely.
+        let w: Workflow = Fragment::builder("w")
+            .task("t1", Mode::Conjunctive)
+            .inputs(["a"])
+            .outputs(["b"])
+            .done()
+            .task("t2", Mode::Conjunctive)
+            .inputs(["c"])
+            .outputs(["d"])
+            .done()
+            .build()
+            .unwrap()
+            .into();
+        let mut p = Pruner::new(&w);
+        p.prune_task(&TaskId::new("t2")).unwrap();
+        let w2 = p.finish().unwrap();
+        assert!(!w2.contains_task(&TaskId::new("t2")));
+        assert!(!w2.contains_label(&Label::new("c")));
+        assert!(!w2.contains_label(&Label::new("d")));
+        assert!(w2.contains_task(&TaskId::new("t1")));
+    }
+
+    #[test]
+    fn rule3_keeps_shared_labels() {
+        // a -> t1 -> b ; b -> t2 -> c. Removing t2 keeps b (it has a producer).
+        let w: Workflow = Fragment::builder("w")
+            .task("t1", Mode::Conjunctive)
+            .inputs(["a"])
+            .outputs(["b"])
+            .done()
+            .task("t2", Mode::Conjunctive)
+            .inputs(["b"])
+            .outputs(["c"])
+            .done()
+            .build()
+            .unwrap()
+            .into();
+        let mut p = Pruner::new(&w);
+        p.prune_task(&TaskId::new("t2")).unwrap();
+        let w2 = p.finish().unwrap();
+        assert!(w2.contains_label(&Label::new("b")));
+        assert!(!w2.contains_label(&Label::new("c")));
+        assert_eq!(w2.outset().iter().map(|l| l.as_str()).collect::<Vec<_>>(), ["b"]);
+    }
+
+    #[test]
+    fn pruning_removed_task_errors() {
+        let w = with_extra_sink();
+        let mut p = Pruner::new(&w);
+        p.prune_task(&TaskId::new("t2")).unwrap();
+        assert!(matches!(
+            p.prune_task(&TaskId::new("t2")),
+            Err(ModelError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn prune_to_spec_keeps_goal_closure() {
+        // Knowledge: a->t1->b->t2->c and b->t3->d. Goal {c} should drop t3/d.
+        let w: Workflow = Fragment::builder("w")
+            .task("t1", Mode::Conjunctive)
+            .inputs(["a"])
+            .outputs(["b"])
+            .done()
+            .task("t2", Mode::Conjunctive)
+            .inputs(["b"])
+            .outputs(["c"])
+            .done()
+            .task("t3", Mode::Conjunctive)
+            .inputs(["b"])
+            .outputs(["d"])
+            .done()
+            .build()
+            .unwrap()
+            .into();
+        let spec = Spec::new(["a"], ["c"]);
+        let w2 = prune_to_spec(&w, &spec).unwrap();
+        assert!(w2.contains_task(&TaskId::new("t2")));
+        assert!(!w2.contains_task(&TaskId::new("t3")));
+        assert!(!w2.contains_label(&Label::new("d")));
+        assert!(spec.accepts(&w2));
+    }
+
+    #[test]
+    fn prune_to_spec_missing_goal_errors() {
+        let w = with_extra_sink();
+        let spec = Spec::new(["a"], ["nope"]);
+        assert!(matches!(
+            prune_to_spec(&w, &spec),
+            Err(ModelError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn finish_without_ops_is_identity() {
+        let w = with_extra_sink();
+        let w2 = Pruner::new(&w).finish().unwrap();
+        assert_eq!(w.inset(), w2.inset());
+        assert_eq!(w.outset(), w2.outset());
+        assert_eq!(w.task_count(), w2.task_count());
+    }
+}

@@ -1,0 +1,212 @@
+//! Serde support for the graph-shaped model types.
+//!
+//! Fragments and workflows serialize to a portable node-link form —
+//! `{ tasks: [{name, mode, inputs, outputs}] }` — so that knowhow
+//! databases can be persisted and shipped between devices regardless of
+//! internal node numbering. Deserialization re-validates, so a decoded
+//! [`Workflow`] upholds the same invariants as a constructed one.
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::fragment::{Fragment, FragmentId};
+use crate::graph::Graph;
+use crate::ids::{Label, Mode, NodeKind, TaskId};
+use crate::workflow::Workflow;
+
+/// Portable description of one task with its adjacent labels.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct TaskRecord {
+    name: TaskId,
+    mode: Mode,
+    inputs: Vec<Label>,
+    outputs: Vec<Label>,
+}
+
+/// Portable description of a workflow graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct GraphRecord {
+    tasks: Vec<TaskRecord>,
+    /// Labels not adjacent to any task (isolated trigger-goals).
+    isolated_labels: Vec<Label>,
+}
+
+fn graph_to_record(g: &Graph) -> GraphRecord {
+    let mut tasks = Vec::new();
+    for idx in g.node_indices() {
+        if g.kind(idx) != NodeKind::Task {
+            continue;
+        }
+        let name = g.key(idx).as_task().expect("task kind");
+        let inputs = g
+            .parents(idx)
+            .iter()
+            .filter_map(|&p| g.key(p).as_label())
+            .collect();
+        let outputs = g
+            .children(idx)
+            .iter()
+            .filter_map(|&c| g.key(c).as_label())
+            .collect();
+        tasks.push(TaskRecord { name, mode: g.mode(idx), inputs, outputs });
+    }
+    let isolated_labels = g
+        .node_indices()
+        .filter(|&i| {
+            g.kind(i) == NodeKind::Label && g.in_degree(i) == 0 && g.out_degree(i) == 0
+        })
+        .filter_map(|i| g.key(i).as_label())
+        .collect();
+    GraphRecord { tasks, isolated_labels }
+}
+
+fn record_to_graph(r: &GraphRecord) -> Result<Graph, crate::error::ModelError> {
+    let mut g = Graph::new();
+    for t in &r.tasks {
+        let tidx = g.try_add_task(t.name.clone(), t.mode)?;
+        for l in &t.inputs {
+            let lidx = g.add_label(l.clone());
+            g.add_edge(lidx, tidx)?;
+        }
+        for l in &t.outputs {
+            let lidx = g.add_label(l.clone());
+            g.add_edge(tidx, lidx)?;
+        }
+    }
+    for l in &r.isolated_labels {
+        g.add_label(l.clone());
+    }
+    Ok(g)
+}
+
+impl Serialize for Workflow {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        graph_to_record(self.graph()).serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Workflow {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let record = GraphRecord::deserialize(d)?;
+        let graph = record_to_graph(&record).map_err(D::Error::custom)?;
+        Workflow::from_graph(graph).map_err(D::Error::custom)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct FragmentRecord {
+    id: FragmentId,
+    #[serde(flatten)]
+    graph: GraphRecord,
+}
+
+impl Serialize for Fragment {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        FragmentRecord {
+            id: self.id().clone(),
+            graph: graph_to_record(self.graph()),
+        }
+        .serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for Fragment {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let record = FragmentRecord::deserialize(d)?;
+        let graph = record_to_graph(&record.graph).map_err(D::Error::custom)?;
+        let workflow = Workflow::from_graph(graph).map_err(D::Error::custom)?;
+        Ok(Fragment::from_workflow(record.id, workflow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Spec;
+
+    // A tiny hand-rolled "serde transcoder" through the GraphRecord types
+    // lets us test round-trips without a serde format crate: we serialize
+    // into `serde_value`-like structures by... simply round-tripping the
+    // records directly.
+    fn roundtrip_workflow(w: &Workflow) -> Workflow {
+        let record = graph_to_record(w.graph());
+        let graph = record_to_graph(&record).expect("record is consistent");
+        Workflow::from_graph(graph).expect("round-trip preserves validity")
+    }
+
+    fn sample_fragment() -> Fragment {
+        Fragment::builder("lunch")
+            .task("prepare soup and salad", Mode::Conjunctive)
+            .inputs(["lunch ingredients"])
+            .outputs(["lunch prepared"])
+            .done()
+            .task("serve buffet", Mode::Disjunctive)
+            .inputs(["lunch prepared"])
+            .outputs(["lunch served"])
+            .done()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn workflow_record_round_trips() {
+        let w: Workflow = sample_fragment().into();
+        let w2 = roundtrip_workflow(&w);
+        assert_eq!(w.inset(), w2.inset());
+        assert_eq!(w.outset(), w2.outset());
+        assert_eq!(w.task_count(), w2.task_count());
+        assert_eq!(
+            w.task_mode(&TaskId::new("serve buffet")),
+            w2.task_mode(&TaskId::new("serve buffet"))
+        );
+        assert_eq!(
+            w.task_inputs(&TaskId::new("prepare soup and salad")),
+            w2.task_inputs(&TaskId::new("prepare soup and salad"))
+        );
+    }
+
+    #[test]
+    fn isolated_labels_survive() {
+        // A trivial workflow (goal == trigger) is just an isolated label.
+        let mut g = Graph::new();
+        g.add_label("sun is up");
+        let w = Workflow::from_graph(g).unwrap();
+        let w2 = roundtrip_workflow(&w);
+        assert!(w2.contains_label(&Label::new("sun is up")));
+        assert!(Spec::new(["sun is up"], ["sun is up"]).accepts(&w2));
+    }
+
+    #[test]
+    fn invalid_records_are_rejected() {
+        // Two tasks producing the same label: structurally expressible in
+        // a record, rejected at validation.
+        let record = GraphRecord {
+            tasks: vec![
+                TaskRecord {
+                    name: TaskId::new("t1"),
+                    mode: Mode::Conjunctive,
+                    inputs: vec![Label::new("a")],
+                    outputs: vec![Label::new("x")],
+                },
+                TaskRecord {
+                    name: TaskId::new("t2"),
+                    mode: Mode::Conjunctive,
+                    inputs: vec![Label::new("b")],
+                    outputs: vec![Label::new("x")],
+                },
+            ],
+            isolated_labels: vec![],
+        };
+        let graph = record_to_graph(&record).expect("graph builds");
+        assert!(Workflow::from_graph(graph).is_err(), "validation must reject");
+    }
+
+    #[test]
+    fn serde_trait_impls_are_wired() {
+        // Compile-time check that the trait impls exist and are object-
+        // safe enough for generic use.
+        fn assert_serde<T: Serialize + for<'de> Deserialize<'de>>() {}
+        assert_serde::<Workflow>();
+        assert_serde::<Fragment>();
+    }
+}

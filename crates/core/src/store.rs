@@ -1,0 +1,210 @@
+//! In-memory fragment storage with a consumed-label index.
+//!
+//! This is the local analogue of a host's fragment database (the runtime's
+//! Fragment Manager wraps one of these) and the reference implementation of
+//! [`FragmentSource`] for tests and single-process use.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::construct::incremental::FragmentSource;
+use crate::fragment::{Fragment, FragmentId};
+use crate::ids::Label;
+
+/// A fragment database indexed by the labels its tasks consume.
+#[derive(Clone, Default)]
+pub struct InMemoryFragmentStore {
+    fragments: Vec<Fragment>,
+    by_id: HashMap<FragmentId, usize>,
+    by_consumed_label: HashMap<Label, Vec<usize>>,
+}
+
+impl InMemoryFragmentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        InMemoryFragmentStore::default()
+    }
+
+    /// Inserts a fragment, replacing any fragment with the same id.
+    ///
+    /// Returns `true` if the fragment was new, `false` if it replaced an
+    /// existing one.
+    pub fn insert(&mut self, fragment: Fragment) -> bool {
+        if let Some(&pos) = self.by_id.get(fragment.id()) {
+            // Replace: rebuild the index entries for this slot.
+            let old = std::mem::replace(&mut self.fragments[pos], fragment);
+            for label in old.all_input_labels() {
+                if let Some(v) = self.by_consumed_label.get_mut(&label) {
+                    v.retain(|&i| i != pos);
+                }
+            }
+            let new_labels = self.fragments[pos].all_input_labels();
+            for label in new_labels {
+                self.by_consumed_label.entry(label).or_default().push(pos);
+            }
+            return false;
+        }
+        let pos = self.fragments.len();
+        self.by_id.insert(fragment.id().clone(), pos);
+        for label in fragment.all_input_labels() {
+            self.by_consumed_label.entry(label).or_default().push(pos);
+        }
+        self.fragments.push(fragment);
+        true
+    }
+
+    /// Number of stored fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// True if the store holds no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// Looks up a fragment by id.
+    pub fn get(&self, id: &FragmentId) -> Option<&Fragment> {
+        self.by_id.get(id).map(|&i| &self.fragments[i])
+    }
+
+    /// All stored fragments in insertion order.
+    pub fn fragments(&self) -> impl Iterator<Item = &Fragment> + '_ {
+        self.fragments.iter()
+    }
+
+    /// Fragments containing a task that consumes any of `labels`,
+    /// deduplicated, in insertion order.
+    pub fn consuming(&self, labels: &[Label]) -> Vec<&Fragment> {
+        let mut seen = vec![false; self.fragments.len()];
+        let mut out = Vec::new();
+        for label in labels {
+            if let Some(indices) = self.by_consumed_label.get(label) {
+                for &i in indices {
+                    if !seen[i] {
+                        seen[i] = true;
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.into_iter().map(|i| &self.fragments[i]).collect()
+    }
+}
+
+impl FragmentSource for InMemoryFragmentStore {
+    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Fragment> {
+        self.consuming(labels).into_iter().cloned().collect()
+    }
+}
+
+impl FromIterator<Fragment> for InMemoryFragmentStore {
+    fn from_iter<I: IntoIterator<Item = Fragment>>(iter: I) -> Self {
+        let mut store = InMemoryFragmentStore::new();
+        for f in iter {
+            store.insert(f);
+        }
+        store
+    }
+}
+
+impl Extend<Fragment> for InMemoryFragmentStore {
+    fn extend<I: IntoIterator<Item = Fragment>>(&mut self, iter: I) {
+        for f in iter {
+            self.insert(f);
+        }
+    }
+}
+
+impl fmt::Debug for InMemoryFragmentStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InMemoryFragmentStore")
+            .field("fragments", &self.fragments.len())
+            .field("indexed_labels", &self.by_consumed_label.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Mode;
+
+    fn frag(id: &str, task: &str, ins: &[&str], outs: &[&str]) -> Fragment {
+        Fragment::single_task(id, task, Mode::Disjunctive, ins.iter().copied(), outs.iter().copied())
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut s = InMemoryFragmentStore::new();
+        assert!(s.insert(frag("f1", "t1", &["a"], &["b"])));
+        assert!(s.insert(frag("f2", "t2", &["b"], &["c"])));
+        assert_eq!(s.len(), 2);
+        assert!(s.get(&FragmentId::new("f1")).is_some());
+        assert!(s.get(&FragmentId::new("zz")).is_none());
+    }
+
+    #[test]
+    fn consuming_matches_input_labels() {
+        let mut s = InMemoryFragmentStore::new();
+        s.insert(frag("f1", "t1", &["a"], &["b"]));
+        s.insert(frag("f2", "t2", &["b"], &["c"]));
+        s.insert(frag("f3", "t3", &["a", "x"], &["d"]));
+        let hits = s.consuming(&[Label::new("a")]);
+        let ids: Vec<&str> = hits.iter().map(|f| f.id().as_str()).collect();
+        assert_eq!(ids, ["f1", "f3"]);
+        assert!(s.consuming(&[Label::new("nope")]).is_empty());
+    }
+
+    #[test]
+    fn consuming_dedupes_across_query_labels() {
+        let mut s = InMemoryFragmentStore::new();
+        s.insert(frag("f", "t", &["a", "b"], &["c"]));
+        let hits = s.consuming(&[Label::new("a"), Label::new("b")]);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn internal_input_labels_are_indexed() {
+        // Fragment with an internal label: t1 -> mid -> t2. A query on
+        // `mid` must return the fragment even though mid is not a source.
+        let f = Fragment::builder("f")
+            .task("t1", Mode::Disjunctive)
+            .inputs(["a"])
+            .outputs(["mid"])
+            .done()
+            .task("t2", Mode::Disjunctive)
+            .inputs(["mid"])
+            .outputs(["b"])
+            .done()
+            .build()
+            .unwrap();
+        let mut s = InMemoryFragmentStore::new();
+        s.insert(f);
+        assert_eq!(s.consuming(&[Label::new("mid")]).len(), 1);
+    }
+
+    #[test]
+    fn replacing_fragment_updates_index() {
+        let mut s = InMemoryFragmentStore::new();
+        s.insert(frag("f", "t", &["a"], &["b"]));
+        assert!(!s.insert(frag("f", "t", &["x"], &["b"])), "replacement");
+        assert_eq!(s.len(), 1);
+        assert!(s.consuming(&[Label::new("a")]).is_empty());
+        assert_eq!(s.consuming(&[Label::new("x")]).len(), 1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let s: InMemoryFragmentStore =
+            vec![frag("f1", "t1", &["a"], &["b"]), frag("f2", "t2", &["b"], &["c"])]
+                .into_iter()
+                .collect();
+        assert_eq!(s.len(), 2);
+        let mut s = s;
+        s.extend([frag("f3", "t3", &["c"], &["d"])]);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,281 @@
+//! The workflow supergraph (§3.1).
+//!
+//! "Our strategy is to combine all workflow fragments from K into one large
+//! graph, henceforth called the workflow supergraph G. The supergraph
+//! represents a unified view of all possible actions represented in the set
+//! K, however it is not necessarily a valid workflow since it may have
+//! cycles, outputs produced by multiple tasks, unavailable inputs, or
+//! undesired outputs."
+//!
+//! [`Supergraph`] is therefore an *unrestricted* bipartite union of
+//! fragments. It keeps per-node and per-edge provenance so that a
+//! construction result can report exactly which fragments contributed to
+//! the final workflow.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::fragment::{Fragment, FragmentId};
+use crate::graph::{Graph, NodeIdx};
+use crate::ids::Label;
+
+/// Union of workflow fragments with provenance tracking.
+#[derive(Clone, Default)]
+pub struct Supergraph {
+    graph: Graph,
+    merged: HashSet<FragmentId>,
+    node_provenance: HashMap<NodeIdx, Vec<FragmentId>>,
+    edge_provenance: HashMap<(NodeIdx, NodeIdx), Vec<FragmentId>>,
+}
+
+impl Supergraph {
+    /// Creates an empty supergraph.
+    pub fn new() -> Self {
+        Supergraph::default()
+    }
+
+    /// Builds a supergraph from a collection of fragments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ConflictingTaskMode`] if two fragments declare
+    /// the same task with different modes.
+    pub fn from_fragments<'a, I>(fragments: I) -> Result<Self, ModelError>
+    where
+        I: IntoIterator<Item = &'a Fragment>,
+    {
+        let mut sg = Supergraph::new();
+        for f in fragments {
+            sg.try_merge_fragment(f)?;
+        }
+        Ok(sg)
+    }
+
+    /// Merges a fragment into the supergraph, deduplicating nodes and edges
+    /// by semantic identity. Re-merging a fragment with an already-seen id
+    /// is a no-op (idempotent), which the incremental constructor relies on
+    /// when the same knowhow arrives from several hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on conflicting task modes; use
+    /// [`Supergraph::try_merge_fragment`] to handle the conflict.
+    pub fn merge_fragment(&mut self, fragment: &Fragment) {
+        self.try_merge_fragment(fragment)
+            .expect("conflicting task mode while merging fragment");
+    }
+
+    /// Merges a fragment, reporting mode conflicts.
+    ///
+    /// Returns `true` if the fragment was new (not previously merged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ConflictingTaskMode`] if the fragment declares
+    /// a task with a different mode than the supergraph already records.
+    pub fn try_merge_fragment(&mut self, fragment: &Fragment) -> Result<bool, ModelError> {
+        if self.merged.contains(fragment.id()) {
+            return Ok(false);
+        }
+        // Pre-check mode conflicts so a failed merge leaves `self` intact.
+        for t in fragment.tasks() {
+            if let Some(idx) = self.graph.find_task(&t) {
+                let have = self.graph.mode(idx);
+                let want = fragment
+                    .workflow()
+                    .task_mode(&t)
+                    .expect("fragment task exists");
+                if have != want {
+                    return Err(ModelError::ConflictingTaskMode {
+                        task: t,
+                        existing: have,
+                        requested: want,
+                    });
+                }
+            }
+        }
+        self.graph
+            .merge_from(fragment.graph())
+            .expect("mode conflicts pre-checked");
+        // Record provenance (after merge, all nodes/edges resolvable).
+        let fid = fragment.id().clone();
+        for (_, key) in fragment.graph().nodes() {
+            let idx = self.graph.find(key).expect("merged node present");
+            self.node_provenance.entry(idx).or_default().push(fid.clone());
+        }
+        for (f, t) in fragment.graph().edges() {
+            let fk = fragment.graph().key(f);
+            let tk = fragment.graph().key(t);
+            let fi = self.graph.find(fk).expect("merged node present");
+            let ti = self.graph.find(tk).expect("merged node present");
+            self.edge_provenance
+                .entry((fi, ti))
+                .or_default()
+                .push(fid.clone());
+        }
+        self.merged.insert(fid);
+        Ok(true)
+    }
+
+    /// The underlying (unrestricted) graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of distinct fragments merged so far.
+    pub fn fragment_count(&self) -> usize {
+        self.merged.len()
+    }
+
+    /// True if a fragment with this id has been merged.
+    pub fn contains_fragment(&self, id: &FragmentId) -> bool {
+        self.merged.contains(id)
+    }
+
+    /// Fragments that contributed a given node.
+    pub fn node_fragments(&self, idx: NodeIdx) -> &[FragmentId] {
+        self.node_provenance
+            .get(&idx)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Fragments that contributed a given edge.
+    pub fn edge_fragments(&self, from: NodeIdx, to: NodeIdx) -> &[FragmentId] {
+        self.edge_provenance
+            .get(&(from, to))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The set of fragments covering the given nodes and edges — used to
+    /// report which pieces of community knowhow a constructed workflow drew
+    /// on.
+    pub fn covering_fragments(
+        &self,
+        nodes: impl IntoIterator<Item = NodeIdx>,
+        edges: impl IntoIterator<Item = (NodeIdx, NodeIdx)>,
+    ) -> Vec<FragmentId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for n in nodes {
+            for f in self.node_fragments(n) {
+                if seen.insert(f.clone()) {
+                    out.push(f.clone());
+                }
+            }
+        }
+        for (a, b) in edges {
+            for f in self.edge_fragments(a, b) {
+                if seen.insert(f.clone()) {
+                    out.push(f.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Labels currently present whose consuming tasks may be missing — i.e.
+    /// every label node. Incremental construction queries the community for
+    /// fragments consuming frontier labels.
+    pub fn contains_label(&self, label: &Label) -> bool {
+        self.graph.find_label(label).is_some()
+    }
+}
+
+impl fmt::Debug for Supergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supergraph")
+            .field("fragments", &self.fragment_count())
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Mode, TaskId};
+
+    fn frag(id: &str, task: &str, input: &str, output: &str) -> Fragment {
+        Fragment::single_task(id, task, Mode::Disjunctive, [input], [output]).unwrap()
+    }
+
+    #[test]
+    fn merging_shares_nodes() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", "a", "b"));
+        sg.merge_fragment(&frag("f2", "t2", "b", "c"));
+        assert_eq!(sg.fragment_count(), 2);
+        // labels: a, b, c; tasks: t1, t2
+        assert_eq!(sg.graph().node_count(), 5);
+    }
+
+    #[test]
+    fn supergraph_tolerates_multi_producers_and_cycles() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", "a", "x"));
+        sg.merge_fragment(&frag("f2", "t2", "b", "x")); // x produced twice
+        sg.merge_fragment(&frag("f3", "t3", "x", "a")); // cycle a -> t1 -> x -> t3 -> a
+        assert!(!sg.graph().is_acyclic());
+        let x = sg.graph().find_label(&Label::new("x")).unwrap();
+        assert_eq!(sg.graph().in_degree(x), 2);
+    }
+
+    #[test]
+    fn remerging_same_fragment_is_idempotent() {
+        let mut sg = Supergraph::new();
+        let f = frag("f1", "t1", "a", "b");
+        assert!(sg.try_merge_fragment(&f).unwrap());
+        assert!(!sg.try_merge_fragment(&f).unwrap());
+        assert_eq!(sg.fragment_count(), 1);
+        assert_eq!(sg.graph().node_count(), 3);
+    }
+
+    #[test]
+    fn provenance_tracks_contributors() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", "a", "b"));
+        sg.merge_fragment(&frag("f2", "t2", "b", "c"));
+        let b = sg.graph().find_label(&Label::new("b")).unwrap();
+        let owners = sg.node_fragments(b);
+        assert_eq!(owners.len(), 2);
+        let t1 = sg.graph().find_task(&TaskId::new("t1")).unwrap();
+        assert_eq!(sg.node_fragments(t1), &[FragmentId::new("f1")]);
+    }
+
+    #[test]
+    fn covering_fragments_dedupes_and_sorts() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f2", "t2", "b", "c"));
+        sg.merge_fragment(&frag("f1", "t1", "a", "b"));
+        let nodes: Vec<NodeIdx> = sg.graph().node_indices().collect();
+        let edges: Vec<(NodeIdx, NodeIdx)> = sg.graph().edges().collect();
+        let cover = sg.covering_fragments(nodes, edges);
+        assert_eq!(cover, vec![FragmentId::new("f1"), FragmentId::new("f2")]);
+    }
+
+    #[test]
+    fn mode_conflict_fails_cleanly() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&Fragment::single_task("f1", "t", Mode::Conjunctive, ["a"], ["b"]).unwrap());
+        let before_nodes = sg.graph().node_count();
+        let bad = Fragment::single_task("f2", "t", Mode::Disjunctive, ["c"], ["d"]).unwrap();
+        assert!(sg.try_merge_fragment(&bad).is_err());
+        // failed merge left the supergraph untouched
+        assert_eq!(sg.graph().node_count(), before_nodes);
+        assert!(!sg.contains_fragment(&FragmentId::new("f2")));
+    }
+
+    #[test]
+    fn from_fragments_collects() {
+        let frags = vec![frag("f1", "t1", "a", "b"), frag("f2", "t2", "b", "c")];
+        let sg = Supergraph::from_fragments(&frags).unwrap();
+        assert_eq!(sg.fragment_count(), 2);
+        assert!(sg.contains_label(&Label::new("a")));
+        assert!(!sg.contains_label(&Label::new("z")));
+    }
+}

@@ -1,0 +1,235 @@
+//! Workflow validity checking.
+//!
+//! §2.2 of the paper: "A workflow has the additional constraints that
+//! (1) all sources (nodes without any incoming edges) and all sinks (nodes
+//! without any outgoing edges) are labels, (2) a label can have at most one
+//! incoming edge, and (3) there are no duplicate nodes in the graph" — on
+//! top of being a bipartite *directed acyclic* graph.
+//!
+//! Constraint (3) and bipartiteness are enforced structurally by
+//! [`crate::graph::Graph`]; this module checks the rest.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::ids::{Label, NodeKind, TaskId};
+
+/// A violation of the workflow validity constraints of §2.2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidityError {
+    /// The graph contains a cycle; workflows are DAGs.
+    Cyclic,
+    /// A task node is a source (constraint 1): it has no inputs.
+    TaskIsSource(TaskId),
+    /// A task node is a sink (constraint 1): it has no outputs.
+    TaskIsSink(TaskId),
+    /// A label has more than one incoming edge (constraint 2): two tasks
+    /// produce the same label within one workflow.
+    LabelMultipleProducers {
+        /// The over-produced label.
+        label: Label,
+        /// How many producers it has.
+        producers: usize,
+    },
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::Cyclic => f.write_str("workflow graph contains a cycle"),
+            ValidityError::TaskIsSource(t) => {
+                write!(f, "task `{t}` has no inputs: all sources must be labels")
+            }
+            ValidityError::TaskIsSink(t) => {
+                write!(f, "task `{t}` has no outputs: all sinks must be labels")
+            }
+            ValidityError::LabelMultipleProducers { label, producers } => write!(
+                f,
+                "label `{label}` has {producers} producers: a label can have at most one incoming edge"
+            ),
+        }
+    }
+}
+
+impl Error for ValidityError {}
+
+/// Checks every workflow validity constraint, returning the first violation
+/// in a deterministic order (cycle check, then per-node checks in insertion
+/// order).
+///
+/// # Errors
+///
+/// Returns the first [`ValidityError`] found, if any.
+pub fn validate(graph: &Graph) -> Result<(), ValidityError> {
+    if !graph.is_acyclic() {
+        return Err(ValidityError::Cyclic);
+    }
+    for idx in graph.node_indices() {
+        match graph.kind(idx) {
+            NodeKind::Task => {
+                let task = graph.key(idx).as_task().expect("task kind");
+                if graph.in_degree(idx) == 0 {
+                    return Err(ValidityError::TaskIsSource(task));
+                }
+                if graph.out_degree(idx) == 0 {
+                    return Err(ValidityError::TaskIsSink(task));
+                }
+            }
+            NodeKind::Label => {
+                let producers = graph.in_degree(idx);
+                if producers > 1 {
+                    return Err(ValidityError::LabelMultipleProducers {
+                        label: graph.key(idx).as_label().expect("label kind"),
+                        producers,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collects *all* violations instead of stopping at the first one.
+///
+/// Useful for diagnostics: the supergraph "is not necessarily a valid
+/// workflow since it may have cycles, outputs produced by multiple tasks,
+/// unavailable inputs, or undesired outputs" (§3.1), and it is often helpful
+/// to report every reason at once.
+pub fn violations(graph: &Graph) -> Vec<ValidityError> {
+    let mut out = Vec::new();
+    if !graph.is_acyclic() {
+        out.push(ValidityError::Cyclic);
+    }
+    for idx in graph.node_indices() {
+        match graph.kind(idx) {
+            NodeKind::Task => {
+                let task = graph.key(idx).as_task().expect("task kind");
+                if graph.in_degree(idx) == 0 {
+                    out.push(ValidityError::TaskIsSource(task.clone()));
+                }
+                if graph.out_degree(idx) == 0 {
+                    out.push(ValidityError::TaskIsSink(task));
+                }
+            }
+            NodeKind::Label => {
+                let producers = graph.in_degree(idx);
+                if producers > 1 {
+                    out.push(ValidityError::LabelMultipleProducers {
+                        label: graph.key(idx).as_label().expect("label kind"),
+                        producers,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Mode;
+
+    fn chain() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let t = g.add_task("t", Mode::Conjunctive);
+        let b = g.add_label("b");
+        g.add_edge(a, t).unwrap();
+        g.add_edge(t, b).unwrap();
+        g
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        assert_eq!(validate(&chain()), Ok(()));
+        assert!(violations(&chain()).is_empty());
+    }
+
+    #[test]
+    fn single_label_is_a_valid_workflow() {
+        // A lone label is both source and sink; both are labels, so all
+        // constraints hold. This is the degenerate "goal is already a
+        // trigger" workflow.
+        let mut g = Graph::new();
+        g.add_label("x");
+        assert_eq!(validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        assert_eq!(validate(&Graph::new()), Ok(()));
+    }
+
+    #[test]
+    fn task_source_is_invalid() {
+        let mut g = Graph::new();
+        let t = g.add_task("t", Mode::Conjunctive);
+        let b = g.add_label("b");
+        g.add_edge(t, b).unwrap();
+        assert_eq!(
+            validate(&g),
+            Err(ValidityError::TaskIsSource(TaskId::new("t")))
+        );
+    }
+
+    #[test]
+    fn task_sink_is_invalid() {
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let t = g.add_task("t", Mode::Conjunctive);
+        g.add_edge(a, t).unwrap();
+        assert_eq!(validate(&g), Err(ValidityError::TaskIsSink(TaskId::new("t"))));
+    }
+
+    #[test]
+    fn multi_producer_label_is_invalid() {
+        // Figure 1's knowledge graph "is not a valid workflow because some
+        // labels have multiple incoming edges" — reproduce that in
+        // miniature.
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let t1 = g.add_task("t1", Mode::Conjunctive);
+        let t2 = g.add_task("t2", Mode::Conjunctive);
+        let b = g.add_label("b");
+        g.add_edge(a, t1).unwrap();
+        g.add_edge(a, t2).unwrap();
+        g.add_edge(t1, b).unwrap();
+        g.add_edge(t2, b).unwrap();
+        assert_eq!(
+            validate(&g),
+            Err(ValidityError::LabelMultipleProducers {
+                label: Label::new("b"),
+                producers: 2
+            })
+        );
+    }
+
+    #[test]
+    fn cycle_is_reported_first() {
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let t = g.add_task("t", Mode::Conjunctive);
+        g.add_edge(a, t).unwrap();
+        g.add_edge(t, a).unwrap(); // cycle AND label `a` would have a producer
+        assert_eq!(validate(&g), Err(ValidityError::Cyclic));
+    }
+
+    #[test]
+    fn violations_collects_everything() {
+        let mut g = Graph::new();
+        let a = g.add_label("a");
+        let t1 = g.add_task("t1", Mode::Conjunctive); // will be a source AND b gets 2 producers
+        let t2 = g.add_task("t2", Mode::Conjunctive);
+        let b = g.add_label("b");
+        g.add_edge(a, t2).unwrap();
+        g.add_edge(t1, b).unwrap();
+        g.add_edge(t2, b).unwrap();
+        let vs = violations(&g);
+        assert_eq!(vs.len(), 2);
+        assert!(vs.contains(&ValidityError::TaskIsSource(TaskId::new("t1"))));
+        assert!(vs.iter().any(|v| matches!(v, ValidityError::LabelMultipleProducers { .. })));
+    }
+}

@@ -1,0 +1,315 @@
+//! Property-based tests for the open workflow core.
+//!
+//! The central claims of §3.1's proof sketch are checked against randomized
+//! knowledge bases:
+//!
+//! * **Soundness** — whenever construction succeeds, the result is a valid
+//!   workflow (acyclic, bipartite, single-producer labels, label
+//!   sources/sinks) that satisfies the specification.
+//! * **Completeness** — construction succeeds exactly when an independent
+//!   forward-chaining fixpoint oracle says the goals are reachable.
+//! * **Order independence** — every nondeterministic pick order yields a
+//!   satisfying workflow (possibly different ones).
+//! * **Incremental equivalence** — frontier-driven collection agrees with
+//!   full collection on feasibility and spec satisfaction.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use openwf_core::construct::{ConstructError, Constructor, PickOrder};
+use openwf_core::prelude::*;
+use openwf_core::prune::prune_to_spec;
+use openwf_core::validate::validate;
+use openwf_core::{IncrementalConstructor, Label, TaskId};
+use proptest::prelude::*;
+
+/// A compact description of a randomly generated single-task fragment.
+#[derive(Clone, Debug)]
+struct RawTask {
+    inputs: Vec<u8>,
+    outputs: Vec<u8>,
+    conjunctive: bool,
+}
+
+fn label_name(i: u8) -> String {
+    format!("l{i}")
+}
+
+fn build_fragments(raw: &[RawTask]) -> Vec<Fragment> {
+    raw.iter()
+        .enumerate()
+        .filter_map(|(i, rt)| {
+            let inputs: BTreeSet<u8> = rt.inputs.iter().copied().collect();
+            let outputs: BTreeSet<u8> = rt
+                .outputs
+                .iter()
+                .copied()
+                .filter(|o| !inputs.contains(o))
+                .collect();
+            if inputs.is_empty() || outputs.is_empty() {
+                return None;
+            }
+            let mode = if rt.conjunctive { Mode::Conjunctive } else { Mode::Disjunctive };
+            Fragment::single_task(
+                format!("f{i}"),
+                format!("t{i}"),
+                mode,
+                inputs.iter().map(|&x| label_name(x)),
+                outputs.iter().map(|&x| label_name(x)),
+            )
+            .ok()
+        })
+        .collect()
+}
+
+fn arb_raw_task(alphabet: u8) -> impl Strategy<Value = RawTask> {
+    (
+        proptest::collection::vec(0..alphabet, 1..=3),
+        proptest::collection::vec(0..alphabet, 1..=3),
+        any::<bool>(),
+    )
+        .prop_map(|(inputs, outputs, conjunctive)| RawTask { inputs, outputs, conjunctive })
+}
+
+fn arb_world(
+    max_tasks: usize,
+    alphabet: u8,
+) -> impl Strategy<Value = (Vec<Fragment>, Spec)> {
+    (
+        proptest::collection::vec(arb_raw_task(alphabet), 1..=max_tasks),
+        proptest::collection::btree_set(0..alphabet, 1..=3),
+        proptest::collection::btree_set(0..alphabet, 1..=2),
+    )
+        .prop_map(move |(raw, triggers, goals)| {
+            let fragments = build_fragments(&raw);
+            let spec = Spec::new(
+                triggers.iter().map(|&t| label_name(t)),
+                goals.iter().map(|&g| label_name(g)),
+            );
+            (fragments, spec)
+        })
+}
+
+/// Independent forward-chaining oracle: the set of labels reachable from
+/// the triggers by repeatedly firing tasks whose requirements are met.
+fn reachable_labels(fragments: &[Fragment], spec: &Spec) -> HashSet<Label> {
+    let mut have: HashSet<Label> = spec.triggers().iter().cloned().collect();
+    // (inputs, outputs, conjunctive) per task, deduplicated by task id.
+    let mut tasks: HashMap<TaskId, (Vec<Label>, Vec<Label>, bool)> = HashMap::new();
+    for f in fragments {
+        for t in f.tasks() {
+            let w = f.workflow();
+            tasks.entry(t.clone()).or_insert_with(|| {
+                (
+                    w.task_inputs(&t),
+                    w.task_outputs(&t),
+                    w.task_mode(&t) == Some(Mode::Conjunctive),
+                )
+            });
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (ins, outs, conj) in tasks.values() {
+            let fires = if *conj {
+                ins.iter().all(|l| have.contains(l))
+            } else {
+                ins.iter().any(|l| have.contains(l))
+            };
+            if fires {
+                for o in outs {
+                    if have.insert(o.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return have;
+        }
+    }
+}
+
+fn oracle_feasible(fragments: &[Fragment], spec: &Spec) -> bool {
+    let have = reachable_labels(fragments, spec);
+    spec.goals().iter().all(|g| have.contains(g))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn construction_is_sound((fragments, spec) in arb_world(12, 10)) {
+        let sg = Supergraph::from_fragments(&fragments).unwrap();
+        if let Ok(c) = Constructor::new().construct(&sg, &spec) {
+            let w = c.workflow();
+            // Type invariant re-checked explicitly.
+            prop_assert!(validate(w.graph()).is_ok());
+            prop_assert!(w.graph().is_acyclic());
+            prop_assert!(spec.accepts(w), "workflow {w} must satisfy {spec}");
+            prop_assert!(w.inset().is_subset(spec.triggers()));
+            // Every used fragment must exist in the supergraph.
+            for fid in c.fragments_used() {
+                prop_assert!(sg.contains_fragment(fid));
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_complete((fragments, spec) in arb_world(12, 10)) {
+        let sg = Supergraph::from_fragments(&fragments).unwrap();
+        let result = Constructor::new().construct(&sg, &spec);
+        let feasible = oracle_feasible(&fragments, &spec);
+        match result {
+            Ok(_) => prop_assert!(feasible, "constructed but oracle says infeasible"),
+            Err(ConstructError::NoSolution { .. }) => {
+                prop_assert!(!feasible, "oracle says feasible but construction failed")
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn every_pick_order_is_sound((fragments, spec) in arb_world(10, 8)) {
+        let sg = Supergraph::from_fragments(&fragments).unwrap();
+        let orders = [
+            PickOrder::Fifo,
+            PickOrder::Lifo,
+            PickOrder::Random(7),
+            PickOrder::Random(12345),
+        ];
+        let mut successes = 0;
+        for order in orders {
+            match Constructor::new().pick_order(order).construct(&sg, &spec) {
+                Ok(c) => {
+                    successes += 1;
+                    prop_assert!(spec.accepts(c.workflow()), "order {order:?}");
+                }
+                Err(ConstructError::NoSolution { .. }) => {}
+                Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            }
+        }
+        // Feasibility must not depend on pick order.
+        prop_assert!(successes == 0 || successes == orders.len());
+    }
+
+    #[test]
+    fn incremental_matches_full((fragments, spec) in arb_world(12, 10)) {
+        let sg = Supergraph::from_fragments(&fragments).unwrap();
+        let full = Constructor::new().construct(&sg, &spec);
+        let mut store: InMemoryFragmentStore = fragments.iter().cloned().collect();
+        let inc = IncrementalConstructor::new().construct(&mut store, &spec);
+        match (full, inc) {
+            (Ok(f), Ok((i, partial_sg))) => {
+                prop_assert!(spec.accepts(f.workflow()));
+                prop_assert!(spec.accepts(i.workflow()));
+                prop_assert!(partial_sg.fragment_count() <= fragments.len());
+            }
+            (Err(ConstructError::NoSolution { .. }), Err(ConstructError::NoSolution { .. })) => {}
+            (f, i) => prop_assert!(
+                false,
+                "full and incremental disagree: {f:?} vs {i:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn blue_workflow_is_subset_of_knowledge((fragments, spec) in arb_world(12, 10)) {
+        let sg = Supergraph::from_fragments(&fragments).unwrap();
+        if let Ok(c) = Constructor::new().construct(&sg, &spec) {
+            let w = c.workflow();
+            for t in w.tasks() {
+                let idx = sg.graph().find_task(&t);
+                prop_assert!(idx.is_some(), "task {t} must come from the supergraph");
+            }
+            for l in w.labels() {
+                prop_assert!(
+                    sg.graph().find_label(&l).is_some() || spec.triggers().contains(&l),
+                    "label {l} must come from the supergraph or be a trivial goal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prune_to_spec_preserves_acceptance((fragments, spec) in arb_world(10, 8)) {
+        // Compose everything that *can* be composed into one workflow, then
+        // prune to the goals that exist in it.
+        let mut acc = Workflow::empty();
+        for f in &fragments {
+            if let Ok(next) = openwf_core::compose(&acc, f.workflow()) {
+                acc = next;
+            }
+        }
+        let present_goals: Vec<Label> = spec
+            .goals()
+            .iter()
+            .filter(|g| acc.contains_label(g))
+            .cloned()
+            .collect();
+        prop_assume!(!present_goals.is_empty());
+        let narrowed = Spec::new(
+            acc.inset().iter().cloned(),
+            present_goals.iter().cloned(),
+        );
+        let pruned = prune_to_spec(&acc, &narrowed).unwrap();
+        prop_assert!(validate(pruned.graph()).is_ok());
+        // Pruning never grows the workflow.
+        prop_assert!(pruned.task_count() <= acc.task_count());
+        // All goals still present.
+        for g in &present_goals {
+            prop_assert!(pruned.contains_label(g));
+        }
+    }
+
+    #[test]
+    fn feasibility_filter_only_removes_options((fragments, spec) in arb_world(10, 8)) {
+        let sg = Supergraph::from_fragments(&fragments).unwrap();
+        // Unfiltered failure implies filtered failure.
+        let unfiltered = Constructor::new().construct(&sg, &spec);
+        let filtered = Constructor::new().construct_filtered(&sg, &spec, |t| {
+            // Arbitrary deterministic filter: drop tasks with even suffix.
+            !t.as_str().ends_with('0') && !t.as_str().ends_with('2')
+        });
+        if unfiltered.is_err() {
+            prop_assert!(filtered.is_err(), "filtering cannot create solutions");
+        }
+        if let Ok(c) = filtered {
+            for t in c.workflow().tasks() {
+                prop_assert!(!t.as_str().ends_with('0') && !t.as_str().ends_with('2'));
+            }
+        }
+    }
+}
+
+/// Deterministic regression: same seed, same construction result.
+#[test]
+fn random_order_is_deterministic_per_seed() {
+    let fragments: Vec<Fragment> = (0..20)
+        .map(|i| {
+            Fragment::single_task(
+                format!("f{i}"),
+                format!("t{i}"),
+                Mode::Disjunctive,
+                [format!("l{}", i % 7)],
+                [format!("l{}", (i + 3) % 7 + 7)],
+            )
+            .unwrap()
+        })
+        .collect();
+    let sg = Supergraph::from_fragments(&fragments).unwrap();
+    // Tasks consume l{i%7} and produce l{(i+3)%7+7}; from triggers l0/l1
+    // the reachable outputs are l10 and l11.
+    let spec = Spec::new(["l0", "l1"], ["l10"]);
+    let a = Constructor::new()
+        .pick_order(PickOrder::Random(99))
+        .construct(&sg, &spec)
+        .unwrap();
+    let b = Constructor::new()
+        .pick_order(PickOrder::Random(99))
+        .construct(&sg, &spec)
+        .unwrap();
+    let ta: Vec<TaskId> = a.workflow().tasks().collect();
+    let tb: Vec<TaskId> = b.workflow().tasks().collect();
+    assert_eq!(ta, tb);
+    assert_eq!(a.stats(), b.stats());
+}

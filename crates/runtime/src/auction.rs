@@ -1,0 +1,370 @@
+//! The Auction Manager: task allocation by sealed firm bids.
+//!
+//! §3.2: "The auction manager selects the bid that best matches the
+//! selection criterion and makes a tentative task allocation to that
+//! participant. As new bids arrive, the tentative allocation is
+//! continually re-evaluated. A final decision is made when the deadline
+//! given by the participant who has the current tentative allocation has
+//! arrived. The auction manager waits as long as possible … but once some
+//! participant has been found who can do a task, the task is guaranteed
+//! to be allocated."
+//!
+//! One refinement: when *every* community member has responded (bid or
+//! decline), no better bid can ever arrive, so the manager decides
+//! immediately instead of idling until the deadline. This keeps the §5
+//! timing experiments dominated by communication, as in the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use openwf_core::TaskId;
+use openwf_simnet::{HostId, SimTime};
+
+use crate::auction_part::Bid;
+
+use crate::metadata::{Assignment, TaskMetadata};
+
+/// Selection criterion (§3.2): most specialized first (fewest services),
+/// then earliest start, then lowest host id for determinism.
+pub fn better_bid(a: &(HostId, Bid), b: &(HostId, Bid)) -> bool {
+    let ka = (a.1.specialization, a.1.start, a.0);
+    let kb = (b.1.specialization, b.1.start, b.0);
+    ka < kb
+}
+
+/// State of one task's auction.
+#[derive(Clone, Debug)]
+pub struct TaskAuction {
+    /// Metadata sent with the call for bids.
+    pub meta: TaskMetadata,
+    /// Hosts that answered (bid or decline).
+    responded: Vec<HostId>,
+    /// Current tentative winner.
+    best: Option<(HostId, Bid)>,
+    /// Final decision, if made.
+    decided: Option<(HostId, Assignment)>,
+}
+
+impl TaskAuction {
+    fn new(meta: TaskMetadata) -> Self {
+        TaskAuction {
+            meta,
+            responded: Vec::new(),
+            best: None,
+            decided: None,
+        }
+    }
+
+    /// The tentative winner (before decision).
+    pub fn tentative(&self) -> Option<&(HostId, Bid)> {
+        self.best.as_ref()
+    }
+
+    /// The final decision.
+    pub fn decision(&self) -> Option<&(HostId, Assignment)> {
+        self.decided.as_ref()
+    }
+}
+
+/// What the host driver should do after an auction state change.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AuctionAction {
+    /// Nothing to do yet.
+    None,
+    /// Arm (or re-arm) a decision timer for this task at the given time
+    /// (the current best bid's deadline).
+    ArmDeadline(TaskId, SimTime),
+    /// The task is finally allocated; notify the winner.
+    Award(TaskId, HostId, Assignment),
+    /// Every host declined: the task cannot be allocated.
+    Unallocatable(TaskId),
+}
+
+/// Auction state for all tasks of one problem.
+#[derive(Debug)]
+pub struct ProblemAuctions {
+    community_size: usize,
+    auctions: HashMap<TaskId, TaskAuction>,
+    undecided: usize,
+}
+
+impl ProblemAuctions {
+    /// Opens auctions for `tasks` among `community_size` hosts (including
+    /// the initiator itself, which bids through the same protocol).
+    pub fn open(tasks: Vec<(TaskId, TaskMetadata)>, community_size: usize) -> Self {
+        let undecided = tasks.len();
+        ProblemAuctions {
+            community_size,
+            auctions: tasks
+                .into_iter()
+                .map(|(t, m)| (t, TaskAuction::new(m)))
+                .collect(),
+            undecided,
+        }
+    }
+
+    /// Number of tasks still awaiting a decision.
+    pub fn undecided(&self) -> usize {
+        self.undecided
+    }
+
+    /// True when every task has been decided.
+    pub fn all_decided(&self) -> bool {
+        self.undecided == 0
+    }
+
+    /// All final `(task, host, assignment)` decisions, in task-name order.
+    pub fn decisions(&self) -> Vec<(TaskId, HostId, Assignment)> {
+        let mut out: Vec<(TaskId, HostId, Assignment)> = self
+            .auctions
+            .iter()
+            .filter_map(|(t, a)| {
+                a.decided
+                    .as_ref()
+                    .map(|(h, asg)| (t.clone(), *h, asg.clone()))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Looks up a task auction.
+    pub fn auction(&self, task: &TaskId) -> Option<&TaskAuction> {
+        self.auctions.get(task)
+    }
+
+    /// Records a bid. Returns the driver action.
+    pub fn on_bid(&mut self, task: &TaskId, from: HostId, bid: Bid) -> AuctionAction {
+        let Some(a) = self.auctions.get_mut(task) else {
+            return AuctionAction::None;
+        };
+        if a.decided.is_some() {
+            // Late bid after decision: firm-bid rules say the bidder holds
+            // its slot until the deadline; it will expire it on its own.
+            return AuctionAction::None;
+        }
+        a.responded.push(from);
+        let cand = (from, bid);
+        let improved = match &a.best {
+            None => true,
+            Some(current) => better_bid(&cand, current),
+        };
+        if improved {
+            a.best = Some(cand);
+        }
+        if a.responded.len() >= self.community_size {
+            return self.decide(task);
+        }
+        if improved {
+            let deadline = a.best.as_ref().expect("just set").1.deadline;
+            return AuctionAction::ArmDeadline(task.clone(), deadline);
+        }
+        AuctionAction::None
+    }
+
+    /// Records a decline. Returns the driver action.
+    pub fn on_decline(&mut self, task: &TaskId, from: HostId) -> AuctionAction {
+        let Some(a) = self.auctions.get_mut(task) else {
+            return AuctionAction::None;
+        };
+        if a.decided.is_some() {
+            return AuctionAction::None;
+        }
+        a.responded.push(from);
+        if a.responded.len() >= self.community_size {
+            return self.decide(task);
+        }
+        AuctionAction::None
+    }
+
+    /// The decision timer fired for `task` (the tentative winner's
+    /// deadline arrived): decide now if not already decided.
+    pub fn on_deadline(&mut self, task: &TaskId) -> AuctionAction {
+        let Some(a) = self.auctions.get(task) else {
+            return AuctionAction::None;
+        };
+        if a.decided.is_some() {
+            return AuctionAction::None;
+        }
+        self.decide(task)
+    }
+
+    fn decide(&mut self, task: &TaskId) -> AuctionAction {
+        let a = self.auctions.get_mut(task).expect("auction exists");
+        debug_assert!(a.decided.is_none());
+        match a.best.take() {
+            Some((host, bid)) => {
+                let assignment = Assignment {
+                    host,
+                    start: bid.start,
+                    // The slot covers travel + service execution.
+                    duration: bid.travel + bid.duration,
+                    location: a.meta.location.clone(),
+                };
+                a.decided = Some((host, assignment.clone()));
+                self.undecided -= 1;
+                AuctionAction::Award(task.clone(), host, assignment)
+            }
+            None => {
+                // All responses in (or deadline passed) with no bid.
+                if a.responded.len() >= self.community_size {
+                    self.undecided -= 1;
+                    AuctionAction::Unallocatable(task.clone())
+                } else {
+                    AuctionAction::None
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProblemAuctions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} auctions, {} undecided",
+            self.auctions.len(),
+            self.undecided
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::Label;
+    use openwf_simnet::SimDuration;
+
+    fn meta() -> TaskMetadata {
+        TaskMetadata {
+            level: 0,
+            inputs: vec![Label::new("a")],
+            outputs: vec![Label::new("b")],
+            location: None,
+            earliest_start: SimTime::ZERO,
+        }
+    }
+
+    fn bid(spec: u32, start_us: u64, deadline_us: u64) -> Bid {
+        Bid {
+            start: SimTime::from_micros(start_us),
+            travel: SimDuration::ZERO,
+            duration: SimDuration::from_secs(1),
+            specialization: spec,
+            deadline: SimTime::from_micros(deadline_us),
+        }
+    }
+
+    fn open_one(community: usize) -> (ProblemAuctions, TaskId) {
+        let t = TaskId::new("t");
+        (
+            ProblemAuctions::open(vec![(t.clone(), meta())], community),
+            t,
+        )
+    }
+
+    #[test]
+    fn specialization_wins_over_speed() {
+        // Generalist (5 services) bids early; specialist (1 service) later
+        // start. Specialist must win.
+        let (mut pa, t) = open_one(2);
+        let a1 = pa.on_bid(&t, HostId(0), bid(5, 0, 1_000));
+        assert!(matches!(a1, AuctionAction::ArmDeadline(..)));
+        let a2 = pa.on_bid(&t, HostId(1), bid(1, 500, 2_000));
+        match a2 {
+            AuctionAction::Award(task, host, _) => {
+                assert_eq!(task, t);
+                assert_eq!(host, HostId(1), "specialist preferred");
+            }
+            other => panic!("expected award, got {other:?}"),
+        }
+        assert!(pa.all_decided());
+    }
+
+    #[test]
+    fn earlier_start_breaks_specialization_ties() {
+        let (mut pa, t) = open_one(2);
+        pa.on_bid(&t, HostId(0), bid(2, 900, 1_000));
+        let a = pa.on_bid(&t, HostId(1), bid(2, 100, 1_000));
+        match a {
+            AuctionAction::Award(_, host, asg) => {
+                assert_eq!(host, HostId(1));
+                assert_eq!(asg.start, SimTime::from_micros(100));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_responses_trigger_immediate_decision() {
+        let (mut pa, t) = open_one(3);
+        pa.on_bid(&t, HostId(0), bid(1, 0, 10_000));
+        pa.on_decline(&t, HostId(1));
+        let a = pa.on_decline(&t, HostId(2));
+        assert!(matches!(a, AuctionAction::Award(_, h, _) if h == HostId(0)));
+    }
+
+    #[test]
+    fn deadline_forces_decision_with_partial_responses() {
+        let (mut pa, t) = open_one(5);
+        let a = pa.on_bid(&t, HostId(2), bid(3, 0, 1_000));
+        assert_eq!(
+            a,
+            AuctionAction::ArmDeadline(t.clone(), SimTime::from_micros(1_000))
+        );
+        let a = pa.on_deadline(&t);
+        assert!(matches!(a, AuctionAction::Award(_, h, _) if h == HostId(2)));
+        // A later deadline timer is ignored.
+        assert_eq!(pa.on_deadline(&t), AuctionAction::None);
+    }
+
+    #[test]
+    fn all_declines_is_unallocatable() {
+        let (mut pa, t) = open_one(2);
+        pa.on_decline(&t, HostId(0));
+        let a = pa.on_decline(&t, HostId(1));
+        assert_eq!(a, AuctionAction::Unallocatable(t.clone()));
+        assert!(pa.all_decided(), "unallocatable still resolves the task");
+        assert!(pa.decisions().is_empty());
+    }
+
+    #[test]
+    fn improved_bid_rearms_to_new_deadline() {
+        let (mut pa, t) = open_one(5);
+        pa.on_bid(&t, HostId(0), bid(5, 0, 1_000));
+        let a = pa.on_bid(&t, HostId(1), bid(1, 0, 9_000));
+        assert_eq!(
+            a,
+            AuctionAction::ArmDeadline(t.clone(), SimTime::from_micros(9_000)),
+            "better bid re-arms with its own deadline"
+        );
+        // Worse bid does not re-arm.
+        let a = pa.on_bid(&t, HostId(2), bid(4, 0, 50));
+        assert_eq!(a, AuctionAction::None);
+    }
+
+    #[test]
+    fn late_bids_after_decision_are_ignored() {
+        let (mut pa, t) = open_one(2);
+        pa.on_bid(&t, HostId(0), bid(1, 0, 1_000));
+        pa.on_decline(&t, HostId(1)); // decides
+        let a = pa.on_bid(&t, HostId(1), bid(0, 0, 2_000));
+        assert_eq!(a, AuctionAction::None);
+        assert_eq!(pa.decisions()[0].1, HostId(0));
+    }
+
+    #[test]
+    fn decisions_sorted_by_task() {
+        let tasks = vec![
+            (TaskId::new("zeta"), meta()),
+            (TaskId::new("alpha"), meta()),
+        ];
+        let mut pa = ProblemAuctions::open(tasks, 1);
+        pa.on_bid(&TaskId::new("zeta"), HostId(0), bid(1, 0, 100));
+        pa.on_bid(&TaskId::new("alpha"), HostId(0), bid(1, 0, 100));
+        let d = pa.decisions();
+        assert_eq!(d[0].0, TaskId::new("alpha"));
+        assert_eq!(d[1].0, TaskId::new("zeta"));
+    }
+}

@@ -1,0 +1,405 @@
+//! A minimal XML-subset parser (no external dependencies).
+//!
+//! The paper's implementation "uses XML configuration files to provide
+//! the task and service definitions for each device" (§4.1). This module
+//! parses the subset those files need: nested elements, double-quoted
+//! attributes, text content, self-closing tags, comments, and an optional
+//! `<?xml …?>` declaration. It does **not** support namespaces, CDATA,
+//! DTDs, or processing instructions beyond the declaration.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parsed element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+    /// Concatenated text content directly inside this element (trimmed).
+    pub text: String,
+}
+
+impl Element {
+    /// The value of an attribute.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A required attribute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError::MissingAttribute`] when absent.
+    pub fn require_attr(&self, name: &str) -> Result<&str, XmlError> {
+        self.attr(name).ok_or_else(|| XmlError::MissingAttribute {
+            element: self.name.clone(),
+            attribute: name.to_string(),
+        })
+    }
+
+    /// Child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// The first child with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}
+
+/// Parse errors with byte positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlError {
+    /// Unexpected end of input.
+    UnexpectedEof,
+    /// A character that does not belong at this position.
+    Unexpected {
+        /// Byte offset.
+        at: usize,
+        /// What was found.
+        found: char,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Closing tag does not match the open element.
+    MismatchedTag {
+        /// The open element.
+        open: String,
+        /// The closing tag found.
+        close: String,
+    },
+    /// Trailing content after the document element.
+    TrailingContent(usize),
+    /// A required attribute is missing (raised by consumers).
+    MissingAttribute {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => f.write_str("unexpected end of input"),
+            XmlError::Unexpected { at, found, expected } => {
+                write!(f, "unexpected `{found}` at byte {at}, expected {expected}")
+            }
+            XmlError::MismatchedTag { open, close } => {
+                write!(f, "mismatched closing tag `</{close}>` for `<{open}>`")
+            }
+            XmlError::TrailingContent(at) => {
+                write!(f, "trailing content after document element at byte {at}")
+            }
+            XmlError::MissingAttribute { element, attribute } => {
+                write!(f, "element `<{element}>` is missing attribute `{attribute}`")
+            }
+        }
+    }
+}
+
+impl Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input: input.as_bytes(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, XmlError> {
+        let b = self.peek().ok_or(XmlError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str, what: &'static str) -> Result<(), XmlError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(b) => Err(XmlError::Unexpected {
+                    at: self.pos,
+                    found: b as char,
+                    expected: what,
+                }),
+                None => Err(XmlError::UnexpectedEof),
+            }
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                match self.find("-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(XmlError::UnexpectedEof),
+                }
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                match self.find("?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(XmlError::UnexpectedEof),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn find(&self, s: &str) -> Option<usize> {
+        let needle = s.as_bytes();
+        (self.pos..=self.input.len().saturating_sub(needle.len()))
+            .find(|&i| self.input[i..].starts_with(needle))
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_alphanumeric() || matches!(c, '-' | '_' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return match self.peek() {
+                Some(b) => Err(XmlError::Unexpected {
+                    at: self.pos,
+                    found: b as char,
+                    expected: "a name",
+                }),
+                None => Err(XmlError::UnexpectedEof),
+            };
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn attribute_value(&mut self) -> Result<String, XmlError> {
+        self.expect("\"", "opening quote")?;
+        let start = self.pos;
+        while self.bump()? != b'"' {}
+        let raw = String::from_utf8_lossy(&self.input[start..self.pos - 1]).into_owned();
+        Ok(unescape(&raw))
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        self.expect("<", "element start")?;
+        let name = self.name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>", "self-closing tag end")?;
+                    return Ok(Element { name, attributes, children: Vec::new(), text: String::new() });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.name()?;
+                    self.skip_ws();
+                    self.expect("=", "`=` in attribute")?;
+                    self.skip_ws();
+                    let value = self.attribute_value()?;
+                    attributes.push((attr, value));
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+        // Content: children and text until the matching close tag.
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_misc()?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                self.skip_ws();
+                self.expect(">", "closing tag end")?;
+                if close != name {
+                    return Err(XmlError::MismatchedTag { open: name, close });
+                }
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children,
+                    text: text.trim().to_string(),
+                });
+            }
+            match self.peek() {
+                Some(b'<') => children.push(self.element()?),
+                Some(_) => {
+                    text.push(unescape_char(self)?);
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+fn unescape_char(p: &mut Parser<'_>) -> Result<char, XmlError> {
+    if p.eat("&lt;") {
+        return Ok('<');
+    }
+    if p.eat("&gt;") {
+        return Ok('>');
+    }
+    if p.eat("&quot;") {
+        return Ok('"');
+    }
+    if p.eat("&apos;") {
+        return Ok('\'');
+    }
+    if p.eat("&amp;") {
+        return Ok('&');
+    }
+    Ok(p.bump()? as char)
+}
+
+/// Parses a document: optional declaration/comments, one root element.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] describing the first syntax problem.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser::new(input);
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.peek().is_some() {
+        return Err(XmlError::TrailingContent(p.pos));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attributes() {
+        let doc = r#"
+            <?xml version="1.0"?>
+            <!-- a host -->
+            <host name="chef">
+                <service task="cook omelets" duration-ms="600000"/>
+                <fragment id="omelets">
+                    <task name="cook omelets" mode="conjunctive">
+                        <input label="omelet bar setup"/>
+                        <output label="breakfast served"/>
+                    </task>
+                </fragment>
+            </host>
+        "#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "host");
+        assert_eq!(root.attr("name"), Some("chef"));
+        assert_eq!(root.children.len(), 2);
+        let svc = root.child("service").unwrap();
+        assert_eq!(svc.attr("task"), Some("cook omelets"));
+        let task = root.child("fragment").unwrap().child("task").unwrap();
+        assert_eq!(task.children_named("input").count(), 1);
+        assert_eq!(task.child("output").unwrap().attr("label"), Some("breakfast served"));
+    }
+
+    #[test]
+    fn text_content_is_captured_and_trimmed() {
+        let root = parse("<note>  hello <b>bold</b> world  </note>").unwrap();
+        assert_eq!(root.text, "hello  world");
+        assert_eq!(root.child("b").unwrap().text, "bold");
+    }
+
+    #[test]
+    fn entities_are_unescaped() {
+        let root = parse(r#"<x label="a &amp; b &lt;c&gt;">1 &amp; 2</x>"#).unwrap();
+        assert_eq!(root.attr("label"), Some("a & b <c>"));
+        assert_eq!(root.text, "1 & 2");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert_eq!(parse("<a><b>").unwrap_err(), XmlError::UnexpectedEof);
+        assert_eq!(parse("<a attr=\"x").unwrap_err(), XmlError::UnexpectedEof);
+    }
+
+    #[test]
+    fn trailing_content_errors() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err, XmlError::TrailingContent(_)));
+    }
+
+    #[test]
+    fn require_attr_reports_element() {
+        let root = parse("<service/>").unwrap();
+        let err = root.require_attr("task").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "element `<service>` is missing attribute `task`"
+        );
+    }
+
+    #[test]
+    fn comments_inside_elements_are_skipped() {
+        let root = parse("<a><!-- hi --><b/><!-- bye --></a>").unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+}

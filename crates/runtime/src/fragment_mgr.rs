@@ -1,0 +1,82 @@
+//! The Fragment Manager: the host's knowhow database.
+//!
+//! §4.2: "The Fragment Manager is responsible for maintaining a host's
+//! database of workflow fragments and responding to knowhow queries during
+//! workflow construction."
+
+use std::fmt;
+
+use openwf_core::{Fragment, InMemoryFragmentStore, Label};
+
+/// Per-host fragment database answering knowhow queries.
+#[derive(Default)]
+pub struct FragmentManager {
+    store: InMemoryFragmentStore,
+}
+
+impl FragmentManager {
+    /// An empty database.
+    pub fn new() -> Self {
+        FragmentManager::default()
+    }
+
+    /// Adds a fragment to the database (step 2 of the paper's deployment:
+    /// "adding knowhow in the form of workflow fragments").
+    pub fn add(&mut self, fragment: Fragment) {
+        self.store.insert(fragment);
+    }
+
+    /// Number of stored fragments.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if the host has no knowhow.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Answers a knowhow query: fragments containing a task that consumes
+    /// any of `labels`.
+    pub fn query(&self, labels: &[Label]) -> Vec<Fragment> {
+        self.store.consuming(labels).into_iter().cloned().collect()
+    }
+
+    /// All fragments (e.g. for configuration dumps).
+    pub fn fragments(&self) -> impl Iterator<Item = &Fragment> + '_ {
+        self.store.fragments()
+    }
+}
+
+impl fmt::Debug for FragmentManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FragmentManager")
+            .field("fragments", &self.store.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::Mode;
+
+    #[test]
+    fn query_matches_consumed_labels() {
+        let mut fm = FragmentManager::new();
+        fm.add(Fragment::single_task("f1", "t1", Mode::Disjunctive, ["a"], ["b"]).unwrap());
+        fm.add(Fragment::single_task("f2", "t2", Mode::Disjunctive, ["b"], ["c"]).unwrap());
+        assert_eq!(fm.len(), 2);
+        let hits = fm.query(&[Label::new("a")]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id().as_str(), "f1");
+        assert!(fm.query(&[Label::new("zzz")]).is_empty());
+    }
+
+    #[test]
+    fn empty_manager_answers_empty() {
+        let fm = FragmentManager::new();
+        assert!(fm.is_empty());
+        assert!(fm.query(&[Label::new("a")]).is_empty());
+    }
+}

@@ -1,0 +1,821 @@
+//! The open workflow host: one participant's device.
+//!
+//! [`OwmsHost`] wires the paper's §4.2 components into a single
+//! [`Actor`]: the construction subsystem (Workflow Manager + Auction
+//! Manager driving) and the execution subsystem (Fragment, Service,
+//! Schedule, Auction Participation and Execution Managers). "One host acts
+//! as the initiator while all hosts (including the initiator) may act as
+//! participants."
+
+use std::collections::HashMap;
+use std::fmt;
+
+use openwf_core::{Fragment, Label, TaskId};
+use openwf_mobility::{Motion, Point, SiteMap};
+use openwf_simnet::{Actor, Context, HostId, SimDuration, SimTime, TimerToken};
+
+use crate::auction::{AuctionAction, ProblemAuctions};
+use crate::auction_part::{AuctionParticipationManager, BidDecision};
+use crate::exec::{ExecEvent, ExecutionManager};
+use crate::fragment_mgr::FragmentManager;
+use crate::messages::{Msg, ProblemId};
+use crate::metadata::{build_plans, compute_metadata};
+use crate::params::RuntimeParams;
+use crate::prefs::Preferences;
+use crate::report::ProblemStatus;
+use crate::schedule::ScheduleManager;
+use crate::service::{ServiceDescription, ServiceManager};
+use crate::workflow_mgr::{Phase, WorkflowManager, WsAction};
+
+/// Static configuration of one host: its knowhow, capabilities, place and
+/// disposition (the paper's deployment steps 2 and 3: "adding knowhow in
+/// the form of workflow fragments, and adding service descriptions").
+#[derive(Debug)]
+pub struct HostConfig {
+    /// Workflow fragments this host knows.
+    pub fragments: Vec<Fragment>,
+    /// Services this host offers.
+    pub services: Vec<ServiceDescription>,
+    /// Starting position.
+    pub position: Point,
+    /// Motion capability.
+    pub motion: Motion,
+    /// Site map for resolving symbolic locations.
+    pub site: SiteMap,
+    /// Willingness preferences.
+    pub prefs: Preferences,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            fragments: Vec::new(),
+            services: Vec::new(),
+            position: Point::ORIGIN,
+            motion: Motion::STATIONARY,
+            site: SiteMap::new(),
+            prefs: Preferences::willing(),
+        }
+    }
+}
+
+impl HostConfig {
+    /// An empty configuration (no knowhow, no services, stationary at the
+    /// origin).
+    pub fn new() -> Self {
+        HostConfig::default()
+    }
+
+    /// Adds a fragment.
+    pub fn with_fragment(mut self, fragment: Fragment) -> Self {
+        self.fragments.push(fragment);
+        self
+    }
+
+    /// Adds a service.
+    pub fn with_service(mut self, service: ServiceDescription) -> Self {
+        self.services.push(service);
+        self
+    }
+
+    /// Sets position and motion.
+    pub fn located(mut self, position: Point, motion: Motion) -> Self {
+        self.position = position;
+        self.motion = motion;
+        self
+    }
+
+    /// Sets the site map.
+    pub fn with_site(mut self, site: SiteMap) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// Sets preferences.
+    pub fn with_prefs(mut self, prefs: Preferences) -> Self {
+        self.prefs = prefs;
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TimerPurpose {
+    RoundTimeout { problem: ProblemId, round: u32 },
+    AuctionDeadline { problem: ProblemId, task: TaskId },
+    BidHoldExpiry { problem: ProblemId, task: TaskId },
+    ExecStart { problem: ProblemId, task: TaskId },
+    ExecFinish { problem: ProblemId, task: TaskId },
+    Watchdog { problem: ProblemId },
+}
+
+/// One participant's device: all managers plus protocol glue.
+pub struct OwmsHost {
+    community: Vec<HostId>,
+    params: RuntimeParams,
+    prefs: Preferences,
+    /// Execution subsystem.
+    fragment_mgr: FragmentManager,
+    service_mgr: ServiceManager,
+    schedule: ScheduleManager,
+    auction_part: AuctionParticipationManager,
+    exec_mgr: ExecutionManager,
+    /// Construction subsystem.
+    workflow_mgr: WorkflowManager,
+    /// Timer bookkeeping.
+    timers: HashMap<u64, TimerPurpose>,
+    next_timer: u64,
+}
+
+impl OwmsHost {
+    /// Builds a host from its configuration.
+    pub fn new(config: HostConfig, params: RuntimeParams) -> Self {
+        let mut fragment_mgr = FragmentManager::new();
+        for f in config.fragments {
+            fragment_mgr.add(f);
+        }
+        let mut service_mgr = ServiceManager::new();
+        for s in config.services {
+            service_mgr.register(s);
+        }
+        let schedule = ScheduleManager::new(config.position, config.motion, config.site);
+        OwmsHost {
+            community: Vec::new(),
+            params,
+            prefs: config.prefs,
+            fragment_mgr,
+            service_mgr,
+            schedule,
+            auction_part: AuctionParticipationManager::new(),
+            exec_mgr: ExecutionManager::new(),
+            workflow_mgr: WorkflowManager::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+        }
+    }
+
+    /// Sets the community membership (all host ids, including this one).
+    /// Called by the community builder before the network starts.
+    pub fn set_community(&mut self, community: Vec<HostId>) {
+        self.community = community;
+    }
+
+    /// The workflow manager (workspaces/reports), for inspection.
+    pub fn workflow_mgr(&self) -> &WorkflowManager {
+        &self.workflow_mgr
+    }
+
+    /// The fragment manager, for inspection and late configuration.
+    pub fn fragment_mgr_mut(&mut self) -> &mut FragmentManager {
+        &mut self.fragment_mgr
+    }
+
+    /// The service manager, for inspection, hooks and late configuration.
+    pub fn service_mgr_mut(&mut self) -> &mut ServiceManager {
+        &mut self.service_mgr
+    }
+
+    /// The service manager (read-only).
+    pub fn service_mgr(&self) -> &ServiceManager {
+        &self.service_mgr
+    }
+
+    /// The schedule manager (commitments), for inspection.
+    pub fn schedule(&self) -> &ScheduleManager {
+        &self.schedule
+    }
+
+    /// The workspace of the **latest attempt** of the problem `base`
+    /// belongs to, if any.
+    pub fn latest_attempt(&self, base: ProblemId) -> Option<&crate::workflow_mgr::Workspace> {
+        self.workflow_mgr
+            .iter()
+            .filter(|ws| ws.problem.same_problem(base))
+            .max_by_key(|ws| ws.problem.attempt)
+    }
+
+    fn arm(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        delay: SimDuration,
+        purpose: TimerPurpose,
+    ) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, purpose);
+        ctx.set_timer(delay, TimerToken(token));
+    }
+
+    fn arm_at(&mut self, ctx: &mut Context<'_, Msg>, at: SimTime, purpose: TimerPurpose) {
+        let delay = at.since(ctx.now());
+        self.arm(ctx, delay, purpose);
+    }
+
+    fn others(&self, me: HostId) -> Vec<HostId> {
+        self.community.iter().copied().filter(|&h| h != me).collect()
+    }
+
+    fn apply_ws_actions(
+        &mut self,
+        problem: ProblemId,
+        actions: Vec<WsAction>,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        for action in actions {
+            match action {
+                WsAction::BroadcastFragmentQuery { round, labels } => {
+                    let msg = Msg::FragmentQuery { problem, round, labels };
+                    ctx.send_all(self.others(ctx.self_id()), msg);
+                }
+                WsAction::BroadcastCapabilityQuery { round, tasks } => {
+                    let msg = Msg::CapabilityQuery { problem, round, tasks };
+                    ctx.send_all(self.others(ctx.self_id()), msg);
+                }
+                WsAction::ArmRoundTimeout { round } => {
+                    let delay = self.params.round_timeout;
+                    self.arm(ctx, delay, TimerPurpose::RoundTimeout { problem, round });
+                }
+                WsAction::Charge(d) => ctx.charge(d),
+                WsAction::Constructed => self.start_allocation(problem, ctx),
+                WsAction::Failed { .. } => {
+                    // Construction failure is final: the community's live
+                    // knowledge cannot satisfy the spec. (Repair handles
+                    // allocation/execution failures, where retrying can
+                    // help because community state changed.)
+                }
+            }
+        }
+    }
+
+    fn start_allocation(&mut self, problem: ProblemId, ctx: &mut Context<'_, Msg>) {
+        let now = ctx.now();
+        let community_size = self.community.len();
+        let Some(ws) = self.workflow_mgr.get_mut(&problem) else {
+            return;
+        };
+        ws.report.timings.constructed_at = Some(now);
+        let workflow = ws
+            .construction
+            .as_ref()
+            .expect("constructed phase has a workflow")
+            .workflow()
+            .clone();
+        // Task metadata (§3.2): levels, inputs/outputs, earliest starts.
+        // Location requirements are looked up from the *bidders'* service
+        // descriptions; the initiator does not constrain locations here.
+        let metas = compute_metadata(&workflow, now, SimDuration::ZERO, |_| None);
+        ws.auctions = Some(ProblemAuctions::open(metas.clone(), community_size));
+
+        if metas.is_empty() {
+            // Trivial workflow (goals were triggers): skip auctions.
+            self.finalize_allocation(problem, ctx);
+            return;
+        }
+
+        // Call for bids: pairwise to every other member…
+        let others = self.others(ctx.self_id());
+        for (task, meta) in &metas {
+            ctx.send_all(
+                others.iter().copied(),
+                Msg::CallForBids { problem, task: task.clone(), meta: meta.clone() },
+            );
+        }
+        // …and the initiator participates through the same logic, locally.
+        for (task, meta) in metas {
+            let decision = self.auction_part.consider(
+                problem,
+                &task,
+                &meta,
+                now,
+                &self.service_mgr,
+                &mut self.schedule,
+                &self.prefs,
+                &self.params,
+            );
+            match decision {
+                BidDecision::Submit(bid) => {
+                    let expiry = bid.deadline + self.params.round_timeout;
+                    self.arm_at(
+                        ctx,
+                        expiry,
+                        TimerPurpose::BidHoldExpiry { problem, task: task.clone() },
+                    );
+                    let me = ctx.self_id();
+                    let action = self
+                        .workflow_mgr
+                        .get_mut(&problem)
+                        .and_then(|ws| ws.auctions.as_mut())
+                        .map(|a| a.on_bid(&task, me, bid))
+                        .unwrap_or(AuctionAction::None);
+                    self.handle_auction_action(problem, action, ctx);
+                }
+                BidDecision::Decline(_) => {
+                    let me = ctx.self_id();
+                    let action = self
+                        .workflow_mgr
+                        .get_mut(&problem)
+                        .and_then(|ws| ws.auctions.as_mut())
+                        .map(|a| a.on_decline(&task, me))
+                        .unwrap_or(AuctionAction::None);
+                    self.handle_auction_action(problem, action, ctx);
+                }
+            }
+        }
+    }
+
+    fn handle_auction_action(
+        &mut self,
+        problem: ProblemId,
+        action: AuctionAction,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        match action {
+            AuctionAction::None => {}
+            AuctionAction::ArmDeadline(task, at) => {
+                self.arm_at(ctx, at, TimerPurpose::AuctionDeadline { problem, task });
+            }
+            AuctionAction::Award(task, host, assignment) => {
+                if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
+                    ws.assignments.push((task.clone(), assignment.clone()));
+                }
+                ctx.send(host, Msg::Award { problem, task, assignment });
+                self.maybe_finish_allocation(problem, ctx);
+            }
+            AuctionAction::Unallocatable(task) => {
+                if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
+                    ws.unallocatable.push(task);
+                }
+                self.maybe_finish_allocation(problem, ctx);
+            }
+        }
+    }
+
+    fn maybe_finish_allocation(&mut self, problem: ProblemId, ctx: &mut Context<'_, Msg>) {
+        let done = self
+            .workflow_mgr
+            .get(&problem)
+            .and_then(|ws| ws.auctions.as_ref())
+            .map(|a| a.all_decided())
+            .unwrap_or(false);
+        if done {
+            self.finalize_allocation(problem, ctx);
+        }
+    }
+
+    fn finalize_allocation(&mut self, problem: ProblemId, ctx: &mut Context<'_, Msg>) {
+        let now = ctx.now();
+        let Some(ws) = self.workflow_mgr.get_mut(&problem) else {
+            return;
+        };
+        if !ws.unallocatable.is_empty() {
+            let reason = format!(
+                "tasks without any capable/willing host: {:?}",
+                ws.unallocatable
+            );
+            self.repair_or_fail(problem, reason, ctx);
+            return;
+        }
+        ws.report.timings.allocated_at = Some(now);
+        ws.report.status = ProblemStatus::Executing;
+        ws.phase = Phase::Executing;
+        ws.report.assignments = ws
+            .assignments
+            .iter()
+            .map(|(t, a)| (t.clone(), a.host))
+            .collect();
+
+        let workflow = ws
+            .construction
+            .as_ref()
+            .expect("allocated phase has a workflow")
+            .workflow()
+            .clone();
+        let goals = ws.spec.goals().clone();
+        let triggers = ws.spec.triggers().clone();
+        let assignments = ws.assignments.clone();
+
+        // Goals the environment supplies directly (no producer task).
+        let mut trivially_done: Vec<Label> = Vec::new();
+        for goal in &goals {
+            if workflow.contains_label(goal) && workflow.producer(goal).is_none() {
+                trivially_done.push(goal.clone());
+            }
+        }
+        for g in &trivially_done {
+            ws.goals_pending.remove(g);
+            ws.report.goals_delivered.push(g.clone());
+        }
+
+        // Dispatch execution plans (self-sends included for uniformity).
+        let plans = build_plans(&workflow, &assignments, &goals);
+        for (host, plan) in plans {
+            ctx.send(host, Msg::Execute { problem, plan });
+        }
+
+        // Seed trigger labels to the hosts consuming them.
+        let host_of = |task: &TaskId| -> Option<HostId> {
+            assignments.iter().find(|(t, _)| t == task).map(|(_, a)| a.host)
+        };
+        for label in &triggers {
+            if !workflow.contains_label(label) {
+                continue;
+            }
+            let mut targets: Vec<HostId> = workflow
+                .consumers(label)
+                .iter()
+                .filter_map(host_of)
+                .collect();
+            targets.sort();
+            targets.dedup();
+            for h in targets {
+                ctx.send(h, Msg::InputDelivery { problem, label: label.clone() });
+            }
+        }
+
+        let watchdog = self.params.execution_watchdog;
+        self.arm(ctx, watchdog, TimerPurpose::Watchdog { problem });
+        self.check_completion(problem, ctx);
+    }
+
+    fn check_completion(&mut self, problem: ProblemId, ctx: &mut Context<'_, Msg>) {
+        let Some(ws) = self.workflow_mgr.get_mut(&problem) else {
+            return;
+        };
+        if ws.phase == Phase::Executing && ws.goals_pending.is_empty() {
+            ws.phase = Phase::Completed;
+            ws.report.status = ProblemStatus::Completed;
+            ws.report.timings.completed_at = Some(ctx.now());
+        }
+    }
+
+    fn repair_or_fail(
+        &mut self,
+        problem: ProblemId,
+        reason: String,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let (attempts_used, spec, original_start) = match self.workflow_mgr.get_mut(&problem) {
+            Some(ws) => {
+                ws.phase = Phase::Failed;
+                ws.report.status = ProblemStatus::Failed { reason: reason.clone() };
+                (
+                    ws.report.repair_attempts,
+                    ws.spec.clone(),
+                    ws.report.timings.initiated_at,
+                )
+            }
+            None => return,
+        };
+        if attempts_used >= self.params.max_repair_attempts {
+            return;
+        }
+        // "A failure … should result in a revised or repaired workflow,
+        // which requires reconstruction [and] reallocation" (§5.1): retry
+        // the whole pipeline under a fresh attempt id. Crashed hosts
+        // simply never answer; round timeouts carry construction forward
+        // with the knowledge that is still alive.
+        let next = problem.next_attempt();
+        self.exec_mgr.abandon(&problem);
+        self.schedule.release_problem(problem);
+        let n_peers = self.community.len().saturating_sub(1);
+        self.workflow_mgr.create(next, spec, ctx.now(), n_peers);
+        if let Some(ws) = self.workflow_mgr.get_mut(&next) {
+            ws.report.repair_attempts = attempts_used + 1;
+            // End-to-end timing spans the failed attempt too.
+            ws.report.timings.initiated_at = original_start;
+            let actions = ws.begin(&self.fragment_mgr, &self.service_mgr, &self.params);
+            self.apply_ws_actions(next, actions, ctx);
+        }
+    }
+
+    fn apply_exec_events(
+        &mut self,
+        problem: ProblemId,
+        events: Vec<ExecEvent>,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        for ev in events {
+            match ev {
+                ExecEvent::WaitUntilStart { task, at } => {
+                    self.arm_at(ctx, at, TimerPurpose::ExecStart { problem, task });
+                }
+                ExecEvent::Begin { task, duration } => {
+                    self.arm(ctx, duration, TimerPurpose::ExecFinish { problem, task });
+                }
+            }
+        }
+    }
+
+    fn finish_task(&mut self, problem: ProblemId, task: TaskId, ctx: &mut Context<'_, Msg>) {
+        let Some(finished) = self.exec_mgr.on_completion(problem, &task) else {
+            return;
+        };
+        // Invoke the service (§4.2: uniform service invocation interface).
+        self.service_mgr.invoke(&finished.task, finished.inputs.clone());
+        // Publish outputs to dependents, goals to the initiator.
+        for out in &finished.outputs {
+            for &consumer in &out.consumers {
+                ctx.send(
+                    consumer,
+                    Msg::InputDelivery { problem, label: out.label.clone() },
+                );
+            }
+            if out.is_goal {
+                ctx.send(
+                    problem.initiator,
+                    Msg::GoalDelivered { problem, label: out.label.clone() },
+                );
+            }
+        }
+        ctx.send(problem.initiator, Msg::TaskCompleted { problem, task });
+    }
+}
+
+impl Actor<Msg> for OwmsHost {
+    fn on_message(&mut self, from: HostId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        ctx.charge(self.params.per_message_cost);
+        match msg {
+            Msg::Initiate { problem, spec } => {
+                let n_peers = self.community.len().saturating_sub(1);
+                self.workflow_mgr.create(problem, spec, ctx.now(), n_peers);
+                let actions = match self.workflow_mgr.get_mut(&problem) {
+                    Some(ws) => ws.begin(&self.fragment_mgr, &self.service_mgr, &self.params),
+                    None => Vec::new(),
+                };
+                self.apply_ws_actions(problem, actions, ctx);
+            }
+
+            Msg::FragmentQuery { problem, round, labels } => {
+                let fragments = self.fragment_mgr.query(&labels);
+                ctx.send(from, Msg::FragmentReply { problem, round, fragments });
+            }
+            Msg::FragmentReply { problem, round, fragments } => {
+                let actions = match self.workflow_mgr.get_mut(&problem) {
+                    Some(ws) => ws.on_fragment_reply(
+                        round,
+                        fragments,
+                        &self.fragment_mgr,
+                        &self.service_mgr,
+                        &self.params,
+                    ),
+                    None => Vec::new(),
+                };
+                self.apply_ws_actions(problem, actions, ctx);
+            }
+
+            Msg::CapabilityQuery { problem, round, tasks } => {
+                let capable = self.service_mgr.capable_of(&tasks);
+                ctx.send(from, Msg::CapabilityReply { problem, round, capable });
+            }
+            Msg::CapabilityReply { problem, round, capable } => {
+                let actions = match self.workflow_mgr.get_mut(&problem) {
+                    Some(ws) => ws.on_capability_reply(
+                        round,
+                        capable,
+                        &self.fragment_mgr,
+                        &self.service_mgr,
+                        &self.params,
+                    ),
+                    None => Vec::new(),
+                };
+                self.apply_ws_actions(problem, actions, ctx);
+            }
+
+            Msg::CallForBids { problem, task, meta } => {
+                let decision = self.auction_part.consider(
+                    problem,
+                    &task,
+                    &meta,
+                    ctx.now(),
+                    &self.service_mgr,
+                    &mut self.schedule,
+                    &self.prefs,
+                    &self.params,
+                );
+                match decision {
+                    BidDecision::Submit(bid) => {
+                        let expiry = bid.deadline + self.params.round_timeout;
+                        self.arm_at(
+                            ctx,
+                            expiry,
+                            TimerPurpose::BidHoldExpiry { problem, task: task.clone() },
+                        );
+                        ctx.send(from, Msg::Bid { problem, task, bid });
+                    }
+                    BidDecision::Decline(_) => {
+                        ctx.send(from, Msg::Decline { problem, task });
+                    }
+                }
+            }
+            Msg::Bid { problem, task, bid } => {
+                ctx.charge(self.params.bid_evaluation_cost);
+                let action = self
+                    .workflow_mgr
+                    .get_mut(&problem)
+                    .and_then(|ws| ws.auctions.as_mut())
+                    .map(|a| a.on_bid(&task, from, bid))
+                    .unwrap_or(AuctionAction::None);
+                self.handle_auction_action(problem, action, ctx);
+            }
+            Msg::Decline { problem, task } => {
+                let action = self
+                    .workflow_mgr
+                    .get_mut(&problem)
+                    .and_then(|ws| ws.auctions.as_mut())
+                    .map(|a| a.on_decline(&task, from))
+                    .unwrap_or(AuctionAction::None);
+                self.handle_auction_action(problem, action, ctx);
+            }
+            Msg::Award { problem, task, assignment: _ } => {
+                // The hold becomes a firm commitment (already scheduled).
+                let _ = self.auction_part.on_award(problem, &task);
+            }
+
+            Msg::Execute { problem, plan } => {
+                // A newer attempt supersedes older ones of the same problem.
+                let events = self.exec_mgr.install_plan(problem, plan, ctx.now());
+                self.apply_exec_events(problem, events, ctx);
+            }
+            Msg::InputDelivery { problem, label } => {
+                let events = self.exec_mgr.on_input(problem, label, ctx.now());
+                self.apply_exec_events(problem, events, ctx);
+            }
+            Msg::TaskCompleted { problem, task } => {
+                if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
+                    ws.tasks_pending.remove(&task);
+                }
+            }
+            Msg::GoalDelivered { problem, label } => {
+                if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
+                    ws.goals_pending.remove(&label);
+                    ws.report.goals_delivered.push(label);
+                }
+                self.check_completion(problem, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Msg>) {
+        let Some(purpose) = self.timers.remove(&token.0) else {
+            return;
+        };
+        match purpose {
+            TimerPurpose::RoundTimeout { problem, round } => {
+                let actions = match self.workflow_mgr.get_mut(&problem) {
+                    Some(ws) => ws.on_round_timeout(
+                        round,
+                        &self.fragment_mgr,
+                        &self.service_mgr,
+                        &self.params,
+                    ),
+                    None => Vec::new(),
+                };
+                self.apply_ws_actions(problem, actions, ctx);
+            }
+            TimerPurpose::AuctionDeadline { problem, task } => {
+                let action = self
+                    .workflow_mgr
+                    .get_mut(&problem)
+                    .and_then(|ws| ws.auctions.as_mut())
+                    .map(|a| a.on_deadline(&task))
+                    .unwrap_or(AuctionAction::None);
+                self.handle_auction_action(problem, action, ctx);
+            }
+            TimerPurpose::BidHoldExpiry { problem, task } => {
+                let _ = self
+                    .auction_part
+                    .expire_hold(problem, &task, &mut self.schedule);
+            }
+            TimerPurpose::ExecStart { problem, task } => {
+                let events = self.exec_mgr.on_start_time(problem, &task);
+                self.apply_exec_events(problem, events, ctx);
+            }
+            TimerPurpose::ExecFinish { problem, task } => {
+                self.finish_task(problem, task, ctx);
+            }
+            TimerPurpose::Watchdog { problem } => {
+                let unfinished = self
+                    .workflow_mgr
+                    .get(&problem)
+                    .map(|ws| ws.phase == Phase::Executing)
+                    .unwrap_or(false);
+                if unfinished {
+                    self.repair_or_fail(
+                        problem,
+                        "execution watchdog expired before all goals were delivered".into(),
+                        ctx,
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for OwmsHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OwmsHost")
+            .field("community", &self.community.len())
+            .field("fragments", &self.fragment_mgr.len())
+            .field("services", &self.service_mgr.service_count())
+            .field("workspaces", &self.workflow_mgr.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::{Mode, Spec};
+
+    fn frag(id: &str, task: &str, input: &str, output: &str) -> Fragment {
+        Fragment::single_task(id, task, Mode::Disjunctive, [input], [output]).unwrap()
+    }
+
+    fn service(task: &str) -> ServiceDescription {
+        ServiceDescription::new(task, SimDuration::from_millis(10))
+    }
+
+    /// A one-host community: the full pipeline (construction, self-bid
+    /// auction, execution) runs entirely through local loopback.
+    #[test]
+    fn single_host_end_to_end() {
+        use openwf_simnet::SimNetwork;
+        let mut net: SimNetwork<Msg, OwmsHost> = SimNetwork::new(1);
+        let cfg = HostConfig::new()
+            .with_fragment(frag("f1", "t1", "a", "b"))
+            .with_fragment(frag("f2", "t2", "b", "c"))
+            .with_service(service("t1"))
+            .with_service(service("t2"));
+        let mut host = OwmsHost::new(cfg, RuntimeParams::default());
+        host.set_community(vec![HostId(0)]);
+        let h = net.add_host(host);
+        let problem = ProblemId::new(h, 0);
+        net.send_external(h, h, Msg::Initiate { problem, spec: Spec::new(["a"], ["c"]) });
+        net.run_until_quiescent();
+
+        let ws = net.host(h).workflow_mgr().get(&problem).expect("workspace");
+        assert_eq!(ws.phase, Phase::Completed, "report: {}", ws.report);
+        assert_eq!(ws.report.assignments.len(), 2);
+        assert!(ws.report.timings.spec_to_allocated().is_some());
+        assert!(ws.report.timings.total().is_some());
+        // Services actually ran, in dependency order.
+        let inv = net.host(h).service_mgr().invocations();
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv[0].task, TaskId::new("t1"));
+        assert_eq!(inv[1].task, TaskId::new("t2"));
+    }
+
+    /// Trivial problem: the goal is already a trigger.
+    #[test]
+    fn trivial_problem_completes_without_tasks() {
+        use openwf_simnet::SimNetwork;
+        let mut net: SimNetwork<Msg, OwmsHost> = SimNetwork::new(1);
+        let mut host = OwmsHost::new(HostConfig::new(), RuntimeParams::default());
+        host.set_community(vec![HostId(0)]);
+        let h = net.add_host(host);
+        let problem = ProblemId::new(h, 0);
+        net.send_external(h, h, Msg::Initiate { problem, spec: Spec::new(["a"], ["a"]) });
+        net.run_until_quiescent();
+        let ws = net.host(h).workflow_mgr().get(&problem).unwrap();
+        assert_eq!(ws.phase, Phase::Completed);
+        assert!(ws.report.assignments.is_empty());
+    }
+
+    /// An unsatisfiable problem fails cleanly.
+    #[test]
+    fn unsatisfiable_problem_fails() {
+        use openwf_simnet::SimNetwork;
+        let mut net: SimNetwork<Msg, OwmsHost> = SimNetwork::new(1);
+        let cfg = HostConfig::new().with_fragment(frag("f1", "t1", "a", "b"));
+        let mut host = OwmsHost::new(cfg, RuntimeParams::default());
+        host.set_community(vec![HostId(0)]);
+        let h = net.add_host(host);
+        let problem = ProblemId::new(h, 0);
+        net.send_external(
+            h,
+            h,
+            Msg::Initiate { problem, spec: Spec::new(["a"], ["nothing makes this"]) },
+        );
+        net.run_until_quiescent();
+        let ws = net.host(h).workflow_mgr().get(&problem).unwrap();
+        assert_eq!(ws.phase, Phase::Failed);
+        assert!(matches!(ws.report.status, ProblemStatus::Failed { .. }));
+    }
+
+    /// Capability gating: knowledge exists but no service anywhere — the
+    /// wait-staff example's mechanism.
+    #[test]
+    fn missing_capability_fails_construction() {
+        use openwf_simnet::SimNetwork;
+        let mut net: SimNetwork<Msg, OwmsHost> = SimNetwork::new(1);
+        let cfg = HostConfig::new().with_fragment(frag("f1", "t1", "a", "b"));
+        // No service for t1.
+        let mut host = OwmsHost::new(cfg, RuntimeParams::default());
+        host.set_community(vec![HostId(0)]);
+        let h = net.add_host(host);
+        let problem = ProblemId::new(h, 0);
+        net.send_external(h, h, Msg::Initiate { problem, spec: Spec::new(["a"], ["b"]) });
+        net.run_until_quiescent();
+        let ws = net.host(h).workflow_mgr().get(&problem).unwrap();
+        assert_eq!(ws.phase, Phase::Failed);
+    }
+}

@@ -1,0 +1,177 @@
+//! Problem outcome reporting.
+//!
+//! The §5 experiments "measure the time taken from when the specification
+//! is given to the initiating host to the time when all tasks of the
+//! resulting workflow have been successfully allocated to some host";
+//! [`PhaseTimings`] captures that interval (and the neighbouring ones) per
+//! problem.
+
+use std::fmt;
+
+use openwf_core::{Label, TaskId};
+use openwf_simnet::{HostId, SimDuration, SimTime};
+
+/// Lifecycle state of a problem on its initiator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProblemStatus {
+    /// Collecting knowhow / coloring the supergraph.
+    Constructing,
+    /// Construction done; auctions in progress.
+    Allocating,
+    /// All tasks allocated; services executing.
+    Executing,
+    /// Every goal label delivered.
+    Completed,
+    /// No feasible workflow (or allocation/execution failed) after all
+    /// repair attempts.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl ProblemStatus {
+    /// True for terminal states.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, ProblemStatus::Completed | ProblemStatus::Failed { .. })
+    }
+}
+
+impl fmt::Display for ProblemStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemStatus::Constructing => f.write_str("constructing"),
+            ProblemStatus::Allocating => f.write_str("allocating"),
+            ProblemStatus::Executing => f.write_str("executing"),
+            ProblemStatus::Completed => f.write_str("completed"),
+            ProblemStatus::Failed { reason } => write!(f, "failed: {reason}"),
+        }
+    }
+}
+
+/// Timestamps of a problem's phase transitions (virtual time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Specification handed to the initiator.
+    pub initiated_at: Option<SimTime>,
+    /// Feasible workflow constructed.
+    pub constructed_at: Option<SimTime>,
+    /// Last task allocated.
+    pub allocated_at: Option<SimTime>,
+    /// All goals delivered.
+    pub completed_at: Option<SimTime>,
+}
+
+impl PhaseTimings {
+    /// Construction latency (spec → workflow).
+    pub fn construction(&self) -> Option<SimDuration> {
+        Some(self.constructed_at?.since(self.initiated_at?))
+    }
+
+    /// Allocation latency (workflow → all tasks allocated).
+    pub fn allocation(&self) -> Option<SimDuration> {
+        Some(self.allocated_at?.since(self.constructed_at?))
+    }
+
+    /// The paper's headline metric: spec given → all tasks allocated.
+    pub fn spec_to_allocated(&self) -> Option<SimDuration> {
+        Some(self.allocated_at?.since(self.initiated_at?))
+    }
+
+    /// Full makespan (spec → goals delivered).
+    pub fn total(&self) -> Option<SimDuration> {
+        Some(self.completed_at?.since(self.initiated_at?))
+    }
+}
+
+/// The initiator's record of one problem attempt.
+#[derive(Clone, Debug)]
+pub struct ProblemReport {
+    /// Current status.
+    pub status: ProblemStatus,
+    /// Phase transition timestamps.
+    pub timings: PhaseTimings,
+    /// Tasks of the constructed workflow with their assigned hosts (empty
+    /// until allocation finishes).
+    pub assignments: Vec<(TaskId, HostId)>,
+    /// Goals delivered so far.
+    pub goals_delivered: Vec<Label>,
+    /// Fragment query rounds used during construction.
+    pub query_rounds: u32,
+    /// Fragments pulled from the community.
+    pub fragments_pulled: usize,
+    /// Repair attempts consumed (0 = first attempt succeeded/ongoing).
+    pub repair_attempts: u32,
+}
+
+impl ProblemReport {
+    /// A fresh report for a problem initiated at `now`.
+    pub fn new(now: SimTime) -> Self {
+        ProblemReport {
+            status: ProblemStatus::Constructing,
+            timings: PhaseTimings { initiated_at: Some(now), ..PhaseTimings::default() },
+            assignments: Vec::new(),
+            goals_delivered: Vec::new(),
+            query_rounds: 0,
+            fragments_pulled: 0,
+            repair_attempts: 0,
+        }
+    }
+}
+
+impl fmt::Display for ProblemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.status)?;
+        if let Some(d) = self.timings.spec_to_allocated() {
+            write!(f, "; spec→allocated {d}")?;
+        }
+        if let Some(d) = self.timings.total() {
+            write!(f, "; total {d}")?;
+        }
+        write!(f, "; {} tasks", self.assignments.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_intervals() {
+        let t = PhaseTimings {
+            initiated_at: Some(SimTime::from_micros(100)),
+            constructed_at: Some(SimTime::from_micros(400)),
+            allocated_at: Some(SimTime::from_micros(1_000)),
+            completed_at: Some(SimTime::from_micros(5_000)),
+        };
+        assert_eq!(t.construction(), Some(SimDuration::from_micros(300)));
+        assert_eq!(t.allocation(), Some(SimDuration::from_micros(600)));
+        assert_eq!(t.spec_to_allocated(), Some(SimDuration::from_micros(900)));
+        assert_eq!(t.total(), Some(SimDuration::from_micros(4_900)));
+    }
+
+    #[test]
+    fn missing_phases_yield_none() {
+        let t = PhaseTimings {
+            initiated_at: Some(SimTime::ZERO),
+            ..PhaseTimings::default()
+        };
+        assert_eq!(t.construction(), None);
+        assert_eq!(t.spec_to_allocated(), None);
+    }
+
+    #[test]
+    fn status_terminality() {
+        assert!(!ProblemStatus::Constructing.is_terminal());
+        assert!(!ProblemStatus::Executing.is_terminal());
+        assert!(ProblemStatus::Completed.is_terminal());
+        assert!(ProblemStatus::Failed { reason: "x".into() }.is_terminal());
+    }
+
+    #[test]
+    fn report_display_mentions_status() {
+        let r = ProblemReport::new(SimTime::ZERO);
+        assert!(r.to_string().starts_with("constructing"));
+    }
+}

@@ -1,0 +1,278 @@
+//! The Schedule Manager: commitments, availability and travel.
+//!
+//! §4.2: the Schedule Manager "manages the host's availability by tracking
+//! the host's location, schedule, and scheduling preferences. It maintains
+//! a database of all commitments, primarily consisting of scheduled
+//! service invocations and their associated location and travel time
+//! details, which is the key data structure for both allocation and
+//! execution of an open workflow."
+
+use std::fmt;
+
+use openwf_core::TaskId;
+use openwf_mobility::{Motion, Point, SiteMap};
+use openwf_simnet::{SimDuration, SimTime};
+
+use crate::messages::ProblemId;
+
+/// One scheduled obligation: travel (if needed) followed by a service
+/// invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Commitment {
+    /// Problem the commitment belongs to.
+    pub problem: ProblemId,
+    /// The committed task.
+    pub task: TaskId,
+    /// When the slot begins (including travel).
+    pub start: SimTime,
+    /// When the slot ends.
+    pub end: SimTime,
+    /// Travel portion at the head of the slot.
+    pub travel: SimDuration,
+    /// Where the service is performed (None = anywhere / current spot).
+    pub location: Option<String>,
+}
+
+impl Commitment {
+    /// True if this commitment's slot overlaps `[start, end)`.
+    pub fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
+        self.start < end && start < self.end
+    }
+}
+
+impl fmt::Display for Commitment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}] {}", self.start, self.end, self.task)?;
+        if let Some(l) = &self.location {
+            write!(f, " @ {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-host schedule: position, motion profile, and committed slots.
+#[derive(Debug)]
+pub struct ScheduleManager {
+    position: Point,
+    motion: Motion,
+    site: SiteMap,
+    commitments: Vec<Commitment>,
+}
+
+impl ScheduleManager {
+    /// Creates a schedule for a host at `position` moving per `motion`,
+    /// resolving symbolic locations against `site`.
+    pub fn new(position: Point, motion: Motion, site: SiteMap) -> Self {
+        ScheduleManager {
+            position,
+            motion,
+            site,
+            commitments: Vec::new(),
+        }
+    }
+
+    /// A stationary schedule at the origin with an empty site map — enough
+    /// for experiments whose tasks have no locations.
+    pub fn unlocated() -> Self {
+        ScheduleManager::new(Point::ORIGIN, Motion::STATIONARY, SiteMap::new())
+    }
+
+    /// The host's current (last known) position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// Updates the host's position (e.g. after travel).
+    pub fn set_position(&mut self, p: Point) {
+        self.position = p;
+    }
+
+    /// Number of active commitments.
+    pub fn commitment_count(&self) -> usize {
+        self.commitments.len()
+    }
+
+    /// All commitments, in insertion order.
+    pub fn commitments(&self) -> &[Commitment] {
+        &self.commitments
+    }
+
+    /// Travel time from the current position to a symbolic location.
+    ///
+    /// `None` location means no travel. Returns `None` if the place is
+    /// unknown or unreachable (stationary host, different spot).
+    pub fn travel_time(&self, location: Option<&str>) -> Option<SimDuration> {
+        match location {
+            None => Some(SimDuration::ZERO),
+            Some(name) => {
+                let dest = self.site.resolve(name)?;
+                let secs = self.motion.travel_seconds(self.position, dest)?;
+                Some(SimDuration::from_secs_f64(secs))
+            }
+        }
+    }
+
+    /// Finds the earliest feasible slot for a task of `duration` at
+    /// `location`, starting no earlier than `earliest`. The slot includes
+    /// travel at its head. Returns `(slot_start, travel)` or `None` when
+    /// the location is unreachable.
+    ///
+    /// The search walks existing commitments in time order and places the
+    /// slot in the first gap that fits — a simple, deterministic policy
+    /// matching the paper's "whether the participant has time available".
+    pub fn earliest_slot(
+        &self,
+        earliest: SimTime,
+        duration: SimDuration,
+        location: Option<&str>,
+    ) -> Option<(SimTime, SimDuration)> {
+        let travel = self.travel_time(location)?;
+        let needed = travel + duration;
+        let mut candidate = earliest;
+        let mut slots: Vec<&Commitment> = self.commitments.iter().collect();
+        slots.sort_by_key(|c| c.start);
+        for c in slots {
+            let end = candidate.saturating_add(needed);
+            if c.overlaps(candidate, end) {
+                candidate = c.end;
+            }
+        }
+        Some((candidate, travel))
+    }
+
+    /// Records a commitment (after winning an auction).
+    pub fn commit(&mut self, commitment: Commitment) {
+        debug_assert!(
+            !self
+                .commitments
+                .iter()
+                .any(|c| c.overlaps(commitment.start, commitment.end)),
+            "double-booked: {commitment}"
+        );
+        self.commitments.push(commitment);
+    }
+
+    /// Releases all commitments of one problem (repair/reallocation).
+    pub fn release_problem(&mut self, problem: ProblemId) {
+        self.commitments.retain(|c| c.problem != problem);
+    }
+
+    /// Releases the commitment for one `(problem, task)` pair — used when
+    /// a tentative bid hold expires unawarded.
+    pub fn release_task(&mut self, problem: ProblemId, task: &TaskId) {
+        self.commitments
+            .retain(|c| !(c.problem == problem && &c.task == task));
+    }
+
+    /// Resolves a symbolic location to coordinates.
+    pub fn resolve_place(&self, name: &str) -> Option<Point> {
+        self.site.resolve(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_simnet::HostId;
+
+    fn pid() -> ProblemId {
+        ProblemId::new(HostId(0), 0)
+    }
+
+    fn manager_with_site() -> ScheduleManager {
+        let site = SiteMap::new()
+            .with("kitchen", Point::new(0.0, 0.0))
+            .with("dining room", Point::new(140.0, 0.0));
+        ScheduleManager::new(Point::ORIGIN, Motion::WALKING, site)
+    }
+
+    fn commitment(start_us: u64, end_us: u64) -> Commitment {
+        Commitment {
+            problem: pid(),
+            task: TaskId::new("t"),
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(end_us),
+            travel: SimDuration::ZERO,
+            location: None,
+        }
+    }
+
+    #[test]
+    fn overlap_semantics_are_half_open() {
+        let c = commitment(100, 200);
+        assert!(c.overlaps(SimTime::from_micros(150), SimTime::from_micros(250)));
+        assert!(c.overlaps(SimTime::from_micros(50), SimTime::from_micros(150)));
+        assert!(!c.overlaps(SimTime::from_micros(200), SimTime::from_micros(300)), "touching is fine");
+        assert!(!c.overlaps(SimTime::from_micros(0), SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn travel_time_depends_on_distance() {
+        let m = manager_with_site();
+        assert_eq!(m.travel_time(None), Some(SimDuration::ZERO));
+        assert_eq!(m.travel_time(Some("kitchen")), Some(SimDuration::ZERO));
+        // 140m at 1.4 m/s = 100s
+        assert_eq!(m.travel_time(Some("dining room")), Some(SimDuration::from_secs(100)));
+        assert_eq!(m.travel_time(Some("moon")), None);
+    }
+
+    #[test]
+    fn stationary_host_cannot_travel() {
+        let site = SiteMap::new().with("far", Point::new(10.0, 0.0));
+        let m = ScheduleManager::new(Point::ORIGIN, Motion::STATIONARY, site);
+        assert_eq!(m.travel_time(Some("far")), None);
+        // But a no-location task is fine.
+        assert!(m.earliest_slot(SimTime::ZERO, SimDuration::from_secs(1), None).is_some());
+    }
+
+    #[test]
+    fn earliest_slot_skips_busy_periods() {
+        let mut m = ScheduleManager::unlocated();
+        m.commit(commitment(0, 1_000));
+        m.commit(commitment(1_500, 2_000));
+        let (start, travel) = m
+            .earliest_slot(SimTime::ZERO, SimDuration::from_micros(600), None)
+            .unwrap();
+        // Gap [1000,1500) is 500µs — too small for 600µs; next fit at 2000.
+        assert_eq!(start, SimTime::from_micros(2_000));
+        assert_eq!(travel, SimDuration::ZERO);
+
+        // A 400µs task fits in the first gap.
+        let (start, _) = m
+            .earliest_slot(SimTime::ZERO, SimDuration::from_micros(400), None)
+            .unwrap();
+        assert_eq!(start, SimTime::from_micros(1_000));
+    }
+
+    #[test]
+    fn slot_includes_travel_at_head() {
+        let m = manager_with_site();
+        let (start, travel) = m
+            .earliest_slot(SimTime::ZERO, SimDuration::from_secs(10), Some("dining room"))
+            .unwrap();
+        assert_eq!(start, SimTime::ZERO);
+        assert_eq!(travel, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn release_problem_frees_slots() {
+        let mut m = ScheduleManager::unlocated();
+        m.commit(commitment(0, 1_000));
+        assert_eq!(m.commitment_count(), 1);
+        m.release_problem(pid());
+        assert_eq!(m.commitment_count(), 0);
+        let other = ProblemId::new(HostId(9), 9);
+        m.commit(Commitment { problem: other, ..commitment(0, 10) });
+        m.release_problem(pid());
+        assert_eq!(m.commitment_count(), 1, "other problems keep their slots");
+    }
+
+    #[test]
+    fn commitment_display() {
+        let mut c = commitment(0, 1_000_000);
+        c.location = Some("kitchen".into());
+        let s = c.to_string();
+        assert!(s.contains("t=0.000000s"), "{s}");
+        assert!(s.ends_with("@ kitchen"), "{s}");
+    }
+}

@@ -1,0 +1,667 @@
+//! The Workflow Manager: per-problem workspaces driving distributed,
+//! incremental construction.
+//!
+//! §4.2: "The Workflow Manager creates and maintains a separate workspace
+//! for each open workflow, allowing it to simultaneously work on multiple
+//! isolated and independent problems. The Workflow Manager issues queries
+//! to discover knowhow and capabilities, integrates the responses into the
+//! graph, and constructs the open workflow. It then delegates to the
+//! Auction Manager the job of allocating each task to a suitable host."
+//!
+//! A [`Workspace`] alternates **fragment rounds** (query the community for
+//! fragments consuming the colored frontier's labels) and **capability
+//! rounds** (query which newly discovered tasks anyone can serve — the
+//! service-feasibility messages of Figure 3), resuming Algorithm 1's
+//! exploration coloring after each round. When the goals turn green it
+//! back-sweeps to extract the workflow and hands over to allocation.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use openwf_core::construct::explore::{explore, ExploreOutcome};
+use openwf_core::construct::{self, ColorState, ConstructStats, Construction, PickOrder};
+use openwf_core::{Fragment, Label, Spec, Supergraph, TaskId};
+use openwf_simnet::{SimDuration, SimTime};
+
+use crate::auction::ProblemAuctions;
+use crate::fragment_mgr::FragmentManager;
+use crate::messages::ProblemId;
+use crate::metadata::Assignment;
+use crate::params::RuntimeParams;
+use crate::report::{ProblemReport, ProblemStatus};
+use crate::service::ServiceManager;
+
+/// Construction-phase instructions the workspace hands back to its host.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum WsAction {
+    /// Send a fragment query for these labels to every peer.
+    BroadcastFragmentQuery {
+        /// Round number (echoed in replies).
+        round: u32,
+        /// Frontier labels.
+        labels: Vec<Label>,
+    },
+    /// Send a capability query for these tasks to every peer.
+    BroadcastCapabilityQuery {
+        /// Round number (echoed in replies).
+        round: u32,
+        /// Newly discovered tasks.
+        tasks: Vec<TaskId>,
+    },
+    /// Arm the round-timeout timer for the given round.
+    ArmRoundTimeout {
+        /// Round the timeout guards.
+        round: u32,
+    },
+    /// Charge modeled compute time to the current callback.
+    Charge(SimDuration),
+    /// Construction finished; the host should open the auctions.
+    Constructed,
+    /// Construction failed (no feasible workflow).
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollectKind {
+    Fragments,
+    Capabilities,
+}
+
+#[derive(Debug)]
+struct Collect {
+    kind: CollectKind,
+    round: u32,
+    pending: usize,
+    fragments: Vec<Fragment>,
+    capable: BTreeSet<TaskId>,
+}
+
+/// The lifecycle phase of a workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Querying and coloring.
+    Constructing,
+    /// Auctions open.
+    Allocating,
+    /// Execution plans dispatched.
+    Executing,
+    /// All goals delivered.
+    Completed,
+    /// Terminal failure (after repairs, if any).
+    Failed,
+}
+
+/// Construction/allocation/execution state for one problem on its
+/// initiator.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The problem this workspace serves.
+    pub problem: ProblemId,
+    /// The specification being satisfied.
+    pub spec: Spec,
+    /// Progress/timing record.
+    pub report: ProblemReport,
+    /// Current phase.
+    pub phase: Phase,
+    /// Auction state (present during/after allocation).
+    pub auctions: Option<ProblemAuctions>,
+    /// Final task assignments.
+    pub assignments: Vec<(TaskId, Assignment)>,
+    /// Goals not yet delivered during execution.
+    pub goals_pending: BTreeSet<Label>,
+    /// Tasks not yet reported complete.
+    pub tasks_pending: BTreeSet<TaskId>,
+    /// Tasks no community member could take (allocation failure causes).
+    pub unallocatable: Vec<TaskId>,
+    /// The constructed workflow (after `Constructed`).
+    pub construction: Option<Construction>,
+
+    n_peers: usize,
+    supergraph: Supergraph,
+    color: ColorState,
+    queried: BTreeSet<Label>,
+    capability_checked: BTreeSet<TaskId>,
+    feasible: BTreeSet<TaskId>,
+    round: u32,
+    collect: Option<Collect>,
+    explore_steps: u64,
+    last_outcome: Option<ExploreOutcome>,
+}
+
+impl Workspace {
+    /// Creates a workspace for `problem` among `n_peers` *other* hosts.
+    pub fn new(problem: ProblemId, spec: Spec, now: SimTime, n_peers: usize) -> Self {
+        let goals_pending = spec.goals().clone();
+        Workspace {
+            problem,
+            spec,
+            report: ProblemReport::new(now),
+            phase: Phase::Constructing,
+            auctions: None,
+            assignments: Vec::new(),
+            goals_pending,
+            tasks_pending: BTreeSet::new(),
+            unallocatable: Vec::new(),
+            construction: None,
+            n_peers,
+            supergraph: Supergraph::new(),
+            color: ColorState::with_len(0),
+            queried: BTreeSet::new(),
+            capability_checked: BTreeSet::new(),
+            feasible: BTreeSet::new(),
+            round: 0,
+            collect: None,
+            explore_steps: 0,
+            last_outcome: None,
+        }
+    }
+
+    /// The current fragment/capability round number.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The supergraph assembled so far (for diagnostics).
+    pub fn supergraph(&self) -> &Supergraph {
+        &self.supergraph
+    }
+
+    /// Kicks off construction: the first fragment round over the trigger
+    /// labels.
+    pub fn begin(
+        &mut self,
+        local_fragments: &FragmentManager,
+        local_services: &ServiceManager,
+        params: &RuntimeParams,
+    ) -> Vec<WsAction> {
+        let frontier: Vec<Label> = self.spec.triggers().iter().cloned().collect();
+        self.start_fragment_round(frontier, local_fragments, local_services, params)
+    }
+
+    /// Handles a fragment reply for `round`.
+    pub fn on_fragment_reply(
+        &mut self,
+        round: u32,
+        fragments: Vec<Fragment>,
+        local_fragments: &FragmentManager,
+        local_services: &ServiceManager,
+        params: &RuntimeParams,
+    ) -> Vec<WsAction> {
+        let Some(c) = self.collect.as_mut() else {
+            return Vec::new();
+        };
+        if c.kind != CollectKind::Fragments || c.round != round {
+            return Vec::new(); // stale reply (e.g. after a timeout)
+        }
+        c.fragments.extend(fragments);
+        c.pending = c.pending.saturating_sub(1);
+        if c.pending == 0 {
+            return self.finish_round(local_fragments, local_services, params);
+        }
+        Vec::new()
+    }
+
+    /// Handles a capability reply for `round`.
+    pub fn on_capability_reply(
+        &mut self,
+        round: u32,
+        capable: Vec<TaskId>,
+        local_fragments: &FragmentManager,
+        local_services: &ServiceManager,
+        params: &RuntimeParams,
+    ) -> Vec<WsAction> {
+        let Some(c) = self.collect.as_mut() else {
+            return Vec::new();
+        };
+        if c.kind != CollectKind::Capabilities || c.round != round {
+            return Vec::new();
+        }
+        c.capable.extend(capable);
+        c.pending = c.pending.saturating_sub(1);
+        if c.pending == 0 {
+            return self.finish_round(local_fragments, local_services, params);
+        }
+        Vec::new()
+    }
+
+    /// The round-timeout fired: proceed with whatever replies arrived.
+    pub fn on_round_timeout(
+        &mut self,
+        round: u32,
+        local_fragments: &FragmentManager,
+        local_services: &ServiceManager,
+        params: &RuntimeParams,
+    ) -> Vec<WsAction> {
+        match &self.collect {
+            Some(c) if c.round == round && c.pending > 0 => {
+                self.finish_round(local_fragments, local_services, params)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn start_fragment_round(
+        &mut self,
+        frontier: Vec<Label>,
+        local_fragments: &FragmentManager,
+        local_services: &ServiceManager,
+        params: &RuntimeParams,
+    ) -> Vec<WsAction> {
+        debug_assert!(self.collect.is_none(), "one round at a time");
+        self.queried.extend(frontier.iter().cloned());
+        self.round += 1;
+        self.report.query_rounds += 1;
+        let local = local_fragments.query(&frontier);
+        self.collect = Some(Collect {
+            kind: CollectKind::Fragments,
+            round: self.round,
+            pending: self.n_peers,
+            fragments: local,
+            capable: BTreeSet::new(),
+        });
+        if self.n_peers == 0 {
+            return self.finish_round(local_fragments, local_services, params);
+        }
+        vec![
+            WsAction::BroadcastFragmentQuery { round: self.round, labels: frontier },
+            WsAction::ArmRoundTimeout { round: self.round },
+        ]
+    }
+
+    fn start_capability_round(
+        &mut self,
+        tasks: Vec<TaskId>,
+        local_fragments: &FragmentManager,
+        local_services: &ServiceManager,
+        params: &RuntimeParams,
+    ) -> Vec<WsAction> {
+        debug_assert!(self.collect.is_none(), "one round at a time");
+        self.round += 1;
+        let local = local_services.capable_of(&tasks);
+        self.collect = Some(Collect {
+            kind: CollectKind::Capabilities,
+            round: self.round,
+            pending: self.n_peers,
+            fragments: Vec::new(),
+            capable: local.into_iter().collect(),
+        });
+        if self.n_peers == 0 {
+            return self.finish_round(local_fragments, local_services, params);
+        }
+        vec![
+            WsAction::BroadcastCapabilityQuery { round: self.round, tasks },
+            WsAction::ArmRoundTimeout { round: self.round },
+        ]
+    }
+
+    fn finish_round(
+        &mut self,
+        local_fragments: &FragmentManager,
+        local_services: &ServiceManager,
+        params: &RuntimeParams,
+    ) -> Vec<WsAction> {
+        let c = self.collect.take().expect("round in progress");
+        match c.kind {
+            CollectKind::Fragments => {
+                let mut new_fragments = 0usize;
+                for f in &c.fragments {
+                    // Conflicting knowhow (same task, different mode) from
+                    // another host: first definition wins, as in the local
+                    // incremental constructor.
+                    if let Ok(true) = self.supergraph.try_merge_fragment(f) {
+                        new_fragments += 1;
+                    }
+                }
+                self.report.fragments_pulled += new_fragments;
+                let charge = WsAction::Charge(
+                    params.merge_fragment_cost.times(new_fragments as u64),
+                );
+
+                // Which tasks are new to us? Ask the community who can
+                // serve them before exploring.
+                let new_tasks: Vec<TaskId> = self
+                    .supergraph
+                    .graph()
+                    .tasks()
+                    .filter(|t| !self.capability_checked.contains(t))
+                    .collect();
+                if !new_tasks.is_empty() {
+                    self.capability_checked.extend(new_tasks.iter().cloned());
+                    let mut actions = vec![charge];
+                    actions.extend(self.start_capability_round(
+                        new_tasks,
+                        local_fragments,
+                        local_services,
+                        params,
+                    ));
+                    return actions;
+                }
+                let mut actions = vec![charge];
+                actions.extend(self.explore_step(local_fragments, local_services, params));
+                actions
+            }
+            CollectKind::Capabilities => {
+                self.feasible.extend(c.capable);
+                self.explore_step(local_fragments, local_services, params)
+            }
+        }
+    }
+
+    fn explore_step(
+        &mut self,
+        local_fragments: &FragmentManager,
+        local_services: &ServiceManager,
+        params: &RuntimeParams,
+    ) -> Vec<WsAction> {
+        let feasible = &self.feasible;
+        let outcome = explore(
+            self.supergraph.graph(),
+            &mut self.color,
+            &self.spec,
+            &mut |t| feasible.contains(t),
+            PickOrder::Fifo,
+            None,
+        );
+        self.explore_steps += outcome.steps;
+        let charge = WsAction::Charge(params.explore_step_cost.times(outcome.steps));
+
+        if outcome.unreachable_goals.is_empty() {
+            // Goals reached: back-sweep and extract the workflow.
+            let stats = ConstructStats {
+                explore_steps: self.explore_steps,
+                colored_green: outcome.colored_green,
+                supergraph_nodes: self.supergraph.graph().node_count(),
+                supergraph_edges: self.supergraph.graph().edge_count(),
+                query_rounds: self.report.query_rounds as usize,
+                fragments_pulled: self.report.fragments_pulled,
+                ..ConstructStats::default()
+            };
+            let state = std::mem::take(&mut self.color);
+            match construct::finish(&self.supergraph, &self.spec, state, outcome, stats, None) {
+                Ok(construction) => {
+                    self.tasks_pending = construction.workflow().tasks().collect();
+                    self.construction = Some(construction);
+                    self.phase = Phase::Allocating;
+                    self.report.status = ProblemStatus::Allocating;
+                    vec![charge, WsAction::Constructed]
+                }
+                Err(e) => {
+                    self.phase = Phase::Failed;
+                    self.report.status = ProblemStatus::Failed { reason: e.to_string() };
+                    vec![charge, WsAction::Failed { reason: e.to_string() }]
+                }
+            }
+        } else {
+            // Grow the frontier: green labels whose consumers we have not
+            // asked about yet.
+            let frontier: Vec<Label> = self
+                .green_labels()
+                .into_iter()
+                .filter(|l| !self.queried.contains(l))
+                .collect();
+            if frontier.is_empty() {
+                let reason = format!(
+                    "no feasible workflow: unreachable goals {:?}",
+                    outcome.unreachable_goals
+                );
+                self.last_outcome = Some(outcome);
+                self.phase = Phase::Failed;
+                self.report.status = ProblemStatus::Failed { reason: reason.clone() };
+                return vec![charge, WsAction::Failed { reason }];
+            }
+            self.last_outcome = Some(outcome);
+            let mut actions = vec![charge];
+            actions.extend(self.start_fragment_round(
+                frontier,
+                local_fragments,
+                local_services,
+                params,
+            ));
+            actions
+        }
+    }
+
+    fn green_labels(&self) -> Vec<Label> {
+        use openwf_core::construct::Color;
+        let g = self.supergraph.graph();
+        g.node_indices()
+            .filter(|&i| i.index() < self.color.len() && self.color.color(i) == Color::Green)
+            .filter_map(|i| g.key(i).as_label())
+            .collect()
+    }
+}
+
+/// All workspaces of one host, keyed by problem.
+#[derive(Debug, Default)]
+pub struct WorkflowManager {
+    workspaces: HashMap<ProblemId, Workspace>,
+}
+
+impl WorkflowManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        WorkflowManager::default()
+    }
+
+    /// Creates and stores a workspace.
+    pub fn create(&mut self, problem: ProblemId, spec: Spec, now: SimTime, n_peers: usize) {
+        self.workspaces
+            .insert(problem, Workspace::new(problem, spec, now, n_peers));
+    }
+
+    /// Mutable workspace lookup.
+    pub fn get_mut(&mut self, problem: &ProblemId) -> Option<&mut Workspace> {
+        self.workspaces.get_mut(problem)
+    }
+
+    /// Immutable workspace lookup.
+    pub fn get(&self, problem: &ProblemId) -> Option<&Workspace> {
+        self.workspaces.get(problem)
+    }
+
+    /// Number of workspaces (problems this host has initiated).
+    pub fn len(&self) -> usize {
+        self.workspaces.len()
+    }
+
+    /// True if no workspace exists.
+    pub fn is_empty(&self) -> bool {
+        self.workspaces.is_empty()
+    }
+
+    /// Iterates over all workspaces.
+    pub fn iter(&self) -> impl Iterator<Item = &Workspace> + '_ {
+        self.workspaces.values()
+    }
+}
+
+impl fmt::Display for Workspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workspace {} [{:?}]: round {}, {} fragments",
+            self.problem, self.phase, self.round, self.report.fragments_pulled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::Mode;
+    use openwf_simnet::HostId;
+
+    fn pid() -> ProblemId {
+        ProblemId::new(HostId(0), 0)
+    }
+
+    fn frag(id: &str, task: &str, input: &str, output: &str) -> Fragment {
+        Fragment::single_task(id, task, Mode::Disjunctive, [input], [output]).unwrap()
+    }
+
+    /// Local-only construction (0 peers): the workspace must resolve
+    /// everything synchronously through its own managers.
+    #[test]
+    fn zero_peer_construction_completes_locally() {
+        let mut fm = FragmentManager::new();
+        fm.add(frag("f1", "t1", "a", "b"));
+        fm.add(frag("f2", "t2", "b", "c"));
+        let mut sm = ServiceManager::new();
+        sm.register(crate::service::ServiceDescription::new(
+            "t1",
+            SimDuration::from_secs(1),
+        ));
+        sm.register(crate::service::ServiceDescription::new(
+            "t2",
+            SimDuration::from_secs(1),
+        ));
+
+        let spec = Spec::new(["a"], ["c"]);
+        let mut ws = Workspace::new(pid(), spec.clone(), SimTime::ZERO, 0);
+        let actions = ws.begin(&fm, &sm, &RuntimeParams::default());
+        assert!(
+            actions.contains(&WsAction::Constructed),
+            "expected Constructed in {actions:?}"
+        );
+        assert_eq!(ws.phase, Phase::Allocating);
+        let w = ws.construction.as_ref().unwrap().workflow();
+        assert!(spec.is_satisfied_strict(w));
+    }
+
+    /// Capability filtering: without a service for t2 anywhere, the goal
+    /// is unreachable.
+    #[test]
+    fn zero_peer_construction_respects_capabilities() {
+        let mut fm = FragmentManager::new();
+        fm.add(frag("f1", "t1", "a", "b"));
+        fm.add(frag("f2", "t2", "b", "c"));
+        let mut sm = ServiceManager::new();
+        sm.register(crate::service::ServiceDescription::new(
+            "t1",
+            SimDuration::from_secs(1),
+        ));
+
+        let spec = Spec::new(["a"], ["c"]);
+        let mut ws = Workspace::new(pid(), spec, SimTime::ZERO, 0);
+        let actions = ws.begin(&fm, &sm, &RuntimeParams::default());
+        assert!(
+            actions.iter().any(|a| matches!(a, WsAction::Failed { .. })),
+            "expected failure in {actions:?}"
+        );
+        assert_eq!(ws.phase, Phase::Failed);
+    }
+
+    /// With peers, the workspace emits queries and waits for replies; the
+    /// test plays the network's role.
+    #[test]
+    fn peer_rounds_drive_queries_and_replies() {
+        let fm = FragmentManager::new(); // initiator knows nothing
+        let mut sm = ServiceManager::new();
+        sm.register(crate::service::ServiceDescription::new(
+            "t1",
+            SimDuration::from_secs(1),
+        ));
+        let params = RuntimeParams::default();
+
+        let spec = Spec::new(["a"], ["b"]);
+        let mut ws = Workspace::new(pid(), spec, SimTime::ZERO, 1);
+        let actions = ws.begin(&fm, &sm, &params);
+        let round = match &actions[0] {
+            WsAction::BroadcastFragmentQuery { round, labels } => {
+                assert_eq!(labels, &vec![Label::new("a")]);
+                *round
+            }
+            other => panic!("expected fragment query, got {other:?}"),
+        };
+        assert!(matches!(actions[1], WsAction::ArmRoundTimeout { .. }));
+
+        // Peer replies with the fragment that produces b.
+        let actions =
+            ws.on_fragment_reply(round, vec![frag("f1", "t1", "a", "b")], &fm, &sm, &params);
+        // Now a capability round for t1 must go out.
+        let cap_round = actions
+            .iter()
+            .find_map(|a| match a {
+                WsAction::BroadcastCapabilityQuery { round, tasks } => {
+                    assert_eq!(tasks, &vec![TaskId::new("t1")]);
+                    Some(*round)
+                }
+                _ => None,
+            })
+            .expect("capability query expected");
+
+        // Peer can serve t1 too (or not — local service suffices).
+        let actions = ws.on_capability_reply(cap_round, vec![], &fm, &sm, &params);
+        assert!(actions.contains(&WsAction::Constructed), "{actions:?}");
+        assert_eq!(ws.report.query_rounds, 1);
+        assert_eq!(ws.report.fragments_pulled, 1);
+    }
+
+    #[test]
+    fn round_timeout_proceeds_with_partial_replies() {
+        let mut fm = FragmentManager::new();
+        fm.add(frag("f1", "t1", "a", "b"));
+        let mut sm = ServiceManager::new();
+        sm.register(crate::service::ServiceDescription::new(
+            "t1",
+            SimDuration::from_secs(1),
+        ));
+        let params = RuntimeParams::default();
+
+        let spec = Spec::new(["a"], ["b"]);
+        // 2 peers, but they never answer.
+        let mut ws = Workspace::new(pid(), spec, SimTime::ZERO, 2);
+        let actions = ws.begin(&fm, &sm, &params);
+        let round = match &actions[0] {
+            WsAction::BroadcastFragmentQuery { round, .. } => *round,
+            other => panic!("{other:?}"),
+        };
+        // Timeout fires: proceed with the local fragment only. The next
+        // round is the capability query, which also times out.
+        let actions = ws.on_round_timeout(round, &fm, &sm, &params);
+        let cap_round = actions
+            .iter()
+            .find_map(|a| match a {
+                WsAction::BroadcastCapabilityQuery { round, .. } => Some(*round),
+                _ => None,
+            })
+            .expect("capability round");
+        let actions = ws.on_round_timeout(cap_round, &fm, &sm, &params);
+        assert!(actions.contains(&WsAction::Constructed), "{actions:?}");
+    }
+
+    #[test]
+    fn stale_replies_are_ignored() {
+        let fm = FragmentManager::new();
+        let sm = ServiceManager::new();
+        let params = RuntimeParams::default();
+        let mut ws = Workspace::new(pid(), Spec::new(["a"], ["b"]), SimTime::ZERO, 1);
+        let _ = ws.begin(&fm, &sm, &params);
+        // Reply for a wrong round: no effect.
+        let actions = ws.on_fragment_reply(99, vec![], &fm, &sm, &params);
+        assert!(actions.is_empty());
+        // Capability reply while in a fragment round: ignored.
+        let actions = ws.on_capability_reply(1, vec![], &fm, &sm, &params);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn manager_isolates_workspaces() {
+        let mut mgr = WorkflowManager::new();
+        let p1 = ProblemId::new(HostId(0), 1);
+        let p2 = ProblemId::new(HostId(0), 2);
+        mgr.create(p1, Spec::new(["a"], ["b"]), SimTime::ZERO, 3);
+        mgr.create(p2, Spec::new(["x"], ["y"]), SimTime::ZERO, 3);
+        assert_eq!(mgr.len(), 2);
+        assert!(mgr.get(&p1).is_some());
+        assert_ne!(
+            mgr.get(&p1).unwrap().spec,
+            mgr.get(&p2).unwrap().spec,
+            "workspaces are independent"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Distribution of knowledge and capabilities across hosts.
+//!
+//! §5: "Given a supergraph and a chosen number of hosts, we finish setting
+//! up the scenario by distributing the tasks randomly and evenly amongst
+//! the hosts, and independently distributing corresponding services
+//! randomly and evenly amongst the hosts. Each of the n hosts has only
+//! 1/n-th of the entire supergraph, so the hosts must cooperate to solve
+//! the posed problem."
+
+use openwf_runtime::{HostConfig, ServiceDescription};
+use openwf_simnet::SimDuration;
+use rand::rngs::StdRng;
+
+use crate::generator::{task_id, GeneratedKnowledge};
+
+/// Builds `hosts` host configurations: fragment `i` goes to a random host,
+/// and the service for task `i` goes to an *independently* chosen random
+/// host. Both distributions are even (round-robin over a shuffle).
+///
+/// `service_duration` is the simulated execution time of every generated
+/// service.
+///
+/// # Panics
+///
+/// Panics if `hosts == 0`.
+pub fn distribute_knowledge(
+    knowledge: &GeneratedKnowledge,
+    hosts: usize,
+    service_duration: SimDuration,
+    rng: &mut StdRng,
+) -> Vec<HostConfig> {
+    assert!(hosts > 0, "need at least one host");
+    let mut configs: Vec<HostConfig> = (0..hosts).map(|_| HostConfig::new()).collect();
+
+    // Fragments: shuffled round-robin ⇒ random and even.
+    for (slot, frag_idx) in knowledge.shuffled_indices(rng).into_iter().enumerate() {
+        configs[slot % hosts]
+            .fragments
+            .push(knowledge.fragments()[frag_idx].clone());
+    }
+    // Services: an independent shuffle.
+    for (slot, task_idx) in knowledge.shuffled_indices(rng).into_iter().enumerate() {
+        configs[slot % hosts]
+            .services
+            .push(ServiceDescription::new(task_id(task_idx), service_duration));
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distribution_is_even_and_complete() {
+        let k = GeneratedKnowledge::generate(30, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let configs = distribute_knowledge(&k, 4, SimDuration::from_millis(1), &mut rng);
+        assert_eq!(configs.len(), 4);
+        let frag_total: usize = configs.iter().map(|c| c.fragments.len()).sum();
+        let svc_total: usize = configs.iter().map(|c| c.services.len()).sum();
+        assert_eq!(frag_total, 30);
+        assert_eq!(svc_total, 30);
+        // Even: ceil/floor of 30/4.
+        for c in &configs {
+            assert!(c.fragments.len() == 7 || c.fragments.len() == 8);
+            assert!(c.services.len() == 7 || c.services.len() == 8);
+        }
+    }
+
+    #[test]
+    fn fragment_and_service_owners_differ() {
+        // With independent shuffles, at least one task's knowledge and
+        // capability should land on different hosts (overwhelmingly likely
+        // at n=30, h=4; deterministic under the fixed seed).
+        let k = GeneratedKnowledge::generate(30, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let configs = distribute_knowledge(&k, 4, SimDuration::from_millis(1), &mut rng);
+        let mut split = false;
+        for (hi, c) in configs.iter().enumerate() {
+            for f in &c.fragments {
+                let task = f.tasks().next().unwrap();
+                let owner_has_service = configs[hi].services.iter().any(|s| s.task == task);
+                if !owner_has_service {
+                    split = true;
+                }
+            }
+        }
+        assert!(split, "seed produced a fully aligned distribution");
+    }
+
+    #[test]
+    fn single_host_gets_everything() {
+        let k = GeneratedKnowledge::generate(10, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let configs = distribute_knowledge(&k, 1, SimDuration::from_millis(1), &mut rng);
+        assert_eq!(configs[0].fragments.len(), 10);
+        assert_eq!(configs[0].services.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_panics() {
+        let k = GeneratedKnowledge::generate(10, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = distribute_knowledge(&k, 0, SimDuration::from_millis(1), &mut rng);
+    }
+}

@@ -1,0 +1,216 @@
+//! The §1 motivating scenario: a mercury spill on a construction site.
+//!
+//! "Consider a construction worker discovering a mercury spill. While
+//! there is a prescribed response, it is his supervisor who has the needed
+//! expertise and training. She initiates the response, but access to the
+//! spill is made difficult by a support structure whose dismantling
+//! requires special intervention which only the chief engineer can
+//! manage."
+//!
+//! The knowledge base chains:
+//!
+//! * spill reported → `assess hazard` → hazard assessed
+//! * hazard assessed → `plan response` → response planned
+//! * response planned → `authorize dismantling` → dismantling authorized
+//! * dismantling authorized → `dismantle support structure` → access clear
+//! * {access clear + response planned} → `contain spill` (conjunctive)
+//!   → spill contained
+//! * spill contained → `decontaminate area` → site safe
+//!
+//! Participants: the worker (reporter, can dismantle under direction),
+//! the supervisor (hazard expertise), the chief engineer (authorization +
+//! structural knowhow) and a hazmat technician (containment).
+
+use openwf_core::{Fragment, Mode, Spec};
+use openwf_mobility::{Motion, Point, SiteMap};
+use openwf_runtime::{HostConfig, ServiceDescription};
+use openwf_simnet::SimDuration;
+
+/// Builder for the construction-site community.
+#[derive(Clone, Debug, Default)]
+pub struct EmergencyScenario {
+    /// If true, the chief engineer is unreachable (no authorization, no
+    /// dismantling knowhow): the response cannot be constructed.
+    pub engineer_absent: bool,
+}
+
+fn minutes(m: u64) -> SimDuration {
+    SimDuration::from_secs(m * 60)
+}
+
+impl EmergencyScenario {
+    /// Everyone on site.
+    pub fn new() -> Self {
+        EmergencyScenario::default()
+    }
+
+    /// Removes the chief engineer from the community.
+    pub fn without_engineer(mut self) -> Self {
+        self.engineer_absent = true;
+        self
+    }
+
+    /// The site map (meters; a large construction site).
+    pub fn site() -> SiteMap {
+        SiteMap::new()
+            .with("spill site", Point::new(0.0, 0.0))
+            .with("site office", Point::new(150.0, 80.0))
+            .with("equipment shed", Point::new(60.0, 200.0))
+    }
+
+    /// The response goal: make the site safe given a reported spill.
+    pub fn spec(&self) -> Spec {
+        Spec::new(["spill reported"], ["site safe"])
+    }
+
+    /// Host configurations `[worker, supervisor, engineer?, hazmat]`.
+    pub fn host_configs(&self) -> Vec<HostConfig> {
+        let mut hosts = vec![self.worker(), self.supervisor()];
+        if !self.engineer_absent {
+            hosts.push(self.engineer());
+        }
+        hosts.push(self.hazmat());
+        hosts
+    }
+
+    /// The worker who found the spill: muscle, no expertise.
+    pub fn worker(&self) -> HostConfig {
+        HostConfig::new()
+            .with_site(Self::site())
+            .located(Point::new(0.0, 0.0), Motion::WALKING)
+            .with_service(
+                ServiceDescription::new("dismantle support structure", minutes(45))
+                    .at_location("spill site"),
+            )
+    }
+
+    /// The supervisor: prescribed-response expertise.
+    pub fn supervisor(&self) -> HostConfig {
+        HostConfig::new()
+            .with_site(Self::site())
+            .located(Point::new(150.0, 80.0), Motion::WALKING)
+            .with_fragment(
+                Fragment::builder("hazard-response")
+                    .task("assess hazard", Mode::Conjunctive)
+                    .inputs(["spill reported"])
+                    .outputs(["hazard assessed"])
+                    .done()
+                    .task("plan response", Mode::Conjunctive)
+                    .inputs(["hazard assessed"])
+                    .outputs(["response planned"])
+                    .done()
+                    .build()
+                    .expect("static fragment is valid"),
+            )
+            .with_service(
+                ServiceDescription::new("assess hazard", minutes(15)).at_location("spill site"),
+            )
+            .with_service(ServiceDescription::new("plan response", minutes(10)))
+    }
+
+    /// The chief engineer: structural authority and knowhow.
+    pub fn engineer(&self) -> HostConfig {
+        HostConfig::new()
+            .with_site(Self::site())
+            .located(Point::new(60.0, 200.0), Motion::CART)
+            .with_fragment(
+                Fragment::builder("structural")
+                    .task("authorize dismantling", Mode::Conjunctive)
+                    .inputs(["response planned"])
+                    .outputs(["dismantling authorized"])
+                    .done()
+                    .task("dismantle support structure", Mode::Conjunctive)
+                    .inputs(["dismantling authorized"])
+                    .outputs(["access clear"])
+                    .done()
+                    .build()
+                    .expect("static fragment is valid"),
+            )
+            .with_service(ServiceDescription::new("authorize dismantling", minutes(5)))
+    }
+
+    /// The hazmat technician: containment and decontamination.
+    pub fn hazmat(&self) -> HostConfig {
+        HostConfig::new()
+            .with_site(Self::site())
+            .located(Point::new(60.0, 200.0), Motion::CART)
+            .with_fragment(
+                Fragment::builder("containment")
+                    .task("contain spill", Mode::Conjunctive)
+                    .inputs(["access clear", "response planned"])
+                    .outputs(["spill contained"])
+                    .done()
+                    .task("decontaminate area", Mode::Conjunctive)
+                    .inputs(["spill contained"])
+                    .outputs(["site safe"])
+                    .done()
+                    .build()
+                    .expect("static fragment is valid"),
+            )
+            .with_service(
+                ServiceDescription::new("contain spill", minutes(60)).at_location("spill site"),
+            )
+            .with_service(
+                ServiceDescription::new("decontaminate area", minutes(90))
+                    .at_location("spill site"),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::{Constructor, Supergraph, TaskId};
+
+    fn knowledge(s: &EmergencyScenario) -> (Supergraph, Vec<TaskId>) {
+        let mut sg = Supergraph::new();
+        let mut services = Vec::new();
+        for cfg in s.host_configs() {
+            for f in &cfg.fragments {
+                sg.merge_fragment(f);
+            }
+            services.extend(cfg.services.iter().map(|svc| svc.task.clone()));
+        }
+        (sg, services)
+    }
+
+    #[test]
+    fn full_team_constructs_the_response() {
+        let s = EmergencyScenario::new();
+        let (sg, services) = knowledge(&s);
+        let spec = s.spec();
+        let c = Constructor::new()
+            .construct_filtered(&sg, &spec, |t| services.contains(t))
+            .unwrap();
+        let w = c.workflow();
+        assert!(spec.accepts(w));
+        assert_eq!(w.task_count(), 6, "all six response steps: {w}");
+        // The conjunctive containment step keeps both inputs.
+        assert_eq!(w.task_inputs(&TaskId::new("contain spill")).len(), 2);
+    }
+
+    #[test]
+    fn absent_engineer_blocks_the_response() {
+        let s = EmergencyScenario::new().without_engineer();
+        let (sg, services) = knowledge(&s);
+        let spec = s.spec();
+        let r = Constructor::new().construct_filtered(&sg, &spec, |t| services.contains(t));
+        assert!(r.is_err(), "without authorization knowhow there is no plan");
+    }
+
+    #[test]
+    fn execution_order_respects_dependencies() {
+        let s = EmergencyScenario::new();
+        let (sg, services) = knowledge(&s);
+        let c = Constructor::new()
+            .construct_filtered(&sg, &s.spec(), |t| services.contains(t))
+            .unwrap();
+        let order = c.workflow().execution_order();
+        let pos = |t: &str| order.iter().position(|x| x == &TaskId::new(t)).unwrap();
+        assert!(pos("assess hazard") < pos("plan response"));
+        assert!(pos("plan response") < pos("authorize dismantling"));
+        assert!(pos("authorize dismantling") < pos("dismantle support structure"));
+        assert!(pos("dismantle support structure") < pos("contain spill"));
+        assert!(pos("contain spill") < pos("decontaminate area"));
+    }
+}

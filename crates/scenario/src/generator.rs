@@ -1,0 +1,333 @@
+//! Random supergraph generation and path-based specification sampling.
+//!
+//! §5: "we first construct a workflow supergraph of the chosen size by
+//! creating the desired number of nodes and then repeatedly adding edges
+//! between disconnected nodes until the graph is strongly connected. From
+//! this single supergraph we can then draw a large number of
+//! guaranteed-satisfiable specifications by randomly picking any
+//! triggering conditions and goal. We use only disjunctive task nodes in
+//! order to maintain the guarantee of satisfiability. … For each test run,
+//! the test driver randomly chooses a path of the desired length through
+//! the supergraph, and the initial and final label nodes of the path are
+//! used as the specification for that test run."
+//!
+//! Representation: task `i` produces the label `o{i}`; a supergraph edge
+//! `t_j → t_i` means `o{j}` is one of `t_i`'s inputs. Because every task
+//! is disjunctive, any single input label suffices to fire it, so any walk
+//! along edges yields a satisfiable (start-label, end-label) spec.
+
+use std::fmt;
+
+use openwf_core::{Fragment, Label, Mode, Spec, TaskId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A generated community knowledge base over `n` disjunctive tasks.
+#[derive(Clone)]
+pub struct GeneratedKnowledge {
+    n: usize,
+    /// `adj[i]` = tasks reachable one hop from task `i`.
+    adj: Vec<Vec<usize>>,
+    /// `inputs[i]` = tasks whose output labels feed task `i`.
+    inputs: Vec<Vec<usize>>,
+    /// One single-task fragment per task (fragment `f{i}` for task `t{i}`).
+    fragments: Vec<Fragment>,
+}
+
+/// The label produced by generated task `i`.
+pub fn output_label(i: usize) -> Label {
+    Label::new(format!("o{i}"))
+}
+
+/// The task id of generated task `i`.
+pub fn task_id(i: usize) -> TaskId {
+    TaskId::new(format!("t{i}"))
+}
+
+impl GeneratedKnowledge {
+    /// Generates a strongly connected supergraph over `n_tasks` tasks by
+    /// adding random edges until strong connectivity holds (the paper's
+    /// procedure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tasks < 2`.
+    pub fn generate(n_tasks: usize, seed: u64) -> Self {
+        assert!(n_tasks >= 2, "a supergraph needs at least two tasks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_tasks];
+        let mut has_edge = vec![false; n_tasks * n_tasks];
+
+        // "repeatedly adding edges between disconnected nodes until the
+        // graph is strongly connected": an edge a→b is only added while b
+        // is not yet reachable from a, so every edge improves
+        // connectivity and the result stays sparse — which is what gives
+        // the paper's Figure 5 its max-path-length cutoffs (a dense graph
+        // would admit Hamiltonian-length paths and log-length shortcuts).
+        loop {
+            let a = rng.random_range(0..n_tasks);
+            let b = rng.random_range(0..n_tasks);
+            if a == b || has_edge[a * n_tasks + b] || reachable(&adj, a, b) {
+                if strongly_connected(&adj) {
+                    break;
+                }
+                continue;
+            }
+            has_edge[a * n_tasks + b] = true;
+            adj[a].push(b);
+        }
+
+        let mut inputs: Vec<Vec<usize>> = vec![Vec::new(); n_tasks];
+        for (a, outs) in adj.iter().enumerate() {
+            for &b in outs {
+                inputs[b].push(a);
+            }
+        }
+
+        let fragments = (0..n_tasks)
+            .map(|i| {
+                // Strong connectivity guarantees in-degree ≥ 1.
+                Fragment::single_task(
+                    format!("f{i}"),
+                    task_id(i),
+                    Mode::Disjunctive,
+                    inputs[i].iter().map(|&j| output_label(j)),
+                    [output_label(i)],
+                )
+                .expect("generated fragment is a valid single-task workflow")
+            })
+            .collect();
+
+        GeneratedKnowledge { n: n_tasks, adj, inputs, fragments }
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of supergraph edges (task-to-task).
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// The per-task fragments (the community's distributed knowhow).
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// Tasks feeding task `i`.
+    pub fn inputs_of(&self, i: usize) -> &[usize] {
+        &self.inputs[i]
+    }
+
+    /// Draws a random simple path of `length` tasks and returns the
+    /// specification `ι = {input of first}, ω = {output of last}`.
+    ///
+    /// Returns `None` when the random walk dead-ends before reaching the
+    /// requested length (the caller retries with the same RNG, preserving
+    /// determinism). Use [`GeneratedKnowledge::sample_path`] for the
+    /// retrying wrapper.
+    pub fn try_sample_path(&self, length: usize, rng: &mut StdRng) -> Option<PathSpec> {
+        assert!(length >= 1);
+        let mut visited = vec![false; self.n];
+        let start = rng.random_range(0..self.n);
+        let mut path = vec![start];
+        visited[start] = true;
+        let mut current = start;
+        while path.len() < length {
+            let candidates: Vec<usize> = self.adj[current]
+                .iter()
+                .copied()
+                .filter(|&t| !visited[t])
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            current = candidates[rng.random_range(0..candidates.len())];
+            visited[current] = true;
+            path.push(current);
+        }
+        // ι: a random input label of the first task; ω: the last output.
+        let first_inputs = &self.inputs[start];
+        let trigger = output_label(first_inputs[rng.random_range(0..first_inputs.len())]);
+        let goal = output_label(*path.last().expect("non-empty path"));
+        if trigger == goal {
+            // Degenerate trivial spec; reject so measured runs do work.
+            return None;
+        }
+        Some(PathSpec {
+            spec: Spec::new([trigger], [goal]),
+            tasks: path.into_iter().map(task_id).collect(),
+        })
+    }
+
+    /// Like [`GeneratedKnowledge::try_sample_path`], retrying until a path
+    /// of the requested length is found (up to `max_tries`).
+    ///
+    /// Returns `None` if the supergraph admits no simple path of that
+    /// length reachable by random walks within the budget — the paper's
+    /// figures show exactly this effect ("the absence of timings for path
+    /// lengths greater than 10 in the small 25 task supergraph").
+    pub fn sample_path(
+        &self,
+        length: usize,
+        rng: &mut StdRng,
+        max_tries: usize,
+    ) -> Option<PathSpec> {
+        (0..max_tries).find_map(|_| self.try_sample_path(length, rng))
+    }
+
+    /// A shuffled assignment of fragment indices to `hosts` bins (helper
+    /// for [`crate::distribute`]).
+    pub fn shuffled_indices(&self, rng: &mut StdRng) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        idx.shuffle(rng);
+        idx
+    }
+}
+
+impl fmt::Debug for GeneratedKnowledge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GeneratedKnowledge")
+            .field("tasks", &self.n)
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+/// A sampled guaranteed-satisfiable specification with its witness path.
+#[derive(Clone, Debug)]
+pub struct PathSpec {
+    /// The specification (single trigger, single goal).
+    pub spec: Spec,
+    /// The witness path (a feasible workflow exists along these tasks; the
+    /// constructor may find a shorter alternative).
+    pub tasks: Vec<TaskId>,
+}
+
+/// Kosaraju-style strong connectivity check.
+fn strongly_connected(adj: &[Vec<usize>]) -> bool {
+    let n = adj.len();
+    if n == 0 {
+        return true;
+    }
+    if reach_count(adj, 0) != n {
+        return false;
+    }
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, outs) in adj.iter().enumerate() {
+        for &b in outs {
+            radj[b].push(a);
+        }
+    }
+    reach_count(&radj, 0) == n
+}
+
+/// True if `b` is reachable from `a` along directed edges.
+fn reachable(adj: &[Vec<usize>], a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    let mut seen = vec![false; adj.len()];
+    let mut stack = vec![a];
+    seen[a] = true;
+    while let Some(x) = stack.pop() {
+        for &y in &adj[x] {
+            if y == b {
+                return true;
+            }
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    false
+}
+
+fn reach_count(adj: &[Vec<usize>], start: usize) -> usize {
+    let mut seen = vec![false; adj.len()];
+    let mut stack = vec![start];
+    seen[start] = true;
+    let mut count = 1;
+    while let Some(x) = stack.pop() {
+        for &y in &adj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                count += 1;
+                stack.push(y);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::{Constructor, Supergraph};
+
+    #[test]
+    fn generated_graph_is_strongly_connected() {
+        for seed in [1, 2, 3] {
+            let k = GeneratedKnowledge::generate(50, seed);
+            assert!(strongly_connected(&k.adj), "seed {seed}");
+            assert_eq!(k.fragments().len(), 50);
+            // every task has at least one input (strong connectivity)
+            for i in 0..50 {
+                assert!(!k.inputs_of(i).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = GeneratedKnowledge::generate(30, 9);
+        let b = GeneratedKnowledge::generate(30, 9);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.adj, b.adj);
+    }
+
+    #[test]
+    fn sampled_specs_are_satisfiable() {
+        let k = GeneratedKnowledge::generate(40, 5);
+        let sg = Supergraph::from_fragments(k.fragments()).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        for length in [1, 3, 6, 10] {
+            let ps = k.sample_path(length, &mut rng, 200).expect("path found");
+            assert_eq!(ps.tasks.len(), length);
+            let c = Constructor::new()
+                .construct(&sg, &ps.spec)
+                .expect("guaranteed satisfiable");
+            assert!(ps.spec.accepts(c.workflow()));
+            // The solution is at most as long as the witness path.
+            assert!(c.workflow().task_count() <= length.max(1));
+        }
+    }
+
+    #[test]
+    fn long_paths_in_small_graphs_may_be_unavailable() {
+        let k = GeneratedKnowledge::generate(10, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        // length > n is impossible for a simple path.
+        assert!(k.sample_path(11, &mut rng, 50).is_none());
+    }
+
+    #[test]
+    fn path_sampling_is_deterministic_per_rng_seed() {
+        let k = GeneratedKnowledge::generate(40, 5);
+        let sample = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            k.sample_path(5, &mut rng, 100).map(|p| (p.spec, p.tasks))
+        };
+        assert_eq!(sample(4), sample(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tasks")]
+    fn tiny_graph_panics() {
+        let _ = GeneratedKnowledge::generate(1, 0);
+    }
+}

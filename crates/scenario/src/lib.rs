@@ -1,0 +1,42 @@
+//! # openwf-scenario — workloads and experiments for open workflows
+//!
+//! Everything §5 of WUCSE-2009-14 needs to reproduce its evaluation:
+//!
+//! * [`generator`] — the random supergraph generator: "we first construct a
+//!   workflow supergraph of the chosen size by creating the desired number
+//!   of nodes and then repeatedly adding edges between disconnected nodes
+//!   until the graph is strongly connected", using "only disjunctive task
+//!   nodes in order to maintain the guarantee of satisfiability", plus the
+//!   random path picker that yields guaranteed-satisfiable specifications.
+//! * [`distribute`] — "distributing the tasks randomly and evenly amongst
+//!   the hosts, and independently distributing corresponding services
+//!   randomly and evenly amongst the hosts."
+//! * [`experiment`] — the measurement loop: "measure the time taken from
+//!   when the specification is given to the initiating host to the time
+//!   when all tasks of the resulting workflow have been successfully
+//!   allocated to some host", averaged over many runs per path length.
+//! * [`catering`] — the full Figure-1 corporate-catering knowledge base
+//!   (§2.1), including the absent-chef and absent-waitstaff variations.
+//! * [`emergency`] — the §1 construction-site mercury-spill scenario with
+//!   locations and travel.
+//! * [`field_hospital`] — a §1 field-hospital scenario exercising
+//!   conjunctive decision points and capability-driven branch selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catering;
+pub mod distribute;
+pub mod emergency;
+pub mod experiment;
+pub mod field_hospital;
+pub mod generator;
+pub mod mobility_driver;
+pub mod stats;
+
+pub use distribute::distribute_knowledge;
+pub use experiment::{ExperimentConfig, LatencyKind, SeriesPoint, run_series};
+pub use generator::{GeneratedKnowledge, PathSpec};
+pub use mobility_driver::RangeMobility;
+pub use stats::Summary;

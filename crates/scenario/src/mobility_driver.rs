@@ -1,0 +1,220 @@
+//! Range-based mobility: movement drives connectivity.
+//!
+//! §1: hosts "move about and interact"; §2.2: "as participants move
+//! around in space, the knowledge available to the community changes with
+//! its membership." This module closes the loop between the mobility
+//! substrate and the network topology: each host follows a
+//! random-waypoint walk, and a link exists exactly while the two hosts
+//! are within radio range — the standard MANET disk model.
+//!
+//! The driver advances in discrete steps interleaved with simulation time
+//! (see `tests/` and the integration tests for the run pattern).
+
+use std::fmt;
+
+use openwf_mobility::{Motion, Point, RandomWaypoint, Rect};
+use openwf_simnet::{HostId, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random-waypoint walkers plus a disk connectivity model.
+pub struct RangeMobility {
+    walkers: Vec<RandomWaypoint>,
+    range_m: f64,
+    rng: StdRng,
+}
+
+impl RangeMobility {
+    /// Creates `n` walkers spread across the diagonal of `arena`, moving
+    /// at `motion` with `pause` seconds at each waypoint, connected while
+    /// within `range_m` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, the motion is stationary, or the range is not
+    /// positive.
+    pub fn new(
+        arena: Rect,
+        n: usize,
+        motion: Motion,
+        pause_seconds: f64,
+        range_m: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "need at least one walker");
+        assert!(range_m > 0.0, "radio range must be positive");
+        let walkers = (0..n)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / n as f64;
+                let start = arena.min.lerp(arena.max, t);
+                RandomWaypoint::new(arena, start, motion, pause_seconds)
+            })
+            .collect();
+        RangeMobility {
+            walkers,
+            range_m,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of walkers.
+    pub fn len(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// True if there are no walkers.
+    pub fn is_empty(&self) -> bool {
+        self.walkers.is_empty()
+    }
+
+    /// Current positions.
+    pub fn positions(&self) -> Vec<Point> {
+        self.walkers.iter().map(|w| w.position()).collect()
+    }
+
+    /// True while hosts `a` and `b` are within range.
+    pub fn in_range(&self, a: usize, b: usize) -> bool {
+        self.walkers[a]
+            .position()
+            .distance_to(self.walkers[b].position())
+            <= self.range_m
+    }
+
+    /// Number of live links under the disk model.
+    pub fn link_count(&self) -> usize {
+        let n = self.walkers.len();
+        (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .filter(|&(a, b)| self.in_range(a, b))
+            .count()
+    }
+
+    /// Advances every walker by `dt_seconds` and rewrites `topology` to
+    /// match the disk model over `hosts` (index i ↔ walker i).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts.len()` differs from the walker count.
+    pub fn advance(&mut self, dt_seconds: f64, topology: &mut Topology, hosts: &[HostId]) {
+        assert_eq!(hosts.len(), self.walkers.len(), "one walker per host");
+        for w in &mut self.walkers {
+            w.advance(dt_seconds, &mut self.rng);
+        }
+        for a in 0..hosts.len() {
+            for b in (a + 1)..hosts.len() {
+                if self.in_range(a, b) {
+                    topology.restore_link(hosts[a], hosts[b]);
+                } else {
+                    topology.cut_link(hosts[a], hosts[b]);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RangeMobility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RangeMobility")
+            .field("walkers", &self.walkers.len())
+            .field("range_m", &self.range_m)
+            .field("links", &self.link_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (0..n).map(HostId).collect()
+    }
+
+    #[test]
+    fn wide_range_keeps_full_mesh() {
+        let mut m = RangeMobility::new(
+            Rect::square(100.0),
+            4,
+            Motion::new(3.0),
+            0.0,
+            1_000.0, // range ≫ arena diagonal
+            1,
+        );
+        let mut topo = Topology::full_mesh();
+        let hs = hosts(4);
+        for _ in 0..20 {
+            m.advance(1.0, &mut topo, &hs);
+        }
+        assert_eq!(m.link_count(), 6);
+        assert_eq!(topo.down_count(), 0);
+    }
+
+    #[test]
+    fn tiny_range_fragments_the_community() {
+        let mut m = RangeMobility::new(
+            Rect::square(10_000.0),
+            5,
+            Motion::new(1.0),
+            0.0,
+            1.0, // 1m range in a 10km arena
+            2,
+        );
+        let mut topo = Topology::full_mesh();
+        let hs = hosts(5);
+        m.advance(1.0, &mut topo, &hs);
+        assert_eq!(m.link_count(), 0, "spread-out walkers are isolated");
+        assert_eq!(topo.down_count(), 10, "all 10 pairs cut");
+    }
+
+    #[test]
+    fn links_heal_when_walkers_reconverge() {
+        // Two walkers in a small arena with moderate range: over time the
+        // link must toggle at least once in each direction.
+        let mut m = RangeMobility::new(
+            Rect::square(200.0),
+            2,
+            Motion::new(20.0),
+            0.0,
+            80.0,
+            3,
+        );
+        let mut topo = Topology::full_mesh();
+        let hs = hosts(2);
+        let mut seen_up = false;
+        let mut seen_down = false;
+        for _ in 0..300 {
+            m.advance(1.0, &mut topo, &hs);
+            if topo.connected(hs[0], hs[1]) {
+                seen_up = true;
+            } else {
+                seen_down = true;
+            }
+        }
+        assert!(seen_up, "walkers should come into range at least once");
+        assert!(seen_down, "walkers should part at least once");
+    }
+
+    #[test]
+    fn advance_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut m =
+                RangeMobility::new(Rect::square(500.0), 3, Motion::new(5.0), 1.0, 100.0, seed);
+            let mut topo = Topology::full_mesh();
+            let hs = hosts(3);
+            for _ in 0..50 {
+                m.advance(0.5, &mut topo, &hs);
+            }
+            m.positions()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "one walker per host")]
+    fn mismatched_host_count_panics() {
+        let mut m =
+            RangeMobility::new(Rect::square(10.0), 2, Motion::new(1.0), 0.0, 5.0, 0);
+        let mut topo = Topology::full_mesh();
+        m.advance(1.0, &mut topo, &hosts(3));
+    }
+}

@@ -1,0 +1,188 @@
+//! The discrete-event queue.
+//!
+//! Events are totally ordered by `(time, sequence)`: ties in virtual time
+//! break by insertion order, which makes runs reproducible regardless of
+//! how the underlying binary heap resolves equal keys.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::actor::TimerToken;
+use crate::message::HostId;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// Deliver a message to a host.
+    Deliver {
+        /// Sending host.
+        from: HostId,
+        /// Receiving host.
+        to: HostId,
+        /// The message.
+        msg: M,
+    },
+    /// Fire a host timer.
+    Timer {
+        /// Host whose timer fires.
+        host: HostId,
+        /// The actor-chosen token.
+        token: TimerToken,
+    },
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event<M> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number (assigned by the queue).
+    pub seq: u64,
+    /// The action.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// An earliest-first event queue with deterministic tie-breaking.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event at the given time.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<M> fmt::Debug for EventQueue<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(host: u32, token: u64) -> EventKind<()> {
+        EventKind::Timer { host: HostId(host), token: TimerToken(token) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), timer(0, 3));
+        q.schedule(SimTime::from_micros(10), timer(0, 1));
+        q.schedule(SimTime::from_micros(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.schedule(t, timer(0, i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(7), timer(1, 0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deliver_events_carry_payload() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            SimTime::ZERO,
+            EventKind::Deliver { from: HostId(0), to: HostId(1), msg: 42u32 },
+        );
+        match q.pop().unwrap().kind {
+            EventKind::Deliver { from, to, msg } => {
+                assert_eq!((from, to, msg), (HostId(0), HostId(1), 42));
+            }
+            _ => panic!("expected deliver"),
+        }
+    }
+}

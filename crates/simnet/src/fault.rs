@@ -1,0 +1,136 @@
+//! Fault injection: message loss and host crashes.
+//!
+//! Used by the robustness tests and the workflow-repair experiment (E6 in
+//! DESIGN.md): a crashed host silently stops receiving and sending, as a
+//! powered-off device would; lossy links drop messages with a configured
+//! probability.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use rand::RngExt;
+
+use crate::message::HostId;
+
+/// Configurable fault plan consulted by the network kernel.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    drop_probability: f64,
+    crashed: HashSet<HostId>,
+}
+
+impl FaultInjector {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Sets the independent per-message drop probability (0.0–1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.drop_probability = p;
+    }
+
+    /// The configured drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Marks a host as crashed: it no longer sends or receives.
+    pub fn crash(&mut self, host: HostId) {
+        self.crashed.insert(host);
+    }
+
+    /// Revives a crashed host (its state is whatever it was — the paper's
+    /// "participant is free to roam" model has no amnesia on reconnect).
+    pub fn revive(&mut self, host: HostId) {
+        self.crashed.remove(&host);
+    }
+
+    /// True if the host is currently crashed.
+    pub fn is_crashed(&self, host: HostId) -> bool {
+        self.crashed.contains(&host)
+    }
+
+    /// Decides whether a message from `from` to `to` is lost.
+    pub fn should_drop(
+        &self,
+        from: HostId,
+        to: HostId,
+        rng: &mut dyn rand::Rng,
+    ) -> bool {
+        if self.is_crashed(from) || self.is_crashed(to) {
+            return true;
+        }
+        self.drop_probability > 0.0 && rng.random_bool(self.drop_probability)
+    }
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("drop_probability", &self.drop_probability)
+            .field("crashed", &self.crashed.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_faults_by_default() {
+        let f = FaultInjector::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!f.should_drop(HostId(0), HostId(1), &mut rng));
+        }
+    }
+
+    #[test]
+    fn crashed_hosts_drop_everything() {
+        let mut f = FaultInjector::none();
+        f.crash(HostId(1));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(f.should_drop(HostId(1), HostId(0), &mut rng), "from crashed");
+        assert!(f.should_drop(HostId(0), HostId(1), &mut rng), "to crashed");
+        assert!(!f.should_drop(HostId(0), HostId(2), &mut rng));
+        assert!(f.is_crashed(HostId(1)));
+        f.revive(HostId(1));
+        assert!(!f.should_drop(HostId(0), HostId(1), &mut rng));
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let mut f = FaultInjector::none();
+        f.set_drop_probability(0.3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let drops = (0..10_000)
+            .filter(|_| f.should_drop(HostId(0), HostId(1), &mut rng))
+            .count();
+        assert!((2_700..3_300).contains(&drops), "got {drops} drops");
+    }
+
+    #[test]
+    fn full_loss_and_no_loss_extremes() {
+        let mut f = FaultInjector::none();
+        let mut rng = StdRng::seed_from_u64(5);
+        f.set_drop_probability(1.0);
+        assert!(f.should_drop(HostId(0), HostId(1), &mut rng));
+        f.set_drop_probability(0.0);
+        assert!(!f.should_drop(HostId(0), HostId(1), &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        FaultInjector::none().set_drop_probability(1.5);
+    }
+}

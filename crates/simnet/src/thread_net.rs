@@ -1,0 +1,452 @@
+//! A threaded transport: the same actors on real OS threads.
+//!
+//! This is the "empirical" counterpart of [`crate::SimNetwork`]: each host
+//! runs on its own thread, messages travel through crossbeam channels via a
+//! router thread that imposes an optional link delay, and the clock is the
+//! real wall clock (mapped to [`SimTime`] microseconds since start). Runs
+//! are *not* deterministic — that is the point: integration tests use this
+//! transport to check that the protocol logic tolerates real
+//! interleavings, mirroring the paper's four-laptop experiment next to its
+//! single-JVM simulations.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::actor::{Actor, Context, TimerToken};
+use crate::message::{HostId, Message};
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+enum Envelope<M> {
+    Start,
+    Msg { from: HostId, msg: M },
+    Timer { token: TimerToken },
+    Stop,
+}
+
+enum RouterCmd<M> {
+    Send { from: HostId, to: HostId, msg: M },
+    Timer { host: HostId, token: TimerToken, after: Duration },
+    Stop,
+}
+
+struct Queued<M> {
+    deliver_at: Instant,
+    seq: u64,
+    to: HostId,
+    envelope: Envelope<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// A network of actors on real threads.
+///
+/// Lifecycle: [`ThreadNetwork::new`] → [`ThreadNetwork::add_host`]* →
+/// [`ThreadNetwork::start`] → interact → [`ThreadNetwork::shutdown`].
+pub struct ThreadNetwork<M: Message, A: Actor<M> + 'static> {
+    actors: Vec<Arc<Mutex<A>>>,
+    host_txs: Vec<Sender<Envelope<M>>>,
+    host_rxs: Vec<Option<Receiver<Envelope<M>>>>,
+    router_tx: Option<Sender<RouterCmd<M>>>,
+    router_rx: Option<Receiver<RouterCmd<M>>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<Mutex<NetStats>>,
+    topology: Arc<Mutex<Topology>>,
+    link_delay: Duration,
+    epoch: Instant,
+    started: bool,
+}
+
+impl<M: Message, A: Actor<M> + 'static> ThreadNetwork<M, A> {
+    /// Creates an empty threaded network.
+    pub fn new() -> Self {
+        let (router_tx, router_rx) = channel::unbounded();
+        ThreadNetwork {
+            actors: Vec::new(),
+            host_txs: Vec::new(),
+            host_rxs: Vec::new(),
+            router_tx: Some(router_tx),
+            router_rx: Some(router_rx),
+            handles: Vec::new(),
+            stats: Arc::new(Mutex::new(NetStats::default())),
+            topology: Arc::new(Mutex::new(Topology::full_mesh())),
+            link_delay: Duration::ZERO,
+            epoch: Instant::now(),
+            started: false,
+        }
+    }
+
+    /// Sets a fixed artificial link delay applied to every inter-host
+    /// message (defaults to zero: channel speed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ThreadNetwork::start`].
+    pub fn set_link_delay(&mut self, delay: Duration) {
+        assert!(!self.started, "configure before start");
+        self.link_delay = delay;
+    }
+
+    /// Adds a host. Ids are dense, in call order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ThreadNetwork::start`].
+    pub fn add_host(&mut self, actor: A) -> HostId {
+        assert!(!self.started, "add hosts before start");
+        let id = HostId(self.actors.len() as u32);
+        let (tx, rx) = channel::unbounded();
+        self.actors.push(Arc::new(Mutex::new(actor)));
+        self.host_txs.push(tx);
+        self.host_rxs.push(Some(rx));
+        id
+    }
+
+    /// Connectivity control shared with the router thread.
+    pub fn topology(&self) -> Arc<Mutex<Topology>> {
+        Arc::clone(&self.topology)
+    }
+
+    /// Spawns the router and host threads and delivers `on_start` to every
+    /// actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start may only be called once");
+        self.started = true;
+        self.epoch = Instant::now();
+
+        // Router thread.
+        let router_rx = self.router_rx.take().expect("router rx present");
+        let host_txs = self.host_txs.clone();
+        let stats = Arc::clone(&self.stats);
+        let topology = Arc::clone(&self.topology);
+        let link_delay = self.link_delay;
+        let router = thread::Builder::new()
+            .name("openwf-router".into())
+            .spawn(move || {
+                let mut heap: BinaryHeap<Queued<M>> = BinaryHeap::new();
+                let mut seq = 0u64;
+                loop {
+                    // Wait for the next command or the next due delivery.
+                    let timeout = heap
+                        .peek()
+                        .map(|q| q.deliver_at.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_millis(50));
+                    match router_rx.recv_timeout(timeout) {
+                        Ok(RouterCmd::Send { from, to, msg }) => {
+                            let mut st = stats.lock();
+                            st.sent += 1;
+                            if !topology.lock().connected(from, to) {
+                                st.dropped += 1;
+                            } else {
+                                drop(st);
+                                seq += 1;
+                                heap.push(Queued {
+                                    deliver_at: Instant::now() + link_delay,
+                                    seq,
+                                    to,
+                                    envelope: Envelope::Msg { from, msg },
+                                });
+                            }
+                        }
+                        Ok(RouterCmd::Timer { host, token, after }) => {
+                            seq += 1;
+                            heap.push(Queued {
+                                deliver_at: Instant::now() + after,
+                                seq,
+                                to: host,
+                                envelope: Envelope::Timer { token },
+                            });
+                        }
+                        Ok(RouterCmd::Stop) => break,
+                        Err(channel::RecvTimeoutError::Timeout) => {}
+                        Err(channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                    // Flush everything due.
+                    let now = Instant::now();
+                    while heap.peek().is_some_and(|q| q.deliver_at <= now) {
+                        let q = heap.pop().expect("peeked");
+                        match &q.envelope {
+                            Envelope::Msg { .. } => {
+                                let mut st = stats.lock();
+                                st.delivered += 1;
+                            }
+                            Envelope::Timer { .. } => {
+                                stats.lock().timers_fired += 1;
+                            }
+                            _ => {}
+                        }
+                        // A closed host channel means shutdown is racing us.
+                        let _ = host_txs[q.to.index()].send(q.envelope);
+                    }
+                }
+            })
+            .expect("spawn router thread");
+        self.handles.push(router);
+
+        // Host threads.
+        for i in 0..self.actors.len() {
+            let id = HostId(i as u32);
+            let rx = self.host_rxs[i].take().expect("host rx present");
+            let actor = Arc::clone(&self.actors[i]);
+            let router_tx = self.router_tx.clone().expect("router tx");
+            let epoch = self.epoch;
+            let handle = thread::Builder::new()
+                .name(format!("openwf-host{i}"))
+                .spawn(move || {
+                    host_loop(id, rx, actor, router_tx, epoch);
+                })
+                .expect("spawn host thread");
+            self.handles.push(handle);
+        }
+        for tx in &self.host_txs {
+            let _ = tx.send(Envelope::Start);
+        }
+    }
+
+    /// Injects a message as if sent by `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has not been started.
+    pub fn send_external(&self, from: HostId, to: HostId, msg: M) {
+        assert!(self.started, "start the network first");
+        let tx = self.router_tx.as_ref().expect("router tx");
+        let _ = tx.send(RouterCmd::Send { from, to, msg });
+    }
+
+    /// Runs `f` with the host's actor locked.
+    pub fn with_host<R>(&self, id: HostId, f: impl FnOnce(&mut A) -> R) -> R {
+        let mut guard = self.actors[id.index()].lock();
+        f(&mut guard)
+    }
+
+    /// Polls `pred` (which may lock hosts) every millisecond until it holds
+    /// or `timeout` elapses. Returns whether it held.
+    pub fn wait_until(&self, timeout: Duration, mut pred: impl FnMut(&Self) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Wall-clock time since start, as [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    /// All host ids.
+    pub fn hosts(&self) -> Vec<HostId> {
+        (0..self.actors.len() as u32).map(HostId).collect()
+    }
+
+    /// Stops every thread and joins them. Idempotent.
+    pub fn shutdown(&mut self) {
+        if !self.started {
+            return;
+        }
+        for tx in &self.host_txs {
+            let _ = tx.send(Envelope::Stop);
+        }
+        if let Some(tx) = self.router_tx.take() {
+            let _ = tx.send(RouterCmd::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.started = false;
+    }
+}
+
+impl<M: Message, A: Actor<M> + 'static> Default for ThreadNetwork<M, A> {
+    fn default() -> Self {
+        ThreadNetwork::new()
+    }
+}
+
+impl<M: Message, A: Actor<M> + 'static> Drop for ThreadNetwork<M, A> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<M: Message, A: Actor<M> + 'static> std::fmt::Debug for ThreadNetwork<M, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadNetwork")
+            .field("hosts", &self.actors.len())
+            .field("started", &self.started)
+            .finish()
+    }
+}
+
+fn host_loop<M: Message, A: Actor<M>>(
+    id: HostId,
+    rx: Receiver<Envelope<M>>,
+    actor: Arc<Mutex<A>>,
+    router_tx: Sender<RouterCmd<M>>,
+    epoch: Instant,
+) {
+    let mut outbox: Vec<(HostId, M)> = Vec::new();
+    let mut timers: Vec<(SimDuration, TimerToken)> = Vec::new();
+    while let Ok(env) = rx.recv() {
+        let now = SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+        {
+            let mut guard = actor.lock();
+            let mut ctx = Context::new(now, id, &mut outbox, &mut timers);
+            match env {
+                Envelope::Start => guard.on_start(&mut ctx),
+                Envelope::Msg { from, msg } => guard.on_message(from, msg, &mut ctx),
+                Envelope::Timer { token } => guard.on_timer(token, &mut ctx),
+                Envelope::Stop => break,
+            }
+            // Real threads do real work; virtual charges are ignored here.
+        }
+        for (to, msg) in outbox.drain(..) {
+            let _ = router_tx.send(RouterCmd::Send { from: id, to, msg });
+        }
+        for (delay, token) in timers.drain(..) {
+            let _ = router_tx.send(RouterCmd::Timer {
+                host: id,
+                token,
+                after: Duration::from_micros(delay.as_micros()),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Ping(u32);
+    impl Message for Ping {}
+
+    #[derive(Default)]
+    struct Pong {
+        seen: Vec<u32>,
+        limit: u32,
+    }
+    impl Actor<Ping> for Pong {
+        fn on_message(&mut self, from: HostId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+            self.seen.push(msg.0);
+            if msg.0 < self.limit {
+                ctx.send(from, Ping(msg.0 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_ping_pong_completes() {
+        let mut net: ThreadNetwork<Ping, Pong> = ThreadNetwork::new();
+        let a = net.add_host(Pong { seen: vec![], limit: 6 });
+        let b = net.add_host(Pong { seen: vec![], limit: 6 });
+        net.start();
+        net.send_external(a, b, Ping(0));
+        let done = net.wait_until(Duration::from_secs(5), |n| {
+            n.with_host(a, |h| h.seen.len() >= 3) && n.with_host(b, |h| h.seen.len() >= 4)
+        });
+        assert!(done, "ping-pong should complete");
+        assert_eq!(net.with_host(b, |h| h.seen.clone()), vec![0, 2, 4, 6]);
+        net.shutdown();
+        assert_eq!(net.stats().delivered, 7);
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        struct T {
+            fired: bool,
+        }
+        impl Actor<Ping> for T {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                ctx.set_timer(SimDuration::from_millis(5), TimerToken(1));
+            }
+            fn on_timer(&mut self, token: TimerToken, _ctx: &mut Context<'_, Ping>) {
+                assert_eq!(token, TimerToken(1));
+                self.fired = true;
+            }
+        }
+        let mut net: ThreadNetwork<Ping, T> = ThreadNetwork::new();
+        let h = net.add_host(T { fired: false });
+        net.start();
+        assert!(net.wait_until(Duration::from_secs(5), |n| n.with_host(h, |a| a.fired)));
+        net.shutdown();
+    }
+
+    #[test]
+    fn topology_cut_blocks_threaded_messages() {
+        let mut net: ThreadNetwork<Ping, Pong> = ThreadNetwork::new();
+        let a = net.add_host(Pong::default());
+        let b = net.add_host(Pong::default());
+        net.topology().lock().cut_link(a, b);
+        net.start();
+        net.send_external(a, b, Ping(0));
+        assert!(!net.wait_until(Duration::from_millis(100), |n| {
+            n.with_host(b, |h| !h.seen.is_empty())
+        }));
+        assert_eq!(net.stats().dropped, 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn link_delay_is_applied() {
+        let mut net: ThreadNetwork<Ping, Pong> = ThreadNetwork::new();
+        let a = net.add_host(Pong::default());
+        let b = net.add_host(Pong::default());
+        net.set_link_delay(Duration::from_millis(30));
+        net.start();
+        let t0 = Instant::now();
+        net.send_external(a, b, Ping(100));
+        assert!(net.wait_until(Duration::from_secs(5), |n| {
+            n.with_host(b, |h| !h.seen.is_empty())
+        }));
+        assert!(t0.elapsed() >= Duration::from_millis(25), "delay respected");
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut net: ThreadNetwork<Ping, Pong> = ThreadNetwork::new();
+        net.add_host(Pong::default());
+        net.start();
+        net.shutdown();
+        net.shutdown();
+        // Dropping a never-started network is fine too.
+        let _unstarted: ThreadNetwork<Ping, Pong> = ThreadNetwork::new();
+    }
+}

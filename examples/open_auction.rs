@@ -1,0 +1,82 @@
+//! Allocation mechanics: specialization preference and failure repair.
+//!
+//! Part 1 shows §3.2's selection criterion in action: "a participant
+//! which provides fewer services is preferred over a participant with a
+//! wider array of services, because scheduling the more capable
+//! participant removes a larger number of services from the community's
+//! resource pool."
+//!
+//! Part 2 crashes the auction winner after allocation and shows the
+//! watchdog-driven repair (§5.1's reconstruction + reallocation) hand the
+//! task to the backup.
+//!
+//! Run with: `cargo run --example open_auction`
+
+use openworkflow::prelude::*;
+
+fn fragment() -> Fragment {
+    Fragment::single_task(
+        "fix",
+        "repair generator",
+        Mode::Conjunctive,
+        ["outage reported"],
+        ["power restored"],
+    )
+    .expect("valid fragment")
+}
+
+fn main() {
+    // --- Part 1: the specialist wins -----------------------------------
+    println!("=== auction: specialist vs generalist ===");
+    let generalist = HostConfig::new()
+        .with_fragment(fragment())
+        .with_service(ServiceDescription::new("repair generator", SimDuration::from_secs(30)))
+        .with_service(ServiceDescription::new("operate crane", SimDuration::from_secs(30)))
+        .with_service(ServiceDescription::new("drive truck", SimDuration::from_secs(30)));
+    let specialist = HostConfig::new()
+        .with_service(ServiceDescription::new("repair generator", SimDuration::from_secs(30)));
+
+    let mut community = CommunityBuilder::new(1).host(generalist).host(specialist).build();
+    let initiator = community.hosts()[0];
+    let handle = community.submit(initiator, Spec::new(["outage reported"], ["power restored"]));
+    let report = community.run_until_allocated(handle);
+    let (task, winner) = &report.assignments[0];
+    println!("task `{task}` awarded to {winner} (the specialist, host1)");
+    assert_eq!(*winner, HostId(1));
+
+    // --- Part 2: the winner crashes; repair reallocates ----------------
+    println!("\n=== repair: winner crashes after allocation ===");
+    let params = RuntimeParams {
+        execution_watchdog: SimDuration::from_secs(5),
+        ..RuntimeParams::default()
+    };
+    let mut community = CommunityBuilder::new(2)
+        .params(params)
+        .host(HostConfig::new().with_fragment(fragment()))
+        .host(HostConfig::new().with_service(ServiceDescription::new(
+            "repair generator",
+            SimDuration::from_secs(1),
+        )))
+        .host(HostConfig::new().with_service(ServiceDescription::new(
+            "repair generator",
+            SimDuration::from_secs(1),
+        )))
+        .build();
+    let initiator = community.hosts()[0];
+    let handle = community.submit(initiator, Spec::new(["outage reported"], ["power restored"]));
+    let report = community.run_until_allocated(handle);
+    let (_, winner) = &report.assignments[0];
+    println!("first allocation: host{}", winner.index());
+
+    println!("crashing host{} before it can execute…", winner.index());
+    community.net_mut().faults_mut().crash(*winner);
+    let report = community.run_until_complete(handle);
+    println!(
+        "after watchdog + repair: {} (attempt {}), executed by {:?}",
+        report.status,
+        report.repair_attempts,
+        report.assignments.first().map(|(_, h)| *h),
+    );
+    assert!(matches!(report.status, ProblemStatus::Completed));
+    assert_eq!(report.repair_attempts, 1);
+}

@@ -1,0 +1,160 @@
+//! Reproduction shape checks: small-N versions of the paper's Figures 4–6
+//! asserting the qualitative claims of §5 hold in this implementation.
+//! (The full-size regeneration lives in `openwf-bench`; these run in CI
+//! time.)
+
+use openworkflow::runtime::RuntimeParams;
+use openworkflow::scenario::{run_series, ExperimentConfig, LatencyKind};
+
+const RUNS: usize = 12;
+
+/// Figure 4's claim: "The average time grows roughly linearly with the
+/// number of hosts as the initiating host communicates pairwise with every
+/// member of the community during the construction and allocation phases."
+#[test]
+fn fig4_shape_time_grows_with_hosts() {
+    let mut means = Vec::new();
+    for hosts in [2usize, 5, 10] {
+        let cfg = ExperimentConfig::new(100, hosts, LatencyKind::SimulatedLan)
+            .path_lengths([8])
+            .runs(RUNS)
+            .seed(400);
+        let pts = run_series(&cfg);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].failures, 0);
+        means.push((hosts, pts[0].time_ms.mean));
+    }
+    assert!(
+        means[0].1 < means[1].1 && means[1].1 < means[2].1,
+        "time must grow with hosts: {means:?}"
+    );
+    // Roughly linear: 10 hosts should cost less than 10x the 2-host time
+    // (constant factors dominate the small end) but clearly more than 1x.
+    let ratio = means[2].1 / means[0].1;
+    assert!(
+        (1.2..25.0).contains(&ratio),
+        "10-vs-2 host ratio out of the linear ballpark: {ratio}"
+    );
+}
+
+/// Negative control for the Figure 4 mechanism: with *free* message
+/// processing (zero modeled compute) the host-count effect shrinks
+/// drastically — queries fan out in parallel and replies cost nothing —
+/// confirming that the linearity comes from serial per-member processing
+/// on the initiator, the paper's explanation.
+#[test]
+fn fig4_negative_control_zero_cost_flattens_host_scaling() {
+    let mean_at = |hosts: usize, params: RuntimeParams| {
+        let mut cfg = ExperimentConfig::new(100, hosts, LatencyKind::SimulatedLan)
+            .path_lengths([8])
+            .runs(RUNS)
+            .seed(402);
+        cfg.params = params;
+        run_series(&cfg)[0].time_ms.mean
+    };
+    let with_cost_ratio =
+        mean_at(10, RuntimeParams::default()) / mean_at(2, RuntimeParams::default());
+    let zero_cost_ratio =
+        mean_at(10, RuntimeParams::zero_cost()) / mean_at(2, RuntimeParams::zero_cost());
+    assert!(
+        zero_cost_ratio < with_cost_ratio,
+        "zero-cost processing must weaken host scaling: {zero_cost_ratio} !< {with_cost_ratio}"
+    );
+    assert!(
+        zero_cost_ratio < 1.15,
+        "with free processing the curves should nearly collapse: {zero_cost_ratio}"
+    );
+}
+
+/// Figure 4's other axis: longer solution paths cost more at fixed
+/// community size.
+#[test]
+fn fig4_shape_time_grows_with_path_length() {
+    let cfg = ExperimentConfig::new(100, 5, LatencyKind::SimulatedLan)
+        .path_lengths([2, 8, 16])
+        .runs(RUNS)
+        .seed(401);
+    let pts = run_series(&cfg);
+    assert_eq!(pts.len(), 3);
+    assert!(
+        pts[0].time_ms.mean < pts[2].time_ms.mean,
+        "length 16 must cost more than length 2: {:?}",
+        pts.iter().map(|p| p.time_ms.mean).collect::<Vec<_>>()
+    );
+}
+
+/// Figure 5's claim: "The rate of increase grows with the number of task
+/// nodes because the Workflow Manager encounters more nodes during its
+/// search through the densely connected supergraph."
+#[test]
+fn fig5_shape_time_grows_with_supergraph_size() {
+    let mut means = Vec::new();
+    for tasks in [25usize, 100, 250] {
+        let cfg = ExperimentConfig::new(tasks, 2, LatencyKind::SimulatedLan)
+            .path_lengths([6])
+            .runs(RUNS)
+            .seed(500);
+        let pts = run_series(&cfg);
+        assert_eq!(pts[0].failures, 0);
+        means.push((tasks, pts[0].time_ms.mean));
+    }
+    assert!(
+        means[0].1 < means[2].1,
+        "250-task graphs must cost more than 25-task graphs: {means:?}"
+    );
+}
+
+/// Figure 5's cutoff effect: "the longest path through the graph also
+/// increases as the size of the graph increases, which explains the
+/// absence of timings for path lengths greater than 10 in the small
+/// 25 task supergraph" — here: a 12-task graph has no length-13 path.
+#[test]
+fn fig5_shape_small_graphs_truncate_series() {
+    let cfg = ExperimentConfig::new(12, 2, LatencyKind::SimulatedLan)
+        .path_lengths([4, 13])
+        .runs(4)
+        .seed(501);
+    let pts = run_series(&cfg);
+    assert_eq!(pts.len(), 1, "length-13 must be absent: {pts:?}");
+    assert_eq!(pts[0].path_length, 4);
+}
+
+/// Figure 6's claim: realistic wireless networking inflates times by a
+/// constant-ish factor while preserving the task-count ordering.
+#[test]
+fn fig6_shape_wireless_inflates_but_preserves_order() {
+    let run = |tasks: usize, latency: LatencyKind| {
+        let cfg = ExperimentConfig::new(tasks, 4, latency)
+            .path_lengths([6])
+            .runs(RUNS)
+            .seed(600);
+        run_series(&cfg)[0].time_ms.mean
+    };
+    let lan_small = run(25, LatencyKind::SimulatedLan);
+    let lan_big = run(100, LatencyKind::SimulatedLan);
+    let wifi_small = run(25, LatencyKind::Wireless);
+    let wifi_big = run(100, LatencyKind::Wireless);
+
+    assert!(wifi_small > lan_small, "wireless slower: {wifi_small} vs {lan_small}");
+    assert!(wifi_big > lan_big, "wireless slower: {wifi_big} vs {lan_big}");
+    assert!(
+        wifi_big > wifi_small,
+        "task-count ordering preserved under wireless: {wifi_big} vs {wifi_small}"
+    );
+}
+
+/// "Even with a community knowledge of one hundred tasks to explore, and a
+/// solution path length of twenty, our system finds and allocates a
+/// solution" — and in well under the paper's two tenths of a (virtual)
+/// second here, since our simulated hosts are faster than 2009 JVMs.
+#[test]
+fn headline_hundred_tasks_path_twenty_allocates() {
+    let cfg = ExperimentConfig::new(100, 4, LatencyKind::Wireless)
+        .path_lengths([20])
+        .runs(6)
+        .seed(601);
+    let pts = run_series(&cfg);
+    assert_eq!(pts.len(), 1);
+    assert_eq!(pts[0].failures, 0);
+    assert!(pts[0].time_ms.n > 0);
+}
