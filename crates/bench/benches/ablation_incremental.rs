@@ -2,7 +2,7 @@
 //! vs full collection on a 250-task supergraph.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use openwf_core::{Constructor, IncrementalConstructor, InMemoryFragmentStore, Supergraph};
+use openwf_core::{Constructor, InMemoryFragmentStore, IncrementalConstructor, Supergraph};
 use openwf_scenario::generator::GeneratedKnowledge;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,13 +17,14 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_function("full_collection", |b| {
         b.iter(|| {
             let sg = Supergraph::from_fragments(knowledge.fragments()).unwrap();
-            Constructor::new().construct(&sg, &spec).expect("satisfiable")
+            Constructor::new()
+                .construct(&sg, &spec)
+                .expect("satisfiable")
         });
     });
     group.bench_function("incremental_frontier", |b| {
         b.iter(|| {
-            let mut store: InMemoryFragmentStore =
-                knowledge.fragments().iter().cloned().collect();
+            let mut store: InMemoryFragmentStore = knowledge.fragments().iter().cloned().collect();
             IncrementalConstructor::new()
                 .construct(&mut store, &spec)
                 .expect("satisfiable")

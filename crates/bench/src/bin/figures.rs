@@ -22,20 +22,34 @@ fn main() {
         match args[i].as_str() {
             "--runs" => {
                 i += 1;
-                runs = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--runs needs a positive integer");
-                        std::process::exit(2);
-                    });
+                runs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--runs needs a positive integer");
+                    std::process::exit(2);
+                });
             }
             other => figures.push(other.to_string()),
         }
         i += 1;
     }
     if figures.is_empty() || figures.iter().any(|f| f == "all") {
-        figures = vec!["fig4".into(), "fig5".into(), "fig6".into(), "ablation".into(), "repair".into()];
+        figures = vec![
+            "fig4".into(),
+            "fig5".into(),
+            "fig6".into(),
+            "ablation".into(),
+            "repair".into(),
+        ];
+    }
+
+    // Fail fast on typos before any (expensive) series runs.
+    for fig in &figures {
+        if !matches!(
+            fig.as_str(),
+            "fig4" | "fig5" | "fig6" | "ablation" | "repair"
+        ) {
+            eprintln!("unknown figure `{fig}` (use fig4|fig5|fig6|ablation|repair|all)");
+            std::process::exit(2);
+        }
     }
 
     println!("# Open workflow figure regeneration ({runs} runs/point)\n");
@@ -55,7 +69,7 @@ fn main() {
             ),
             "ablation" => run_ablation(runs),
             "repair" => run_repair(),
-            other => eprintln!("unknown figure `{other}` (use fig4|fig5|fig6|ablation|repair|all)"),
+            other => unreachable!("figure names validated above: {other}"),
         }
     }
 }

@@ -32,9 +32,15 @@ use crate::workflow::Workflow;
 pub fn compose(left: &Workflow, right: &Workflow) -> Result<Workflow, ComposeError> {
     let mut g: Graph = left.graph().clone();
     g.merge_from(right.graph()).map_err(|e| match e {
-        crate::error::ModelError::ConflictingTaskMode { task, existing, requested } => {
-            ComposeError::ConflictingTaskMode { task, existing, requested }
-        }
+        crate::error::ModelError::ConflictingTaskMode {
+            task,
+            existing,
+            requested,
+        } => ComposeError::ConflictingTaskMode {
+            task,
+            existing,
+            requested,
+        },
         // merge_from only returns mode conflicts; anything else is a bug.
         other => unreachable!("unexpected merge error: {other}"),
     })?;
@@ -57,9 +63,15 @@ where
     let mut g = Graph::new();
     for w in workflows {
         g.merge_from(w.graph()).map_err(|e| match e {
-            crate::error::ModelError::ConflictingTaskMode { task, existing, requested } => {
-                ComposeError::ConflictingTaskMode { task, existing, requested }
-            }
+            crate::error::ModelError::ConflictingTaskMode {
+                task,
+                existing,
+                requested,
+            } => ComposeError::ConflictingTaskMode {
+                task,
+                existing,
+                requested,
+            },
             other => unreachable!("unexpected merge error: {other}"),
         })?;
     }

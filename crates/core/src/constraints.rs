@@ -59,9 +59,7 @@ impl SpecConstraints {
 
     /// True if no constraint is set.
     pub fn is_empty(&self) -> bool {
-        self.forbidden_tasks.is_empty()
-            && self.avoided_tasks.is_empty()
-            && self.max_tasks.is_none()
+        self.forbidden_tasks.is_empty() && self.avoided_tasks.is_empty() && self.max_tasks.is_none()
     }
 }
 
@@ -141,7 +139,9 @@ pub fn construct_constrained(
 ) -> Result<Construction, ConstrainedError> {
     // Preferred attempt: avoid soft-avoided tasks too.
     let preferred = constructor.construct_filtered(supergraph, spec, |t| {
-        feasible(t) && !constraints.forbidden_tasks.contains(t) && !constraints.avoided_tasks.contains(t)
+        feasible(t)
+            && !constraints.forbidden_tasks.contains(t)
+            && !constraints.avoided_tasks.contains(t)
     });
     let construction = match preferred {
         Ok(c) => c,
@@ -201,8 +201,8 @@ mod tests {
         let sg = two_route_supergraph();
         let spec = Spec::new(["a"], ["goal"]);
         let constraints = SpecConstraints::none().forbidding("direct");
-        let c = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
-            .unwrap();
+        let c =
+            construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true).unwrap();
         assert!(!c.workflow().contains_task(&TaskId::new("direct")));
         assert!(c.workflow().contains_task(&TaskId::new("step1")));
     }
@@ -225,16 +225,16 @@ mod tests {
         let spec = Spec::new(["a"], ["goal"]);
         // Avoiding the direct route picks the scenic one…
         let constraints = SpecConstraints::none().avoiding("direct");
-        let c = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
-            .unwrap();
+        let c =
+            construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true).unwrap();
         assert!(!c.workflow().contains_task(&TaskId::new("direct")));
         // …but avoiding everything still succeeds via fallback.
         let constraints = SpecConstraints::none()
             .avoiding("direct")
             .avoiding("step1")
             .avoiding("step2");
-        let c = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
-            .unwrap();
+        let c =
+            construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true).unwrap();
         assert!(spec.accepts(c.workflow()));
     }
 
@@ -248,10 +248,7 @@ mod tests {
             .with_max_tasks(1);
         let err = construct_constrained(&Constructor::new(), &sg, &spec, &constraints, |_| true)
             .unwrap_err();
-        assert_eq!(
-            err,
-            ConstrainedError::TooManyTasks { found: 2, limit: 1 }
-        );
+        assert_eq!(err, ConstrainedError::TooManyTasks { found: 2, limit: 1 });
         assert!(err.to_string().contains("exceeding"));
     }
 
@@ -277,6 +274,9 @@ mod tests {
             .with_max_tasks(5);
         assert!(!c.is_empty());
         assert!(SpecConstraints::none().is_empty());
-        assert_eq!(c.to_string(), "constraints(forbid=1, avoid=1, max_tasks=Some(5))");
+        assert_eq!(
+            c.to_string(),
+            "constraints(forbid=1, avoid=1, max_tasks=Some(5))"
+        );
     }
 }

@@ -207,7 +207,10 @@ mod tests {
         let mut s = ColorState::with_len(3);
         s.color_edge_blue(NodeIdx(0), NodeIdx(1));
         s.color_edge_blue(NodeIdx(1), NodeIdx(2));
-        assert_eq!(s.blue_edges(), &[(NodeIdx(0), NodeIdx(1)), (NodeIdx(1), NodeIdx(2))]);
+        assert_eq!(
+            s.blue_edges(),
+            &[(NodeIdx(0), NodeIdx(1)), (NodeIdx(1), NodeIdx(2))]
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! node's required parents are green with strictly smaller distance* — is
 //! maintained by construction and checked by `debug_assert!`.
 
-use std::collections::VecDeque;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use crate::construct::color::{Color, ColorState, Distance};
 use crate::construct::trace::{Trace, TraceEvent};
@@ -198,9 +198,7 @@ pub fn explore(
             Mode::Conjunctive => {
                 // "all of n's parents are green" → d = max distance
                 let parents = g.parents(n);
-                if !parents.is_empty()
-                    && parents.iter().all(|&p| state.color(p) == Color::Green)
-                {
+                if !parents.is_empty() && parents.iter().all(|&p| state.color(p) == Color::Green) {
                     parents
                         .iter()
                         .map(|&p| state.distance(p))
@@ -430,12 +428,26 @@ mod tests {
         sg.merge_fragment(&frag("f1", "t1", Mode::Disjunctive, &["a"], &["b"]));
         let spec = Spec::new(["a"], ["c"]);
         let mut state = ColorState::with_len(sg.graph().node_count());
-        let out = explore(sg.graph(), &mut state, &spec, &mut |_| true, PickOrder::Fifo, None);
+        let out = explore(
+            sg.graph(),
+            &mut state,
+            &spec,
+            &mut |_| true,
+            PickOrder::Fifo,
+            None,
+        );
         assert_eq!(out.unreachable_goals, vec![Label::new("c")]);
 
         // Community supplies another fragment; resume.
         sg.merge_fragment(&frag("f2", "t2", Mode::Disjunctive, &["b"], &["c"]));
-        let out = explore(sg.graph(), &mut state, &spec, &mut |_| true, PickOrder::Fifo, None);
+        let out = explore(
+            sg.graph(),
+            &mut state,
+            &spec,
+            &mut |_| true,
+            PickOrder::Fifo,
+            None,
+        );
         assert!(out.unreachable_goals.is_empty());
     }
 

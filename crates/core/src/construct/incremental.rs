@@ -211,8 +211,14 @@ mod tests {
     use crate::store::InMemoryFragmentStore;
 
     fn frag(id: &str, task: &str, ins: &[&str], outs: &[&str]) -> Fragment {
-        Fragment::single_task(id, task, Mode::Disjunctive, ins.iter().copied(), outs.iter().copied())
-            .unwrap()
+        Fragment::single_task(
+            id,
+            task,
+            Mode::Disjunctive,
+            ins.iter().copied(),
+            outs.iter().copied(),
+        )
+        .unwrap()
     }
 
     fn chain_store(n: usize) -> InMemoryFragmentStore {
@@ -232,7 +238,9 @@ mod tests {
     fn incremental_solves_chain() {
         let mut store = chain_store(5);
         let spec = Spec::new(["l0"], ["l5"]);
-        let (c, sg) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        let (c, sg) = IncrementalConstructor::new()
+            .construct(&mut store, &spec)
+            .unwrap();
         assert!(spec.is_satisfied_strict(c.workflow()));
         assert_eq!(c.workflow().task_count(), 5);
         assert_eq!(sg.fragment_count(), 5);
@@ -253,7 +261,9 @@ mod tests {
             ));
         }
         let spec = Spec::new(["l0"], ["l3"]);
-        let (c, sg) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        let (c, sg) = IncrementalConstructor::new()
+            .construct(&mut store, &spec)
+            .unwrap();
         assert!(spec.accepts(c.workflow()));
         assert!(
             sg.fragment_count() <= 5,
@@ -267,7 +277,9 @@ mod tests {
     fn incremental_detects_no_solution() {
         let mut store = chain_store(3);
         let spec = Spec::new(["l0"], ["unknown goal"]);
-        let err = IncrementalConstructor::new().construct(&mut store, &spec).unwrap_err();
+        let err = IncrementalConstructor::new()
+            .construct(&mut store, &spec)
+            .unwrap_err();
         assert!(matches!(err, ConstructError::NoSolution { .. }));
     }
 
@@ -279,10 +291,14 @@ mod tests {
         let spec = Spec::new(["l1"], ["l4"]);
 
         let sg = Supergraph::from_fragments(store.fragments()).unwrap();
-        let full = crate::construct::Constructor::new().construct(&sg, &spec).unwrap();
+        let full = crate::construct::Constructor::new()
+            .construct(&sg, &spec)
+            .unwrap();
 
         let mut store = store;
-        let (inc, _) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        let (inc, _) = IncrementalConstructor::new()
+            .construct(&mut store, &spec)
+            .unwrap();
 
         assert_eq!(full.workflow().inset(), inc.workflow().inset());
         assert_eq!(full.workflow().outset(), inc.workflow().outset());
@@ -293,7 +309,9 @@ mod tests {
     fn trivial_spec_with_no_knowledge() {
         let mut store = InMemoryFragmentStore::new();
         let spec = Spec::new(["a"], ["a"]);
-        let (c, _) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        let (c, _) = IncrementalConstructor::new()
+            .construct(&mut store, &spec)
+            .unwrap();
         assert_eq!(c.workflow().task_count(), 0);
         assert!(c.workflow().contains_label(&Label::new("a")));
     }
@@ -303,13 +321,19 @@ mod tests {
         // join needs x and y; y's producer is only discoverable from b,
         // which is a separate trigger.
         let mut store = InMemoryFragmentStore::new();
-        store.insert(Fragment::single_task("fx", "make x", Mode::Disjunctive, ["a"], ["x"]).unwrap());
-        store.insert(Fragment::single_task("fy", "make y", Mode::Disjunctive, ["b"], ["y"]).unwrap());
+        store.insert(
+            Fragment::single_task("fx", "make x", Mode::Disjunctive, ["a"], ["x"]).unwrap(),
+        );
+        store.insert(
+            Fragment::single_task("fy", "make y", Mode::Disjunctive, ["b"], ["y"]).unwrap(),
+        );
         store.insert(
             Fragment::single_task("fj", "join", Mode::Conjunctive, ["x", "y"], ["z"]).unwrap(),
         );
         let spec = Spec::new(["a", "b"], ["z"]);
-        let (c, _) = IncrementalConstructor::new().construct(&mut store, &spec).unwrap();
+        let (c, _) = IncrementalConstructor::new()
+            .construct(&mut store, &spec)
+            .unwrap();
         assert!(spec.accepts(c.workflow()));
         assert_eq!(c.workflow().task_count(), 3);
     }
@@ -322,11 +346,7 @@ mod tests {
         store.insert(frag("f3", "step2", &["mid"], &["goal"]));
         let spec = Spec::new(["a"], ["goal"]);
         let (c, _) = IncrementalConstructor::new()
-            .construct_filtered(
-                &mut store,
-                &spec,
-                |t| t != &TaskId::new("infeasible"),
-            )
+            .construct_filtered(&mut store, &spec, |t| t != &TaskId::new("infeasible"))
             .unwrap();
         assert!(c.workflow().contains_task(&TaskId::new("step1")));
         assert!(!c.workflow().contains_task(&TaskId::new("infeasible")));

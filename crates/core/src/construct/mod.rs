@@ -139,7 +139,11 @@ impl fmt::Display for ConstructError {
         match self {
             ConstructError::NoSolution { unreachable_goals } => {
                 let gs: Vec<&str> = unreachable_goals.iter().map(|l| l.as_str()).collect();
-                write!(f, "no feasible workflow: unreachable goals {{{}}}", gs.join(", "))
+                write!(
+                    f,
+                    "no feasible workflow: unreachable goals {{{}}}",
+                    gs.join(", ")
+                )
             }
             ConstructError::InvalidResult(e) => {
                 write!(f, "constructed subgraph is not a valid workflow: {e}")
@@ -237,7 +241,14 @@ impl Constructor {
             ..ConstructStats::default()
         };
 
-        finish(supergraph, spec, state, outcome, stats_take(&mut stats), trace)
+        finish(
+            supergraph,
+            spec,
+            state,
+            outcome,
+            stats_take(&mut stats),
+            trace,
+        )
     }
 }
 
@@ -478,7 +489,10 @@ mod tests {
             PickOrder::Random(42),
             PickOrder::Random(0xdead_beef),
         ] {
-            let c = Constructor::new().pick_order(order).construct(&sg, &spec).unwrap();
+            let c = Constructor::new()
+                .pick_order(order)
+                .construct(&sg, &spec)
+                .unwrap();
             assert!(spec.is_satisfied_strict(c.workflow()), "order {order:?}");
         }
     }
@@ -499,7 +513,10 @@ mod tests {
     fn trace_is_recorded_when_enabled() {
         let sg = chain_supergraph();
         let spec = Spec::new(["a"], ["d"]);
-        let c = Constructor::new().record_trace(true).construct(&sg, &spec).unwrap();
+        let c = Constructor::new()
+            .record_trace(true)
+            .construct(&sg, &spec)
+            .unwrap();
         let trace = c.trace().expect("trace enabled");
         assert!(!trace.events().is_empty());
         let c2 = Constructor::new().construct(&sg, &spec).unwrap();
@@ -511,6 +528,9 @@ mod tests {
         let e = ConstructError::NoSolution {
             unreachable_goals: vec![Label::new("g1"), Label::new("g2")],
         };
-        assert_eq!(e.to_string(), "no feasible workflow: unreachable goals {g1, g2}");
+        assert_eq!(
+            e.to_string(),
+            "no feasible workflow: unreachable goals {g1, g2}"
+        );
     }
 }

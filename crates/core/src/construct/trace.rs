@@ -38,7 +38,11 @@ pub enum TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Colored { node, color, distance } => {
+            TraceEvent::Colored {
+                node,
+                color,
+                distance,
+            } => {
                 write!(f, "{node} -> {color} (d={distance})")
             }
             TraceEvent::EdgeBlue { from, to } => write!(f, "edge {from} -> {to} -> blue"),
@@ -120,7 +124,10 @@ mod tests {
     #[test]
     fn display_renders_one_event_per_line() {
         let mut t = Trace::new();
-        t.push(TraceEvent::QueryRound { labels: 3, fragments: 2 });
+        t.push(TraceEvent::QueryRound {
+            labels: 3,
+            fragments: 2,
+        });
         let s = t.to_string();
         assert!(s.contains("queried 3 labels"), "{s}");
     }

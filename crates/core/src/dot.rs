@@ -137,7 +137,11 @@ mod tests {
             None,
         );
         assert!(out.unreachable_goals.is_empty());
-        let goals: Vec<_> = spec.goals().iter().filter_map(|l| g.find_label(l)).collect();
+        let goals: Vec<_> = spec
+            .goals()
+            .iter()
+            .filter_map(|l| g.find_label(l))
+            .collect();
         crate::construct::sweep::back_sweep(g, &mut state, &goals, None);
         let dot = colored_to_dot(&sg, &state, "colored");
         assert!(dot.contains("fillcolor=lightblue"), "{dot}");

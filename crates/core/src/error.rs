@@ -42,9 +42,16 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::NotBipartite { from, to } => {
-                write!(f, "edge {from} -> {to} is not bipartite: edges must connect a label and a task")
+                write!(
+                    f,
+                    "edge {from} -> {to} is not bipartite: edges must connect a label and a task"
+                )
             }
-            ModelError::ConflictingTaskMode { task, existing, requested } => write!(
+            ModelError::ConflictingTaskMode {
+                task,
+                existing,
+                requested,
+            } => write!(
                 f,
                 "task `{task}` is already {existing} and cannot also be {requested}"
             ),
@@ -153,7 +160,11 @@ impl fmt::Display for ComposeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ComposeError::NotComposable(e) => write!(f, "workflows are not composable: {e}"),
-            ComposeError::ConflictingTaskMode { task, existing, requested } => write!(
+            ComposeError::ConflictingTaskMode {
+                task,
+                existing,
+                requested,
+            } => write!(
                 f,
                 "task `{task}` is {existing} in one workflow and {requested} in the other"
             ),

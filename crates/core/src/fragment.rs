@@ -20,7 +20,8 @@ use crate::workflow::Workflow;
 /// Fragment identity is a plain name (unique per owner); the runtime extends
 /// it with the owning host. Used for provenance: the construction result
 /// reports which fragments contributed to the built workflow.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FragmentId(String);
 
 impl FragmentId {
@@ -64,7 +65,10 @@ pub struct Fragment {
 impl Fragment {
     /// Wraps an existing workflow as a fragment.
     pub fn from_workflow(id: impl Into<FragmentId>, workflow: Workflow) -> Self {
-        Fragment { id: id.into(), workflow }
+        Fragment {
+            id: id.into(),
+            workflow,
+        }
     }
 
     /// Starts building a fragment with the given identifier.
@@ -256,7 +260,10 @@ impl FragmentBuilder {
             return Err(e);
         }
         let workflow = Workflow::from_graph(self.graph).map_err(ModelError::Invalid)?;
-        Ok(Fragment { id: self.id, workflow })
+        Ok(Fragment {
+            id: self.id,
+            workflow,
+        })
     }
 }
 
@@ -305,7 +312,13 @@ impl TaskBuilder {
 
     /// Finishes this task and returns to the fragment builder.
     pub fn done(self) -> FragmentBuilder {
-        let TaskBuilder { parent, task, mode, inputs, outputs } = self;
+        let TaskBuilder {
+            parent,
+            task,
+            mode,
+            inputs,
+            outputs,
+        } = self;
         parent.add_task(task, mode, inputs, outputs)
     }
 }
@@ -337,7 +350,10 @@ mod tests {
         assert_eq!(f.id().as_str(), "cook");
         assert_eq!(f.consumed_labels(), vec![Label::new("omelet bar setup")]);
         assert_eq!(f.produced_labels(), vec![Label::new("breakfast served")]);
-        assert_eq!(f.tasks().collect::<Vec<_>>(), vec![TaskId::new("cook omelets")]);
+        assert_eq!(
+            f.tasks().collect::<Vec<_>>(),
+            vec![TaskId::new("cook omelets")]
+        );
     }
 
     #[test]
@@ -357,7 +373,9 @@ mod tests {
         assert_eq!(f.consumed_labels(), vec![Label::new("doughnuts ordered")]);
         assert_eq!(f.produced_labels(), vec![Label::new("breakfast served")]);
         // internal label is an input of a task but not in the inset
-        assert!(f.all_input_labels().contains(&Label::new("doughnuts available")));
+        assert!(f
+            .all_input_labels()
+            .contains(&Label::new("doughnuts available")));
     }
 
     #[test]
@@ -400,7 +418,9 @@ mod tests {
             .build();
         assert!(matches!(
             r,
-            Err(ModelError::Invalid(ValidityError::LabelMultipleProducers { .. }))
+            Err(ModelError::Invalid(
+                ValidityError::LabelMultipleProducers { .. }
+            ))
         ));
     }
 

@@ -74,12 +74,18 @@ impl Graph {
 
     /// Number of task nodes.
     pub fn task_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.key.kind == NodeKind::Task).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.key.kind == NodeKind::Task)
+            .count()
     }
 
     /// Number of label nodes.
     pub fn label_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.key.kind == NodeKind::Label).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.key.kind == NodeKind::Label)
+            .count()
     }
 
     /// True if the graph has no nodes.
@@ -108,7 +114,11 @@ impl Graph {
     /// Returns [`ModelError::ConflictingTaskMode`] when the task exists with
     /// the opposite [`Mode`]; merging such fragments would silently change
     /// the meaning of someone's knowhow.
-    pub fn try_add_task(&mut self, task: impl Into<TaskId>, mode: Mode) -> Result<NodeIdx, ModelError> {
+    pub fn try_add_task(
+        &mut self,
+        task: impl Into<TaskId>,
+        mode: Mode,
+    ) -> Result<NodeIdx, ModelError> {
         let task = task.into();
         if let Some(&idx) = self.index.get(&task.key()) {
             let existing = self.nodes[idx.index()].mode;
@@ -231,7 +241,10 @@ impl Graph {
 
     /// Iterates over `(index, key)` pairs in insertion order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeIdx, &NodeKey)> + '_ {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeIdx(i as u32), &n.key))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeIdx(i as u32), &n.key))
     }
 
     /// Iterates over all edges in insertion order.
@@ -311,7 +324,8 @@ impl Graph {
         for &(f, t) in &self.edge_order {
             if keep_edges.contains(&(f, t)) {
                 if let (Some(&nf), Some(&nt)) = (map.get(&f), map.get(&t)) {
-                    g.add_edge(nf, nt).expect("subgraph preserves bipartite structure");
+                    g.add_edge(nf, nt)
+                        .expect("subgraph preserves bipartite structure");
                 }
             }
         }
@@ -459,8 +473,7 @@ mod tests {
     fn topological_order_on_chain() {
         let g = diamond();
         let order = g.topological_order().expect("acyclic");
-        let pos: HashMap<NodeIdx, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeIdx, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for (f, t) in g.edges() {
             assert!(pos[&f] < pos[&t], "edge {f:?}->{t:?} violates topo order");
         }
@@ -527,6 +540,9 @@ mod tests {
     fn iteration_is_insertion_ordered() {
         let g = diamond();
         let keys: Vec<String> = g.nodes().map(|(_, k)| k.to_string()).collect();
-        assert_eq!(keys, ["label:a", "task:t1", "label:b", "task:t2", "label:c"]);
+        assert_eq!(
+            keys,
+            ["label:a", "task:t1", "label:b", "task:t2", "label:c"]
+        );
     }
 }

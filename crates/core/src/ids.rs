@@ -9,7 +9,9 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
 
+#[cfg(feature = "serde")]
 use serde::de::{Deserialize, Deserializer};
+#[cfg(feature = "serde")]
 use serde::ser::{Serialize, Serializer};
 
 /// A shared immutable name. Cloning is an `Arc` bump.
@@ -118,12 +120,14 @@ macro_rules! semantic_id {
             }
         }
 
+        #[cfg(feature = "serde")]
         impl Serialize for $name {
             fn serialize<Se: Serializer>(&self, s: Se) -> Result<Se::Ok, Se::Error> {
                 s.serialize_str(self.as_str())
             }
         }
 
+        #[cfg(feature = "serde")]
         impl<'de> Deserialize<'de> for $name {
             fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
                 let s = String::deserialize(d)?;
@@ -159,7 +163,8 @@ semantic_id!(
 /// "A task is either conjunctive, requiring all of its inputs, or
 /// disjunctive, requiring only one of its inputs" (§2.2). Label nodes are
 /// always treated as disjunctive by the construction algorithm.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Mode {
     /// All inputs are required before the node can fire / be reached.
     Conjunctive,
@@ -177,7 +182,8 @@ impl fmt::Display for Mode {
 }
 
 /// The two kinds of nodes in the bipartite workflow graph.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// A data/condition label (oval in the paper's Figure 1).
     Label,
@@ -264,7 +270,10 @@ mod tests {
 
     #[test]
     fn labels_with_equal_names_are_equal() {
-        assert_eq!(Label::new("breakfast served"), Label::from("breakfast served"));
+        assert_eq!(
+            Label::new("breakfast served"),
+            Label::from("breakfast served")
+        );
         assert_ne!(Label::new("a"), Label::new("b"));
     }
 

@@ -76,6 +76,7 @@ pub mod fragment;
 pub mod graph;
 pub mod ids;
 pub mod prune;
+#[cfg(feature = "serde")]
 mod serde_impls;
 pub mod spec;
 pub mod store;

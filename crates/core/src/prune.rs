@@ -277,17 +277,23 @@ mod tests {
     fn rule1_removes_extra_sink_output() {
         let w = with_extra_sink();
         let mut p = Pruner::new(&w);
-        p.prune_sink_output(&TaskId::new("t1"), &Label::new("x")).unwrap();
+        p.prune_sink_output(&TaskId::new("t1"), &Label::new("x"))
+            .unwrap();
         let w2 = p.finish().unwrap();
         assert!(!w2.contains_label(&Label::new("x")));
-        assert_eq!(w2.outset().iter().map(|l| l.as_str()).collect::<Vec<_>>(), ["c"]);
+        assert_eq!(
+            w2.outset().iter().map(|l| l.as_str()).collect::<Vec<_>>(),
+            ["c"]
+        );
     }
 
     #[test]
     fn rule1_refuses_last_output() {
         let w = with_extra_sink();
         let mut p = Pruner::new(&w);
-        let err = p.prune_sink_output(&TaskId::new("t2"), &Label::new("c")).unwrap_err();
+        let err = p
+            .prune_sink_output(&TaskId::new("t2"), &Label::new("c"))
+            .unwrap_err();
         assert!(matches!(
             err,
             ModelError::PruneViolation(PruneViolation::LastOutput(_))
@@ -298,7 +304,9 @@ mod tests {
     fn rule1_refuses_non_sink() {
         let w = with_extra_sink();
         let mut p = Pruner::new(&w);
-        let err = p.prune_sink_output(&TaskId::new("t1"), &Label::new("b")).unwrap_err();
+        let err = p
+            .prune_sink_output(&TaskId::new("t1"), &Label::new("b"))
+            .unwrap_err();
         assert!(matches!(
             err,
             ModelError::PruneViolation(PruneViolation::OutputNotSink(..))
@@ -321,17 +329,23 @@ mod tests {
     fn rule2_removes_alternative_source_input() {
         let w = disjunctive_two_inputs();
         let mut p = Pruner::new(&w);
-        p.prune_source_input(&TaskId::new("t"), &Label::new("b")).unwrap();
+        p.prune_source_input(&TaskId::new("t"), &Label::new("b"))
+            .unwrap();
         let w2 = p.finish().unwrap();
         assert!(!w2.contains_label(&Label::new("b")));
-        assert_eq!(w2.inset().iter().map(|l| l.as_str()).collect::<Vec<_>>(), ["a"]);
+        assert_eq!(
+            w2.inset().iter().map(|l| l.as_str()).collect::<Vec<_>>(),
+            ["a"]
+        );
     }
 
     #[test]
     fn rule2_refuses_conjunctive_task() {
         let w = with_extra_sink();
         let mut p = Pruner::new(&w);
-        let err = p.prune_source_input(&TaskId::new("t1"), &Label::new("a")).unwrap_err();
+        let err = p
+            .prune_source_input(&TaskId::new("t1"), &Label::new("a"))
+            .unwrap_err();
         assert!(matches!(
             err,
             ModelError::PruneViolation(PruneViolation::ConjunctiveInput(..))
@@ -342,8 +356,11 @@ mod tests {
     fn rule2_refuses_last_input() {
         let mut w = disjunctive_two_inputs();
         let mut p = Pruner::new(&w);
-        p.prune_source_input(&TaskId::new("t"), &Label::new("b")).unwrap();
-        let err = p.prune_source_input(&TaskId::new("t"), &Label::new("a")).unwrap_err();
+        p.prune_source_input(&TaskId::new("t"), &Label::new("b"))
+            .unwrap();
+        let err = p
+            .prune_source_input(&TaskId::new("t"), &Label::new("a"))
+            .unwrap_err();
         assert!(matches!(
             err,
             ModelError::PruneViolation(PruneViolation::LastInput(_))
@@ -368,13 +385,16 @@ mod tests {
             .unwrap()
             .into();
         let mut p = Pruner::new(&w);
-        let err = p.prune_source_input(&TaskId::new("t2"), &Label::new("b")).unwrap_err();
+        let err = p
+            .prune_source_input(&TaskId::new("t2"), &Label::new("b"))
+            .unwrap_err();
         assert!(matches!(
             err,
             ModelError::PruneViolation(PruneViolation::InputNotSource(..))
         ));
         // but z is prunable
-        p.prune_source_input(&TaskId::new("t2"), &Label::new("z")).unwrap();
+        p.prune_source_input(&TaskId::new("t2"), &Label::new("z"))
+            .unwrap();
         assert!(p.finish().is_ok());
     }
 
@@ -422,7 +442,10 @@ mod tests {
         let w2 = p.finish().unwrap();
         assert!(w2.contains_label(&Label::new("b")));
         assert!(!w2.contains_label(&Label::new("c")));
-        assert_eq!(w2.outset().iter().map(|l| l.as_str()).collect::<Vec<_>>(), ["b"]);
+        assert_eq!(
+            w2.outset().iter().map(|l| l.as_str()).collect::<Vec<_>>(),
+            ["b"]
+        );
     }
 
     #[test]

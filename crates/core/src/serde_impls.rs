@@ -48,16 +48,22 @@ fn graph_to_record(g: &Graph) -> GraphRecord {
             .iter()
             .filter_map(|&c| g.key(c).as_label())
             .collect();
-        tasks.push(TaskRecord { name, mode: g.mode(idx), inputs, outputs });
+        tasks.push(TaskRecord {
+            name,
+            mode: g.mode(idx),
+            inputs,
+            outputs,
+        });
     }
     let isolated_labels = g
         .node_indices()
-        .filter(|&i| {
-            g.kind(i) == NodeKind::Label && g.in_degree(i) == 0 && g.out_degree(i) == 0
-        })
+        .filter(|&i| g.kind(i) == NodeKind::Label && g.in_degree(i) == 0 && g.out_degree(i) == 0)
         .filter_map(|i| g.key(i).as_label())
         .collect();
-    GraphRecord { tasks, isolated_labels }
+    GraphRecord {
+        tasks,
+        isolated_labels,
+    }
 }
 
 fn record_to_graph(r: &GraphRecord) -> Result<Graph, crate::error::ModelError> {
@@ -198,7 +204,10 @@ mod tests {
             isolated_labels: vec![],
         };
         let graph = record_to_graph(&record).expect("graph builds");
-        assert!(Workflow::from_graph(graph).is_err(), "validation must reject");
+        assert!(
+            Workflow::from_graph(graph).is_err(),
+            "validation must reject"
+        );
     }
 
     #[test]

@@ -20,7 +20,8 @@ use crate::workflow::Workflow;
 ///
 /// `triggers` is ι (conditions available in the environment) and `goals` is
 /// ω (labels the workflow must deliver).
-#[derive(Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Spec {
     triggers: BTreeSet<Label>,
     goals: BTreeSet<Label>,

@@ -132,8 +132,14 @@ mod tests {
     use crate::ids::Mode;
 
     fn frag(id: &str, task: &str, ins: &[&str], outs: &[&str]) -> Fragment {
-        Fragment::single_task(id, task, Mode::Disjunctive, ins.iter().copied(), outs.iter().copied())
-            .unwrap()
+        Fragment::single_task(
+            id,
+            task,
+            Mode::Disjunctive,
+            ins.iter().copied(),
+            outs.iter().copied(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -198,10 +204,12 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let s: InMemoryFragmentStore =
-            vec![frag("f1", "t1", &["a"], &["b"]), frag("f2", "t2", &["b"], &["c"])]
-                .into_iter()
-                .collect();
+        let s: InMemoryFragmentStore = vec![
+            frag("f1", "t1", &["a"], &["b"]),
+            frag("f2", "t2", &["b"], &["c"]),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(s.len(), 2);
         let mut s = s;
         s.extend([frag("f3", "t3", &["c"], &["d"])]);

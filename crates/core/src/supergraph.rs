@@ -102,7 +102,10 @@ impl Supergraph {
         let fid = fragment.id().clone();
         for (_, key) in fragment.graph().nodes() {
             let idx = self.graph.find(key).expect("merged node present");
-            self.node_provenance.entry(idx).or_default().push(fid.clone());
+            self.node_provenance
+                .entry(idx)
+                .or_default()
+                .push(fid.clone());
         }
         for (f, t) in fragment.graph().edges() {
             let fk = fragment.graph().key(f);
@@ -261,7 +264,9 @@ mod tests {
     #[test]
     fn mode_conflict_fails_cleanly() {
         let mut sg = Supergraph::new();
-        sg.merge_fragment(&Fragment::single_task("f1", "t", Mode::Conjunctive, ["a"], ["b"]).unwrap());
+        sg.merge_fragment(
+            &Fragment::single_task("f1", "t", Mode::Conjunctive, ["a"], ["b"]).unwrap(),
+        );
         let before_nodes = sg.graph().node_count();
         let bad = Fragment::single_task("f2", "t", Mode::Disjunctive, ["c"], ["d"]).unwrap();
         assert!(sg.try_merge_fragment(&bad).is_err());

@@ -181,7 +181,10 @@ mod tests {
         let a = g.add_label("a");
         let t = g.add_task("t", Mode::Conjunctive);
         g.add_edge(a, t).unwrap();
-        assert_eq!(validate(&g), Err(ValidityError::TaskIsSink(TaskId::new("t"))));
+        assert_eq!(
+            validate(&g),
+            Err(ValidityError::TaskIsSink(TaskId::new("t")))
+        );
     }
 
     #[test]
@@ -230,6 +233,8 @@ mod tests {
         let vs = violations(&g);
         assert_eq!(vs.len(), 2);
         assert!(vs.contains(&ValidityError::TaskIsSource(TaskId::new("t1"))));
-        assert!(vs.iter().any(|v| matches!(v, ValidityError::LabelMultipleProducers { .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, ValidityError::LabelMultipleProducers { .. })));
     }
 }

@@ -46,7 +46,11 @@ impl Workflow {
             .sinks()
             .filter_map(|i| graph.key(i).as_label())
             .collect();
-        Ok(Workflow { graph, inset, outset })
+        Ok(Workflow {
+            graph,
+            inset,
+            outset,
+        })
     }
 
     /// The empty workflow (no nodes). Composing with it is the identity.
@@ -183,7 +187,11 @@ impl Workflow {
         for &idx in &sorted {
             let base = level[idx.index()];
             for &c in self.graph.children(idx) {
-                let bump = if self.graph.kind(c) == NodeKind::Task { 1 } else { 0 };
+                let bump = if self.graph.kind(c) == NodeKind::Task {
+                    1
+                } else {
+                    0
+                };
                 if level[c.index()] < base + bump {
                     level[c.index()] = base + bump;
                 }
@@ -274,7 +282,10 @@ mod tests {
     #[test]
     fn inset_and_outset_are_computed() {
         let w = sample();
-        assert_eq!(w.inset().iter().map(|l| l.as_str()).collect::<Vec<_>>(), ["a"]);
+        assert_eq!(
+            w.inset().iter().map(|l| l.as_str()).collect::<Vec<_>>(),
+            ["a"]
+        );
         assert_eq!(
             w.outset().iter().map(|l| l.as_str()).collect::<Vec<_>>(),
             ["c", "d"]

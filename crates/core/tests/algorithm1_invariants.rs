@@ -44,7 +44,11 @@ fn build_fragments(raw: &[RawTask]) -> Vec<Fragment> {
             Fragment::single_task(
                 format!("f{i}"),
                 format!("t{i}"),
-                if rt.conjunctive { Mode::Conjunctive } else { Mode::Disjunctive },
+                if rt.conjunctive {
+                    Mode::Conjunctive
+                } else {
+                    Mode::Disjunctive
+                },
                 inputs.iter().map(|x| format!("l{x}")),
                 outputs.iter().map(|x| format!("l{x}")),
             )
@@ -69,7 +73,11 @@ fn arb_world() -> impl Strategy<Value = (Vec<Fragment>, Spec)> {
         .prop_map(|(raw, triggers, goals)| {
             let fragments = build_fragments(
                 &raw.into_iter()
-                    .map(|(inputs, outputs, conjunctive)| RawTask { inputs, outputs, conjunctive })
+                    .map(|(inputs, outputs, conjunctive)| RawTask {
+                        inputs,
+                        outputs,
+                        conjunctive,
+                    })
                     .collect::<Vec<_>>(),
             );
             let spec = Spec::new(
@@ -88,18 +96,27 @@ struct Replay {
 
 impl Replay {
     fn new() -> Self {
-        Replay { state: HashMap::new() }
+        Replay {
+            state: HashMap::new(),
+        }
     }
 
     fn apply(&mut self, ev: &TraceEvent) {
-        if let TraceEvent::Colored { node, color, distance } = ev {
-            self.state
-                .insert(node.to_string(), (*color, *distance));
+        if let TraceEvent::Colored {
+            node,
+            color,
+            distance,
+        } = ev
+        {
+            self.state.insert(node.to_string(), (*color, *distance));
         }
     }
 
     fn color(&self, key: &str) -> Color {
-        self.state.get(key).map(|(c, _)| *c).unwrap_or(Color::Uncolored)
+        self.state
+            .get(key)
+            .map(|(c, _)| *c)
+            .unwrap_or(Color::Uncolored)
     }
 
     fn distance(&self, key: &str) -> Distance {
@@ -232,8 +249,14 @@ proptest! {
 fn infeasible_tasks_never_turn_green() {
     let mut sg = Supergraph::new();
     sg.merge_fragment(
-        &Fragment::single_task("prep", "prepare", Mode::Conjunctive, ["ingredients"], ["meal"])
-            .unwrap(),
+        &Fragment::single_task(
+            "prep",
+            "prepare",
+            Mode::Conjunctive,
+            ["ingredients"],
+            ["meal"],
+        )
+        .unwrap(),
     );
     sg.merge_fragment(
         &Fragment::single_task("t", "serve tables", Mode::Conjunctive, ["meal"], ["served"])

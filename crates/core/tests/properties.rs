@@ -48,7 +48,11 @@ fn build_fragments(raw: &[RawTask]) -> Vec<Fragment> {
             if inputs.is_empty() || outputs.is_empty() {
                 return None;
             }
-            let mode = if rt.conjunctive { Mode::Conjunctive } else { Mode::Disjunctive };
+            let mode = if rt.conjunctive {
+                Mode::Conjunctive
+            } else {
+                Mode::Disjunctive
+            };
             Fragment::single_task(
                 format!("f{i}"),
                 format!("t{i}"),
@@ -67,13 +71,14 @@ fn arb_raw_task(alphabet: u8) -> impl Strategy<Value = RawTask> {
         proptest::collection::vec(0..alphabet, 1..=3),
         any::<bool>(),
     )
-        .prop_map(|(inputs, outputs, conjunctive)| RawTask { inputs, outputs, conjunctive })
+        .prop_map(|(inputs, outputs, conjunctive)| RawTask {
+            inputs,
+            outputs,
+            conjunctive,
+        })
 }
 
-fn arb_world(
-    max_tasks: usize,
-    alphabet: u8,
-) -> impl Strategy<Value = (Vec<Fragment>, Spec)> {
+fn arb_world(max_tasks: usize, alphabet: u8) -> impl Strategy<Value = (Vec<Fragment>, Spec)> {
     (
         proptest::collection::vec(arb_raw_task(alphabet), 1..=max_tasks),
         proptest::collection::btree_set(0..alphabet, 1..=3),

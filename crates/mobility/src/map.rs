@@ -21,7 +21,10 @@ pub struct Place {
 impl Place {
     /// Creates a place.
     pub fn new(name: impl Into<String>, position: Point) -> Self {
-        Place { name: name.into(), position }
+        Place {
+            name: name.into(),
+            position,
+        }
     }
 }
 
@@ -76,9 +79,7 @@ impl SiteMap {
 
     /// Iterates over places in name order.
     pub fn iter(&self) -> impl Iterator<Item = Place> + '_ {
-        self.places
-            .iter()
-            .map(|(n, &p)| Place::new(n.clone(), p))
+        self.places.iter().map(|(n, &p)| Place::new(n.clone(), p))
     }
 }
 

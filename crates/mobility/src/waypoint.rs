@@ -28,7 +28,9 @@ pub struct WaypointPlan {
 impl WaypointPlan {
     /// A plan that stays at one point forever.
     pub fn stationary(at: Point) -> Self {
-        WaypointPlan { waypoints: vec![(0.0, at)] }
+        WaypointPlan {
+            waypoints: vec![(0.0, at)],
+        }
     }
 
     /// Builds a plan from `(seconds, point)` pairs (sorted internally).
@@ -200,7 +202,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..500 {
             rw.advance(1.0, &mut rng);
-            assert!(arena.contains(rw.position()), "escaped to {}", rw.position());
+            assert!(
+                arena.contains(rw.position()),
+                "escaped to {}",
+                rw.position()
+            );
         }
     }
 
@@ -218,8 +224,7 @@ mod tests {
     fn random_waypoint_is_deterministic_per_seed() {
         let arena = Rect::square(50.0);
         let run = |seed: u64| {
-            let mut rw =
-                RandomWaypoint::new(arena, Point::ORIGIN, Motion::new(3.0), 0.5);
+            let mut rw = RandomWaypoint::new(arena, Point::ORIGIN, Motion::new(3.0), 0.5);
             let mut rng = StdRng::seed_from_u64(seed);
             for _ in 0..100 {
                 rw.advance(0.7, &mut rng);

@@ -293,7 +293,10 @@ mod tests {
             BidDecision::Submit(b) => b,
             other => panic!("{other:?}"),
         };
-        assert!(b2.start >= b1.start + b1.travel + b1.duration, "no double-booking");
+        assert!(
+            b2.start >= b1.start + b1.travel + b1.duration,
+            "no double-booking"
+        );
     }
 
     #[test]

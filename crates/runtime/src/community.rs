@@ -65,7 +65,10 @@ impl CommunityBuilder {
     ///
     /// Panics if no hosts were added.
     pub fn build(self) -> Community {
-        assert!(!self.hosts.is_empty(), "a community needs at least one host");
+        assert!(
+            !self.hosts.is_empty(),
+            "a community needs at least one host"
+        );
         let mut net: SimNetwork<Msg, OwmsHost> = SimNetwork::new(self.seed);
         if let Some(model) = self.latency {
             net.set_latency_boxed(model);
@@ -165,9 +168,7 @@ impl Community {
     pub fn run_until_allocated(&mut self, handle: ProblemHandle) -> ProblemReport {
         self.net.run_until_pred(|net| {
             match net.host(handle.id.initiator).latest_attempt(handle.id) {
-                Some(ws) => {
-                    ws.report.timings.allocated_at.is_some() || ws.phase == Phase::Failed
-                }
+                Some(ws) => ws.report.timings.allocated_at.is_some() || ws.phase == Phase::Failed,
                 None => false,
             }
         });
@@ -271,7 +272,10 @@ mod tests {
         let initiator = community.hosts()[0];
         let handle = community.submit(initiator, Spec::new(["a"], ["b"]));
         let report = community.run_until_allocated(handle);
-        assert_eq!(report.assignments, vec![(openwf_core::TaskId::new("t1"), HostId(1))]);
+        assert_eq!(
+            report.assignments,
+            vec![(openwf_core::TaskId::new("t1"), HostId(1))]
+        );
     }
 
     #[test]

@@ -70,12 +70,19 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::Xml(e) => write!(f, "malformed configuration: {e}"),
             ConfigError::WrongRoot(r) => write!(f, "expected `<host>` root, found `<{r}>`"),
-            ConfigError::BadNumber { element, attribute, value } => write!(
+            ConfigError::BadNumber {
+                element,
+                attribute,
+                value,
+            } => write!(
                 f,
                 "attribute `{attribute}` of `<{element}>` is not a number: `{value}`"
             ),
             ConfigError::BadMode(m) => {
-                write!(f, "task mode must be `conjunctive` or `disjunctive`, found `{m}`")
+                write!(
+                    f,
+                    "task mode must be `conjunctive` or `disjunctive`, found `{m}`"
+                )
             }
             ConfigError::BadFragment(e) => write!(f, "invalid fragment: {e}"),
         }
@@ -93,22 +100,28 @@ impl From<XmlError> for ConfigError {
 fn num_attr(el: &Element, attr: &str) -> Result<Option<f64>, ConfigError> {
     match el.attr(attr) {
         None => Ok(None),
-        Some(v) => v.parse::<f64>().map(Some).map_err(|_| ConfigError::BadNumber {
-            element: el.name.clone(),
-            attribute: attr.to_string(),
-            value: v.to_string(),
-        }),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| ConfigError::BadNumber {
+                element: el.name.clone(),
+                attribute: attr.to_string(),
+                value: v.to_string(),
+            }),
     }
 }
 
 fn u64_attr(el: &Element, attr: &str) -> Result<Option<u64>, ConfigError> {
     match el.attr(attr) {
         None => Ok(None),
-        Some(v) => v.parse::<u64>().map(Some).map_err(|_| ConfigError::BadNumber {
-            element: el.name.clone(),
-            attribute: attr.to_string(),
-            value: v.to_string(),
-        }),
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| ConfigError::BadNumber {
+                element: el.name.clone(),
+                attribute: attr.to_string(),
+                value: v.to_string(),
+            }),
     }
 }
 
@@ -181,8 +194,7 @@ pub fn parse_host_config(input: &str) -> Result<HostConfig, ConfigError> {
     }
     for svc in root.children_named("service") {
         let task = svc.require_attr("task")?;
-        let duration =
-            SimDuration::from_millis(u64_attr(svc, "duration-ms")?.unwrap_or(1_000));
+        let duration = SimDuration::from_millis(u64_attr(svc, "duration-ms")?.unwrap_or(1_000));
         let mut desc = ServiceDescription::new(task, duration);
         if let Some(loc) = svc.attr("location") {
             desc = desc.at_location(loc);
@@ -235,7 +247,10 @@ mod tests {
         assert_eq!(cfg.position, Point::new(5.0, 10.0));
         assert!((cfg.motion.speed_mps - 1.4).abs() < 1e-9);
         assert_eq!(cfg.prefs.max_commitments, 3);
-        assert!(cfg.prefs.refused_tasks.contains(&TaskId::new("wash dishes")));
+        assert!(cfg
+            .prefs
+            .refused_tasks
+            .contains(&TaskId::new("wash dishes")));
         assert_eq!(cfg.site.len(), 2);
         assert_eq!(cfg.fragments.len(), 1);
         assert_eq!(

@@ -61,7 +61,11 @@ pub fn write_host_config(config: &HostConfig) -> String {
     }
 
     for fragment in &config.fragments {
-        let _ = writeln!(out, "  <fragment id=\"{}\">", escape(fragment.id().as_str()));
+        let _ = writeln!(
+            out,
+            "  <fragment id=\"{}\">",
+            escape(fragment.id().as_str())
+        );
         let g = fragment.graph();
         for idx in g.node_indices() {
             if g.kind(idx) != NodeKind::Task {
@@ -210,7 +214,10 @@ mod tests {
         let parsed = parse_host_config(&xml).unwrap();
         let f = &parsed.fragments[0];
         assert_eq!(f.tasks().count(), 2);
-        assert_eq!(f.workflow().task_mode(&TaskId::new("t2")), Some(Mode::Disjunctive));
+        assert_eq!(
+            f.workflow().task_mode(&TaskId::new("t2")),
+            Some(Mode::Disjunctive)
+        );
         assert_eq!(
             f.workflow().producer(&openwf_core::Label::new("b")),
             Some(TaskId::new("t1"))

@@ -92,7 +92,11 @@ impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XmlError::UnexpectedEof => f.write_str("unexpected end of input"),
-            XmlError::Unexpected { at, found, expected } => {
+            XmlError::Unexpected {
+                at,
+                found,
+                expected,
+            } => {
                 write!(f, "unexpected `{found}` at byte {at}, expected {expected}")
             }
             XmlError::MismatchedTag { open, close } => {
@@ -102,7 +106,10 @@ impl fmt::Display for XmlError {
                 write!(f, "trailing content after document element at byte {at}")
             }
             XmlError::MissingAttribute { element, attribute } => {
-                write!(f, "element `<{element}>` is missing attribute `{attribute}`")
+                write!(
+                    f,
+                    "element `<{element}>` is missing attribute `{attribute}`"
+                )
             }
         }
     }
@@ -117,7 +124,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input: input.as_bytes(), pos: 0 }
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -231,7 +241,12 @@ impl<'a> Parser<'a> {
             match self.peek() {
                 Some(b'/') => {
                     self.expect("/>", "self-closing tag end")?;
-                    return Ok(Element { name, attributes, children: Vec::new(), text: String::new() });
+                    return Ok(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                        text: String::new(),
+                    });
                 }
                 Some(b'>') => {
                     self.pos += 1;
@@ -352,7 +367,10 @@ mod tests {
         assert_eq!(svc.attr("task"), Some("cook omelets"));
         let task = root.child("fragment").unwrap().child("task").unwrap();
         assert_eq!(task.children_named("input").count(), 1);
-        assert_eq!(task.child("output").unwrap().attr("label"), Some("breakfast served"));
+        assert_eq!(
+            task.child("output").unwrap().attr("label"),
+            Some("breakfast served")
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ impl ExecutionManager {
                     .filter(|l| !early.contains(*l))
                     .cloned()
                     .collect();
-                ActiveTask { planned, missing_inputs, state: TaskState::Waiting }
+                ActiveTask {
+                    planned,
+                    missing_inputs,
+                    state: TaskState::Waiting,
+                }
             })
             .collect();
         self.active.entry(problem).or_default().extend(tasks);
@@ -210,7 +214,11 @@ impl ExecutionManager {
 
 impl fmt::Display for ExecutionManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "execution manager: {} active problems", self.active.len())
+        write!(
+            f,
+            "execution manager: {} active problems",
+            self.active.len()
+        )
     }
 }
 
@@ -241,22 +249,32 @@ mod tests {
     #[test]
     fn immediate_task_begins_on_install() {
         let mut em = ExecutionManager::new();
-        let plan = ExecutionPlan { commitments: vec![planned("t", &[], 0)] };
+        let plan = ExecutionPlan {
+            commitments: vec![planned("t", &[], 0)],
+        };
         let events = em.install_plan(pid(), plan, SimTime::from_micros(10));
         assert_eq!(
             events,
-            vec![ExecEvent::Begin { task: TaskId::new("t"), duration: SimDuration::from_micros(500) }]
+            vec![ExecEvent::Begin {
+                task: TaskId::new("t"),
+                duration: SimDuration::from_micros(500)
+            }]
         );
     }
 
     #[test]
     fn future_task_waits_for_start_time() {
         let mut em = ExecutionManager::new();
-        let plan = ExecutionPlan { commitments: vec![planned("t", &[], 1_000)] };
+        let plan = ExecutionPlan {
+            commitments: vec![planned("t", &[], 1_000)],
+        };
         let events = em.install_plan(pid(), plan, SimTime::ZERO);
         assert_eq!(
             events,
-            vec![ExecEvent::WaitUntilStart { task: TaskId::new("t"), at: SimTime::from_micros(1_000) }]
+            vec![ExecEvent::WaitUntilStart {
+                task: TaskId::new("t"),
+                at: SimTime::from_micros(1_000)
+            }]
         );
         // Start timer fires; inputs are ready (none needed) → begin.
         let events = em.on_start_time(pid(), &TaskId::new("t"));
@@ -266,10 +284,14 @@ mod tests {
     #[test]
     fn inputs_gate_execution() {
         let mut em = ExecutionManager::new();
-        let plan = ExecutionPlan { commitments: vec![planned("t", &["a", "b"], 0)] };
+        let plan = ExecutionPlan {
+            commitments: vec![planned("t", &["a", "b"], 0)],
+        };
         let events = em.install_plan(pid(), plan, SimTime::ZERO);
         assert!(events.is_empty(), "waiting for inputs");
-        assert!(em.on_input(pid(), Label::new("a"), SimTime::ZERO).is_empty());
+        assert!(em
+            .on_input(pid(), Label::new("a"), SimTime::ZERO)
+            .is_empty());
         let events = em.on_input(pid(), Label::new("b"), SimTime::ZERO);
         assert!(matches!(events[0], ExecEvent::Begin { .. }));
         assert_eq!(em.unfinished(&pid()), 1, "running still unfinished");
@@ -279,28 +301,44 @@ mod tests {
     fn early_inputs_are_buffered() {
         let mut em = ExecutionManager::new();
         // Trigger arrives before the plan (racing messages).
-        assert!(em.on_input(pid(), Label::new("a"), SimTime::ZERO).is_empty());
-        let plan = ExecutionPlan { commitments: vec![planned("t", &["a"], 0)] };
+        assert!(em
+            .on_input(pid(), Label::new("a"), SimTime::ZERO)
+            .is_empty());
+        let plan = ExecutionPlan {
+            commitments: vec![planned("t", &["a"], 0)],
+        };
         let events = em.install_plan(pid(), plan, SimTime::ZERO);
-        assert!(matches!(events[0], ExecEvent::Begin { .. }), "buffered input counts");
+        assert!(
+            matches!(events[0], ExecEvent::Begin { .. }),
+            "buffered input counts"
+        );
     }
 
     #[test]
     fn completion_reports_routing_once() {
         let mut em = ExecutionManager::new();
-        let plan = ExecutionPlan { commitments: vec![planned("t", &[], 0)] };
+        let plan = ExecutionPlan {
+            commitments: vec![planned("t", &[], 0)],
+        };
         em.install_plan(pid(), plan, SimTime::ZERO);
-        let fin = em.on_completion(pid(), &TaskId::new("t")).expect("finished");
+        let fin = em
+            .on_completion(pid(), &TaskId::new("t"))
+            .expect("finished");
         assert_eq!(fin.task, TaskId::new("t"));
         assert_eq!(fin.outputs[0].consumers, vec![HostId(2)]);
-        assert!(em.on_completion(pid(), &TaskId::new("t")).is_none(), "stale timer");
+        assert!(
+            em.on_completion(pid(), &TaskId::new("t")).is_none(),
+            "stale timer"
+        );
         assert_eq!(em.unfinished(&pid()), 0);
     }
 
     #[test]
     fn start_timer_before_inputs_does_not_begin() {
         let mut em = ExecutionManager::new();
-        let plan = ExecutionPlan { commitments: vec![planned("t", &["a"], 1_000)] };
+        let plan = ExecutionPlan {
+            commitments: vec![planned("t", &["a"], 1_000)],
+        };
         em.install_plan(pid(), plan, SimTime::ZERO);
         assert!(em.on_start_time(pid(), &TaskId::new("t")).is_empty());
         // Input arrives after the start time: begins immediately.
@@ -311,10 +349,14 @@ mod tests {
     #[test]
     fn abandon_clears_problem_state() {
         let mut em = ExecutionManager::new();
-        let plan = ExecutionPlan { commitments: vec![planned("t", &["a"], 0)] };
+        let plan = ExecutionPlan {
+            commitments: vec![planned("t", &["a"], 0)],
+        };
         em.install_plan(pid(), plan, SimTime::ZERO);
         em.abandon(&pid());
         assert_eq!(em.unfinished(&pid()), 0);
-        assert!(em.on_input(pid(), Label::new("a"), SimTime::ZERO).is_empty());
+        assert!(em
+            .on_input(pid(), Label::new("a"), SimTime::ZERO)
+            .is_empty());
     }
 }

@@ -193,12 +193,7 @@ impl OwmsHost {
             .max_by_key(|ws| ws.problem.attempt)
     }
 
-    fn arm(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        delay: SimDuration,
-        purpose: TimerPurpose,
-    ) {
+    fn arm(&mut self, ctx: &mut Context<'_, Msg>, delay: SimDuration, purpose: TimerPurpose) {
         let token = self.next_timer;
         self.next_timer += 1;
         self.timers.insert(token, purpose);
@@ -211,7 +206,11 @@ impl OwmsHost {
     }
 
     fn others(&self, me: HostId) -> Vec<HostId> {
-        self.community.iter().copied().filter(|&h| h != me).collect()
+        self.community
+            .iter()
+            .copied()
+            .filter(|&h| h != me)
+            .collect()
     }
 
     fn apply_ws_actions(
@@ -223,11 +222,19 @@ impl OwmsHost {
         for action in actions {
             match action {
                 WsAction::BroadcastFragmentQuery { round, labels } => {
-                    let msg = Msg::FragmentQuery { problem, round, labels };
+                    let msg = Msg::FragmentQuery {
+                        problem,
+                        round,
+                        labels,
+                    };
                     ctx.send_all(self.others(ctx.self_id()), msg);
                 }
                 WsAction::BroadcastCapabilityQuery { round, tasks } => {
-                    let msg = Msg::CapabilityQuery { problem, round, tasks };
+                    let msg = Msg::CapabilityQuery {
+                        problem,
+                        round,
+                        tasks,
+                    };
                     ctx.send_all(self.others(ctx.self_id()), msg);
                 }
                 WsAction::ArmRoundTimeout { round } => {
@@ -276,7 +283,11 @@ impl OwmsHost {
         for (task, meta) in &metas {
             ctx.send_all(
                 others.iter().copied(),
-                Msg::CallForBids { problem, task: task.clone(), meta: meta.clone() },
+                Msg::CallForBids {
+                    problem,
+                    task: task.clone(),
+                    meta: meta.clone(),
+                },
             );
         }
         // …and the initiator participates through the same logic, locally.
@@ -297,7 +308,10 @@ impl OwmsHost {
                     self.arm_at(
                         ctx,
                         expiry,
-                        TimerPurpose::BidHoldExpiry { problem, task: task.clone() },
+                        TimerPurpose::BidHoldExpiry {
+                            problem,
+                            task: task.clone(),
+                        },
                     );
                     let me = ctx.self_id();
                     let action = self
@@ -337,7 +351,14 @@ impl OwmsHost {
                 if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
                     ws.assignments.push((task.clone(), assignment.clone()));
                 }
-                ctx.send(host, Msg::Award { problem, task, assignment });
+                ctx.send(
+                    host,
+                    Msg::Award {
+                        problem,
+                        task,
+                        assignment,
+                    },
+                );
                 self.maybe_finish_allocation(problem, ctx);
             }
             AuctionAction::Unallocatable(task) => {
@@ -413,7 +434,10 @@ impl OwmsHost {
 
         // Seed trigger labels to the hosts consuming them.
         let host_of = |task: &TaskId| -> Option<HostId> {
-            assignments.iter().find(|(t, _)| t == task).map(|(_, a)| a.host)
+            assignments
+                .iter()
+                .find(|(t, _)| t == task)
+                .map(|(_, a)| a.host)
         };
         for label in &triggers {
             if !workflow.contains_label(label) {
@@ -427,7 +451,13 @@ impl OwmsHost {
             targets.sort();
             targets.dedup();
             for h in targets {
-                ctx.send(h, Msg::InputDelivery { problem, label: label.clone() });
+                ctx.send(
+                    h,
+                    Msg::InputDelivery {
+                        problem,
+                        label: label.clone(),
+                    },
+                );
             }
         }
 
@@ -447,16 +477,13 @@ impl OwmsHost {
         }
     }
 
-    fn repair_or_fail(
-        &mut self,
-        problem: ProblemId,
-        reason: String,
-        ctx: &mut Context<'_, Msg>,
-    ) {
+    fn repair_or_fail(&mut self, problem: ProblemId, reason: String, ctx: &mut Context<'_, Msg>) {
         let (attempts_used, spec, original_start) = match self.workflow_mgr.get_mut(&problem) {
             Some(ws) => {
                 ws.phase = Phase::Failed;
-                ws.report.status = ProblemStatus::Failed { reason: reason.clone() };
+                ws.report.status = ProblemStatus::Failed {
+                    reason: reason.clone(),
+                };
                 (
                     ws.report.repair_attempts,
                     ws.spec.clone(),
@@ -510,19 +537,26 @@ impl OwmsHost {
             return;
         };
         // Invoke the service (§4.2: uniform service invocation interface).
-        self.service_mgr.invoke(&finished.task, finished.inputs.clone());
+        self.service_mgr
+            .invoke(&finished.task, finished.inputs.clone());
         // Publish outputs to dependents, goals to the initiator.
         for out in &finished.outputs {
             for &consumer in &out.consumers {
                 ctx.send(
                     consumer,
-                    Msg::InputDelivery { problem, label: out.label.clone() },
+                    Msg::InputDelivery {
+                        problem,
+                        label: out.label.clone(),
+                    },
                 );
             }
             if out.is_goal {
                 ctx.send(
                     problem.initiator,
-                    Msg::GoalDelivered { problem, label: out.label.clone() },
+                    Msg::GoalDelivered {
+                        problem,
+                        label: out.label.clone(),
+                    },
                 );
             }
         }
@@ -544,11 +578,26 @@ impl Actor<Msg> for OwmsHost {
                 self.apply_ws_actions(problem, actions, ctx);
             }
 
-            Msg::FragmentQuery { problem, round, labels } => {
+            Msg::FragmentQuery {
+                problem,
+                round,
+                labels,
+            } => {
                 let fragments = self.fragment_mgr.query(&labels);
-                ctx.send(from, Msg::FragmentReply { problem, round, fragments });
+                ctx.send(
+                    from,
+                    Msg::FragmentReply {
+                        problem,
+                        round,
+                        fragments,
+                    },
+                );
             }
-            Msg::FragmentReply { problem, round, fragments } => {
+            Msg::FragmentReply {
+                problem,
+                round,
+                fragments,
+            } => {
                 let actions = match self.workflow_mgr.get_mut(&problem) {
                     Some(ws) => ws.on_fragment_reply(
                         round,
@@ -562,11 +611,26 @@ impl Actor<Msg> for OwmsHost {
                 self.apply_ws_actions(problem, actions, ctx);
             }
 
-            Msg::CapabilityQuery { problem, round, tasks } => {
+            Msg::CapabilityQuery {
+                problem,
+                round,
+                tasks,
+            } => {
                 let capable = self.service_mgr.capable_of(&tasks);
-                ctx.send(from, Msg::CapabilityReply { problem, round, capable });
+                ctx.send(
+                    from,
+                    Msg::CapabilityReply {
+                        problem,
+                        round,
+                        capable,
+                    },
+                );
             }
-            Msg::CapabilityReply { problem, round, capable } => {
+            Msg::CapabilityReply {
+                problem,
+                round,
+                capable,
+            } => {
                 let actions = match self.workflow_mgr.get_mut(&problem) {
                     Some(ws) => ws.on_capability_reply(
                         round,
@@ -580,7 +644,11 @@ impl Actor<Msg> for OwmsHost {
                 self.apply_ws_actions(problem, actions, ctx);
             }
 
-            Msg::CallForBids { problem, task, meta } => {
+            Msg::CallForBids {
+                problem,
+                task,
+                meta,
+            } => {
                 let decision = self.auction_part.consider(
                     problem,
                     &task,
@@ -597,7 +665,10 @@ impl Actor<Msg> for OwmsHost {
                         self.arm_at(
                             ctx,
                             expiry,
-                            TimerPurpose::BidHoldExpiry { problem, task: task.clone() },
+                            TimerPurpose::BidHoldExpiry {
+                                problem,
+                                task: task.clone(),
+                            },
                         );
                         ctx.send(from, Msg::Bid { problem, task, bid });
                     }
@@ -625,7 +696,11 @@ impl Actor<Msg> for OwmsHost {
                     .unwrap_or(AuctionAction::None);
                 self.handle_auction_action(problem, action, ctx);
             }
-            Msg::Award { problem, task, assignment: _ } => {
+            Msg::Award {
+                problem,
+                task,
+                assignment: _,
+            } => {
                 // The hold becomes a firm commitment (already scheduled).
                 let _ = self.auction_part.on_award(problem, &task);
             }
@@ -749,7 +824,14 @@ mod tests {
         host.set_community(vec![HostId(0)]);
         let h = net.add_host(host);
         let problem = ProblemId::new(h, 0);
-        net.send_external(h, h, Msg::Initiate { problem, spec: Spec::new(["a"], ["c"]) });
+        net.send_external(
+            h,
+            h,
+            Msg::Initiate {
+                problem,
+                spec: Spec::new(["a"], ["c"]),
+            },
+        );
         net.run_until_quiescent();
 
         let ws = net.host(h).workflow_mgr().get(&problem).expect("workspace");
@@ -773,7 +855,14 @@ mod tests {
         host.set_community(vec![HostId(0)]);
         let h = net.add_host(host);
         let problem = ProblemId::new(h, 0);
-        net.send_external(h, h, Msg::Initiate { problem, spec: Spec::new(["a"], ["a"]) });
+        net.send_external(
+            h,
+            h,
+            Msg::Initiate {
+                problem,
+                spec: Spec::new(["a"], ["a"]),
+            },
+        );
         net.run_until_quiescent();
         let ws = net.host(h).workflow_mgr().get(&problem).unwrap();
         assert_eq!(ws.phase, Phase::Completed);
@@ -793,7 +882,10 @@ mod tests {
         net.send_external(
             h,
             h,
-            Msg::Initiate { problem, spec: Spec::new(["a"], ["nothing makes this"]) },
+            Msg::Initiate {
+                problem,
+                spec: Spec::new(["a"], ["nothing makes this"]),
+            },
         );
         net.run_until_quiescent();
         let ws = net.host(h).workflow_mgr().get(&problem).unwrap();
@@ -813,7 +905,14 @@ mod tests {
         host.set_community(vec![HostId(0)]);
         let h = net.add_host(host);
         let problem = ProblemId::new(h, 0);
-        net.send_external(h, h, Msg::Initiate { problem, spec: Spec::new(["a"], ["b"]) });
+        net.send_external(
+            h,
+            h,
+            Msg::Initiate {
+                problem,
+                spec: Spec::new(["a"], ["b"]),
+            },
+        );
         net.run_until_quiescent();
         let ws = net.host(h).workflow_mgr().get(&problem).unwrap();
         assert_eq!(ws.phase, Phase::Failed);

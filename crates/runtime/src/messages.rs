@@ -28,12 +28,19 @@ pub struct ProblemId {
 impl ProblemId {
     /// Creates the id of the first attempt of a problem.
     pub fn new(initiator: HostId, seq: u32) -> Self {
-        ProblemId { initiator, seq, attempt: 0 }
+        ProblemId {
+            initiator,
+            seq,
+            attempt: 0,
+        }
     }
 
     /// The id of the next repair attempt of the same problem.
     pub fn next_attempt(self) -> Self {
-        ProblemId { attempt: self.attempt + 1, ..self }
+        ProblemId {
+            attempt: self.attempt + 1,
+            ..self
+        }
     }
 
     /// True if `other` is an attempt of the same logical problem.
@@ -188,16 +195,12 @@ impl Message for Msg {
         // Rough serialized sizes; the wireless model charges bandwidth by
         // these. Constants approximate a compact binary encoding.
         match self {
-            Msg::Initiate { spec, .. } => {
-                32 + 24 * (spec.triggers().len() + spec.goals().len())
-            }
+            Msg::Initiate { spec, .. } => 32 + 24 * (spec.triggers().len() + spec.goals().len()),
             Msg::FragmentQuery { labels, .. } => 32 + 24 * labels.len(),
             Msg::FragmentReply { fragments, .. } => {
                 32 + fragments
                     .iter()
-                    .map(|f| {
-                        48 + 32 * f.graph().node_count() + 16 * f.graph().edge_count()
-                    })
+                    .map(|f| 48 + 32 * f.graph().node_count() + 16 * f.graph().edge_count())
                     .sum::<usize>()
             }
             Msg::CapabilityQuery { tasks, .. } => 32 + 24 * tasks.len(),
@@ -234,7 +237,11 @@ mod tests {
     #[test]
     fn wire_sizes_scale_with_content() {
         let p = ProblemId::new(HostId(0), 0);
-        let small = Msg::FragmentQuery { problem: p, round: 0, labels: vec![Label::new("a")] };
+        let small = Msg::FragmentQuery {
+            problem: p,
+            round: 0,
+            labels: vec![Label::new("a")],
+        };
         let big = Msg::FragmentQuery {
             problem: p,
             round: 0,
@@ -243,14 +250,21 @@ mod tests {
         assert!(big.wire_size() > small.wire_size());
 
         let frag = Fragment::single_task("f", "t", Mode::Disjunctive, ["a"], ["b"]).unwrap();
-        let reply = Msg::FragmentReply { problem: p, round: 0, fragments: vec![frag] };
+        let reply = Msg::FragmentReply {
+            problem: p,
+            round: 0,
+            fragments: vec![frag],
+        };
         assert!(reply.wire_size() > 100);
     }
 
     #[test]
     fn control_messages_are_small() {
         let p = ProblemId::new(HostId(0), 0);
-        let m = Msg::TaskCompleted { problem: p, task: TaskId::new("t") };
+        let m = Msg::TaskCompleted {
+            problem: p,
+            task: TaskId::new("t"),
+        };
         assert!(m.wire_size() < 128);
     }
 }

@@ -138,11 +138,8 @@ pub fn build_plans(
             .task_outputs(task)
             .into_iter()
             .map(|label| {
-                let mut consumers: Vec<HostId> = workflow
-                    .consumers(&label)
-                    .iter()
-                    .map(&host_of)
-                    .collect();
+                let mut consumers: Vec<HostId> =
+                    workflow.consumers(&label).iter().map(&host_of).collect();
                 consumers.sort();
                 consumers.dedup();
                 PlannedOutput {
@@ -164,7 +161,9 @@ pub fn build_plans(
             Some((_, plan)) => plan.commitments.push(planned),
             None => plans.push((
                 assignment.host,
-                ExecutionPlan { commitments: vec![planned] },
+                ExecutionPlan {
+                    commitments: vec![planned],
+                },
             )),
         }
     }

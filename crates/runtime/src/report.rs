@@ -34,7 +34,10 @@ pub enum ProblemStatus {
 impl ProblemStatus {
     /// True for terminal states.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, ProblemStatus::Completed | ProblemStatus::Failed { .. })
+        matches!(
+            self,
+            ProblemStatus::Completed | ProblemStatus::Failed { .. }
+        )
     }
 }
 
@@ -110,7 +113,10 @@ impl ProblemReport {
     pub fn new(now: SimTime) -> Self {
         ProblemReport {
             status: ProblemStatus::Constructing,
-            timings: PhaseTimings { initiated_at: Some(now), ..PhaseTimings::default() },
+            timings: PhaseTimings {
+                initiated_at: Some(now),
+                ..PhaseTimings::default()
+            },
             assignments: Vec::new(),
             goals_delivered: Vec::new(),
             query_rounds: 0,

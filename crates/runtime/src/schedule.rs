@@ -202,7 +202,10 @@ mod tests {
         let c = commitment(100, 200);
         assert!(c.overlaps(SimTime::from_micros(150), SimTime::from_micros(250)));
         assert!(c.overlaps(SimTime::from_micros(50), SimTime::from_micros(150)));
-        assert!(!c.overlaps(SimTime::from_micros(200), SimTime::from_micros(300)), "touching is fine");
+        assert!(
+            !c.overlaps(SimTime::from_micros(200), SimTime::from_micros(300)),
+            "touching is fine"
+        );
         assert!(!c.overlaps(SimTime::from_micros(0), SimTime::from_micros(100)));
     }
 
@@ -212,7 +215,10 @@ mod tests {
         assert_eq!(m.travel_time(None), Some(SimDuration::ZERO));
         assert_eq!(m.travel_time(Some("kitchen")), Some(SimDuration::ZERO));
         // 140m at 1.4 m/s = 100s
-        assert_eq!(m.travel_time(Some("dining room")), Some(SimDuration::from_secs(100)));
+        assert_eq!(
+            m.travel_time(Some("dining room")),
+            Some(SimDuration::from_secs(100))
+        );
         assert_eq!(m.travel_time(Some("moon")), None);
     }
 
@@ -222,7 +228,9 @@ mod tests {
         let m = ScheduleManager::new(Point::ORIGIN, Motion::STATIONARY, site);
         assert_eq!(m.travel_time(Some("far")), None);
         // But a no-location task is fine.
-        assert!(m.earliest_slot(SimTime::ZERO, SimDuration::from_secs(1), None).is_some());
+        assert!(m
+            .earliest_slot(SimTime::ZERO, SimDuration::from_secs(1), None)
+            .is_some());
     }
 
     #[test]
@@ -248,7 +256,11 @@ mod tests {
     fn slot_includes_travel_at_head() {
         let m = manager_with_site();
         let (start, travel) = m
-            .earliest_slot(SimTime::ZERO, SimDuration::from_secs(10), Some("dining room"))
+            .earliest_slot(
+                SimTime::ZERO,
+                SimDuration::from_secs(10),
+                Some("dining room"),
+            )
             .unwrap();
         assert_eq!(start, SimTime::ZERO);
         assert_eq!(travel, SimDuration::from_secs(100));
@@ -262,7 +274,10 @@ mod tests {
         m.release_problem(pid());
         assert_eq!(m.commitment_count(), 0);
         let other = ProblemId::new(HostId(9), 9);
-        m.commit(Commitment { problem: other, ..commitment(0, 10) });
+        m.commit(Commitment {
+            problem: other,
+            ..commitment(0, 10)
+        });
         m.release_problem(pid());
         assert_eq!(m.commitment_count(), 1, "other problems keep their slots");
     }

@@ -118,7 +118,11 @@ impl ServiceManager {
 
     /// Answers a capability query: which of `tasks` can this host serve?
     pub fn capable_of(&self, tasks: &[TaskId]) -> Vec<TaskId> {
-        tasks.iter().filter(|t| self.can_serve(t)).cloned().collect()
+        tasks
+            .iter()
+            .filter(|t| self.can_serve(t))
+            .cloned()
+            .collect()
     }
 
     /// Invokes the service for `task` (the Execution Manager calls this
@@ -135,7 +139,10 @@ impl ServiceManager {
             self.services.contains_key(task),
             "invoked unregistered service `{task}`"
         );
-        let call = ServiceCall { task: task.clone(), inputs };
+        let call = ServiceCall {
+            task: task.clone(),
+            inputs,
+        };
         if let Some(hook) = &mut self.hook {
             hook(&call);
         }
@@ -167,7 +174,10 @@ mod tests {
 
     fn sm() -> ServiceManager {
         let mut m = ServiceManager::new();
-        m.register(ServiceDescription::new("cook omelets", SimDuration::from_secs(600)));
+        m.register(ServiceDescription::new(
+            "cook omelets",
+            SimDuration::from_secs(600),
+        ));
         m.register(
             ServiceDescription::new("serve buffet", SimDuration::from_secs(300))
                 .at_location("dining room"),
@@ -197,7 +207,10 @@ mod tests {
         m.set_hook(Box::new(move |_| {
             c.fetch_add(1, Ordering::SeqCst);
         }));
-        let desc = m.invoke(&TaskId::new("cook omelets"), vec![Label::new("omelet bar setup")]);
+        let desc = m.invoke(
+            &TaskId::new("cook omelets"),
+            vec![Label::new("omelet bar setup")],
+        );
         assert_eq!(desc.duration, SimDuration::from_secs(600));
         assert_eq!(count.load(Ordering::SeqCst), 1);
         assert_eq!(m.invocations().len(), 1);

@@ -267,7 +267,10 @@ impl Workspace {
             return self.finish_round(local_fragments, local_services, params);
         }
         vec![
-            WsAction::BroadcastFragmentQuery { round: self.round, labels: frontier },
+            WsAction::BroadcastFragmentQuery {
+                round: self.round,
+                labels: frontier,
+            },
             WsAction::ArmRoundTimeout { round: self.round },
         ]
     }
@@ -293,7 +296,10 @@ impl Workspace {
             return self.finish_round(local_fragments, local_services, params);
         }
         vec![
-            WsAction::BroadcastCapabilityQuery { round: self.round, tasks },
+            WsAction::BroadcastCapabilityQuery {
+                round: self.round,
+                tasks,
+            },
             WsAction::ArmRoundTimeout { round: self.round },
         ]
     }
@@ -317,9 +323,8 @@ impl Workspace {
                     }
                 }
                 self.report.fragments_pulled += new_fragments;
-                let charge = WsAction::Charge(
-                    params.merge_fragment_cost.times(new_fragments as u64),
-                );
+                let charge =
+                    WsAction::Charge(params.merge_fragment_cost.times(new_fragments as u64));
 
                 // Which tasks are new to us? Ask the community who can
                 // serve them before exploring.
@@ -391,8 +396,15 @@ impl Workspace {
                 }
                 Err(e) => {
                     self.phase = Phase::Failed;
-                    self.report.status = ProblemStatus::Failed { reason: e.to_string() };
-                    vec![charge, WsAction::Failed { reason: e.to_string() }]
+                    self.report.status = ProblemStatus::Failed {
+                        reason: e.to_string(),
+                    };
+                    vec![
+                        charge,
+                        WsAction::Failed {
+                            reason: e.to_string(),
+                        },
+                    ]
                 }
             }
         } else {
@@ -410,7 +422,9 @@ impl Workspace {
                 );
                 self.last_outcome = Some(outcome);
                 self.phase = Phase::Failed;
-                self.report.status = ProblemStatus::Failed { reason: reason.clone() };
+                self.report.status = ProblemStatus::Failed {
+                    reason: reason.clone(),
+                };
                 return vec![charge, WsAction::Failed { reason }];
             }
             self.last_outcome = Some(outcome);

@@ -171,7 +171,10 @@ fn watchdog_repair_under_jitter() {
     let winner = first.assignments[0].1;
     community.net_mut().faults_mut().crash(winner);
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
     assert_eq!(report.repair_attempts, 1);
     assert_ne!(report.assignments[0].1, winner);
 }
@@ -241,10 +244,18 @@ fn empty_initiator_delegates_everything() {
     let hosts = community.hosts();
     let handle = community.submit(hosts[0], Spec::new(["a"], ["c"]));
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
     assert!(report.assignments.iter().all(|(_, h)| *h != hosts[0]));
     assert_eq!(
-        report.assignments.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>().len(),
+        report
+            .assignments
+            .iter()
+            .map(|(t, _)| t.clone())
+            .collect::<Vec<_>>()
+            .len(),
         2
     );
     let _ = TaskId::new("t1");

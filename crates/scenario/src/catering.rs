@@ -130,8 +130,7 @@ impl CateringScenario {
                 ServiceDescription::new("pick up doughnuts", minutes(20)).at_location("bakery"),
             )
             .with_service(
-                ServiceDescription::new("pick up box lunches", minutes(20))
-                    .at_location("bakery"),
+                ServiceDescription::new("pick up box lunches", minutes(20)).at_location("bakery"),
             )
     }
 
@@ -158,8 +157,7 @@ impl CateringScenario {
             .located(Point::new(5.0, 0.0), Motion::WALKING)
             .with_fragment(breakfast_buffet_fragment())
             .with_service(
-                ServiceDescription::new("set out ingredients", minutes(15))
-                    .at_location("kitchen"),
+                ServiceDescription::new("set out ingredients", minutes(15)).at_location("kitchen"),
             )
             .with_service(
                 ServiceDescription::new("make pancakes", minutes(25)).at_location("kitchen"),
@@ -169,12 +167,10 @@ impl CateringScenario {
                     .at_location("dining room"),
             )
             .with_service(
-                ServiceDescription::new("serve buffet", minutes(10))
-                    .at_location("dining room"),
+                ServiceDescription::new("serve buffet", minutes(10)).at_location("dining room"),
             )
             .with_service(
-                ServiceDescription::new("set out doughnuts", minutes(5))
-                    .at_location("dining room"),
+                ServiceDescription::new("set out doughnuts", minutes(5)).at_location("dining room"),
             )
             .with_service(
                 ServiceDescription::new("set out box lunches", minutes(5))
@@ -321,10 +317,9 @@ mod tests {
         let sg = full_knowledge(&s);
         let violations = openwf_core::validate::violations(sg.graph());
         assert!(
-            violations.iter().any(|v| matches!(
-                v,
-                openwf_core::ValidityError::LabelMultipleProducers { .. }
-            )),
+            violations
+                .iter()
+                .any(|v| matches!(v, openwf_core::ValidityError::LabelMultipleProducers { .. })),
             "{violations:?}"
         );
     }
@@ -338,10 +333,14 @@ mod tests {
         assert!(spec.accepts(c.workflow()));
         // Exactly one breakfast alternative chosen.
         let w = c.workflow();
-        let breakfast_producers = ["cook omelets", "serve breakfast buffet", "set out doughnuts"]
-            .iter()
-            .filter(|t| w.contains_task(&TaskId::new(**t)))
-            .count();
+        let breakfast_producers = [
+            "cook omelets",
+            "serve breakfast buffet",
+            "set out doughnuts",
+        ]
+        .iter()
+        .filter(|t| w.contains_task(&TaskId::new(**t)))
+        .count();
         assert_eq!(breakfast_producers, 1);
     }
 
@@ -404,7 +403,10 @@ mod tests {
     #[test]
     fn host_configs_match_presence_flags() {
         assert_eq!(CateringScenario::new().host_configs().len(), 4);
-        assert_eq!(CateringScenario::new().without_chef().host_configs().len(), 3);
+        assert_eq!(
+            CateringScenario::new().without_chef().host_configs().len(),
+            3
+        );
         assert_eq!(
             CateringScenario::new()
                 .without_chef()

@@ -103,7 +103,11 @@ impl fmt::Display for SeriesPoint {
         write!(
             f,
             "len={:2} mean={:8.3}ms sd={:6.3} n={} fail={}",
-            self.path_length, self.time_ms.mean, self.time_ms.std_dev, self.time_ms.n, self.failures
+            self.path_length,
+            self.time_ms.mean,
+            self.time_ms.std_dev,
+            self.time_ms.n,
+            self.failures
         )
     }
 }
@@ -130,8 +134,7 @@ pub fn run_series(config: &ExperimentConfig) -> Vec<SeriesPoint> {
                 continue;
             };
             let mut community = build_community(config, &knowledge, &mut rng);
-            let initiator =
-                community.hosts()[rng.random_range(0..config.hosts)];
+            let initiator = community.hosts()[rng.random_range(0..config.hosts)];
             let before = community.stats().delivered;
             let handle = community.submit(initiator, path.spec.clone());
             let report = community.run_until_allocated(handle);
@@ -165,12 +168,8 @@ fn build_community(
     knowledge: &GeneratedKnowledge,
     rng: &mut StdRng,
 ) -> Community {
-    let host_configs = distribute_knowledge(
-        knowledge,
-        config.hosts,
-        SimDuration::from_millis(1),
-        rng,
-    );
+    let host_configs =
+        distribute_knowledge(knowledge, config.hosts, SimDuration::from_millis(1), rng);
     let builder = CommunityBuilder::new(rng.random_range(0..u64::MAX))
         .params(config.params.clone())
         .hosts(host_configs);

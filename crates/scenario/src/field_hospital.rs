@@ -26,7 +26,9 @@ pub struct FieldHospitalScenario {
 
 impl Default for FieldHospitalScenario {
     fn default() -> Self {
-        FieldHospitalScenario { surgeon_present: true }
+        FieldHospitalScenario {
+            surgeon_present: true,
+        }
     }
 }
 
@@ -110,8 +112,7 @@ impl FieldHospitalScenario {
                     .expect("static fragment is valid"),
             )
             .with_service(
-                ServiceDescription::new("image injuries", minutes(15))
-                    .at_location("imaging tent"),
+                ServiceDescription::new("image injuries", minutes(15)).at_location("imaging tent"),
             )
     }
 
@@ -217,20 +218,25 @@ mod tests {
     #[test]
     fn full_staff_runs_end_to_end() {
         let s = FieldHospitalScenario::new();
-        let mut community = CommunityBuilder::new(77)
-            .hosts(s.host_configs())
-            .build();
+        let mut community = CommunityBuilder::new(77).hosts(s.host_configs()).build();
         let nurse = community.hosts()[0];
         let handle = community.submit(nurse, s.spec());
         let report = community.run_until_complete(handle);
-        assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+        assert!(
+            matches!(report.status, ProblemStatus::Completed),
+            "{report}"
+        );
         assert_eq!(report.assignments.len(), 4);
         // Triage and imaging are independent (level 0): both level-0
         // executors must have run before `plan treatment` (implied by
         // completion, asserted via invocation presence).
         let radiologist = community.hosts()[1];
         assert_eq!(
-            community.host(radiologist).service_mgr().invocations().len(),
+            community
+                .host(radiologist)
+                .service_mgr()
+                .invocations()
+                .len(),
             1
         );
     }

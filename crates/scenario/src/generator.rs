@@ -99,7 +99,12 @@ impl GeneratedKnowledge {
             })
             .collect();
 
-        GeneratedKnowledge { n: n_tasks, adj, inputs, fragments }
+        GeneratedKnowledge {
+            n: n_tasks,
+            adj,
+            inputs,
+            fragments,
+        }
     }
 
     /// Number of tasks.

@@ -36,7 +36,7 @@ pub mod mobility_driver;
 pub mod stats;
 
 pub use distribute::distribute_knowledge;
-pub use experiment::{ExperimentConfig, LatencyKind, SeriesPoint, run_series};
+pub use experiment::{run_series, ExperimentConfig, LatencyKind, SeriesPoint};
 pub use generator::{GeneratedKnowledge, PathSpec};
 pub use mobility_driver::RangeMobility;
 pub use stats::Summary;

@@ -170,14 +170,7 @@ mod tests {
     fn links_heal_when_walkers_reconverge() {
         // Two walkers in a small arena with moderate range: over time the
         // link must toggle at least once in each direction.
-        let mut m = RangeMobility::new(
-            Rect::square(200.0),
-            2,
-            Motion::new(20.0),
-            0.0,
-            80.0,
-            3,
-        );
+        let mut m = RangeMobility::new(Rect::square(200.0), 2, Motion::new(20.0), 0.0, 80.0, 3);
         let mut topo = Topology::full_mesh();
         let hs = hosts(2);
         let mut seen_up = false;
@@ -212,8 +205,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one walker per host")]
     fn mismatched_host_count_panics() {
-        let mut m =
-            RangeMobility::new(Rect::square(10.0), 2, Motion::new(1.0), 0.0, 5.0, 0);
+        let mut m = RangeMobility::new(Rect::square(10.0), 2, Motion::new(1.0), 0.0, 5.0, 0);
         let mut topo = Topology::full_mesh();
         m.advance(1.0, &mut topo, &hosts(3));
     }

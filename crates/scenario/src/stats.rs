@@ -33,7 +33,13 @@ impl Summary {
         };
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, std_dev: var.sqrt(), min, max }
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 }
 

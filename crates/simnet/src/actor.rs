@@ -44,7 +44,13 @@ impl<'a, M: Message> Context<'a, M> {
         outbox: &'a mut Vec<(HostId, M)>,
         timers: &'a mut Vec<(SimDuration, TimerToken)>,
     ) -> Self {
-        Context { now, self_id, outbox, timers, charged: SimDuration::ZERO }
+        Context {
+            now,
+            self_id,
+            outbox,
+            timers,
+            charged: SimDuration::ZERO,
+        }
     }
 
     /// Charges virtual *compute* time to this callback: everything the
@@ -137,7 +143,11 @@ mod tests {
         let mut a = Fanout;
         a.on_start(&mut ctx);
         let to: Vec<HostId> = outbox.iter().map(|(h, _)| *h).collect();
-        assert_eq!(to, vec![HostId(0), HostId(2)], "self excluded from send_all");
+        assert_eq!(
+            to,
+            vec![HostId(0), HostId(2)],
+            "self excluded from send_all"
+        );
         assert_eq!(timers, vec![(SimDuration::from_millis(5), TimerToken(9))]);
     }
 

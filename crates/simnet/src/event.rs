@@ -73,7 +73,10 @@ pub struct EventQueue<M> {
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 }
 
@@ -125,7 +128,10 @@ mod tests {
     use super::*;
 
     fn timer(host: u32, token: u64) -> EventKind<()> {
-        EventKind::Timer { host: HostId(host), token: TimerToken(token) }
+        EventKind::Timer {
+            host: HostId(host),
+            token: TimerToken(token),
+        }
     }
 
     #[test]
@@ -176,7 +182,11 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(
             SimTime::ZERO,
-            EventKind::Deliver { from: HostId(0), to: HostId(1), msg: 42u32 },
+            EventKind::Deliver {
+                from: HostId(0),
+                to: HostId(1),
+                msg: 42u32,
+            },
         );
         match q.pop().unwrap().kind {
             EventKind::Deliver { from, to, msg } => {

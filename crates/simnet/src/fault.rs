@@ -57,12 +57,7 @@ impl FaultInjector {
     }
 
     /// Decides whether a message from `from` to `to` is lost.
-    pub fn should_drop(
-        &self,
-        from: HostId,
-        to: HostId,
-        rng: &mut dyn rand::Rng,
-    ) -> bool {
+    pub fn should_drop(&self, from: HostId, to: HostId, rng: &mut dyn rand::Rng) -> bool {
         if self.is_crashed(from) || self.is_crashed(to) {
             return true;
         }
@@ -99,7 +94,10 @@ mod tests {
         let mut f = FaultInjector::none();
         f.crash(HostId(1));
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(f.should_drop(HostId(1), HostId(0), &mut rng), "from crashed");
+        assert!(
+            f.should_drop(HostId(1), HostId(0), &mut rng),
+            "from crashed"
+        );
         assert!(f.should_drop(HostId(0), HostId(1), &mut rng), "to crashed");
         assert!(!f.should_drop(HostId(0), HostId(2), &mut rng));
         assert!(f.is_crashed(HostId(1)));

@@ -153,8 +153,7 @@ impl LatencyModel for Wireless80211g {
         size: usize,
         rng: &mut dyn rand::Rng,
     ) -> SimDuration {
-        let backoff =
-            SimDuration::from_micros(rng.random_range(0..=self.max_jitter.as_micros()));
+        let backoff = SimDuration::from_micros(rng.random_range(0..=self.max_jitter.as_micros()));
         let start = self.medium_free_at.max(now) + backoff;
         let tx = self.base + self.serialization(size);
         let done = start + tx;
@@ -187,10 +186,8 @@ mod tests {
 
     #[test]
     fn uniform_stays_in_bounds() {
-        let mut m = UniformLatency::new(
-            SimDuration::from_micros(100),
-            SimDuration::from_micros(200),
-        );
+        let mut m =
+            UniformLatency::new(SimDuration::from_micros(100), SimDuration::from_micros(200));
         let mut r = rng();
         for _ in 0..100 {
             let d = m.delay(SimTime::ZERO, HostId(0), HostId(1), 0, &mut r);
@@ -230,7 +227,10 @@ mod tests {
         let mut r = rng();
         let d1 = m.delay(SimTime::ZERO, HostId(0), HostId(1), 1_000, &mut r);
         let d2 = m.delay(SimTime::ZERO, HostId(0), HostId(2), 1_000, &mut r);
-        assert!(d2 > d1, "second frame queues behind the first: {d1} vs {d2}");
+        assert!(
+            d2 > d1,
+            "second frame queues behind the first: {d1} vs {d2}"
+        );
     }
 
     #[test]

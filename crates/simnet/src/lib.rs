@@ -70,5 +70,5 @@ pub use sim::SimNetwork;
 pub use stats::NetStats;
 pub use thread_net::ThreadNetwork;
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceRecord, TraceRecorder};
 pub use topology::Topology;
+pub use trace::{TraceRecord, TraceRecorder};

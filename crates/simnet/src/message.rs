@@ -6,7 +6,9 @@ use std::fmt;
 ///
 /// Host ids are assigned densely by the network (simulated or threaded) in
 /// the order hosts are added, which keeps experiment setup deterministic.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct HostId(pub u32);
 
 impl HostId {

@@ -269,11 +269,11 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
         self.stats.sent += 1;
         if from == to {
             // Local delivery: no network involved.
-            self.queue.schedule(at, EventKind::Deliver { from, to, msg });
+            self.queue
+                .schedule(at, EventKind::Deliver { from, to, msg });
             return;
         }
-        if !self.topology.connected(from, to) || self.faults.should_drop(from, to, &mut self.rng)
-        {
+        if !self.topology.connected(from, to) || self.faults.should_drop(from, to, &mut self.rng) {
             self.stats.dropped += 1;
             return;
         }
@@ -362,11 +362,7 @@ mod tests {
             ));
             net.send_external(a, b, Msg::Ping(0));
             net.run_until_quiescent();
-            (
-                net.now(),
-                net.stats(),
-                net.host(b).log.clone(),
-            )
+            (net.now(), net.stats(), net.host(b).log.clone())
         };
         let r1 = run(1234);
         let r2 = run(1234);
@@ -495,7 +491,11 @@ mod tests {
         let mut net: SimNetwork<Msg, Periodic> = SimNetwork::new(0);
         net.add_host(Periodic);
         let end = net.run_until(SimTime::from_micros(5_500));
-        assert_eq!(end, SimTime::from_micros(5_000), "stops at last event ≤ deadline");
+        assert_eq!(
+            end,
+            SimTime::from_micros(5_000),
+            "stops at last event ≤ deadline"
+        );
         assert_eq!(net.stats().timers_fired, 5);
         assert!(net.pending_events() > 0);
     }

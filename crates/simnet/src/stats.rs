@@ -46,13 +46,25 @@ mod tests {
 
     #[test]
     fn in_flight_accounting() {
-        let s = NetStats { sent: 10, delivered: 6, dropped: 1, ..Default::default() };
+        let s = NetStats {
+            sent: 10,
+            delivered: 6,
+            dropped: 1,
+            ..Default::default()
+        };
         assert_eq!(s.in_flight(), 3);
     }
 
     #[test]
     fn display_lists_counters() {
-        let s = NetStats { sent: 2, delivered: 1, ..Default::default() };
-        assert_eq!(s.to_string(), "sent=2 delivered=1 dropped=0 bytes=0 timers=0");
+        let s = NetStats {
+            sent: 2,
+            delivered: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            s.to_string(),
+            "sent=2 delivered=1 dropped=0 bytes=0 timers=0"
+        );
     }
 }

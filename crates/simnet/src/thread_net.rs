@@ -31,8 +31,16 @@ enum Envelope<M> {
 }
 
 enum RouterCmd<M> {
-    Send { from: HostId, to: HostId, msg: M },
-    Timer { host: HostId, token: TimerToken, after: Duration },
+    Send {
+        from: HostId,
+        to: HostId,
+        msg: M,
+    },
+    Timer {
+        host: HostId,
+        token: TimerToken,
+        after: Duration,
+    },
     Stop,
 }
 
@@ -374,8 +382,14 @@ mod tests {
     #[test]
     fn threaded_ping_pong_completes() {
         let mut net: ThreadNetwork<Ping, Pong> = ThreadNetwork::new();
-        let a = net.add_host(Pong { seen: vec![], limit: 6 });
-        let b = net.add_host(Pong { seen: vec![], limit: 6 });
+        let a = net.add_host(Pong {
+            seen: vec![],
+            limit: 6,
+        });
+        let b = net.add_host(Pong {
+            seen: vec![],
+            limit: 6,
+        });
         net.start();
         net.send_external(a, b, Ping(0));
         let done = net.wait_until(Duration::from_secs(5), |n| {

@@ -8,7 +8,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A duration of virtual time (microseconds).
-#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -36,7 +38,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 
@@ -98,7 +103,9 @@ impl fmt::Display for SimDuration {
 }
 
 /// An instant of virtual time (microseconds since simulation start).
-#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -184,7 +191,10 @@ mod tests {
         d += SimDuration::from_micros(5);
         assert_eq!(d.as_micros(), 15);
         assert_eq!(d.times(2).as_micros(), 30);
-        assert_eq!(d.saturating_sub(SimDuration::from_micros(100)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_micros(100)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! determinism under randomized actor behavior.
 
 use openwf_simnet::{
-    Actor, ConstantLatency, Context, HostId, Message, SimDuration, SimNetwork, SimTime,
-    TimerToken, UniformLatency,
+    Actor, ConstantLatency, Context, HostId, Message, SimDuration, SimNetwork, SimTime, TimerToken,
+    UniformLatency,
 };
 use proptest::prelude::*;
 
@@ -32,17 +32,18 @@ impl Actor<Token> for RingHop {
         self.seen.push((ctx.now(), msg.id));
         ctx.charge(SimDuration::from_micros(self.charge_us));
         if msg.hops_left > 0 {
-            ctx.send(self.next, Token { hops_left: msg.hops_left - 1, id: msg.id });
+            ctx.send(
+                self.next,
+                Token {
+                    hops_left: msg.hops_left - 1,
+                    id: msg.id,
+                },
+            );
         }
     }
 }
 
-fn ring(
-    hosts: usize,
-    charge_us: u64,
-    seed: u64,
-    jitter: bool,
-) -> SimNetwork<Token, RingHop> {
+fn ring(hosts: usize, charge_us: u64, seed: u64, jitter: bool) -> SimNetwork<Token, RingHop> {
     let mut net = SimNetwork::new(seed);
     if jitter {
         net.set_latency(UniformLatency::new(
@@ -54,7 +55,11 @@ fn ring(
     }
     for i in 0..hosts {
         let next = HostId(((i + 1) % hosts) as u32);
-        net.add_host(RingHop { next, charge_us, seen: Vec::new() });
+        net.add_host(RingHop {
+            next,
+            charge_us,
+            seen: Vec::new(),
+        });
     }
     net
 }
@@ -74,7 +79,7 @@ proptest! {
     ) {
         let mut net = ring(hosts, 5, seed, true);
         for id in 0..tokens {
-            net.send_external(HostId(0), HostId(id as u32 % hosts as u32), Token {
+            net.send_external(HostId(0), HostId(id % hosts as u32), Token {
                 hops_left: hops,
                 id,
             });
@@ -177,7 +182,14 @@ fn timer_message_interleaving_is_stable() {
         let a = net.add_host(Mixed { log: vec![] });
         let b = net.add_host(Mixed { log: vec![] });
         net.start();
-        net.send_external(b, a, Token { hops_left: 0, id: 0 });
+        net.send_external(
+            b,
+            a,
+            Token {
+                hops_left: 0,
+                id: 0,
+            },
+        );
         net.run_until_quiescent();
         net.host(a).log.clone()
     };

@@ -26,9 +26,12 @@ fn run(label: &str, scenario: CateringScenario, spec: Spec) {
     let mut community = CommunityBuilder::new(2009).hosts(configs).build();
     for (i, h) in community.hosts().into_iter().enumerate() {
         let name = names[i].to_string();
-        community.host_mut(h).service_mgr_mut().set_hook(Box::new(move |call| {
-            println!("  {name}: {}", call.task);
-        }));
+        community
+            .host_mut(h)
+            .service_mgr_mut()
+            .set_hook(Box::new(move |call| {
+                println!("  {name}: {}", call.task);
+            }));
     }
 
     let manager = community.hosts()[0];
@@ -64,10 +67,7 @@ fn main() {
     //    kitchen staff's buffet knowhow still serves breakfast.
     let s = CateringScenario::new().without_chef().with_orders_placed();
     let spec = Spec::new(
-        [
-            "breakfast ingredients",
-            "doughnuts ordered",
-        ],
+        ["breakfast ingredients", "doughnuts ordered"],
         ["breakfast served"],
     );
     run("master chef absent: breakfast still served", s, spec);

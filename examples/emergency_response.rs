@@ -26,9 +26,12 @@ fn main() {
         .build();
     for (i, h) in community.hosts().into_iter().enumerate() {
         let name = names[i];
-        community.host_mut(h).service_mgr_mut().set_hook(Box::new(move |call| {
-            println!("  {name}: {}", call.task);
-        }));
+        community
+            .host_mut(h)
+            .service_mgr_mut()
+            .set_hook(Box::new(move |call| {
+                println!("  {name}: {}", call.task);
+            }));
     }
 
     // The worker's device reports the spill and initiates the response.
@@ -54,7 +57,9 @@ fn main() {
 
     // Counterfactual: without the chief engineer there is no plan at all.
     let absent = EmergencyScenario::new().without_engineer();
-    let mut community = CommunityBuilder::new(912).hosts(absent.host_configs()).build();
+    let mut community = CommunityBuilder::new(912)
+        .hosts(absent.host_configs())
+        .build();
     let worker = community.hosts()[0];
     let handle = community.submit(worker, absent.spec());
     let report = community.run_until_complete(handle);

@@ -23,9 +23,12 @@ fn run(label: &str, scenario: FieldHospitalScenario) {
         .build();
     for (i, h) in community.hosts().into_iter().enumerate() {
         let who = names[i].to_string();
-        community.host_mut(h).service_mgr_mut().set_hook(Box::new(move |call| {
-            println!("  {who}: {}", call.task);
-        }));
+        community
+            .host_mut(h)
+            .service_mgr_mut()
+            .set_hook(Box::new(move |call| {
+                println!("  {who}: {}", call.task);
+            }));
     }
 
     let nurse = community.hosts()[0];

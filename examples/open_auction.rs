@@ -30,15 +30,32 @@ fn main() {
     println!("=== auction: specialist vs generalist ===");
     let generalist = HostConfig::new()
         .with_fragment(fragment())
-        .with_service(ServiceDescription::new("repair generator", SimDuration::from_secs(30)))
-        .with_service(ServiceDescription::new("operate crane", SimDuration::from_secs(30)))
-        .with_service(ServiceDescription::new("drive truck", SimDuration::from_secs(30)));
-    let specialist = HostConfig::new()
-        .with_service(ServiceDescription::new("repair generator", SimDuration::from_secs(30)));
+        .with_service(ServiceDescription::new(
+            "repair generator",
+            SimDuration::from_secs(30),
+        ))
+        .with_service(ServiceDescription::new(
+            "operate crane",
+            SimDuration::from_secs(30),
+        ))
+        .with_service(ServiceDescription::new(
+            "drive truck",
+            SimDuration::from_secs(30),
+        ));
+    let specialist = HostConfig::new().with_service(ServiceDescription::new(
+        "repair generator",
+        SimDuration::from_secs(30),
+    ));
 
-    let mut community = CommunityBuilder::new(1).host(generalist).host(specialist).build();
+    let mut community = CommunityBuilder::new(1)
+        .host(generalist)
+        .host(specialist)
+        .build();
     let initiator = community.hosts()[0];
-    let handle = community.submit(initiator, Spec::new(["outage reported"], ["power restored"]));
+    let handle = community.submit(
+        initiator,
+        Spec::new(["outage reported"], ["power restored"]),
+    );
     let report = community.run_until_allocated(handle);
     let (task, winner) = &report.assignments[0];
     println!("task `{task}` awarded to {winner} (the specialist, host1)");
@@ -63,7 +80,10 @@ fn main() {
         )))
         .build();
     let initiator = community.hosts()[0];
-    let handle = community.submit(initiator, Spec::new(["outage reported"], ["power restored"]));
+    let handle = community.submit(
+        initiator,
+        Spec::new(["outage reported"], ["power restored"]),
+    );
     let report = community.run_until_allocated(handle);
     let (_, winner) = &report.assignments[0];
     println!("first allocation: host{}", winner.index());

@@ -22,7 +22,10 @@ fn main() {
             )
             .expect("valid fragment"),
         )
-        .with_service(ServiceDescription::new("grind beans", SimDuration::from_secs(60)));
+        .with_service(ServiceDescription::new(
+            "grind beans",
+            SimDuration::from_secs(60),
+        ));
 
     // Device B knows how to grind beans (but can only brew).
     let device_b = HostConfig::new()
@@ -36,15 +39,24 @@ fn main() {
             )
             .expect("valid fragment"),
         )
-        .with_service(ServiceDescription::new("brew coffee", SimDuration::from_secs(120)));
+        .with_service(ServiceDescription::new(
+            "brew coffee",
+            SimDuration::from_secs(120),
+        ));
 
-    let mut community = CommunityBuilder::new(42).host(device_a).host(device_b).build();
+    let mut community = CommunityBuilder::new(42)
+        .host(device_a)
+        .host(device_b)
+        .build();
 
     // Narrate the service executions.
     for h in community.hosts() {
-        community.host_mut(h).service_mgr_mut().set_hook(Box::new(move |call| {
-            println!("  [{h}] executing service: {}", call.task);
-        }));
+        community
+            .host_mut(h)
+            .service_mgr_mut()
+            .set_hook(Box::new(move |call| {
+                println!("  [{h}] executing service: {}", call.task);
+            }));
     }
 
     // A participant identifies a need: coffee, given beans.
@@ -65,7 +77,10 @@ fn main() {
         "allocation:        {}",
         report.timings.allocation().expect("allocated")
     );
-    println!("total (virtual):   {}", report.timings.total().expect("completed"));
+    println!(
+        "total (virtual):   {}",
+        report.timings.total().expect("completed")
+    );
     println!("\nassignments:");
     for (task, host) in &report.assignments {
         println!("  {task} -> {host}");

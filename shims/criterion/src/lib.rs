@@ -1,0 +1,336 @@
+//! Minimal, std-only stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple warm-up + timed-batches loop that reports the mean time per
+//! iteration; there is no statistical analysis, HTML report, or
+//! baseline comparison. Honors `--test` (run each bench once, as
+//! `cargo test --benches` does) and a substring filter argument.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver, configured from CLI arguments.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            sample_size: 60,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies `--test`, `--bench` and a positional substring filter from
+    /// the process arguments (the harness is invoked by `cargo bench`).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" | "-q" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Sets the target number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(self, &name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion, &full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups have no state
+    /// to flush in this shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Conversion into a printable benchmark id (accepts `BenchmarkId`,
+/// `&str`, and `String`).
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_per_batch: u64,
+    batches: usize,
+    test_mode: bool,
+    total: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, accumulating elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.total_iters = 1;
+            self.total = Duration::from_nanos(1);
+            return;
+        }
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(f());
+            }
+            self.total += start.elapsed();
+            self.total_iters += self.iters_per_batch;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    name: &str,
+    sample_size: Option<usize>,
+    mut f: F,
+) {
+    if let Some(filter) = &c.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if c.test_mode {
+        let mut b = Bencher {
+            test_mode: true,
+            ..Default::default()
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+
+    // Warm-up: find an iteration count whose batch lasts ≳ 1/sample of
+    // the measurement budget.
+    let batches = sample_size.unwrap_or(c.sample_size);
+    let per_batch_budget = c.measurement_time.as_secs_f64() / batches as f64;
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        let mut b = Bencher {
+            iters_per_batch: iters,
+            batches: 1,
+            ..Default::default()
+        };
+        f(&mut b);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        if elapsed >= per_batch_budget || iters >= (1 << 30) {
+            break;
+        }
+        let scale = (per_batch_budget / elapsed).clamp(1.1, 100.0);
+        iters = ((iters as f64) * scale).ceil() as u64;
+    }
+
+    let mut b = Bencher {
+        iters_per_batch: iters,
+        batches,
+        ..Default::default()
+    };
+    f(&mut b);
+    if b.total_iters == 0 {
+        println!("{name:<50} (no iterations)");
+        return;
+    }
+    let mean = b.total.as_secs_f64() / b.total_iters as f64;
+    println!("{name:<50} time: [{}]", format_time(mean));
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter(|| x + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(10).to_string(), "10");
+    }
+}

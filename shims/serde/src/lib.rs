@@ -1,0 +1,786 @@
+//! Minimal, std-only stand-in for the `serde` crate.
+//!
+//! The trait *shapes* match real serde closely enough that manual
+//! `impl Serialize` / `impl Deserialize` blocks written against serde
+//! 1.x compile unchanged, but the data model is radically simplified:
+//! every serializer produces a self-describing [`Value`] tree and every
+//! deserializer hands one back (`Deserializer::deserialize_any` is the
+//! only entry point). [`to_value`] / [`from_value`] round-trip any type
+//! implementing the traits, which is what this workspace's tests
+//! exercise; no textual format (JSON, …) is provided.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::{self, Display};
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing tree every (de)serializer speaks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (also used for tuples and tuple structs).
+    Seq(Vec<Value>),
+    /// A struct or map: ordered key → value pairs.
+    Map(Vec<(Value, Value)>),
+}
+
+/// The error produced by the built-in [`Value`] (de)serializer.
+#[derive(Clone, Debug)]
+pub struct ValueError(String);
+
+impl Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serialization half of the data model.
+pub mod ser {
+    use super::*;
+
+    /// Errors a serializer may produce.
+    pub trait Error: Sized + Display {
+        /// An error with a custom message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A value that can be serialized.
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A sink for the serde data model.
+    pub trait Serializer: Sized {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Compound serializer for structs.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Compound serializer for sequences.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Compound serializer for maps.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a boolean.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a signed integer.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an unsigned integer.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a float.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes the unit value.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit enum variant.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype struct as its inner value.
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Some(value)` transparently.
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+        /// Begins serializing a struct.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begins serializing a sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begins serializing a map.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    }
+
+    /// Compound serializer for struct fields.
+    pub trait SerializeStruct {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for sequence elements.
+    pub trait SerializeSeq {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for map entries.
+    pub trait SerializeMap {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one key/value entry.
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization half of the data model.
+pub mod de {
+    use super::*;
+
+    /// Errors a deserializer may produce.
+    pub trait Error: Sized + Display {
+        /// An error with a custom message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A value constructible from the data model.
+    ///
+    /// The lifetime parameter mirrors real serde's zero-copy support; in
+    /// this shim all deserialization is owned, so implementations are
+    /// `for<'de>`.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A source of the data model. This shim is self-describing only:
+    /// the single entry point yields a [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// Produces the underlying value tree.
+        fn deserialize_any(self) -> Result<Value, Self::Error>;
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// --------------------------------------------------------------------------
+// The built-in Value serializer / deserializer.
+// --------------------------------------------------------------------------
+
+/// A [`Serializer`] producing a [`Value`] tree.
+#[derive(Debug, Default)]
+pub struct ValueSerializer;
+
+/// In-progress struct/map being built by [`ValueSerializer`].
+#[derive(Debug, Default)]
+pub struct ValueCompound(Vec<(Value, Value)>);
+
+/// In-progress sequence being built by [`ValueSerializer`].
+#[derive(Debug, Default)]
+pub struct ValueSeq(Vec<Value>);
+
+impl ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    type SerializeStruct = ValueCompound;
+    type SerializeSeq = ValueSeq;
+    type SerializeMap = ValueCompound;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, ValueError> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, ValueError> {
+        Ok(Value::I64(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, ValueError> {
+        Ok(Value::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, ValueError> {
+        Ok(Value::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, ValueError> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Value, ValueError> {
+        Ok(Value::Unit)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, ValueError> {
+        Ok(Value::Str(variant.to_string()))
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, ValueError> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_none(self) -> Result<Value, ValueError> {
+        Ok(Value::Unit)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, ValueError> {
+        value.serialize(ValueSerializer)
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<ValueCompound, ValueError> {
+        Ok(ValueCompound(Vec::new()))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeq, ValueError> {
+        Ok(ValueSeq(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<ValueCompound, ValueError> {
+        Ok(ValueCompound(Vec::new()))
+    }
+}
+
+impl ser::SerializeStruct for ValueCompound {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), ValueError> {
+        let v = value.serialize(ValueSerializer)?;
+        self.0.push((Value::Str(key.to_string()), v));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Map(self.0))
+    }
+}
+
+impl ser::SerializeSeq for ValueSeq {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), ValueError> {
+        self.0.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Seq(self.0))
+    }
+}
+
+impl ser::SerializeMap for ValueCompound {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), ValueError> {
+        let k = key.serialize(ValueSerializer)?;
+        let v = value.serialize(ValueSerializer)?;
+        self.0.push((k, v));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(Value::Map(self.0))
+    }
+}
+
+/// A [`Deserializer`] reading back a [`Value`] tree.
+#[derive(Debug)]
+pub struct ValueDeserializer(Value);
+
+impl ValueDeserializer {
+    /// Wraps a value for deserialization.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer(value)
+    }
+}
+
+impl<'de> de::Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+    fn deserialize_any(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any owned-deserializable value from a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// --------------------------------------------------------------------------
+// Support machinery used by the derive macro (not public API).
+// --------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    use super::*;
+
+    /// A struct's fields, ready for keyed extraction.
+    #[derive(Debug)]
+    pub struct FieldMap(Vec<(String, Value)>);
+
+    /// Decomposes a value expected to be a struct/map.
+    pub fn take_struct(v: Value) -> Result<FieldMap, ValueError> {
+        match v {
+            Value::Map(pairs) => Ok(FieldMap(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Value::Str(s) => Ok((s, v)),
+                        other => Err(ValueError(format!("non-string struct key {other:?}"))),
+                    })
+                    .collect::<Result<_, _>>()?,
+            )),
+            other => Err(ValueError(format!("expected struct/map, found {other:?}"))),
+        }
+    }
+
+    /// Removes and deserializes one named field.
+    pub fn take_field<T: for<'de> Deserialize<'de>>(
+        map: &mut FieldMap,
+        name: &str,
+    ) -> Result<T, ValueError> {
+        match map.0.iter().position(|(k, _)| k == name) {
+            Some(i) => from_value(map.0.remove(i).1),
+            None => Err(ValueError(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Decomposes a value expected to be a sequence with exactly `n`
+    /// elements (tuple structs).
+    pub fn take_seq(v: Value, n: usize) -> Result<Vec<Value>, ValueError> {
+        match v {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            Value::Seq(items) => Err(ValueError(format!(
+                "expected {n}-element sequence, found {} elements",
+                items.len()
+            ))),
+            other => Err(ValueError(format!("expected sequence, found {other:?}"))),
+        }
+    }
+
+    /// Extracts a unit-variant name.
+    pub fn take_variant(v: Value) -> Result<String, ValueError> {
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(ValueError(format!(
+                "expected variant name, found {other:?}"
+            ))),
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Trait impls for std types.
+// --------------------------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty => $ser:ident / $var:ident as $conv:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.$ser(*self as $conv)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error as _;
+                match d.deserialize_any()? {
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("out of range for ", stringify!($t)))),
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("out of range for ", stringify!($t)))),
+                    other => Err(D::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int! {
+    u8 => serialize_u64 / U64 as u64,
+    u16 => serialize_u64 / U64 as u64,
+    u32 => serialize_u64 / U64 as u64,
+    u64 => serialize_u64 / U64 as u64,
+    usize => serialize_u64 / U64 as u64,
+    i8 => serialize_i64 / I64 as i64,
+    i16 => serialize_i64 / I64 as i64,
+    i32 => serialize_i64 / I64 as i64,
+    i64 => serialize_i64 / I64 as i64,
+    isize => serialize_i64 / I64 as i64,
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error as _;
+        match d.deserialize_any()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_f64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error as _;
+                match d.deserialize_any()? {
+                    Value::F64(v) => Ok(v as $t),
+                    Value::U64(v) => Ok(v as $t),
+                    Value::I64(v) => Ok(v as $t),
+                    other => Err(D::Error::custom(format!("expected float, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error as _;
+        match d.deserialize_any()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "expected string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error as _;
+        match d.deserialize_any()? {
+            Value::Unit => Ok(()),
+            other => Err(D::Error::custom(format!("expected unit, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error as _;
+        match d.deserialize_any()? {
+            Value::Unit => Ok(None),
+            other => from_value(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq as _;
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error as _;
+        match d.deserialize_any()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_setlike {
+    ($name:ident <T $(: $($bound:path),+)?>) => {
+        impl<T: Serialize> Serialize for $name<T> {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeSeq as _;
+                let mut seq = s.serialize_seq(Some(self.len()))?;
+                for item in self {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+        }
+        impl<'de, T: for<'a> Deserialize<'a> $($(+ $bound)+)?> Deserialize<'de> for $name<T> {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error as _;
+                match d.deserialize_any()? {
+                    Value::Seq(items) => items
+                        .into_iter()
+                        .map(|v| from_value(v).map_err(D::Error::custom))
+                        .collect(),
+                    other => Err(D::Error::custom(format!("expected sequence, found {other:?}"))),
+                }
+            }
+        }
+    };
+}
+
+impl_serde_setlike!(BTreeSet<T: Ord>);
+impl_serde_setlike!(HashSet<T: Eq, Hash>);
+
+macro_rules! impl_serde_maplike {
+    ($name:ident, $($bound:path),+) => {
+        impl<K: Serialize, V: Serialize> Serialize for $name<K, V> {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeMap as _;
+                let mut map = s.serialize_map(Some(self.len()))?;
+                for (k, v) in self {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+        impl<'de, K, V> Deserialize<'de> for $name<K, V>
+        where
+            K: for<'a> Deserialize<'a> $(+ $bound)+,
+            V: for<'a> Deserialize<'a>,
+        {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error as _;
+                match d.deserialize_any()? {
+                    Value::Map(pairs) => pairs
+                        .into_iter()
+                        .map(|(k, v)| {
+                            Ok((
+                                from_value(k).map_err(D::Error::custom)?,
+                                from_value(v).map_err(D::Error::custom)?,
+                            ))
+                        })
+                        .collect(),
+                    other => Err(D::Error::custom(format!("expected map, found {other:?}"))),
+                }
+            }
+        }
+    };
+}
+
+impl_serde_maplike!(BTreeMap, Ord);
+impl_serde_maplike!(HashMap, Eq, Hash);
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::{SerializeMap as _, SerializeSeq as _};
+        match self {
+            Value::Unit => s.serialize_unit(),
+            Value::Bool(b) => s.serialize_bool(*b),
+            Value::I64(v) => s.serialize_i64(*v),
+            Value::U64(v) => s.serialize_u64(*v),
+            Value::F64(v) => s.serialize_f64(*v),
+            Value::Str(v) => s.serialize_str(v),
+            Value::Seq(items) => {
+                let mut seq = s.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Map(pairs) => {
+                let mut map = s.serialize_map(Some(pairs.len()))?;
+                for (k, v) in pairs {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_any()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeSeq as _;
+                let mut seq = s.serialize_seq(None)?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        }
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error as _;
+                const N: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let items = crate::__private::take_seq(d.deserialize_any()?, N)
+                    .map_err(D::Error::custom)?;
+                let mut it = items.into_iter();
+                Ok(($(
+                    {
+                        let _ = stringify!($idx);
+                        from_value(it.next().expect("length checked"))
+                            .map_err(D::Error::custom)?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (T0.0)
+    (T0.0, T1.1)
+    (T0.0, T1.1, T2.2)
+    (T0.0, T1.1, T2.2, T3.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_value::<u32>(to_value(&7u32).unwrap()).unwrap(), 7);
+        assert_eq!(from_value::<String>(to_value("hi").unwrap()).unwrap(), "hi");
+        assert!(from_value::<bool>(to_value(&true).unwrap()).unwrap());
+        assert_eq!(
+            from_value::<Option<u8>>(to_value(&None::<u8>).unwrap()).unwrap(),
+            None
+        );
+        assert_eq!(
+            from_value::<Vec<u16>>(to_value(&vec![1u16, 2, 3]).unwrap()).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let set: BTreeSet<u8> = [3, 1, 2].into_iter().collect();
+        assert_eq!(
+            from_value::<BTreeSet<u8>>(to_value(&set).unwrap()).unwrap(),
+            set
+        );
+        let map: BTreeMap<String, u32> = [("a".to_string(), 1u32), ("b".to_string(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            from_value::<BTreeMap<String, u32>>(to_value(&map).unwrap()).unwrap(),
+            map
+        );
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u8, "x".to_string(), true);
+        let v = to_value(&t).unwrap();
+        assert_eq!(from_value::<(u8, String, bool)>(v).unwrap(), t);
+    }
+}

@@ -1,0 +1,386 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote`) derive macros for the `serde` shim's
+//! `Serialize` / `Deserialize` traits. Supported shapes — which cover
+//! every derive site in this workspace:
+//!
+//! * structs with named fields (field attributes like `#[serde(flatten)]`
+//!   are tolerated and ignored — the shim's self-describing data model
+//!   makes flattening a no-op concern),
+//! * tuple structs (single-field tuple structs serialize transparently
+//!   as their inner value, like serde newtypes),
+//! * unit structs,
+//! * enums whose variants are all unit variants.
+//!
+//! Generic types and data-carrying enum variants produce a compile error
+//! directing the author to write a manual impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// Consumes leading attributes (`#[...]` / `#![...]`) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p2)) = tokens.get(i) {
+                    if p2.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                match tokens.get(i) {
+                    Some(TokenTree::Group(_)) => i += 1,
+                    _ => return i,
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde shim derive does not support generic type `{name}`; \
+                 write a manual impl"
+            ));
+        }
+    }
+
+    if kind == "enum" {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        let variants = parse_unit_variants(body, &name)?;
+        return Ok(Shape::UnitEnum { name, variants });
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream())?;
+            Ok(Shape::NamedStruct { name, fields })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(g.stream());
+            Ok(Shape::TupleStruct { name, arity })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+        None => Ok(Shape::UnitStruct { name }),
+        other => Err(format!("unsupported struct body {other:?}")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        // Skip the type: consume until a top-level comma, tracking angle
+        // bracket depth so `Vec<(A, B)>`-style types don't split early.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "the offline serde shim derive only supports unit variants; \
+                     `{enum_name}::{variant}` carries data — write a manual impl"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next top-level comma.
+                i += 1;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(__s, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in &fields {
+                body.push_str(&format!("__st.serialize_field(\"{f}\", &self.{f})?;\n"));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)");
+            serialize_impl(&name, &body)
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!(
+                    "::serde::ser::Serializer::serialize_newtype_struct(__s, \"{name}\", &self.0)"
+                )
+            } else {
+                let mut b = format!(
+                    "let mut __sq = ::serde::ser::Serializer::serialize_seq(__s, ::core::option::Option::Some({arity}usize))?;\n"
+                );
+                for i in 0..arity {
+                    b.push_str(&format!(
+                        "::serde::ser::SerializeSeq::serialize_element(&mut __sq, &self.{i})?;\n"
+                    ));
+                }
+                b.push_str("::serde::ser::SerializeSeq::end(__sq)");
+                b
+            };
+            serialize_impl(&name, &body)
+        }
+        Shape::UnitStruct { name } => {
+            serialize_impl(&name, "::serde::ser::Serializer::serialize_unit(__s)")
+        }
+        Shape::UnitEnum { name, variants } => {
+            let mut body = String::from("match *self {\n");
+            for (i, v) in variants.iter().enumerate() {
+                body.push_str(&format!(
+                    "{name}::{v} => ::serde::ser::Serializer::serialize_unit_variant(__s, \"{name}\", {i}u32, \"{v}\"),\n"
+                ));
+            }
+            body.push('}');
+            serialize_impl(&name, &body)
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+fn serialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_imports, clippy::all)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __s: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 use ::serde::ser::SerializeStruct as _;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let err = "<__D::Error as ::serde::de::Error>::custom";
+    let code = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut __m = ::serde::__private::take_struct(__v).map_err({err})?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in &fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::__private::take_field(&mut __m, \"{f}\").map_err({err})?,\n"
+                ));
+            }
+            body.push_str("})");
+            deserialize_impl(&name, &body)
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(::serde::from_value(__v).map_err({err})?))"
+                )
+            } else {
+                let mut b = format!(
+                    "let __items = ::serde::__private::take_seq(__v, {arity}usize).map_err({err})?;\n\
+                     let mut __it = __items.into_iter();\n\
+                     ::core::result::Result::Ok({name}(\n"
+                );
+                for _ in 0..arity {
+                    b.push_str(&format!(
+                        "::serde::from_value(__it.next().expect(\"length checked\")).map_err({err})?,\n"
+                    ));
+                }
+                b.push_str("))");
+                b
+            };
+            deserialize_impl(&name, &body)
+        }
+        Shape::UnitStruct { name } => deserialize_impl(
+            &name,
+            &format!(
+                "match __v {{\n\
+                     ::serde::Value::Unit => ::core::result::Result::Ok({name}),\n\
+                     __other => ::core::result::Result::Err({err}(\
+                         format!(\"expected unit, found {{:?}}\", __other))),\n\
+                 }}"
+            ),
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let mut body = format!(
+                "let __variant = ::serde::__private::take_variant(__v).map_err({err})?;\n\
+                 match __variant.as_str() {{\n"
+            );
+            for v in &variants {
+                body.push_str(&format!(
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err({err}(\
+                     format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                 }}"
+            ));
+            deserialize_impl(&name, &body)
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+fn deserialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_imports, clippy::all)]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__d: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 let __v = ::serde::de::Deserializer::deserialize_any(__d)?;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -68,8 +68,8 @@ pub use openwf_simnet as simnet;
 /// The most common imports for building and running open workflows.
 pub mod prelude {
     pub use openwf_core::{
-        compose, compose_all, Constructor, Fragment, FragmentBuilder, IncrementalConstructor,
-        InMemoryFragmentStore, Label, Mode, PickOrder, Spec, Supergraph, TaskId, Workflow,
+        compose, compose_all, Constructor, Fragment, FragmentBuilder, InMemoryFragmentStore,
+        IncrementalConstructor, Label, Mode, PickOrder, Spec, Supergraph, TaskId, Workflow,
     };
     pub use openwf_mobility::{Motion, Point, SiteMap};
     pub use openwf_runtime::{

@@ -62,15 +62,12 @@ fn many_concurrent_problems_complete_independently() {
 #[test]
 fn competing_problems_serialize_on_shared_resources() {
     let mut community = CommunityBuilder::new(42)
+        .host(HostConfig::new().with_fragment(frag("f", "scan", "sample ready", "scan complete")))
+        // The single scanner in the community.
         .host(
             HostConfig::new()
-                .with_fragment(frag("f", "scan", "sample ready", "scan complete")),
+                .with_service(ServiceDescription::new("scan", SimDuration::from_secs(60))),
         )
-        // The single scanner in the community.
-        .host(HostConfig::new().with_service(ServiceDescription::new(
-            "scan",
-            SimDuration::from_secs(60),
-        )))
         .build();
     let hosts = community.hosts();
     let p1 = community.submit(hosts[0], Spec::new(["sample ready"], ["scan complete"]));
@@ -114,7 +111,10 @@ fn threaded_transport_runs_the_same_hosts() {
     net.send_external(
         a,
         a,
-        Msg::Initiate { problem, spec: Spec::new(["a"], ["c"]) },
+        Msg::Initiate {
+            problem,
+            spec: Spec::new(["a"], ["c"]),
+        },
     );
 
     let done = net.wait_until(Duration::from_secs(30), |n| {
@@ -126,7 +126,11 @@ fn threaded_transport_runs_the_same_hosts() {
     });
     assert!(done, "threaded community must complete the problem");
     let assignments = net.with_host(a, |h| {
-        h.latest_attempt(problem).unwrap().report.assignments.clone()
+        h.latest_attempt(problem)
+            .unwrap()
+            .report
+            .assignments
+            .clone()
     });
     assert_eq!(assignments.len(), 2);
     net.shutdown();

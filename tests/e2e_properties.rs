@@ -54,15 +54,18 @@ fn materialize(w: &WorldSpec) -> (Vec<Fragment>, Spec) {
         .enumerate()
         .filter_map(|(i, (ins, outs, conj))| {
             let ins: BTreeSet<u8> = ins.iter().copied().collect();
-            let outs: BTreeSet<u8> =
-                outs.iter().copied().filter(|o| !ins.contains(o)).collect();
+            let outs: BTreeSet<u8> = outs.iter().copied().filter(|o| !ins.contains(o)).collect();
             if outs.is_empty() {
                 return None;
             }
             Fragment::single_task(
                 format!("f{i}"),
                 format!("t{i}"),
-                if *conj { Mode::Conjunctive } else { Mode::Disjunctive },
+                if *conj {
+                    Mode::Conjunctive
+                } else {
+                    Mode::Disjunctive
+                },
                 ins.iter().map(|&x| label(x)),
                 outs.iter().map(|&x| label(x)),
             )

@@ -19,7 +19,10 @@ fn catering_breakfast_and_lunch_end_to_end() {
     let handle = community.submit(manager, spec.clone());
     let report = community.run_until_complete(handle);
 
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
     assert_eq!(report.goals_delivered.len(), 2);
     assert!(report
         .goals_delivered
@@ -49,7 +52,10 @@ fn catering_without_chef_uses_alternative() {
     );
     let handle = community.submit(manager, spec);
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
     assert!(
         !report
             .assignments
@@ -72,9 +78,18 @@ fn catering_without_waitstaff_selects_buffet_distributed() {
     let manager = community.hosts()[0];
     let handle = community.submit(manager, Spec::new(["lunch ingredients"], ["lunch served"]));
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
-    assert!(report.assignments.iter().any(|(t, _)| t.as_str() == "serve buffet"));
-    assert!(!report.assignments.iter().any(|(t, _)| t.as_str() == "serve tables"));
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
+    assert!(report
+        .assignments
+        .iter()
+        .any(|(t, _)| t.as_str() == "serve buffet"));
+    assert!(!report
+        .assignments
+        .iter()
+        .any(|(t, _)| t.as_str() == "serve tables"));
 }
 
 /// The emergency response executes in dependency order across four hosts
@@ -88,7 +103,10 @@ fn emergency_response_executes_in_order() {
     let worker = community.hosts()[0];
     let handle = community.submit(worker, scenario.spec());
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
     assert_eq!(report.assignments.len(), 6);
 
     // Collect the global invocation order by walking all hosts' logs and
@@ -133,7 +151,10 @@ fn xml_configured_community_solves_problems() {
     let initiator = community.hosts()[1];
     let handle = community.submit(initiator, Spec::new(["beans available"], ["coffee ready"]));
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
     // grind on B (its service), brew on A.
     let find = |t: &str| {
         report
@@ -149,7 +170,7 @@ fn xml_configured_community_solves_problems() {
 /// Travel time is visible in the makespan: moving the only capable host
 /// away from the task's location delays completion by the travel time.
 #[test]
-fn travel_time_extends_makespan()  {
+fn travel_time_extends_makespan() {
     let site = SiteMap::new().with("depot", Point::new(0.0, 0.0));
     let build = |start: Point| {
         let cfg = HostConfig::new()

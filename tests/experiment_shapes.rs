@@ -135,8 +135,14 @@ fn fig6_shape_wireless_inflates_but_preserves_order() {
     let wifi_small = run(25, LatencyKind::Wireless);
     let wifi_big = run(100, LatencyKind::Wireless);
 
-    assert!(wifi_small > lan_small, "wireless slower: {wifi_small} vs {lan_small}");
-    assert!(wifi_big > lan_big, "wireless slower: {wifi_big} vs {lan_big}");
+    assert!(
+        wifi_small > lan_small,
+        "wireless slower: {wifi_small} vs {lan_small}"
+    );
+    assert!(
+        wifi_big > lan_big,
+        "wireless slower: {wifi_big} vs {lan_big}"
+    );
     assert!(
         wifi_big > wifi_small,
         "task-count ordering preserved under wireless: {wifi_big} vs {wifi_small}"

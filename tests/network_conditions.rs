@@ -39,7 +39,10 @@ fn partitioned_host_with_redundant_knowledge_is_tolerated() {
 
     let handle = community.submit(hosts[0], Spec::new(["a"], ["b"]));
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
     assert_eq!(report.assignments[0].1, hosts[0], "only host0 could serve");
 }
 
@@ -65,7 +68,10 @@ fn partitioned_host_with_unique_knowledge_causes_failure() {
 
     let handle = community.submit(hosts[0], Spec::new(["a"], ["b"]));
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Failed { .. }), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Failed { .. }),
+        "{report}"
+    );
 }
 
 /// A crash *during construction* behaves like a partition: the round
@@ -90,7 +96,10 @@ fn crash_during_construction_is_survivable_with_redundancy() {
     community.net_mut().faults_mut().crash(hosts[1]);
     let handle = community.submit(hosts[0], Spec::new(["a"], ["c"]));
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
 }
 
 /// The healed-partition story: a problem that fails under partition
@@ -110,7 +119,10 @@ fn healing_partition_enables_later_attempts() {
     // Partitioned: fails.
     let mut community = build();
     let hosts = community.hosts();
-    community.net_mut().topology_mut().isolate_host(hosts[1], &hosts);
+    community
+        .net_mut()
+        .topology_mut()
+        .isolate_host(hosts[1], &hosts);
     let handle = community.submit(hosts[0], Spec::new(["a"], ["b"]));
     let report = community.run_until_complete(handle);
     assert!(matches!(report.status, ProblemStatus::Failed { .. }));
@@ -119,7 +131,10 @@ fn healing_partition_enables_later_attempts() {
     community.net_mut().topology_mut().heal_all();
     let handle2 = community.submit(hosts[0], Spec::new(["a"], ["b"]));
     let report2 = community.run_until_complete(handle2);
-    assert!(matches!(report2.status, ProblemStatus::Completed), "{report2}");
+    assert!(
+        matches!(report2.status, ProblemStatus::Completed),
+        "{report2}"
+    );
 }
 
 /// The wireless model inflates latency but preserves success and shape —
@@ -183,7 +198,10 @@ fn random_message_loss_degrades_gracefully() {
     let handle = community.submit(h, Spec::new(["a"], ["b"]));
     let report = community.run_until_complete(handle);
     // Local knowledge + capability always suffice here, whatever drops.
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
 }
 
 /// A problem completes while random-waypoint mobility churns the links,
@@ -212,14 +230,7 @@ fn problem_survives_mobility_churn() {
     // Walkers in a 100m arena with 140m range: always connected but the
     // driver rewrites the topology every tick (exercises the plumbing);
     // tighter ranges are covered by the partition tests above.
-    let mut mobility = RangeMobility::new(
-        Rect::square(100.0),
-        3,
-        M::new(3.0),
-        0.5,
-        145.0,
-        9,
-    );
+    let mut mobility = RangeMobility::new(Rect::square(100.0), 3, M::new(3.0), 0.5, 145.0, 9);
     let handle = community.submit(hosts[0], Spec::new(["a"], ["c"]));
     // Interleave simulation slices with mobility steps.
     for tick in 1..=200u64 {
@@ -236,7 +247,10 @@ fn problem_survives_mobility_churn() {
         }
     }
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
 }
 
 /// Identical seeds give identical timings — full-stack determinism.

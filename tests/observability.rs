@@ -126,9 +126,18 @@ fn multi_output_tasks_route_each_label() {
         Spec::new(["ingredients"], ["salad plated", "soup plated"]),
     );
     let report = community.run_until_complete(handle);
-    assert!(matches!(report.status, ProblemStatus::Completed), "{report}");
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
     assert_eq!(report.goals_delivered.len(), 2);
     // The platers each executed exactly one service.
-    assert_eq!(community.host(hosts[1]).service_mgr().invocations().len(), 1);
-    assert_eq!(community.host(hosts[2]).service_mgr().invocations().len(), 1);
+    assert_eq!(
+        community.host(hosts[1]).service_mgr().invocations().len(),
+        1
+    );
+    assert_eq!(
+        community.host(hosts[2]).service_mgr().invocations().len(),
+        1
+    );
 }

@@ -1,0 +1,95 @@
+//! Facade smoke test: pins the public `openworkflow::prelude` surface.
+//!
+//! This is the minimal end-to-end story from the crate-level quickstart —
+//! a two-host community where each device holds the knowhow for the task
+//! the *other* device can perform, so cooperation is mandatory. If this
+//! test stops compiling, the prelude's re-export surface changed and the
+//! README / crate docs need a matching update.
+
+use openworkflow::prelude::*;
+
+/// Everything here comes from `prelude::*` — no deep module paths. That
+/// is the point: the prelude alone must be enough for the happy path.
+#[test]
+fn two_host_community_constructs_and_completes() {
+    let mut community = CommunityBuilder::new(42)
+        .host(
+            HostConfig::new()
+                .with_fragment(
+                    Fragment::single_task(
+                        "brew",
+                        "brew coffee",
+                        Mode::Conjunctive,
+                        ["beans ground"],
+                        ["coffee ready"],
+                    )
+                    .unwrap(),
+                )
+                .with_service(ServiceDescription::new(
+                    "grind beans",
+                    SimDuration::from_secs(60),
+                )),
+        )
+        .host(
+            HostConfig::new()
+                .with_fragment(
+                    Fragment::single_task(
+                        "grind",
+                        "grind beans",
+                        Mode::Conjunctive,
+                        ["beans available"],
+                        ["beans ground"],
+                    )
+                    .unwrap(),
+                )
+                .with_service(ServiceDescription::new(
+                    "brew coffee",
+                    SimDuration::from_secs(120),
+                )),
+        )
+        .build();
+
+    let initiator = community.hosts()[0];
+    let handle = community.submit(initiator, Spec::new(["beans available"], ["coffee ready"]));
+    let report = community.run_until_complete(handle);
+
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
+    assert!(report.goals_delivered.contains(&Label::new("coffee ready")));
+    // Both tasks were allocated, and to different hosts (each host can
+    // only perform the service the other one knows about).
+    assert_eq!(report.assignments.len(), 2);
+    let assignees: std::collections::HashSet<HostId> =
+        report.assignments.iter().map(|(_, host)| *host).collect();
+    assert_eq!(assignees.len(), 2);
+}
+
+/// The same knowledge is constructible offline through the algorithmic
+/// core — prelude types compose across the core/runtime boundary.
+#[test]
+fn prelude_exposes_core_construction() {
+    let grind = Fragment::single_task(
+        "grind",
+        "grind beans",
+        Mode::Conjunctive,
+        ["beans available"],
+        ["beans ground"],
+    )
+    .unwrap();
+    let brew = Fragment::single_task(
+        "brew",
+        "brew coffee",
+        Mode::Conjunctive,
+        ["beans ground"],
+        ["coffee ready"],
+    )
+    .unwrap();
+
+    let sg = Supergraph::from_fragments(&[grind, brew]).unwrap();
+    let spec = Spec::new(["beans available"], ["coffee ready"]);
+    let built = Constructor::new().construct(&sg, &spec).unwrap();
+    assert!(spec.accepts(built.workflow()));
+    assert_eq!(built.workflow().task_count(), 2);
+}
