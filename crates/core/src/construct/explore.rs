@@ -14,12 +14,12 @@
 //! node's required parents are green with strictly smaller distance* — is
 //! maintained by construction and checked by `debug_assert!`.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use crate::construct::color::{Color, ColorState, Distance};
 use crate::construct::trace::{Trace, TraceEvent};
 use crate::construct::PickOrder;
+use crate::fx::FxHashMap;
 use crate::graph::{Graph, NodeIdx};
 use crate::ids::{Label, Mode, NodeKind, TaskId};
 use crate::spec::Spec;
@@ -33,6 +33,11 @@ pub struct ExploreOutcome {
     pub colored_green: usize,
     /// Goals that are not reachable; empty means ω ⊆ green (success).
     pub unreachable_goals: Vec<Label>,
+    /// Labels that turned green *during this run* (triggers included on
+    /// the first run), in coloring order. Incremental drivers derive the
+    /// next frontier from this instead of re-scanning every node of the
+    /// supergraph after every query round.
+    pub new_green_labels: Vec<Label>,
 }
 
 /// A deterministic splitmix/xorshift-style PRNG so the core crate stays
@@ -84,7 +89,6 @@ impl Worklist {
         }
     }
 
-    #[allow(dead_code)] // used by resumable exploration when graphs grow
     pub(crate) fn ensure_len(&mut self, len: usize) {
         if self.queued.len() < len {
             self.queued.resize(len, false);
@@ -118,34 +122,111 @@ impl Worklist {
     pub(crate) fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Switches the pick order, keeping every queued node. The PRNG is
+    /// re-seeded from the new order so `Random(s)` stays deterministic.
+    pub(crate) fn reconfigure(&mut self, order: PickOrder) {
+        if self.order == order {
+            return;
+        }
+        self.order = order;
+        let seed = match order {
+            PickOrder::Random(s) => s,
+            _ => 0,
+        };
+        self.rng = XorShift::new(seed);
+    }
 }
 
-/// Runs (or resumes) the exploration phase.
+/// Reusable state carried across resumed [`explore_with`] runs on one
+/// growing graph.
 ///
-/// The function is *resumable*: calling it again after the graph gained
-/// nodes/edges (incremental construction) continues from the existing
-/// coloring — green coloring is monotone, so re-seeding from the current
-/// green region is sound.
+/// Holds the worklist (allocated once, grown as the graph grows) and an
+/// *edge cursor*: the number of graph edges already seeded. Because
+/// [`Graph`] is append-only, a resumed run only needs to consider edges
+/// appended since the previous run — re-seeding from every green node
+/// (and re-popping all of their children) made resumed exploration
+/// quadratic in supergraph size.
+///
+/// A scratch belongs to one `(graph, state)` pair for the lifetime of a
+/// construction; use a fresh scratch for a new construction.
+#[derive(Debug, Default)]
+pub struct ExploreScratch {
+    worklist: Option<Worklist>,
+    edges_seen: usize,
+    /// Task nodes skipped as infeasible in an earlier run. The feasibility
+    /// oracle is a caller-supplied `FnMut` whose answers may change
+    /// between resumes (the runtime's capability rounds do exactly that),
+    /// so each resumed run re-examines them.
+    infeasible_skipped: Vec<NodeIdx>,
+}
+
+impl ExploreScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        ExploreScratch::default()
+    }
+
+    fn worklist_for(&mut self, order: PickOrder, len: usize) -> &mut Worklist {
+        match &mut self.worklist {
+            Some(w) => {
+                // Keep queued nodes across an order change; dropping them
+                // would silently lose frontier work.
+                w.reconfigure(order);
+                w.ensure_len(len);
+            }
+            slot => *slot = Some(Worklist::new(order, len)),
+        }
+        self.worklist.as_mut().expect("worklist initialized")
+    }
+}
+
+/// Runs one exploration pass with fresh scratch state.
+///
+/// For resumable, incremental use (the graph grows between calls) prefer
+/// [`explore_with`], which skips re-seeding the already-explored region.
 pub fn explore(
     g: &Graph,
     state: &mut ColorState,
     spec: &Spec,
     feasible: &mut dyn FnMut(&TaskId) -> bool,
     order: PickOrder,
+    trace: Option<&mut Trace>,
+) -> ExploreOutcome {
+    let mut scratch = ExploreScratch::new();
+    explore_with(g, state, spec, feasible, order, trace, &mut scratch)
+}
+
+/// Runs (or resumes) the exploration phase.
+///
+/// The function is *resumable*: calling it again with the same `state` and
+/// `scratch` after the graph gained nodes/edges (incremental construction)
+/// continues from the existing coloring — green coloring is monotone, so
+/// seeding from the newly appended edges is sound and complete: any newly
+/// reachable node is reached through a new edge, through a coloring this
+/// run performs, or — for tasks a previous run skipped as infeasible —
+/// through the scratch's re-examination list (the feasibility oracle may
+/// answer differently on a later resume).
+pub fn explore_with(
+    g: &Graph,
+    state: &mut ColorState,
+    spec: &Spec,
+    feasible: &mut dyn FnMut(&TaskId) -> bool,
+    order: PickOrder,
     mut trace: Option<&mut Trace>,
+    scratch: &mut ExploreScratch,
 ) -> ExploreOutcome {
     state.ensure_len(g.node_count());
-    let mut worklist = Worklist::new(order, g.node_count());
-    let mut feasibility: HashMap<NodeIdx, bool> = HashMap::new();
+    let mut feasibility: FxHashMap<NodeIdx, bool> = FxHashMap::default();
+    let mut new_green_labels: Vec<Label> = Vec::new();
 
-    // Color ι (distance 0) and seed the frontier: children of every green
-    // node. Seeding from *all* green nodes (not just ι) makes resumed runs
-    // pick up edges added since the last round.
+    // Color ι (distance 0).
     for label in spec.triggers() {
         if let Some(idx) = g.find_label(label) {
             if state.color(idx) == Color::Uncolored {
                 state.set_color(idx, Color::Green);
                 state.set_distance(idx, Distance::ZERO);
+                new_green_labels.push(label.clone());
                 if let Some(t) = trace.as_deref_mut() {
                     t.push(TraceEvent::Colored {
                         node: g.key(idx).clone(),
@@ -156,13 +237,25 @@ pub fn explore(
             }
         }
     }
-    for idx in g.node_indices() {
-        if state.color(idx) == Color::Green {
-            for &c in g.children(idx) {
-                worklist.push(c);
-            }
+    // Seed the frontier from edges appended since the last run (all edges
+    // on the first run): the target of any green-sourced edge may now be
+    // reachable. Previously-examined nodes whose neighborhood did not
+    // change need no re-examination.
+    let edges_seen = scratch.edges_seen;
+    scratch.edges_seen = g.edge_count();
+    let mut retry_infeasible = std::mem::take(&mut scratch.infeasible_skipped);
+    let worklist = scratch.worklist_for(order, g.node_count());
+    for &(f, t) in g.edges_from(edges_seen) {
+        if state.color(f) == Color::Green {
+            worklist.push(t);
         }
     }
+    // Tasks skipped as infeasible earlier get one fresh look per resume.
+    for n in retry_infeasible.drain(..) {
+        worklist.push(n);
+    }
+    // Reuse the drained buffer to record this run's infeasible skips.
+    let mut infeasible_skipped = retry_infeasible;
 
     // Goal accounting. Goals absent from the graph can never be colored;
     // they are trivially satisfied when they are triggers (handled by the
@@ -181,6 +274,7 @@ pub fn explore(
         steps += 1;
 
         if !node_feasible(g, n, &mut feasibility, feasible) {
+            infeasible_skipped.push(n);
             continue;
         }
 
@@ -241,7 +335,9 @@ pub fn explore(
 
         if was_uncolored && g.kind(n) == NodeKind::Label {
             if let Some(label) = g.key(n).as_label() {
-                if spec.goals().contains(&label) {
+                let is_goal = spec.goals().contains(&label);
+                new_green_labels.push(label);
+                if is_goal {
                     goals_remaining -= 1;
                     if goals_remaining == 0 {
                         // "until ω ⊆ greenNodes": stop as soon as every
@@ -268,10 +364,13 @@ pub fn explore(
         .cloned()
         .collect();
 
+    scratch.infeasible_skipped = infeasible_skipped;
+
     ExploreOutcome {
         steps,
         colored_green: state.count(Color::Green),
         unreachable_goals,
+        new_green_labels,
     }
 }
 
@@ -286,7 +385,7 @@ pub(crate) fn effective_mode(g: &Graph, n: NodeIdx) -> Mode {
 fn node_feasible(
     g: &Graph,
     n: NodeIdx,
-    memo: &mut HashMap<NodeIdx, bool>,
+    memo: &mut FxHashMap<NodeIdx, bool>,
     feasible: &mut dyn FnMut(&TaskId) -> bool,
 ) -> bool {
     if g.kind(n) != NodeKind::Task {
@@ -449,6 +548,140 @@ mod tests {
             None,
         );
         assert!(out.unreachable_goals.is_empty());
+    }
+
+    #[test]
+    fn resumed_exploration_with_scratch_matches_fresh() {
+        // Grow a supergraph fragment by fragment, resuming with a shared
+        // scratch; the final coloring must match a from-scratch run, and
+        // the edge cursor must keep resumed step counts near-linear.
+        let mut sg = Supergraph::new();
+        let spec = Spec::new(["c0"], ["c6"]);
+        let mut state = ColorState::with_len(0);
+        let mut scratch = ExploreScratch::new();
+        let mut resumed_steps = 0;
+        let mut new_green_total = 0usize;
+        for i in 0..6 {
+            sg.merge_fragment(&frag(
+                &format!("f{i}"),
+                &format!("t{i}"),
+                Mode::Disjunctive,
+                &[&format!("c{i}")],
+                &[&format!("c{}", i + 1)],
+            ));
+            let out = explore_with(
+                sg.graph(),
+                &mut state,
+                &spec,
+                &mut |_| true,
+                PickOrder::Fifo,
+                None,
+                &mut scratch,
+            );
+            resumed_steps += out.steps;
+            new_green_total += out.new_green_labels.len();
+        }
+        let mut fresh = ColorState::with_len(sg.graph().node_count());
+        let out = explore(
+            sg.graph(),
+            &mut fresh,
+            &spec,
+            &mut |_| true,
+            PickOrder::Fifo,
+            None,
+        );
+        assert!(out.unreachable_goals.is_empty());
+        for i in sg.graph().node_indices() {
+            assert_eq!(state.color(i), fresh.color(i), "node {i:?}");
+            assert_eq!(state.distance(i), fresh.distance(i), "node {i:?}");
+        }
+        // Labels c0..=c6 each reported green exactly once across resumes.
+        assert_eq!(new_green_total, 7);
+        // Edge-cursor seeding: resumed total work stays within a small
+        // factor of the from-scratch run instead of growing quadratically.
+        assert!(
+            resumed_steps <= 3 * out.steps.max(1),
+            "resumed {resumed_steps} vs fresh {}",
+            out.steps
+        );
+    }
+
+    #[test]
+    fn resumed_exploration_revisits_previously_infeasible_tasks() {
+        // The oracle changes its mind between resumes (as the runtime's
+        // capability rounds can): a task skipped as infeasible must get
+        // re-examined even though no edge or parent coloring changed.
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f", "t", Mode::Disjunctive, &["a"], &["b"]));
+        let spec = Spec::new(["a"], ["b"]);
+        let mut state = ColorState::with_len(sg.graph().node_count());
+        let mut scratch = ExploreScratch::new();
+        let out = explore_with(
+            sg.graph(),
+            &mut state,
+            &spec,
+            &mut |_| false,
+            PickOrder::Fifo,
+            None,
+            &mut scratch,
+        );
+        assert_eq!(out.unreachable_goals, vec![Label::new("b")]);
+
+        let out = explore_with(
+            sg.graph(),
+            &mut state,
+            &spec,
+            &mut |_| true,
+            PickOrder::Fifo,
+            None,
+            &mut scratch,
+        );
+        assert!(out.unreachable_goals.is_empty(), "oracle flipped to true");
+    }
+
+    #[test]
+    fn changing_pick_order_keeps_queued_work() {
+        // Worklist entries survive an order switch between resumes.
+        let mut wl = Worklist::new(PickOrder::Fifo, 4);
+        wl.push(NodeIdx(2));
+        wl.push(NodeIdx(0));
+        wl.reconfigure(PickOrder::Lifo);
+        let mut popped = Vec::new();
+        while let Some(n) = wl.pop() {
+            popped.push(n.index());
+        }
+        assert_eq!(popped, vec![0, 2], "LIFO over preserved queue");
+    }
+
+    #[test]
+    fn new_green_labels_report_triggers_once() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f", "t", Mode::Disjunctive, &["a"], &["b"]));
+        let spec = Spec::new(["a"], ["b"]);
+        let mut state = ColorState::with_len(sg.graph().node_count());
+        let mut scratch = ExploreScratch::new();
+        let out = explore_with(
+            sg.graph(),
+            &mut state,
+            &spec,
+            &mut |_| true,
+            PickOrder::Fifo,
+            None,
+            &mut scratch,
+        );
+        assert_eq!(out.new_green_labels, vec![Label::new("a"), Label::new("b")]);
+        // Nothing changed: resuming reports nothing new.
+        let out = explore_with(
+            sg.graph(),
+            &mut state,
+            &spec,
+            &mut |_| true,
+            PickOrder::Fifo,
+            None,
+            &mut scratch,
+        );
+        assert!(out.new_green_labels.is_empty());
+        assert_eq!(out.steps, 0);
     }
 
     #[test]

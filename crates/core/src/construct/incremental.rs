@@ -16,15 +16,15 @@
 //! is reachable at a smaller distance, so its fragments are eventually
 //! queried).
 
-use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::construct::color::{Color, ColorState};
-use crate::construct::explore::{explore, ExploreOutcome};
+use crate::construct::explore::{explore_with, ExploreOutcome, ExploreScratch};
 use crate::construct::trace::{Trace, TraceEvent};
 use crate::construct::{finish, ConstructError, ConstructStats, Construction, PickOrder};
 use crate::fragment::Fragment;
-use crate::graph::NodeIdx;
-use crate::ids::{Label, NodeKind, TaskId};
+use crate::fx::FxHashSet;
+use crate::ids::{Label, TaskId};
 use crate::spec::Spec;
 use crate::supergraph::Supergraph;
 
@@ -33,15 +33,19 @@ use crate::supergraph::Supergraph;
 /// In the distributed runtime this is backed by fragment queries over the
 /// network (each host's Fragment Manager answers from its local database);
 /// [`crate::store::InMemoryFragmentStore`] provides the local equivalent.
+///
+/// Fragments are handed out as shared [`Arc`]s: a frontier query returns
+/// handles to the community's stored knowhow rather than deep copies of
+/// whole workflow graphs.
 pub trait FragmentSource {
     /// Returns fragments containing at least one task that **consumes** any
     /// of the given labels. Implementations may return duplicates or
     /// already-known fragments; merging is idempotent.
-    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Fragment>;
+    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Arc<Fragment>>;
 }
 
 impl<T: FragmentSource + ?Sized> FragmentSource for &mut T {
-    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Fragment> {
+    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Arc<Fragment>> {
         (**self).fragments_consuming(labels)
     }
 }
@@ -103,31 +107,29 @@ impl IncrementalConstructor {
     ) -> Result<(Construction, Supergraph), ConstructError> {
         let mut sg = Supergraph::new();
         let mut state = ColorState::with_len(0);
+        let mut scratch = ExploreScratch::new();
         let mut trace = self.record_trace.then(Trace::new);
-        let mut queried: BTreeSet<Label> = BTreeSet::new();
+        let mut queried: FxHashSet<Label> = FxHashSet::default();
         let mut stats = ConstructStats::default();
         let mut last_outcome: Option<ExploreOutcome> = None;
+        // Labels turned green by the latest explore pass — the candidate
+        // frontier of the next round. Seeded with the triggers; afterwards
+        // maintained from `ExploreOutcome::new_green_labels`, so a round
+        // costs O(newly green) instead of a full supergraph scan.
+        let mut frontier_candidates: Vec<Label> = spec.triggers().iter().cloned().collect();
 
         loop {
-            // Frontier = green labels (plus, initially, the triggers) whose
-            // consumers we have not asked the community about yet.
-            let frontier: Vec<Label> = if stats.query_rounds == 0 {
-                spec.triggers()
-                    .iter()
-                    .filter(|l| !queried.contains(*l))
-                    .cloned()
-                    .collect()
-            } else {
-                green_labels(&sg, &state)
-                    .into_iter()
-                    .filter(|l| !queried.contains(l))
-                    .collect()
-            };
+            // Frontier = newly green labels (plus, initially, the
+            // triggers) whose consumers we have not asked the community
+            // about yet, deduplicated across rounds.
+            let frontier: Vec<Label> = frontier_candidates
+                .drain(..)
+                .filter(|l| queried.insert(l.clone()))
+                .collect();
 
             if frontier.is_empty() {
                 break;
             }
-            queried.extend(frontier.iter().cloned());
 
             let fragments = source.fragments_consuming(&frontier);
             stats.query_rounds += 1;
@@ -152,15 +154,17 @@ impl IncrementalConstructor {
                 });
             }
 
-            let outcome = explore(
+            let outcome = explore_with(
                 sg.graph(),
                 &mut state,
                 spec,
                 &mut feasible,
                 self.order,
                 trace.as_mut(),
+                &mut scratch,
             );
             stats.explore_steps += outcome.steps;
+            frontier_candidates.extend_from_slice(&outcome.new_green_labels);
             let done = outcome.unreachable_goals.is_empty();
             last_outcome = Some(outcome);
             if done {
@@ -174,13 +178,14 @@ impl IncrementalConstructor {
                 // No queries at all (no triggers): only trivial specs can
                 // succeed. Run one explore pass over the empty graph to get
                 // a well-formed outcome.
-                explore(
+                explore_with(
                     sg.graph(),
                     &mut state,
                     spec,
                     &mut feasible,
                     self.order,
                     trace.as_mut(),
+                    &mut scratch,
                 )
             }
         };
@@ -192,16 +197,6 @@ impl IncrementalConstructor {
         let construction = finish(&sg, spec, state, outcome, stats, trace)?;
         Ok((construction, sg))
     }
-}
-
-/// All labels currently colored green.
-fn green_labels(sg: &Supergraph, state: &ColorState) -> Vec<Label> {
-    let g = sg.graph();
-    g.node_indices()
-        .filter(|&i| i.index() < state.len() && state.color(i) == Color::Green)
-        .filter(|&i| g.kind(i) == NodeKind::Label)
-        .filter_map(|i: NodeIdx| g.key(i).as_label())
-        .collect()
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use std::fmt;
 
 use crate::error::ModelError;
 use crate::graph::Graph;
-use crate::ids::{Label, Mode, TaskId};
+use crate::ids::{Label, Mode, Name, TaskId};
 #[cfg(test)]
 use crate::validate::ValidityError;
 use crate::workflow::Workflow;
@@ -19,38 +19,73 @@ use crate::workflow::Workflow;
 ///
 /// Fragment identity is a plain name (unique per owner); the runtime extends
 /// it with the owning host. Used for provenance: the construction result
-/// reports which fragments contributed to the built workflow.
+/// reports which fragments contributed to the built workflow. Ids are
+/// interned like node names ([`crate::ids::Sym`]), so equality/hashing —
+/// which the supergraph performs once per provenance entry — are integer
+/// operations, and cloning is a bit copy.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct FragmentId(String);
+pub struct FragmentId(Name);
 
 impl FragmentId {
     /// Creates a fragment identifier.
-    pub fn new(name: impl Into<String>) -> Self {
-        FragmentId(name.into())
+    pub fn new(name: impl AsRef<str>) -> Self {
+        FragmentId(Name::new(name))
     }
 
     /// The identifier as a string slice.
     pub fn as_str(&self) -> &str {
-        &self.0
+        self.0.as_str()
     }
 }
 
 impl fmt::Debug for FragmentId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FragmentId({:?})", self.0)
+        write!(f, "FragmentId({:?})", self.as_str())
     }
 }
 
 impl fmt::Display for FragmentId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
-impl<S: Into<String>> From<S> for FragmentId {
-    fn from(s: S) -> Self {
+impl From<&str> for FragmentId {
+    fn from(s: &str) -> Self {
         FragmentId::new(s)
+    }
+}
+
+impl From<String> for FragmentId {
+    fn from(s: String) -> Self {
+        FragmentId::new(s)
+    }
+}
+
+impl From<&String> for FragmentId {
+    fn from(s: &String) -> Self {
+        FragmentId::new(s)
+    }
+}
+
+impl From<&FragmentId> for FragmentId {
+    fn from(s: &FragmentId) -> Self {
+        s.clone()
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for FragmentId {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self.as_str())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for FragmentId {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = <String as serde::Deserialize>::deserialize(d)?;
+        Ok(FragmentId::new(s))
     }
 }
 
@@ -138,11 +173,8 @@ impl Fragment {
     pub fn all_input_labels(&self) -> Vec<Label> {
         let g = self.workflow.graph();
         g.node_indices()
+            .filter(|&i| g.out_degree(i) > 0)
             .filter_map(|i| g.key(i).as_label())
-            .filter(|l| {
-                let idx = g.find_label(l).expect("label exists");
-                g.out_degree(idx) > 0
-            })
             .collect()
     }
 
@@ -330,6 +362,12 @@ use crate::validate as _validate_doc;
 impl From<Fragment> for Workflow {
     fn from(f: Fragment) -> Workflow {
         f.workflow
+    }
+}
+
+impl AsRef<Fragment> for Fragment {
+    fn as_ref(&self) -> &Fragment {
+        self
     }
 }
 

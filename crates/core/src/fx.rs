@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for the construction hot path.
+//!
+//! The construction algorithm hashes small integer-like keys (interned
+//! [`crate::ids::Sym`]s, packed node-index pairs) millions of times per
+//! run; SipHash's DoS resistance buys nothing there and costs real time.
+//! This is the FxHash multiply-rotate scheme used by rustc, implemented
+//! std-only per the workspace's no-registry constraint (ROADMAP "Shims
+//! vs. real crates"). It is a one-line swap to the `rustc-hash` crate
+//! once networked builds exist.
+//!
+//! Do **not** use these maps for attacker-controlled keys on a trust
+//! boundary; the workspace's wire-facing layers keep std's default
+//! hasher.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash scheme (a 64-bit golden-ratio constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: one 64-bit word folded with multiply-rotate.
+#[derive(Clone, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builds [`FxHasher`]s; plug into any `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        assert_eq!(hash_of(b"hello"), hash_of(b"hello"));
+        assert_ne!(hash_of(b"hello"), hash_of(b"hellp"));
+        assert_ne!(hash_of(b"ab"), hash_of(b"ba"));
+        assert_ne!(hash_of(b"a"), hash_of(b"aa"));
+    }
+
+    #[test]
+    fn integer_writes_differ_from_zero_state() {
+        let mut a = FxHasher::default();
+        a.write_u32(7);
+        let mut b = FxHasher::default();
+        b.write_u32(8);
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&42));
+    }
+}

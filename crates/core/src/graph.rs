@@ -11,7 +11,8 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::error::ModelError;
-use crate::ids::{Label, Mode, NodeKey, NodeKind, TaskId};
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::ids::{Label, Mode, NodeKey, NodeKind, Sym, TaskId};
 
 /// Dense index of a node within one [`Graph`].
 ///
@@ -51,9 +52,29 @@ struct NodeData {
 #[derive(Clone, Default)]
 pub struct Graph {
     nodes: Vec<NodeData>,
-    index: HashMap<NodeKey, NodeIdx>,
-    edge_set: HashSet<(NodeIdx, NodeIdx)>,
+    /// Sym-keyed node index: `(kind, interned symbol)` packed into a u64,
+    /// hashed with [`crate::fx::FxHasher`] — lookup is a couple of integer
+    /// multiplies rather than a string hash.
+    index: FxHashMap<u64, NodeIdx>,
+    edge_set: FxHashSet<u64>,
     edge_order: Vec<(NodeIdx, NodeIdx)>,
+}
+
+/// Packs a node identity into the index key: bit 32 is the kind, the low
+/// 32 bits the interned symbol.
+#[inline]
+fn pack_key(kind: NodeKind, sym: Sym) -> u64 {
+    let kind_bit = match kind {
+        NodeKind::Label => 0u64,
+        NodeKind::Task => 1u64 << 32,
+    };
+    kind_bit | sym.id() as u64
+}
+
+/// Packs an edge into a set key: from in the high 32 bits, to in the low.
+#[inline]
+fn pack_edge(from: NodeIdx, to: NodeIdx) -> u64 {
+    ((from.0 as u64) << 32) | to.0 as u64
 }
 
 impl Graph {
@@ -120,7 +141,7 @@ impl Graph {
         mode: Mode,
     ) -> Result<NodeIdx, ModelError> {
         let task = task.into();
-        if let Some(&idx) = self.index.get(&task.key()) {
+        if let Some(&idx) = self.index.get(&pack_key(NodeKind::Task, task.sym())) {
             let existing = self.nodes[idx.index()].mode;
             if existing != mode {
                 return Err(ModelError::ConflictingTaskMode {
@@ -135,17 +156,18 @@ impl Graph {
     }
 
     fn intern(&mut self, key: NodeKey, mode: Mode) -> NodeIdx {
-        if let Some(&idx) = self.index.get(&key) {
+        let packed = pack_key(key.kind, key.name.sym());
+        if let Some(&idx) = self.index.get(&packed) {
             return idx;
         }
         let idx = NodeIdx(self.nodes.len() as u32);
         self.nodes.push(NodeData {
-            key: key.clone(),
+            key,
             mode,
             parents: Vec::new(),
             children: Vec::new(),
         });
-        self.index.insert(key, idx);
+        self.index.insert(packed, idx);
         idx
     }
 
@@ -169,7 +191,7 @@ impl Graph {
                 to: self.nodes[to.index()].key.clone(),
             });
         }
-        if !self.edge_set.insert((from, to)) {
+        if !self.edge_set.insert(pack_edge(from, to)) {
             return Ok(false);
         }
         self.edge_order.push((from, to));
@@ -180,22 +202,28 @@ impl Graph {
 
     /// Looks up a node by key.
     pub fn find(&self, key: &NodeKey) -> Option<NodeIdx> {
-        self.index.get(key).copied()
+        self.find_sym(key.kind, key.name.sym())
+    }
+
+    /// Looks up a node by kind and interned symbol (the cheapest lookup:
+    /// no string hashing at all).
+    pub fn find_sym(&self, kind: NodeKind, sym: Sym) -> Option<NodeIdx> {
+        self.index.get(&pack_key(kind, sym)).copied()
     }
 
     /// Looks up a label node.
     pub fn find_label(&self, label: &Label) -> Option<NodeIdx> {
-        self.find(&label.key())
+        self.find_sym(NodeKind::Label, label.sym())
     }
 
     /// Looks up a task node.
     pub fn find_task(&self, task: &TaskId) -> Option<NodeIdx> {
-        self.find(&task.key())
+        self.find_sym(NodeKind::Task, task.sym())
     }
 
     /// True if the graph contains the edge `from -> to`.
     pub fn has_edge(&self, from: NodeIdx, to: NodeIdx) -> bool {
-        self.edge_set.contains(&(from, to))
+        self.edge_set.contains(&pack_edge(from, to))
     }
 
     /// The key of a node.
@@ -250,6 +278,15 @@ impl Graph {
     /// Iterates over all edges in insertion order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeIdx, NodeIdx)> + '_ {
         self.edge_order.iter().copied()
+    }
+
+    /// Edges appended at position `start` or later, in insertion order.
+    ///
+    /// The graph is append-only, so `edges_from(k)` after observing
+    /// `edge_count() == k` yields exactly the edges added since — the
+    /// basis for resumable exploration's incremental re-seeding.
+    pub fn edges_from(&self, start: usize) -> impl Iterator<Item = &(NodeIdx, NodeIdx)> + '_ {
+        self.edge_order[start.min(self.edge_order.len())..].iter()
     }
 
     /// All label identifiers present in the graph, in insertion order.
@@ -340,7 +377,30 @@ impl Graph {
     /// Returns [`ModelError::ConflictingTaskMode`] if a task exists in both
     /// graphs with different modes.
     pub fn merge_from(&mut self, other: &Graph) -> Result<(usize, usize), ModelError> {
-        let mut map: HashMap<NodeIdx, NodeIdx> = HashMap::with_capacity(other.node_count());
+        let mut map = Vec::new();
+        self.merge_from_mapped(other, &mut map)
+    }
+
+    /// Like [`Graph::merge_from`], but also fills `map` so that `map[i]`
+    /// is the index in `self` of `other`'s node `i`. Passing the same
+    /// `map` buffer across merges (as the supergraph does for every
+    /// fragment it absorbs) keeps the hot path allocation-free, and the
+    /// mapping lets callers attach per-node bookkeeping (provenance)
+    /// without re-resolving keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ConflictingTaskMode`] if a task exists in both
+    /// graphs with different modes; `self` is unchanged in that case only
+    /// if the conflict is detected before any node is added (callers that
+    /// need atomicity pre-check, as [`crate::Supergraph`] does).
+    pub fn merge_from_mapped(
+        &mut self,
+        other: &Graph,
+        map: &mut Vec<NodeIdx>,
+    ) -> Result<(usize, usize), ModelError> {
+        map.clear();
+        map.reserve(other.node_count());
         let mut new_nodes = 0;
         for idx in other.node_indices() {
             let node = &other.nodes[idx.index()];
@@ -348,7 +408,7 @@ impl Graph {
             let new = match node.key.kind {
                 NodeKind::Label => self.intern(node.key.clone(), Mode::Disjunctive),
                 NodeKind::Task => {
-                    if let Some(&existing) = self.index.get(&node.key) {
+                    if let Some(existing) = self.find_sym(NodeKind::Task, node.key.name.sym()) {
                         let have = self.nodes[existing.index()].mode;
                         if have != node.mode {
                             return Err(ModelError::ConflictingTaskMode {
@@ -366,12 +426,12 @@ impl Graph {
             if self.nodes.len() > before {
                 new_nodes += 1;
             }
-            map.insert(idx, new);
+            map.push(new);
         }
         let mut new_edges = 0;
         for (f, t) in other.edges() {
             let inserted = self
-                .add_edge(map[&f], map[&t])
+                .add_edge(map[f.index()], map[t.index()])
                 .expect("merging bipartite graphs preserves bipartite structure");
             if inserted {
                 new_edges += 1;

@@ -2,29 +2,160 @@
 //!
 //! The paper assumes "each node has a semantic identifier; nodes with the
 //! same identifier are equivalent" (§2.2). We realize semantic identifiers
-//! as cheaply cloneable interned strings, namespaced by node kind so that a
-//! label named `"x"` and a task named `"x"` are distinct nodes.
+//! as **interned symbols**: every distinct name string is assigned a
+//! process-wide [`Sym`] (a `u32`) exactly once, so identifier equality and
+//! hashing on the construction hot path are integer operations rather than
+//! string walks. The string itself is kept only for ordering and display.
+//! Identifiers are namespaced by node kind so that a label named `"x"` and
+//! a task named `"x"` are distinct nodes.
 
-use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{OnceLock, RwLock};
 
 #[cfg(feature = "serde")]
 use serde::de::{Deserialize, Deserializer};
 #[cfg(feature = "serde")]
 use serde::ser::{Serialize, Serializer};
 
-/// A shared immutable name. Cloning is an `Arc` bump.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub(crate) struct Name(Arc<str>);
+/// A process-wide interned string id.
+///
+/// Two `Sym`s are equal iff they were interned from equal strings, so
+/// equality and hashing are single integer compares. Interned strings live
+/// for the lifetime of the process (the interner grows monotonically and
+/// never frees — symbol universes are bounded by the community's distinct
+/// label/task vocabulary, which any long-lived host retains anyway).
+///
+/// **Trust boundary caveat:** deserializing identifiers interns them, so
+/// peer-supplied input with unbounded fresh names grows the interner
+/// without limit. A host exposed to untrusted peers should rate-limit or
+/// vocabulary-cap inbound fragments at the protocol layer (see the
+/// ROADMAP open item on bounding the interner); the in-process simulator
+/// and trusted-community deployments are unaffected.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: HashMap<&'static str, Sym>,
+    table: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            table: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns a string, returning its symbol and canonical `'static` text.
+    ///
+    /// The fast path (already interned) takes a read lock and one string
+    /// hash; the slow path (first sighting) leaks one copy of the string
+    /// into the process-wide table.
+    pub fn intern(s: &str) -> Sym {
+        Sym::intern_with_text(s).0
+    }
+
+    pub(crate) fn intern_with_text(s: &str) -> (Sym, &'static str) {
+        {
+            let int = interner().read().expect("interner lock");
+            if let Some(&sym) = int.map.get(s) {
+                return (sym, int.table[sym.0 as usize]);
+            }
+        }
+        let mut int = interner().write().expect("interner lock");
+        if let Some(&sym) = int.map.get(s) {
+            return (sym, int.table[sym.0 as usize]);
+        }
+        let text: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let sym = Sym(u32::try_from(int.table.len()).expect("fewer than 2^32 distinct symbols"));
+        int.table.push(text);
+        int.map.insert(text, sym);
+        (sym, text)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner lock").table[self.0 as usize]
+    }
+
+    /// The raw symbol id (dense, starting at 0, process-wide).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({} {:?})", self.0, self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A shared immutable name: an interned symbol plus its canonical text.
+///
+/// Equality and hashing use the symbol (integer); ordering uses the text so
+/// that sorted collections (`BTreeSet<Label>` in specs and insets) keep
+/// their human-meaningful, deterministic order. Cloning is a bit copy.
+#[derive(Clone, Copy)]
+pub(crate) struct Name {
+    sym: Sym,
+    text: &'static str,
+}
 
 impl Name {
     pub(crate) fn new(s: impl AsRef<str>) -> Self {
-        Name(Arc::from(s.as_ref()))
+        let (sym, text) = Sym::intern_with_text(s.as_ref());
+        Name { sym, text }
     }
 
     pub(crate) fn as_str(&self) -> &str {
-        &self.0
+        self.text
+    }
+
+    pub(crate) fn sym(&self) -> Sym {
+        self.sym
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Symbol equality implies text equality, so ordering by text is
+        // consistent with `Eq`; check the symbol first to skip the string
+        // walk in the common equal case.
+        if self.sym == other.sym {
+            return std::cmp::Ordering::Equal;
+        }
+        self.text.cmp(other.text)
     }
 }
 
@@ -61,6 +192,11 @@ macro_rules! semantic_id {
                 self.0.as_str()
             }
 
+            /// The interned symbol backing this identifier.
+            pub fn sym(&self) -> Sym {
+                self.0.sym()
+            }
+
             /// The node kind this identifier belongs to.
             pub fn kind(&self) -> NodeKind {
                 $kind
@@ -68,7 +204,7 @@ macro_rules! semantic_id {
 
             /// This identifier as a kind-qualified [`NodeKey`].
             pub fn key(&self) -> NodeKey {
-                NodeKey { kind: $kind, name: self.0.clone() }
+                NodeKey { kind: $kind, name: self.0 }
             }
         }
 
@@ -105,12 +241,6 @@ macro_rules! semantic_id {
         impl From<&$name> for $name {
             fn from(s: &$name) -> Self {
                 s.clone()
-            }
-        }
-
-        impl Borrow<str> for $name {
-            fn borrow(&self) -> &str {
-                self.as_str()
             }
         }
 
@@ -205,7 +335,8 @@ impl fmt::Display for NodeKind {
 /// Node identity is `(kind, name)`, so a label and a task may share a name
 /// without colliding, while two labels (or two tasks) with the same name are
 /// the *same* node wherever they appear — the basis for fragment
-/// composition.
+/// composition. Equality and hashing are two integer compares (kind +
+/// interned symbol).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeKey {
     pub(crate) kind: NodeKind,
@@ -223,10 +354,15 @@ impl NodeKey {
         self.name.as_str()
     }
 
+    /// The interned symbol of the semantic name.
+    pub fn sym(&self) -> Sym {
+        self.name.sym()
+    }
+
     /// Returns the label identifier if this key names a label.
     pub fn as_label(&self) -> Option<Label> {
         match self.kind {
-            NodeKind::Label => Some(Label(self.name.clone())),
+            NodeKind::Label => Some(Label(self.name)),
             NodeKind::Task => None,
         }
     }
@@ -234,7 +370,7 @@ impl NodeKey {
     /// Returns the task identifier if this key names a task.
     pub fn as_task(&self) -> Option<TaskId> {
         match self.kind {
-            NodeKind::Task => Some(TaskId(self.name.clone())),
+            NodeKind::Task => Some(TaskId(self.name)),
             NodeKind::Label => None,
         }
     }
@@ -278,6 +414,49 @@ mod tests {
     }
 
     #[test]
+    fn interning_is_stable_and_injective() {
+        let a1 = Sym::intern("sym-test-a");
+        let a2 = Sym::intern("sym-test-a");
+        let b = Sym::intern("sym-test-b");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.as_str(), "sym-test-a");
+        assert_eq!(b.as_str(), "sym-test-b");
+    }
+
+    #[test]
+    fn equal_ids_share_one_symbol() {
+        let l1 = Label::new("shared name");
+        let l2 = Label::new("shared name");
+        assert_eq!(l1.sym(), l2.sym());
+        // Same name, different kind: same symbol, different key.
+        let t = TaskId::new("shared name");
+        assert_eq!(t.sym(), l1.sym());
+        assert_ne!(t.key(), l1.key());
+    }
+
+    #[test]
+    fn interner_is_consistent_across_threads() {
+        // Racing interns of the same 16 names from 8 threads must converge
+        // on one symbol per name.
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|j| Sym::intern(&format!("thread-sym-{}", (i + j) % 16)))
+                        .collect::<Vec<Sym>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for name in (0..16).map(|k| format!("thread-sym-{k}")) {
+            assert_eq!(Sym::intern(&name).as_str(), name);
+        }
+    }
+
+    #[test]
     fn label_and_task_namespaces_are_distinct() {
         let l = Label::new("x").key();
         let t = TaskId::new("x").key();
@@ -317,11 +496,13 @@ mod tests {
     }
 
     #[test]
-    fn borrow_str_allows_set_lookup() {
+    fn hash_lookup_works_with_interned_ids() {
         use std::collections::HashSet;
         let mut s: HashSet<Label> = HashSet::new();
         s.insert(Label::new("x"));
-        assert!(s.contains("x"));
-        assert!(!s.contains("y"));
+        // Interning makes constructing a lookup key cheap; `Borrow<str>`
+        // lookups are gone because symbol hashing is not string hashing.
+        assert!(s.contains(&Label::new("x")));
+        assert!(!s.contains(&Label::new("y")));
     }
 }

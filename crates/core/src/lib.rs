@@ -73,6 +73,7 @@ pub mod construct;
 pub mod dot;
 pub mod error;
 pub mod fragment;
+pub mod fx;
 pub mod graph;
 pub mod ids;
 pub mod prune;
@@ -90,8 +91,9 @@ pub use construct::incremental::{FragmentSource, IncrementalConstructor};
 pub use construct::{ConstructError, Construction, Constructor, PickOrder};
 pub use error::{ComposeError, ModelError};
 pub use fragment::{Fragment, FragmentBuilder, FragmentId};
+pub use fx::{FxHashMap, FxHashSet};
 pub use graph::{Graph, NodeIdx};
-pub use ids::{Label, Mode, NodeKey, NodeKind, TaskId};
+pub use ids::{Label, Mode, NodeKey, NodeKind, Sym, TaskId};
 pub use spec::Spec;
 pub use store::InMemoryFragmentStore;
 pub use supergraph::Supergraph;

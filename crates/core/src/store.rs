@@ -3,20 +3,41 @@
 //! This is the local analogue of a host's fragment database (the runtime's
 //! Fragment Manager wraps one of these) and the reference implementation of
 //! [`FragmentSource`] for tests and single-process use.
+//!
+//! Fragments are held behind [`Arc`] so that answering a frontier query
+//! hands out shared references instead of deep-copying whole workflow
+//! graphs — the incremental constructor, the runtime's Fragment Manager
+//! and the simulated network all share one allocation per fragment.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use crate::construct::incremental::FragmentSource;
 use crate::fragment::{Fragment, FragmentId};
+use crate::fx::FxHashMap;
 use crate::ids::Label;
 
 /// A fragment database indexed by the labels its tasks consume.
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct InMemoryFragmentStore {
-    fragments: Vec<Fragment>,
-    by_id: HashMap<FragmentId, usize>,
-    by_consumed_label: HashMap<Label, Vec<usize>>,
+    fragments: Vec<Arc<Fragment>>,
+    by_id: FxHashMap<FragmentId, usize>,
+    by_consumed_label: FxHashMap<Label, Vec<u32>>,
+    /// Reusable dedup bitset for [`InMemoryFragmentStore::consuming`]
+    /// (one bit per stored fragment, zeroed after each query). Behind a
+    /// mutex so queries stay `&self` and the store stays `Sync`.
+    seen_scratch: Mutex<Vec<u64>>,
+}
+
+impl Clone for InMemoryFragmentStore {
+    fn clone(&self) -> Self {
+        InMemoryFragmentStore {
+            fragments: self.fragments.clone(),
+            by_id: self.by_id.clone(),
+            by_consumed_label: self.by_consumed_label.clone(),
+            seen_scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl InMemoryFragmentStore {
@@ -27,27 +48,41 @@ impl InMemoryFragmentStore {
 
     /// Inserts a fragment, replacing any fragment with the same id.
     ///
+    /// Accepts owned fragments or already-shared `Arc<Fragment>`s (no
+    /// re-allocation in the latter case).
+    ///
     /// Returns `true` if the fragment was new, `false` if it replaced an
     /// existing one.
-    pub fn insert(&mut self, fragment: Fragment) -> bool {
+    pub fn insert(&mut self, fragment: impl Into<Arc<Fragment>>) -> bool {
+        let fragment = fragment.into();
         if let Some(&pos) = self.by_id.get(fragment.id()) {
-            // Replace: rebuild the index entries for this slot.
+            // Replace: rebuild the index entries for this slot, pruning
+            // buckets the old fragment leaves empty.
             let old = std::mem::replace(&mut self.fragments[pos], fragment);
             for label in old.all_input_labels() {
                 if let Some(v) = self.by_consumed_label.get_mut(&label) {
-                    v.retain(|&i| i != pos);
+                    v.retain(|&i| i as usize != pos);
+                    if v.is_empty() {
+                        self.by_consumed_label.remove(&label);
+                    }
                 }
             }
             let new_labels = self.fragments[pos].all_input_labels();
             for label in new_labels {
-                self.by_consumed_label.entry(label).or_default().push(pos);
+                self.by_consumed_label
+                    .entry(label)
+                    .or_default()
+                    .push(pos as u32);
             }
             return false;
         }
         let pos = self.fragments.len();
         self.by_id.insert(fragment.id().clone(), pos);
         for label in fragment.all_input_labels() {
-            self.by_consumed_label.entry(label).or_default().push(pos);
+            self.by_consumed_label
+                .entry(label)
+                .or_default()
+                .push(pos as u32);
         }
         self.fragments.push(fragment);
         true
@@ -64,38 +99,57 @@ impl InMemoryFragmentStore {
     }
 
     /// Looks up a fragment by id.
-    pub fn get(&self, id: &FragmentId) -> Option<&Fragment> {
+    pub fn get(&self, id: &FragmentId) -> Option<&Arc<Fragment>> {
         self.by_id.get(id).map(|&i| &self.fragments[i])
     }
 
     /// All stored fragments in insertion order.
     pub fn fragments(&self) -> impl Iterator<Item = &Fragment> + '_ {
+        self.fragments.iter().map(Arc::as_ref)
+    }
+
+    /// All stored fragments as shared handles, in insertion order.
+    pub fn fragments_shared(&self) -> impl Iterator<Item = &Arc<Fragment>> + '_ {
         self.fragments.iter()
     }
 
     /// Fragments containing a task that consumes any of `labels`,
-    /// deduplicated, in insertion order.
-    pub fn consuming(&self, labels: &[Label]) -> Vec<&Fragment> {
-        let mut seen = vec![false; self.fragments.len()];
-        let mut out = Vec::new();
+    /// deduplicated, in insertion order. Hands out `Arc` clones — callers
+    /// share the stored allocation.
+    pub fn consuming(&self, labels: &[Label]) -> Vec<Arc<Fragment>> {
+        let mut seen = self.seen_scratch.lock().expect("store scratch lock");
+        let words = self.fragments.len().div_ceil(64);
+        if seen.len() < words {
+            seen.resize(words, 0);
+        }
+        let mut hits: Vec<u32> = Vec::new();
         for label in labels {
             if let Some(indices) = self.by_consumed_label.get(label) {
                 for &i in indices {
-                    if !seen[i] {
-                        seen[i] = true;
-                        out.push(i);
+                    let (w, b) = (i as usize / 64, i % 64);
+                    if seen[w] & (1 << b) == 0 {
+                        seen[w] |= 1 << b;
+                        hits.push(i);
                     }
                 }
             }
         }
-        out.sort_unstable();
-        out.into_iter().map(|i| &self.fragments[i]).collect()
+        // Zero exactly the bits we set, leaving the scratch clean for the
+        // next query without a full memset.
+        for &i in &hits {
+            seen[i as usize / 64] &= !(1 << (i % 64));
+        }
+        drop(seen);
+        hits.sort_unstable();
+        hits.into_iter()
+            .map(|i| Arc::clone(&self.fragments[i as usize]))
+            .collect()
     }
 }
 
 impl FragmentSource for InMemoryFragmentStore {
-    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Fragment> {
-        self.consuming(labels).into_iter().cloned().collect()
+    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Arc<Fragment>> {
+        self.consuming(labels)
     }
 }
 
@@ -109,8 +163,26 @@ impl FromIterator<Fragment> for InMemoryFragmentStore {
     }
 }
 
+impl FromIterator<Arc<Fragment>> for InMemoryFragmentStore {
+    fn from_iter<I: IntoIterator<Item = Arc<Fragment>>>(iter: I) -> Self {
+        let mut store = InMemoryFragmentStore::new();
+        for f in iter {
+            store.insert(f);
+        }
+        store
+    }
+}
+
 impl Extend<Fragment> for InMemoryFragmentStore {
     fn extend<I: IntoIterator<Item = Fragment>>(&mut self, iter: I) {
+        for f in iter {
+            self.insert(f);
+        }
+    }
+}
+
+impl Extend<Arc<Fragment>> for InMemoryFragmentStore {
+    fn extend<I: IntoIterator<Item = Arc<Fragment>>>(&mut self, iter: I) {
         for f in iter {
             self.insert(f);
         }
@@ -153,6 +225,17 @@ mod tests {
     }
 
     #[test]
+    fn inserting_shared_arcs_does_not_reallocate() {
+        let f = Arc::new(frag("f1", "t1", &["a"], &["b"]));
+        let mut s = InMemoryFragmentStore::new();
+        s.insert(Arc::clone(&f));
+        let got = s.get(&FragmentId::new("f1")).unwrap();
+        assert!(Arc::ptr_eq(got, &f), "stored handle shares the allocation");
+        let hits = s.consuming(&[Label::new("a")]);
+        assert!(Arc::ptr_eq(&hits[0], &f), "queries share the allocation");
+    }
+
+    #[test]
     fn consuming_matches_input_labels() {
         let mut s = InMemoryFragmentStore::new();
         s.insert(frag("f1", "t1", &["a"], &["b"]));
@@ -170,6 +253,19 @@ mod tests {
         s.insert(frag("f", "t", &["a", "b"], &["c"]));
         let hits = s.consuming(&[Label::new("a"), Label::new("b")]);
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn consuming_scratch_is_clean_across_queries() {
+        // Re-running the same query must keep returning every hit (a
+        // stale bit in the scratch would hide fragments).
+        let mut s = InMemoryFragmentStore::new();
+        for i in 0..130 {
+            s.insert(frag(&format!("f{i}"), &format!("t{i}"), &["a"], &["b"]));
+        }
+        for _ in 0..3 {
+            assert_eq!(s.consuming(&[Label::new("a")]).len(), 130);
+        }
     }
 
     #[test]
@@ -203,6 +299,16 @@ mod tests {
     }
 
     #[test]
+    fn replace_prunes_empty_label_buckets() {
+        let mut s = InMemoryFragmentStore::new();
+        s.insert(frag("f", "t", &["only-a"], &["b"]));
+        s.insert(frag("f", "t", &["only-x"], &["b"]));
+        // The `only-a` bucket is gone entirely, not left as an empty Vec.
+        assert_eq!(s.by_consumed_label.len(), 1);
+        assert!(s.by_consumed_label.contains_key(&Label::new("only-x")));
+    }
+
+    #[test]
     fn collects_from_iterator() {
         let s: InMemoryFragmentStore = vec![
             frag("f1", "t1", &["a"], &["b"]),
@@ -214,5 +320,7 @@ mod tests {
         let mut s = s;
         s.extend([frag("f3", "t3", &["c"], &["d"])]);
         assert_eq!(s.len(), 3);
+        s.extend([Arc::new(frag("f4", "t4", &["d"], &["e"]))]);
+        assert_eq!(s.len(), 4);
     }
 }

@@ -10,13 +10,17 @@
 //! [`Supergraph`] is therefore an *unrestricted* bipartite union of
 //! fragments. It keeps per-node and per-edge provenance so that a
 //! construction result can report exactly which fragments contributed to
-//! the final workflow.
+//! the final workflow. Provenance is stored densely (per-node `Vec`s
+//! indexed by [`NodeIdx`], interned [`FragmentId`]s) and the node-mapping
+//! scratch buffer is reused across merges, so absorbing a fragment does
+//! not allocate proportionally to the supergraph.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 
 use crate::error::ModelError;
 use crate::fragment::{Fragment, FragmentId};
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::graph::{Graph, NodeIdx};
 use crate::ids::Label;
 
@@ -24,9 +28,12 @@ use crate::ids::Label;
 #[derive(Clone, Default)]
 pub struct Supergraph {
     graph: Graph,
-    merged: HashSet<FragmentId>,
-    node_provenance: HashMap<NodeIdx, Vec<FragmentId>>,
-    edge_provenance: HashMap<(NodeIdx, NodeIdx), Vec<FragmentId>>,
+    merged: FxHashSet<FragmentId>,
+    /// `node_provenance[i]` = fragments that contributed node `i`.
+    node_provenance: Vec<Vec<FragmentId>>,
+    edge_provenance: FxHashMap<(NodeIdx, NodeIdx), Vec<FragmentId>>,
+    /// Reused node-mapping buffer for [`Graph::merge_from_mapped`].
+    merge_scratch: Vec<NodeIdx>,
 }
 
 impl Supergraph {
@@ -35,19 +42,22 @@ impl Supergraph {
         Supergraph::default()
     }
 
-    /// Builds a supergraph from a collection of fragments.
+    /// Builds a supergraph from a collection of fragments (borrowed,
+    /// `Arc`-shared, or owned — anything that dereferences to
+    /// [`Fragment`]).
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::ConflictingTaskMode`] if two fragments declare
     /// the same task with different modes.
-    pub fn from_fragments<'a, I>(fragments: I) -> Result<Self, ModelError>
+    pub fn from_fragments<I>(fragments: I) -> Result<Self, ModelError>
     where
-        I: IntoIterator<Item = &'a Fragment>,
+        I: IntoIterator,
+        I::Item: AsRef<Fragment>,
     {
         let mut sg = Supergraph::new();
         for f in fragments {
-            sg.try_merge_fragment(f)?;
+            sg.try_merge_fragment(f.as_ref())?;
         }
         Ok(sg)
     }
@@ -95,28 +105,27 @@ impl Supergraph {
                 }
             }
         }
+        let mut map = std::mem::take(&mut self.merge_scratch);
         self.graph
-            .merge_from(fragment.graph())
+            .merge_from_mapped(fragment.graph(), &mut map)
             .expect("mode conflicts pre-checked");
-        // Record provenance (after merge, all nodes/edges resolvable).
+        // Record provenance straight off the merge mapping — no key
+        // re-resolution, no per-node hashing.
         let fid = fragment.id().clone();
-        for (_, key) in fragment.graph().nodes() {
-            let idx = self.graph.find(key).expect("merged node present");
-            self.node_provenance
-                .entry(idx)
-                .or_default()
-                .push(fid.clone());
+        self.node_provenance
+            .resize_with(self.graph.node_count(), Vec::new);
+        for &idx in &map {
+            self.node_provenance[idx.index()].push(fid.clone());
         }
         for (f, t) in fragment.graph().edges() {
-            let fk = fragment.graph().key(f);
-            let tk = fragment.graph().key(t);
-            let fi = self.graph.find(fk).expect("merged node present");
-            let ti = self.graph.find(tk).expect("merged node present");
+            let fi = map[f.index()];
+            let ti = map[t.index()];
             self.edge_provenance
                 .entry((fi, ti))
                 .or_default()
                 .push(fid.clone());
         }
+        self.merge_scratch = map;
         self.merged.insert(fid);
         Ok(true)
     }
@@ -139,7 +148,7 @@ impl Supergraph {
     /// Fragments that contributed a given node.
     pub fn node_fragments(&self, idx: NodeIdx) -> &[FragmentId] {
         self.node_provenance
-            .get(&idx)
+            .get(idx.index())
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -248,6 +257,16 @@ mod tests {
         assert_eq!(owners.len(), 2);
         let t1 = sg.graph().find_task(&TaskId::new("t1")).unwrap();
         assert_eq!(sg.node_fragments(t1), &[FragmentId::new("f1")]);
+    }
+
+    #[test]
+    fn edge_provenance_tracks_contributors() {
+        let mut sg = Supergraph::new();
+        sg.merge_fragment(&frag("f1", "t1", "a", "b"));
+        let a = sg.graph().find_label(&Label::new("a")).unwrap();
+        let t1 = sg.graph().find_task(&TaskId::new("t1")).unwrap();
+        assert_eq!(sg.edge_fragments(a, t1), &[FragmentId::new("f1")]);
+        assert!(sg.edge_fragments(t1, a).is_empty());
     }
 
     #[test]

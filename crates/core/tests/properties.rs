@@ -139,6 +139,18 @@ fn oracle_feasible(fragments: &[Fragment], spec: &Spec) -> bool {
     spec.goals().iter().all(|g| have.contains(g))
 }
 
+/// A graph re-expressed in pure string space: kind-qualified node names
+/// and string edge pairs, collected through plain std collections with no
+/// interning involved.
+fn graph_strings(g: &openwf_core::Graph) -> (BTreeSet<String>, BTreeSet<(String, String)>) {
+    let nodes: BTreeSet<String> = g.nodes().map(|(_, k)| k.to_string()).collect();
+    let edges: BTreeSet<(String, String)> = g
+        .edges()
+        .map(|(a, b)| (g.key(a).to_string(), g.key(b).to_string()))
+        .collect();
+    (nodes, edges)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -213,6 +225,95 @@ proptest! {
             (f, i) => prop_assert!(
                 false,
                 "full and incremental disagree: {f:?} vs {i:?}"
+            ),
+        }
+    }
+
+    /// Golden equivalence for the symbol-interned hot path: everything the
+    /// interned representation computes must be isomorphic (under the
+    /// identity mapping on names) to what string-keyed semantics dictate.
+    /// A `Sym` collision (two names, one symbol) would merge nodes and
+    /// shrink these sets; a split (one name, two symbols) would duplicate
+    /// them — either breaks the equalities below.
+    #[test]
+    fn interned_construction_matches_string_keyed_semantics(
+        (fragments, spec) in arb_world(12, 10)
+    ) {
+        // The string-keyed union of all fragments, built with plain std
+        // collections and zero interning — the pre-refactor ground truth.
+        let mut union_nodes: BTreeSet<String> = BTreeSet::new();
+        let mut union_edges: BTreeSet<(String, String)> = BTreeSet::new();
+        for f in &fragments {
+            let (n, e) = graph_strings(f.graph());
+            union_nodes.extend(n);
+            union_edges.extend(e);
+        }
+
+        // The interned supergraph must be exactly that union.
+        let sg = Supergraph::from_fragments(&fragments).unwrap();
+        let (sg_nodes, sg_edges) = graph_strings(sg.graph());
+        prop_assert_eq!(&sg_nodes, &union_nodes);
+        prop_assert_eq!(&sg_edges, &union_edges);
+        prop_assert_eq!(
+            sg.graph().node_count(), union_nodes.len(),
+            "interning must neither merge distinct names nor split equal ones"
+        );
+        prop_assert_eq!(sg.graph().edge_count(), union_edges.len());
+
+        // Construction is a function of string semantics alone: repeated
+        // runs and the incremental path must satisfy the spec with
+        // workflows drawn from the union, and identical runs must agree
+        // node-for-node in string space.
+        let full = Constructor::new().construct(&sg, &spec);
+        let again = Constructor::new().construct(&sg, &spec);
+        let mut store: InMemoryFragmentStore = fragments.iter().cloned().collect();
+        let inc = IncrementalConstructor::new().construct(&mut store, &spec);
+        // Goals that are triggers but appear in no fragment become
+        // isolated labels in the result; admit them alongside the union.
+        let mut admissible_nodes = union_nodes.clone();
+        admissible_nodes.extend(spec.triggers().iter().map(|l| format!("label:{l}")));
+        match (full, again, inc) {
+            (Ok(f), Ok(f2), Ok((i, _))) => {
+                let (fn_, fe) = graph_strings(f.workflow().graph());
+                let (fn2, fe2) = graph_strings(f2.workflow().graph());
+                prop_assert_eq!(&fn_, &fn2, "identical runs must agree");
+                prop_assert_eq!(&fe, &fe2);
+                prop_assert!(fn_.is_subset(&admissible_nodes));
+                prop_assert!(fe.is_subset(&union_edges));
+                let (in_, ie) = graph_strings(i.workflow().graph());
+                prop_assert!(in_.is_subset(&admissible_nodes));
+                prop_assert!(ie.is_subset(&union_edges));
+                // Conjunctive tasks keep their *complete* string-keyed
+                // input sets in any constructed workflow.
+                for w in [f.workflow(), i.workflow()] {
+                    let g = w.graph();
+                    for t in w.tasks() {
+                        if w.task_mode(&t) != Some(Mode::Conjunctive) {
+                            continue;
+                        }
+                        let idx = g.find_task(&t).unwrap();
+                        let have: BTreeSet<String> = g
+                            .parents(idx)
+                            .iter()
+                            .map(|&p| g.key(p).to_string())
+                            .collect();
+                        let want: BTreeSet<String> = union_edges
+                            .iter()
+                            .filter(|(_, to)| *to == g.key(idx).to_string())
+                            .map(|(from, _)| from.clone())
+                            .collect();
+                        prop_assert_eq!(have, want, "conjunctive task {} lost inputs", t);
+                    }
+                }
+            }
+            (Err(ConstructError::NoSolution { .. }),
+             Err(ConstructError::NoSolution { .. }),
+             Err(ConstructError::NoSolution { .. })) => {
+                prop_assert!(!oracle_feasible(&fragments, &spec));
+            }
+            (f, f2, i) => prop_assert!(
+                false,
+                "interned paths disagree: {f:?} vs {f2:?} vs {i:?}"
             ),
         }
     }

@@ -190,7 +190,7 @@ pub fn parse_host_config(input: &str) -> Result<HostConfig, ConfigError> {
         let fragment = builder
             .build()
             .map_err(|e| ConfigError::BadFragment(e.to_string()))?;
-        config.fragments.push(fragment);
+        config.fragments.push(fragment.into());
     }
     for svc in root.children_named("service") {
         let task = svc.require_attr("task")?;

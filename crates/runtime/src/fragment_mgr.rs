@@ -5,6 +5,7 @@
 //! workflow construction."
 
 use std::fmt;
+use std::sync::Arc;
 
 use openwf_core::{Fragment, InMemoryFragmentStore, Label};
 
@@ -21,8 +22,9 @@ impl FragmentManager {
     }
 
     /// Adds a fragment to the database (step 2 of the paper's deployment:
-    /// "adding knowhow in the form of workflow fragments").
-    pub fn add(&mut self, fragment: Fragment) {
+    /// "adding knowhow in the form of workflow fragments"). Accepts owned
+    /// fragments or shared `Arc<Fragment>` handles.
+    pub fn add(&mut self, fragment: impl Into<Arc<Fragment>>) {
         self.store.insert(fragment);
     }
 
@@ -37,9 +39,10 @@ impl FragmentManager {
     }
 
     /// Answers a knowhow query: fragments containing a task that consumes
-    /// any of `labels`.
-    pub fn query(&self, labels: &[Label]) -> Vec<Fragment> {
-        self.store.consuming(labels).into_iter().cloned().collect()
+    /// any of `labels`. The returned handles share the stored allocations
+    /// — replying to a frontier query copies pointers, not graphs.
+    pub fn query(&self, labels: &[Label]) -> Vec<Arc<Fragment>> {
+        self.store.consuming(labels)
     }
 
     /// All fragments (e.g. for configuration dumps).

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use openwf_core::{Fragment, Label, TaskId};
 use openwf_mobility::{Motion, Point, SiteMap};
@@ -32,8 +33,9 @@ use crate::workflow_mgr::{Phase, WorkflowManager, WsAction};
 /// the form of workflow fragments, and adding service descriptions").
 #[derive(Debug)]
 pub struct HostConfig {
-    /// Workflow fragments this host knows.
-    pub fragments: Vec<Fragment>,
+    /// Workflow fragments this host knows (shared handles; scenario
+    /// generators hand the same allocation to every consumer).
+    pub fragments: Vec<Arc<Fragment>>,
     /// Services this host offers.
     pub services: Vec<ServiceDescription>,
     /// Starting position.
@@ -66,9 +68,9 @@ impl HostConfig {
         HostConfig::default()
     }
 
-    /// Adds a fragment.
-    pub fn with_fragment(mut self, fragment: Fragment) -> Self {
-        self.fragments.push(fragment);
+    /// Adds a fragment (owned or shared).
+    pub fn with_fragment(mut self, fragment: impl Into<Arc<Fragment>>) -> Self {
+        self.fragments.push(fragment.into());
         self
     }
 

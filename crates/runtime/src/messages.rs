@@ -7,6 +7,7 @@
 //! messages.
 
 use std::fmt;
+use std::sync::Arc;
 
 use openwf_core::{Fragment, Label, Spec, TaskId};
 use openwf_simnet::{HostId, Message};
@@ -91,8 +92,11 @@ pub enum Msg {
         problem: ProblemId,
         /// Round the reply answers.
         round: u32,
-        /// Matching fragments from the replier's Fragment Manager.
-        fragments: Vec<Fragment>,
+        /// Matching fragments from the replier's Fragment Manager, shared
+        /// (cloning a reply — e.g. when the simulated network fans a
+        /// message out — bumps reference counts instead of copying
+        /// graphs).
+        fragments: Vec<Arc<Fragment>>,
     },
 
     /// Initiator → all: can anyone perform these tasks? (service
@@ -253,7 +257,7 @@ mod tests {
         let reply = Msg::FragmentReply {
             problem: p,
             round: 0,
-            fragments: vec![frag],
+            fragments: vec![std::sync::Arc::new(frag)],
         };
         assert!(reply.wire_size() > 100);
     }

@@ -17,10 +17,11 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
-use openwf_core::construct::explore::{explore, ExploreOutcome};
+use openwf_core::construct::explore::{explore_with, ExploreOutcome, ExploreScratch};
 use openwf_core::construct::{self, ColorState, ConstructStats, Construction, PickOrder};
-use openwf_core::{Fragment, Label, Spec, Supergraph, TaskId};
+use openwf_core::{Fragment, FxHashSet, Label, Spec, Supergraph, TaskId};
 use openwf_simnet::{SimDuration, SimTime};
 
 use crate::auction::ProblemAuctions;
@@ -76,7 +77,7 @@ struct Collect {
     kind: CollectKind,
     round: u32,
     pending: usize,
-    fragments: Vec<Fragment>,
+    fragments: Vec<Arc<Fragment>>,
     capable: BTreeSet<TaskId>,
 }
 
@@ -123,7 +124,12 @@ pub struct Workspace {
     n_peers: usize,
     supergraph: Supergraph,
     color: ColorState,
-    queried: BTreeSet<Label>,
+    explore_scratch: ExploreScratch,
+    queried: FxHashSet<Label>,
+    /// Green labels not yet offered to the community as a frontier,
+    /// accumulated from `ExploreOutcome::new_green_labels` — avoids
+    /// rescanning the whole supergraph after every round.
+    frontier_candidates: Vec<Label>,
     capability_checked: BTreeSet<TaskId>,
     feasible: BTreeSet<TaskId>,
     round: u32,
@@ -136,6 +142,7 @@ impl Workspace {
     /// Creates a workspace for `problem` among `n_peers` *other* hosts.
     pub fn new(problem: ProblemId, spec: Spec, now: SimTime, n_peers: usize) -> Self {
         let goals_pending = spec.goals().clone();
+        let frontier_candidates: Vec<Label> = spec.triggers().iter().cloned().collect();
         Workspace {
             problem,
             spec,
@@ -150,7 +157,9 @@ impl Workspace {
             n_peers,
             supergraph: Supergraph::new(),
             color: ColorState::with_len(0),
-            queried: BTreeSet::new(),
+            explore_scratch: ExploreScratch::new(),
+            queried: FxHashSet::default(),
+            frontier_candidates,
             capability_checked: BTreeSet::new(),
             feasible: BTreeSet::new(),
             round: 0,
@@ -170,6 +179,16 @@ impl Workspace {
         &self.supergraph
     }
 
+    /// Drains the accumulated newly-green labels into the next frontier,
+    /// skipping labels already offered to the community.
+    fn next_frontier(&mut self) -> Vec<Label> {
+        let queried = &mut self.queried;
+        self.frontier_candidates
+            .drain(..)
+            .filter(|l| queried.insert(l.clone()))
+            .collect()
+    }
+
     /// Kicks off construction: the first fragment round over the trigger
     /// labels.
     pub fn begin(
@@ -178,7 +197,7 @@ impl Workspace {
         local_services: &ServiceManager,
         params: &RuntimeParams,
     ) -> Vec<WsAction> {
-        let frontier: Vec<Label> = self.spec.triggers().iter().cloned().collect();
+        let frontier = self.next_frontier();
         self.start_fragment_round(frontier, local_fragments, local_services, params)
     }
 
@@ -186,7 +205,7 @@ impl Workspace {
     pub fn on_fragment_reply(
         &mut self,
         round: u32,
-        fragments: Vec<Fragment>,
+        fragments: Vec<Arc<Fragment>>,
         local_fragments: &FragmentManager,
         local_services: &ServiceManager,
         params: &RuntimeParams,
@@ -252,7 +271,6 @@ impl Workspace {
         params: &RuntimeParams,
     ) -> Vec<WsAction> {
         debug_assert!(self.collect.is_none(), "one round at a time");
-        self.queried.extend(frontier.iter().cloned());
         self.round += 1;
         self.report.query_rounds += 1;
         let local = local_fragments.query(&frontier);
@@ -363,15 +381,18 @@ impl Workspace {
         params: &RuntimeParams,
     ) -> Vec<WsAction> {
         let feasible = &self.feasible;
-        let outcome = explore(
+        let outcome = explore_with(
             self.supergraph.graph(),
             &mut self.color,
             &self.spec,
             &mut |t| feasible.contains(t),
             PickOrder::Fifo,
             None,
+            &mut self.explore_scratch,
         );
         self.explore_steps += outcome.steps;
+        self.frontier_candidates
+            .extend_from_slice(&outcome.new_green_labels);
         let charge = WsAction::Charge(params.explore_step_cost.times(outcome.steps));
 
         if outcome.unreachable_goals.is_empty() {
@@ -408,13 +429,9 @@ impl Workspace {
                 }
             }
         } else {
-            // Grow the frontier: green labels whose consumers we have not
-            // asked about yet.
-            let frontier: Vec<Label> = self
-                .green_labels()
-                .into_iter()
-                .filter(|l| !self.queried.contains(l))
-                .collect();
+            // Grow the frontier: newly green labels whose consumers we
+            // have not asked about yet.
+            let frontier = self.next_frontier();
             if frontier.is_empty() {
                 let reason = format!(
                     "no feasible workflow: unreachable goals {:?}",
@@ -437,15 +454,6 @@ impl Workspace {
             ));
             actions
         }
-    }
-
-    fn green_labels(&self) -> Vec<Label> {
-        use openwf_core::construct::Color;
-        let g = self.supergraph.graph();
-        g.node_indices()
-            .filter(|&i| i.index() < self.color.len() && self.color.color(i) == Color::Green)
-            .filter_map(|i| g.key(i).as_label())
-            .collect()
     }
 }
 
@@ -594,8 +602,13 @@ mod tests {
         assert!(matches!(actions[1], WsAction::ArmRoundTimeout { .. }));
 
         // Peer replies with the fragment that produces b.
-        let actions =
-            ws.on_fragment_reply(round, vec![frag("f1", "t1", "a", "b")], &fm, &sm, &params);
+        let actions = ws.on_fragment_reply(
+            round,
+            vec![Arc::new(frag("f1", "t1", "a", "b"))],
+            &fm,
+            &sm,
+            &params,
+        );
         // Now a capability round for t1 must go out.
         let cap_round = actions
             .iter()

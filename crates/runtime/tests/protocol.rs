@@ -196,9 +196,9 @@ fn frontier_rounds_scale_with_chain_depth() {
             );
             // Knowledge alternates between the two hosts.
             if i % 2 == 0 {
-                initiator.fragments.push(f);
+                initiator.fragments.push(f.into());
             } else {
-                other.fragments.push(f);
+                other.fragments.push(f.into());
             }
             initiator.services.push(service(&format!("t{i}"), 1));
         }

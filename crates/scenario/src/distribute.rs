@@ -36,7 +36,7 @@ pub fn distribute_knowledge(
     for (slot, frag_idx) in knowledge.shuffled_indices(rng).into_iter().enumerate() {
         configs[slot % hosts]
             .fragments
-            .push(knowledge.fragments()[frag_idx].clone());
+            .push(std::sync::Arc::clone(&knowledge.fragments()[frag_idx]));
     }
     // Services: an independent shuffle.
     for (slot, task_idx) in knowledge.shuffled_indices(rng).into_iter().enumerate() {

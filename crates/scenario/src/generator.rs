@@ -17,6 +17,7 @@
 //! along edges yields a satisfiable (start-label, end-label) spec.
 
 use std::fmt;
+use std::sync::Arc;
 
 use openwf_core::{Fragment, Label, Mode, Spec, TaskId};
 use rand::rngs::StdRng;
@@ -31,8 +32,9 @@ pub struct GeneratedKnowledge {
     adj: Vec<Vec<usize>>,
     /// `inputs[i]` = tasks whose output labels feed task `i`.
     inputs: Vec<Vec<usize>>,
-    /// One single-task fragment per task (fragment `f{i}` for task `t{i}`).
-    fragments: Vec<Fragment>,
+    /// One single-task fragment per task (fragment `f{i}` for task `t{i}`),
+    /// shared so distribution and stores reference one allocation each.
+    fragments: Vec<Arc<Fragment>>,
 }
 
 /// The label produced by generated task `i`.
@@ -88,14 +90,16 @@ impl GeneratedKnowledge {
         let fragments = (0..n_tasks)
             .map(|i| {
                 // Strong connectivity guarantees in-degree ≥ 1.
-                Fragment::single_task(
-                    format!("f{i}"),
-                    task_id(i),
-                    Mode::Disjunctive,
-                    inputs[i].iter().map(|&j| output_label(j)),
-                    [output_label(i)],
+                Arc::new(
+                    Fragment::single_task(
+                        format!("f{i}"),
+                        task_id(i),
+                        Mode::Disjunctive,
+                        inputs[i].iter().map(|&j| output_label(j)),
+                        [output_label(i)],
+                    )
+                    .expect("generated fragment is a valid single-task workflow"),
                 )
-                .expect("generated fragment is a valid single-task workflow")
             })
             .collect();
 
@@ -117,8 +121,9 @@ impl GeneratedKnowledge {
         self.adj.iter().map(Vec::len).sum()
     }
 
-    /// The per-task fragments (the community's distributed knowhow).
-    pub fn fragments(&self) -> &[Fragment] {
+    /// The per-task fragments (the community's distributed knowhow),
+    /// as shared handles.
+    pub fn fragments(&self) -> &[Arc<Fragment>] {
         &self.fragments
     }
 

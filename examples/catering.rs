@@ -20,7 +20,7 @@ fn run(label: &str, scenario: CateringScenario, spec: Spec) {
     let mut configs = scenario.host_configs();
     // The chef's table-service knowhow travels with the chef's PDA.
     if scenario.chef_present {
-        configs[1].fragments.push(table_service_fragment());
+        configs[1].fragments.push(table_service_fragment().into());
     }
     let names = participant_names(&scenario);
     let mut community = CommunityBuilder::new(2009).hosts(configs).build();

@@ -4,10 +4,11 @@
 //! benches use — `Criterion::benchmark_group`, `bench_function`,
 //! `bench_with_input`, `BenchmarkId`, `black_box`, and the
 //! `criterion_group!` / `criterion_main!` macros. Measurement is a
-//! simple warm-up + timed-batches loop that reports the mean time per
-//! iteration; there is no statistical analysis, HTML report, or
-//! baseline comparison. Honors `--test` (run each bench once, as
-//! `cargo test --benches` does) and a substring filter argument.
+//! warm-up + timed-batches loop; each batch's per-iteration time is
+//! recorded and the report shows `[min p50 p95]` across batches (plus
+//! the overall mean), so tail behavior is visible. There is no HTML
+//! report or baseline comparison. Honors `--test` (run each bench once,
+//! as `cargo test --benches` does) and a substring filter argument.
 
 use std::fmt::Display;
 use std::hint;
@@ -191,10 +192,12 @@ pub struct Bencher {
     test_mode: bool,
     total: Duration,
     total_iters: u64,
+    /// Per-iteration seconds of each timed batch (the statistics sample).
+    batch_secs_per_iter: Vec<f64>,
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly, accumulating elapsed time.
+    /// Runs `f` repeatedly, accumulating elapsed time per batch.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if self.test_mode {
             black_box(f());
@@ -207,10 +210,20 @@ impl Bencher {
             for _ in 0..self.iters_per_batch {
                 black_box(f());
             }
-            self.total += start.elapsed();
+            let elapsed = start.elapsed();
+            self.total += elapsed;
             self.total_iters += self.iters_per_batch;
+            self.batch_secs_per_iter
+                .push(elapsed.as_secs_f64() / self.iters_per_batch.max(1) as f64);
         }
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
@@ -266,7 +279,19 @@ fn run_one<F: FnMut(&mut Bencher)>(
         return;
     }
     let mean = b.total.as_secs_f64() / b.total_iters as f64;
-    println!("{name:<50} time: [{}]", format_time(mean));
+    let mut sorted = b.batch_secs_per_iter;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite batch times"));
+    if sorted.is_empty() {
+        println!("{name:<50} time: [{}]", format_time(mean));
+        return;
+    }
+    println!(
+        "{name:<50} time: [{} {} {}] mean: {}",
+        format_time(sorted[0]),
+        format_time(percentile(&sorted, 50.0)),
+        format_time(percentile(&sorted, 95.0)),
+        format_time(mean),
+    );
 }
 
 fn format_time(secs: f64) -> String {
@@ -332,5 +357,27 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
         assert_eq!(BenchmarkId::from_parameter(10).to_string(), "10");
+    }
+
+    #[test]
+    fn bencher_records_one_sample_per_batch() {
+        let mut b = Bencher {
+            iters_per_batch: 4,
+            batches: 3,
+            ..Default::default()
+        };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.batch_secs_per_iter.len(), 3);
+        assert_eq!(b.total_iters, 12);
+        assert!(b.batch_secs_per_iter.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+        assert_eq!(percentile(&xs, 95.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 10.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
     }
 }

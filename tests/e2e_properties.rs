@@ -102,7 +102,7 @@ proptest! {
         let mut configs: Vec<HostConfig> =
             (0..world.hosts).map(|_| HostConfig::new()).collect();
         for (i, f) in fragments.iter().enumerate() {
-            configs[i % world.hosts].fragments.push(f.clone());
+            configs[i % world.hosts].fragments.push(f.clone().into());
         }
         for cfg in &mut configs {
             for f in &fragments {
@@ -151,7 +151,7 @@ proptest! {
         let mut configs: Vec<HostConfig> =
             (0..world.hosts).map(|_| HostConfig::new()).collect();
         for (i, f) in fragments.iter().enumerate() {
-            configs[i % world.hosts].fragments.push(f.clone());
+            configs[i % world.hosts].fragments.push(f.clone().into());
             // Only the *next* host can serve this fragment's tasks:
             // forces cross-host assignment patterns.
             let server = (i + 1) % world.hosts;

@@ -11,7 +11,7 @@ use openworkflow::scenario::emergency::EmergencyScenario;
 fn catering_breakfast_and_lunch_end_to_end() {
     let scenario = CateringScenario::new();
     let mut configs = scenario.host_configs();
-    configs[1].fragments.push(table_service_fragment());
+    configs[1].fragments.push(table_service_fragment().into());
     let mut community = CommunityBuilder::new(21).hosts(configs).build();
 
     let manager = community.hosts()[0];
@@ -73,7 +73,7 @@ fn catering_without_chef_uses_alternative() {
 fn catering_without_waitstaff_selects_buffet_distributed() {
     let scenario = CateringScenario::new().without_waitstaff();
     let mut configs = scenario.host_configs();
-    configs[1].fragments.push(table_service_fragment());
+    configs[1].fragments.push(table_service_fragment().into());
     let mut community = CommunityBuilder::new(23).hosts(configs).build();
     let manager = community.hosts()[0];
     let handle = community.submit(manager, Spec::new(["lunch ingredients"], ["lunch served"]));
