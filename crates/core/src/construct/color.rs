@@ -91,6 +91,20 @@ pub struct ColorState {
     colors: Vec<Color>,
     distances: Vec<Distance>,
     blue_edges: Vec<(NodeIdx, NodeIdx)>,
+    /// Per-color node tallies, maintained by [`ColorState::set_color`] so
+    /// [`ColorState::count`] is O(1). Incremental construction asks for
+    /// the green count after *every* resumed exploration round; scanning
+    /// the color array each time was quadratic in supergraph size.
+    tallies: [usize; 4],
+}
+
+fn tally_slot(color: Color) -> usize {
+    match color {
+        Color::Uncolored => 0,
+        Color::Green => 1,
+        Color::Purple => 2,
+        Color::Blue => 3,
+    }
 }
 
 impl ColorState {
@@ -100,14 +114,27 @@ impl ColorState {
             colors: vec![Color::Uncolored; len],
             distances: vec![Distance::INFINITY; len],
             blue_edges: Vec::new(),
+            tallies: [len, 0, 0, 0],
         }
     }
 
     /// Grows the state to cover at least `len` nodes.
     pub fn ensure_len(&mut self, len: usize) {
         if self.colors.len() < len {
+            self.tallies[tally_slot(Color::Uncolored)] += len - self.colors.len();
             self.colors.resize(len, Color::Uncolored);
             self.distances.resize(len, Distance::INFINITY);
+        }
+    }
+
+    /// Reserves capacity for a graph of at least `len` nodes without
+    /// changing the covered length (a universe-size hint: the backing
+    /// vectors then grow without reallocating).
+    pub fn reserve(&mut self, len: usize) {
+        if len > self.colors.len() {
+            let extra = len - self.colors.len();
+            self.colors.reserve(extra);
+            self.distances.reserve(extra);
         }
     }
 
@@ -128,7 +155,9 @@ impl ColorState {
 
     /// Sets the color of a node.
     pub fn set_color(&mut self, idx: NodeIdx, color: Color) {
-        self.colors[idx.index()] = color;
+        let old = std::mem::replace(&mut self.colors[idx.index()], color);
+        self.tallies[tally_slot(old)] -= 1;
+        self.tallies[tally_slot(color)] += 1;
     }
 
     /// The distance of a node.
@@ -151,9 +180,10 @@ impl ColorState {
         &self.blue_edges
     }
 
-    /// Count of nodes currently colored `color`.
+    /// Count of nodes currently colored `color` (O(1): tallied on every
+    /// color change).
     pub fn count(&self, color: Color) -> usize {
-        self.colors.iter().filter(|&&c| c == color).count()
+        self.tallies[tally_slot(color)]
     }
 }
 
@@ -187,6 +217,24 @@ mod tests {
         assert_eq!(s.distance(n), Distance(2));
         assert_eq!(s.count(Color::Green), 1);
         assert_eq!(s.count(Color::Uncolored), 2);
+    }
+
+    #[test]
+    fn counts_track_color_transitions() {
+        let mut s = ColorState::with_len(4);
+        assert_eq!(s.count(Color::Uncolored), 4);
+        s.set_color(NodeIdx(0), Color::Green);
+        s.set_color(NodeIdx(1), Color::Green);
+        s.set_color(NodeIdx(1), Color::Purple);
+        s.set_color(NodeIdx(1), Color::Blue);
+        assert_eq!(s.count(Color::Green), 1);
+        assert_eq!(s.count(Color::Purple), 0);
+        assert_eq!(s.count(Color::Blue), 1);
+        assert_eq!(s.count(Color::Uncolored), 2);
+        s.ensure_len(6);
+        assert_eq!(s.count(Color::Uncolored), 4);
+        s.reserve(1000);
+        assert_eq!(s.len(), 6, "reserve must not grow the covered length");
     }
 
     #[test]

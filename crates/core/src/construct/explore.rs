@@ -19,7 +19,6 @@ use std::collections::VecDeque;
 use crate::construct::color::{Color, ColorState, Distance};
 use crate::construct::trace::{Trace, TraceEvent};
 use crate::construct::PickOrder;
-use crate::fx::FxHashMap;
 use crate::graph::{Graph, NodeIdx};
 use crate::ids::{Label, Mode, NodeKind, TaskId};
 use crate::spec::Spec;
@@ -159,6 +158,13 @@ pub struct ExploreScratch {
     /// between resumes (the runtime's capability rounds do exactly that),
     /// so each resumed run re-examines them.
     infeasible_skipped: Vec<NodeIdx>,
+    /// Epoch-stamped feasibility memo, one slot per node: the oracle is
+    /// consulted at most once per node per run, and bumping the epoch
+    /// invalidates the whole memo in O(1) between resumed runs (whose
+    /// oracle may answer differently).
+    feas_stamp: Vec<u32>,
+    feas_value: Vec<bool>,
+    feas_epoch: u32,
 }
 
 impl ExploreScratch {
@@ -167,7 +173,9 @@ impl ExploreScratch {
         ExploreScratch::default()
     }
 
-    fn worklist_for(&mut self, order: PickOrder, len: usize) -> &mut Worklist {
+    /// Prepares the scratch for one (resumed) run: worklist sized and
+    /// reconfigured, feasibility memo sized and epoch-bumped.
+    fn begin_run(&mut self, order: PickOrder, len: usize) {
         match &mut self.worklist {
             Some(w) => {
                 // Keep queued nodes across an order change; dropping them
@@ -177,7 +185,16 @@ impl ExploreScratch {
             }
             slot => *slot = Some(Worklist::new(order, len)),
         }
-        self.worklist.as_mut().expect("worklist initialized")
+        if self.feas_epoch == u32::MAX {
+            // Epoch wrap: stale stamps could alias the new epoch.
+            self.feas_stamp.iter_mut().for_each(|s| *s = 0);
+            self.feas_epoch = 0;
+        }
+        self.feas_epoch += 1;
+        if self.feas_stamp.len() < len {
+            self.feas_stamp.resize(len, 0);
+            self.feas_value.resize(len, false);
+        }
     }
 }
 
@@ -217,7 +234,6 @@ pub fn explore_with(
     scratch: &mut ExploreScratch,
 ) -> ExploreOutcome {
     state.ensure_len(g.node_count());
-    let mut feasibility: FxHashMap<NodeIdx, bool> = FxHashMap::default();
     let mut new_green_labels: Vec<Label> = Vec::new();
 
     // Color ι (distance 0).
@@ -244,7 +260,15 @@ pub fn explore_with(
     let edges_seen = scratch.edges_seen;
     scratch.edges_seen = g.edge_count();
     let mut retry_infeasible = std::mem::take(&mut scratch.infeasible_skipped);
-    let worklist = scratch.worklist_for(order, g.node_count());
+    scratch.begin_run(order, g.node_count());
+    let epoch = scratch.feas_epoch;
+    let ExploreScratch {
+        worklist,
+        feas_stamp,
+        feas_value,
+        ..
+    } = &mut *scratch;
+    let worklist = worklist.as_mut().expect("worklist prepared");
     for &(f, t) in g.edges_from(edges_seen) {
         if state.color(f) == Color::Green {
             worklist.push(t);
@@ -273,7 +297,7 @@ pub fn explore_with(
         let Some(n) = worklist.pop() else { break };
         steps += 1;
 
-        if !node_feasible(g, n, &mut feasibility, feasible) {
+        if !node_feasible(g, n, feas_stamp, feas_value, epoch, feasible) {
             infeasible_skipped.push(n);
             continue;
         }
@@ -385,18 +409,22 @@ pub(crate) fn effective_mode(g: &Graph, n: NodeIdx) -> Mode {
 fn node_feasible(
     g: &Graph,
     n: NodeIdx,
-    memo: &mut FxHashMap<NodeIdx, bool>,
+    stamps: &mut [u32],
+    values: &mut [bool],
+    epoch: u32,
     feasible: &mut dyn FnMut(&TaskId) -> bool,
 ) -> bool {
     if g.kind(n) != NodeKind::Task {
         return true;
     }
-    if let Some(&f) = memo.get(&n) {
-        return f;
+    let i = n.index();
+    if stamps[i] == epoch {
+        return values[i];
     }
     let task = g.key(n).as_task().expect("task kind");
     let f = feasible(&task);
-    memo.insert(n, f);
+    stamps[i] = epoch;
+    values[i] = f;
     f
 }
 

@@ -36,6 +36,11 @@ impl FragmentId {
     pub fn as_str(&self) -> &str {
         self.0.as_str()
     }
+
+    /// The interned symbol backing this identifier.
+    pub fn sym(&self) -> crate::ids::Sym {
+        self.0.sym()
+    }
 }
 
 impl fmt::Debug for FragmentId {

@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use crate::error::ModelError;
-use crate::fx::{FxHashMap, FxHashSet};
+use crate::fx::FxHashMap;
 use crate::ids::{Label, Mode, NodeKey, NodeKind, Sym, TaskId};
 
 /// Dense index of a node within one [`Graph`].
@@ -20,7 +20,7 @@ use crate::ids::{Label, Mode, NodeKey, NodeKind, Sym, TaskId};
 /// stable for the lifetime of the graph (nodes are never removed from the
 /// underlying store — removal is expressed by rebuilding, which keeps all
 /// traversal state simple and cache-friendly).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeIdx(pub(crate) u32);
 
 impl NodeIdx {
@@ -40,8 +40,143 @@ impl fmt::Debug for NodeIdx {
 struct NodeData {
     key: NodeKey,
     mode: Mode,
-    parents: Vec<NodeIdx>,
-    children: Vec<NodeIdx>,
+}
+
+/// An adjacency list with inline storage for the common case.
+///
+/// Workflow graphs are bipartite with small degrees almost everywhere
+/// (a task's inputs/outputs, a label's few consumers), so the first four
+/// entries live inline in the node's slot — appending an edge to a
+/// fresh node allocates nothing. Larger fan-ins (hub labels in dense
+/// communities) spill to a heap `Vec`. Used both for neighbor lists
+/// (`T = NodeIdx`) and the parallel per-neighbor edge-id lists
+/// (`T = u32`).
+#[derive(Clone, Debug)]
+enum Adj<T: Copy> {
+    Inline { len: u8, items: [T; 4] },
+    Spill(Vec<T>),
+}
+
+impl<T: Copy + Default> Default for Adj<T> {
+    fn default() -> Self {
+        Adj::Inline {
+            len: 0,
+            items: [T::default(); 4],
+        }
+    }
+}
+
+impl<T: Copy> Adj<T> {
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Adj::Inline { len, items } => &items[..*len as usize],
+            Adj::Spill(v) => v,
+        }
+    }
+
+    fn push(&mut self, n: T) {
+        match self {
+            Adj::Inline { len, items } => {
+                if (*len as usize) < items.len() {
+                    items[*len as usize] = n;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(8);
+                    v.extend_from_slice(items);
+                    v.push(n);
+                    *self = Adj::Spill(v);
+                }
+            }
+            Adj::Spill(v) => v.push(n),
+        }
+    }
+}
+
+/// The node index: symbol → node, in one of two layouts.
+///
+/// Small graphs (fragments, workflows) hash packed `(kind, Sym)` keys.
+/// Graphs that announce supergraph scale via [`Graph::reserve`] switch to
+/// a *direct-mapped* layout — two flat arrays indexed by the interned
+/// symbol id, one lane per [`NodeKind`] — because [`Sym`] ids are dense
+/// process-wide integers: a lookup is then a bounds check and an array
+/// read, no hashing or probing at all. The dense lanes are sized by the
+/// largest symbol id the graph has seen (amortized doubling), which is
+/// bounded by the community vocabulary — the same bound the interner
+/// itself lives with.
+#[derive(Clone, Debug)]
+enum NodeIndex {
+    Hashed(FxHashMap<u64, NodeIdx>),
+    Dense {
+        /// `labels[sym]` / `tasks[sym]` = node index, `u32::MAX` vacant.
+        labels: Vec<u32>,
+        tasks: Vec<u32>,
+    },
+}
+
+/// Node-count reserve at which the index switches to the dense layout.
+const DENSE_INDEX_THRESHOLD: usize = 1 << 16;
+
+const VACANT: u32 = u32::MAX;
+
+impl Default for NodeIndex {
+    fn default() -> Self {
+        NodeIndex::Hashed(FxHashMap::default())
+    }
+}
+
+impl NodeIndex {
+    #[inline]
+    fn get(&self, kind: NodeKind, sym: Sym) -> Option<NodeIdx> {
+        match self {
+            NodeIndex::Hashed(map) => map.get(&pack_key(kind, sym)).copied(),
+            NodeIndex::Dense { labels, tasks } => {
+                let lane = match kind {
+                    NodeKind::Label => labels,
+                    NodeKind::Task => tasks,
+                };
+                match lane.get(sym.id() as usize) {
+                    Some(&slot) if slot != VACANT => Some(NodeIdx(slot)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, kind: NodeKind, sym: Sym, idx: NodeIdx) {
+        match self {
+            NodeIndex::Hashed(map) => {
+                map.insert(pack_key(kind, sym), idx);
+            }
+            NodeIndex::Dense { labels, tasks } => {
+                let lane = match kind {
+                    NodeKind::Label => labels,
+                    NodeKind::Task => tasks,
+                };
+                let i = sym.id() as usize;
+                if i >= lane.len() {
+                    // Amortized growth to the largest symbol seen.
+                    lane.resize((i + 1).next_power_of_two(), VACANT);
+                }
+                lane[i] = idx.0;
+            }
+        }
+    }
+
+    /// Migrates to the dense layout (no-op if already dense).
+    fn densify(&mut self, nodes: &[NodeData]) {
+        if matches!(self, NodeIndex::Dense { .. }) {
+            return;
+        }
+        let mut dense = NodeIndex::Dense {
+            labels: Vec::new(),
+            tasks: Vec::new(),
+        };
+        for (i, n) in nodes.iter().enumerate() {
+            dense.insert(n.key.kind, n.key.name.sym(), NodeIdx(i as u32));
+        }
+        *self = dense;
+    }
 }
 
 /// A bipartite directed graph over label and task nodes.
@@ -52,11 +187,20 @@ struct NodeData {
 #[derive(Clone, Default)]
 pub struct Graph {
     nodes: Vec<NodeData>,
-    /// Sym-keyed node index: `(kind, interned symbol)` packed into a u64,
-    /// hashed with [`crate::fx::FxHasher`] — lookup is a couple of integer
-    /// multiplies rather than a string hash.
-    index: FxHashMap<u64, NodeIdx>,
-    edge_set: FxHashSet<u64>,
+    /// Per-node predecessor lists, parallel to `nodes`.
+    parents: Vec<Adj<NodeIdx>>,
+    /// Per-node successor lists, parallel to `nodes`.
+    children: Vec<Adj<NodeIdx>>,
+    /// Per-node dense edge ids parallel to `parents` / `children`:
+    /// `parent_eids[n][i]` is the id of the edge `parents(n)[i] -> n`.
+    /// Together with the bipartite invariant these replace an edge hash
+    /// map entirely — every edge has a task endpoint, task degrees are
+    /// bounded by declared arity, so duplicate detection and
+    /// [`Graph::edge_id`] are short inline scans of the task side.
+    parent_eids: Vec<Adj<u32>>,
+    child_eids: Vec<Adj<u32>>,
+    /// Sym-keyed node index (see [`NodeIndex`]).
+    index: NodeIndex,
     edge_order: Vec<(NodeIdx, NodeIdx)>,
 }
 
@@ -69,12 +213,6 @@ fn pack_key(kind: NodeKind, sym: Sym) -> u64 {
         NodeKind::Task => 1u64 << 32,
     };
     kind_bit | sym.id() as u64
-}
-
-/// Packs an edge into a set key: from in the high 32 bits, to in the low.
-#[inline]
-fn pack_edge(from: NodeIdx, to: NodeIdx) -> u64 {
-    ((from.0 as u64) << 32) | to.0 as u64
 }
 
 impl Graph {
@@ -141,7 +279,7 @@ impl Graph {
         mode: Mode,
     ) -> Result<NodeIdx, ModelError> {
         let task = task.into();
-        if let Some(&idx) = self.index.get(&pack_key(NodeKind::Task, task.sym())) {
+        if let Some(idx) = self.index.get(NodeKind::Task, task.sym()) {
             let existing = self.nodes[idx.index()].mode;
             if existing != mode {
                 return Err(ModelError::ConflictingTaskMode {
@@ -156,18 +294,17 @@ impl Graph {
     }
 
     fn intern(&mut self, key: NodeKey, mode: Mode) -> NodeIdx {
-        let packed = pack_key(key.kind, key.name.sym());
-        if let Some(&idx) = self.index.get(&packed) {
+        let (kind, sym) = (key.kind, key.name.sym());
+        if let Some(idx) = self.index.get(kind, sym) {
             return idx;
         }
         let idx = NodeIdx(self.nodes.len() as u32);
-        self.nodes.push(NodeData {
-            key,
-            mode,
-            parents: Vec::new(),
-            children: Vec::new(),
-        });
-        self.index.insert(packed, idx);
+        self.nodes.push(NodeData { key, mode });
+        self.parents.push(Adj::default());
+        self.children.push(Adj::default());
+        self.parent_eids.push(Adj::default());
+        self.child_eids.push(Adj::default());
+        self.index.insert(kind, sym, idx);
         idx
     }
 
@@ -183,6 +320,17 @@ impl Graph {
     /// directed acyclic graph" (§2.2) — labels only connect to tasks and
     /// vice versa.
     pub fn add_edge(&mut self, from: NodeIdx, to: NodeIdx) -> Result<bool, ModelError> {
+        self.insert_edge(from, to).map(|(_, inserted)| inserted)
+    }
+
+    /// Adds a directed edge like [`Graph::add_edge`], also returning the
+    /// edge's dense id (existing id when the edge was a duplicate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotBipartite`] if both endpoints are the same
+    /// kind.
+    fn insert_edge(&mut self, from: NodeIdx, to: NodeIdx) -> Result<(u32, bool), ModelError> {
         let fk = self.nodes[from.index()].key.kind;
         let tk = self.nodes[to.index()].key.kind;
         if fk == tk {
@@ -191,13 +339,34 @@ impl Graph {
                 to: self.nodes[to.index()].key.clone(),
             });
         }
-        if !self.edge_set.insert(pack_edge(from, to)) {
-            return Ok(false);
+        if let Some(existing) = self.scan_edge_id(from, to, fk) {
+            return Ok((existing, false));
         }
+        let id = self.edge_order.len() as u32;
         self.edge_order.push((from, to));
-        self.nodes[from.index()].children.push(to);
-        self.nodes[to.index()].parents.push(from);
-        Ok(true)
+        self.children[from.index()].push(to);
+        self.child_eids[from.index()].push(id);
+        self.parents[to.index()].push(from);
+        self.parent_eids[to.index()].push(id);
+        Ok((id, true))
+    }
+
+    /// Finds the id of edge `from -> to` by scanning the adjacency of the
+    /// **task** endpoint (`from_kind` is `from`'s kind). Bipartite edges
+    /// always have one, and a task's degree is bounded by its declared
+    /// inputs/outputs, so the scan is short and cache-local — unlike a
+    /// hub label, whose degree grows with the community.
+    #[inline]
+    fn scan_edge_id(&self, from: NodeIdx, to: NodeIdx, from_kind: NodeKind) -> Option<u32> {
+        if from_kind == NodeKind::Task {
+            let children = self.children[from.index()].as_slice();
+            let pos = children.iter().position(|&c| c == to)?;
+            Some(self.child_eids[from.index()].as_slice()[pos])
+        } else {
+            let parents = self.parents[to.index()].as_slice();
+            let pos = parents.iter().position(|&p| p == from)?;
+            Some(self.parent_eids[to.index()].as_slice()[pos])
+        }
     }
 
     /// Looks up a node by key.
@@ -208,7 +377,7 @@ impl Graph {
     /// Looks up a node by kind and interned symbol (the cheapest lookup:
     /// no string hashing at all).
     pub fn find_sym(&self, kind: NodeKind, sym: Sym) -> Option<NodeIdx> {
-        self.index.get(&pack_key(kind, sym)).copied()
+        self.index.get(kind, sym)
     }
 
     /// Looks up a label node.
@@ -223,7 +392,37 @@ impl Graph {
 
     /// True if the graph contains the edge `from -> to`.
     pub fn has_edge(&self, from: NodeIdx, to: NodeIdx) -> bool {
-        self.edge_set.contains(&pack_edge(from, to))
+        self.edge_id(from, to).is_some()
+    }
+
+    /// The dense id of the edge `from -> to`: its position in
+    /// [`Graph::edges`] order. Edge ids are stable for the lifetime of the
+    /// graph (edges are never removed).
+    pub fn edge_id(&self, from: NodeIdx, to: NodeIdx) -> Option<u32> {
+        if from.index() >= self.nodes.len() || to.index() >= self.nodes.len() {
+            return None;
+        }
+        self.scan_edge_id(from, to, self.nodes[from.index()].key.kind)
+    }
+
+    /// Pre-sizes the node and edge stores for `nodes` / `edges` further
+    /// insertions, so that a large merge (or a construction whose final
+    /// size is known from universe hints) does not pay for incremental
+    /// rehash/regrow of the hot-path hash indexes.
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.nodes.reserve(nodes);
+        self.parents.reserve(nodes);
+        self.children.reserve(nodes);
+        self.parent_eids.reserve(nodes);
+        self.child_eids.reserve(nodes);
+        if nodes >= DENSE_INDEX_THRESHOLD {
+            // Supergraph scale: switch the node index to the
+            // direct-mapped layout (see [`NodeIndex`]).
+            self.index.densify(&self.nodes);
+        } else if let NodeIndex::Hashed(map) = &mut self.index {
+            map.reserve(nodes);
+        }
+        self.edge_order.reserve(edges);
     }
 
     /// The key of a node.
@@ -244,22 +443,22 @@ impl Graph {
 
     /// Parent (predecessor) indices, in insertion order.
     pub fn parents(&self, idx: NodeIdx) -> &[NodeIdx] {
-        &self.nodes[idx.index()].parents
+        self.parents[idx.index()].as_slice()
     }
 
     /// Child (successor) indices, in insertion order.
     pub fn children(&self, idx: NodeIdx) -> &[NodeIdx] {
-        &self.nodes[idx.index()].children
+        self.children[idx.index()].as_slice()
     }
 
     /// In-degree of a node.
     pub fn in_degree(&self, idx: NodeIdx) -> usize {
-        self.nodes[idx.index()].parents.len()
+        self.parents[idx.index()].as_slice().len()
     }
 
     /// Out-degree of a node.
     pub fn out_degree(&self, idx: NodeIdx) -> usize {
-        self.nodes[idx.index()].children.len()
+        self.children[idx.index()].as_slice().len()
     }
 
     /// Iterates over all node indices in insertion order.
@@ -317,7 +516,7 @@ impl Graph {
     /// A topological order of node indices, or `None` if the graph has a
     /// cycle.
     pub fn topological_order(&self) -> Option<Vec<NodeIdx>> {
-        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.parents.len()).collect();
+        let mut indeg: Vec<usize> = self.parents.iter().map(|p| p.as_slice().len()).collect();
         let mut queue: Vec<NodeIdx> = self
             .node_indices()
             .filter(|i| indeg[i.index()] == 0)
@@ -399,6 +598,28 @@ impl Graph {
         other: &Graph,
         map: &mut Vec<NodeIdx>,
     ) -> Result<(usize, usize), ModelError> {
+        self.merge_from_recorded(other, map, None)
+    }
+
+    /// Like [`Graph::merge_from_mapped`], additionally filling `edge_ids`
+    /// (when given) with the dense id in `self` of each of `other`'s edges
+    /// in [`Graph::edges`] order — whether newly inserted or pre-existing.
+    /// This is how the supergraph attaches per-edge provenance without a
+    /// second hash lookup per edge.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Graph::merge_from_mapped`].
+    pub fn merge_from_recorded(
+        &mut self,
+        other: &Graph,
+        map: &mut Vec<NodeIdx>,
+        mut edge_ids: Option<&mut Vec<u32>>,
+    ) -> Result<(usize, usize), ModelError> {
+        if let Some(ids) = edge_ids.as_deref_mut() {
+            ids.clear();
+            ids.reserve(other.edge_count());
+        }
         map.clear();
         map.reserve(other.node_count());
         let mut new_nodes = 0;
@@ -430,11 +651,14 @@ impl Graph {
         }
         let mut new_edges = 0;
         for (f, t) in other.edges() {
-            let inserted = self
-                .add_edge(map[f.index()], map[t.index()])
+            let (id, inserted) = self
+                .insert_edge(map[f.index()], map[t.index()])
                 .expect("merging bipartite graphs preserves bipartite structure");
             if inserted {
                 new_edges += 1;
+            }
+            if let Some(ids) = edge_ids.as_deref_mut() {
+                ids.push(id);
             }
         }
         Ok((new_nodes, new_edges))
@@ -489,6 +713,26 @@ mod tests {
         assert!(!g.add_edge(a, t).unwrap());
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.parents(t), &[a]);
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_stable() {
+        let g = diamond();
+        for (i, (f, t)) in g.edges().enumerate() {
+            assert_eq!(g.edge_id(f, t), Some(i as u32));
+        }
+        let a = g.find_label(&Label::new("a")).unwrap();
+        let t2 = g.find_task(&TaskId::new("t2")).unwrap();
+        assert_eq!(g.edge_id(a, t2), None, "absent edge has no id");
+    }
+
+    #[test]
+    fn reserve_does_not_disturb_contents() {
+        let mut g = diamond();
+        g.reserve(1000, 1000);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.find_label(&Label::new("a")).is_some());
     }
 
     #[test]

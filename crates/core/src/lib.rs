@@ -87,7 +87,7 @@ pub mod workflow;
 
 pub use compose::{compose, compose_all};
 pub use constraints::{construct_constrained, ConstrainedError, SpecConstraints};
-pub use construct::incremental::{FragmentSource, IncrementalConstructor};
+pub use construct::incremental::{FragmentSource, IncrementalConstructor, SizeHints};
 pub use construct::{ConstructError, Construction, Constructor, PickOrder};
 pub use error::{ComposeError, ModelError};
 pub use fragment::{Fragment, FragmentBuilder, FragmentId};
@@ -95,10 +95,19 @@ pub use fx::{FxHashMap, FxHashSet};
 pub use graph::{Graph, NodeIdx};
 pub use ids::{Label, Mode, NodeKey, NodeKind, Sym, TaskId};
 pub use spec::Spec;
-pub use store::InMemoryFragmentStore;
+pub use store::{InMemoryFragmentStore, ParallelFragmentSource, ShardedFragmentStore};
 pub use supergraph::Supergraph;
 pub use validate::ValidityError;
 pub use workflow::Workflow;
+
+/// The machine's available hardware parallelism, defaulting to 1 when it
+/// cannot be determined — the single policy point behind every "0 means
+/// one worker per hardware thread" knob in the workspace (sharded
+/// stores, frontier worker pools, the runtime's Fragment Manager, the
+/// scale bench sweep).
+pub fn hardware_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -107,7 +116,7 @@ pub mod prelude {
     pub use crate::fragment::{Fragment, FragmentBuilder};
     pub use crate::ids::{Label, Mode, TaskId};
     pub use crate::spec::Spec;
-    pub use crate::store::InMemoryFragmentStore;
+    pub use crate::store::{InMemoryFragmentStore, ShardedFragmentStore};
     pub use crate::supergraph::Supergraph;
     pub use crate::workflow::Workflow;
 }

@@ -1,8 +1,18 @@
 //! In-memory fragment storage with a consumed-label index.
 //!
-//! This is the local analogue of a host's fragment database (the runtime's
-//! Fragment Manager wraps one of these) and the reference implementation of
-//! [`FragmentSource`] for tests and single-process use.
+//! Two stores share one design:
+//!
+//! * [`InMemoryFragmentStore`] — a single monolithic index; the local
+//!   analogue of a host's fragment database (the runtime's Fragment
+//!   Manager wraps a store) and the reference implementation of
+//!   [`FragmentSource`] for tests and single-process use.
+//! * [`ShardedFragmentStore`] — the same database partitioned across N
+//!   independently queryable shards by produced-label symbol, so that
+//!   frontier queries can fan out across worker threads (see
+//!   [`ParallelFragmentSource`] and
+//!   [`crate::IncrementalConstructor::workers`]). A single-shard store
+//!   degenerates to the monolithic layout, so small universes pay nothing
+//!   for the partitioning.
 //!
 //! Fragments are held behind [`Arc`] so that answering a frontier query
 //! hands out shared references instead of deep-copying whole workflow
@@ -198,6 +208,257 @@ impl fmt::Debug for InMemoryFragmentStore {
     }
 }
 
+/// A fragment source whose storage is partitioned into independently
+/// queryable shards.
+///
+/// This is the seam the parallel frontier workers fan out over: each
+/// `(shard, label)` candidate query touches only that shard's index, so
+/// worker threads never contend. Implementations tag every hit with a
+/// **global insertion sequence number**; collectors restore the exact
+/// single-store `consuming()` order by sorting on it, which is what keeps
+/// parallel construction deterministic regardless of worker count or
+/// scheduling.
+pub trait ParallelFragmentSource: Sync {
+    /// Number of shards. Valid shard indices are `0..shard_count()`.
+    fn shard_count(&self) -> usize;
+
+    /// Appends `(sequence, fragment)` for every fragment in `shard` with
+    /// a task consuming any of `labels`. May push the same fragment once
+    /// per matching label; callers deduplicate by sequence number.
+    fn shard_consuming(&self, shard: usize, labels: &[Label], out: &mut Vec<(u64, Arc<Fragment>)>);
+}
+
+/// One shard of a [`ShardedFragmentStore`]: a slice of the database with
+/// its own consumed-label index.
+#[derive(Clone, Debug, Default)]
+struct StoreShard {
+    /// `(global insertion sequence, fragment)` in insertion order.
+    fragments: Vec<(u64, Arc<Fragment>)>,
+    /// Label → positions (into `fragments`) of fragments consuming it.
+    by_consumed_label: FxHashMap<Label, Vec<u32>>,
+}
+
+impl StoreShard {
+    fn index_slot(&mut self, slot: usize) {
+        for label in self.fragments[slot].1.all_input_labels() {
+            self.by_consumed_label
+                .entry(label)
+                .or_default()
+                .push(slot as u32);
+        }
+    }
+
+    fn unindex_slot(&mut self, slot: usize, old: &Fragment) {
+        for label in old.all_input_labels() {
+            if let Some(v) = self.by_consumed_label.get_mut(&label) {
+                v.retain(|&i| i as usize != slot);
+                if v.is_empty() {
+                    self.by_consumed_label.remove(&label);
+                }
+            }
+        }
+    }
+}
+
+/// A fragment database partitioned by produced-label [`crate::ids::Sym`]
+/// across N shards.
+///
+/// Each fragment lives in exactly one shard — chosen from its first
+/// produced label (falling back to its id for label-less knowhow) — so a
+/// shard answers a consumed-label query from its own index alone and the
+/// shard results concatenate without cross-shard deduplication. Queries
+/// return fragments in global insertion order, exactly like
+/// [`InMemoryFragmentStore::consuming`].
+#[derive(Clone, Debug)]
+pub struct ShardedFragmentStore {
+    shards: Vec<StoreShard>,
+    /// Fragment id → (shard, slot within shard).
+    by_id: FxHashMap<FragmentId, (u32, u32)>,
+    next_seq: u64,
+}
+
+impl Default for ShardedFragmentStore {
+    fn default() -> Self {
+        ShardedFragmentStore::new()
+    }
+}
+
+impl ShardedFragmentStore {
+    /// A store sharded for this machine: one shard per hardware thread.
+    pub fn new() -> Self {
+        ShardedFragmentStore::with_shards(crate::hardware_parallelism())
+    }
+
+    /// A store with exactly `shards` shards (at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedFragmentStore {
+            shards: vec![StoreShard::default(); shards],
+            by_id: FxHashMap::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard of a fragment: its first produced label's symbol
+    /// modulo the shard count (fragments producing nothing — isolated
+    /// knowhow — route by their id instead).
+    fn shard_for(&self, fragment: &Fragment) -> usize {
+        let sym = fragment
+            .workflow()
+            .outset()
+            .iter()
+            .next()
+            .map(|l| l.sym())
+            .unwrap_or_else(|| fragment.id().sym());
+        sym.id() as usize % self.shards.len()
+    }
+
+    /// Inserts a fragment, replacing any fragment with the same id.
+    ///
+    /// Returns `true` if the fragment was new. A replacement stays in its
+    /// original shard (and keeps its insertion sequence) even if its
+    /// produced labels changed — queries fan out over every shard, so
+    /// placement affects balance, not correctness.
+    pub fn insert(&mut self, fragment: impl Into<Arc<Fragment>>) -> bool {
+        let fragment = fragment.into();
+        if let Some(&(shard, slot)) = self.by_id.get(fragment.id()) {
+            let shard = &mut self.shards[shard as usize];
+            let old = std::mem::replace(&mut shard.fragments[slot as usize].1, fragment);
+            shard.unindex_slot(slot as usize, &old);
+            shard.index_slot(slot as usize);
+            return false;
+        }
+        let shard_idx = self.shard_for(&fragment) as u32;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.by_id.insert(
+            fragment.id().clone(),
+            (
+                shard_idx,
+                self.shards[shard_idx as usize].fragments.len() as u32,
+            ),
+        );
+        let shard = &mut self.shards[shard_idx as usize];
+        shard.fragments.push((seq, fragment));
+        shard.index_slot(shard.fragments.len() - 1);
+        true
+    }
+
+    /// Number of stored fragments.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if the store holds no fragments.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Looks up a fragment by id.
+    pub fn get(&self, id: &FragmentId) -> Option<&Arc<Fragment>> {
+        self.by_id
+            .get(id)
+            .map(|&(shard, slot)| &self.shards[shard as usize].fragments[slot as usize].1)
+    }
+
+    /// All stored fragments as shared handles, in global insertion order.
+    ///
+    /// Materializes a sorted list (a k-way shard merge); meant for dumps
+    /// and diagnostics, not the query hot path.
+    pub fn fragments_shared(&self) -> Vec<&Arc<Fragment>> {
+        let mut all: Vec<&(u64, Arc<Fragment>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.fragments.iter())
+            .collect();
+        all.sort_unstable_by_key(|(seq, _)| *seq);
+        all.iter().map(|(_, f)| f).collect()
+    }
+
+    /// Fragments containing a task that consumes any of `labels`,
+    /// deduplicated, in global insertion order — the same answer (and
+    /// order) [`InMemoryFragmentStore::consuming`] gives for the same
+    /// database.
+    pub fn consuming(&self, labels: &[Label]) -> Vec<Arc<Fragment>> {
+        let mut hits: Vec<(u64, Arc<Fragment>)> = Vec::new();
+        for shard in 0..self.shards.len() {
+            self.shard_consuming(shard, labels, &mut hits);
+        }
+        finish_hits(hits)
+    }
+}
+
+/// Sorts raw `(sequence, fragment)` hits into global insertion order and
+/// deduplicates by sequence — the collection step shared by the
+/// sequential fan-out and the parallel frontier workers.
+pub fn finish_hits(mut hits: Vec<(u64, Arc<Fragment>)>) -> Vec<Arc<Fragment>> {
+    hits.sort_unstable_by_key(|(seq, _)| *seq);
+    hits.dedup_by_key(|(seq, _)| *seq);
+    hits.into_iter().map(|(_, f)| f).collect()
+}
+
+impl ParallelFragmentSource for ShardedFragmentStore {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_consuming(&self, shard: usize, labels: &[Label], out: &mut Vec<(u64, Arc<Fragment>)>) {
+        let shard = &self.shards[shard];
+        for label in labels {
+            if let Some(indices) = shard.by_consumed_label.get(label) {
+                out.extend(indices.iter().map(|&i| shard.fragments[i as usize].clone()));
+            }
+        }
+    }
+}
+
+impl FragmentSource for ShardedFragmentStore {
+    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Arc<Fragment>> {
+        self.consuming(labels)
+    }
+}
+
+impl FromIterator<Fragment> for ShardedFragmentStore {
+    fn from_iter<I: IntoIterator<Item = Fragment>>(iter: I) -> Self {
+        let mut store = ShardedFragmentStore::new();
+        for f in iter {
+            store.insert(f);
+        }
+        store
+    }
+}
+
+impl FromIterator<Arc<Fragment>> for ShardedFragmentStore {
+    fn from_iter<I: IntoIterator<Item = Arc<Fragment>>>(iter: I) -> Self {
+        let mut store = ShardedFragmentStore::new();
+        for f in iter {
+            store.insert(f);
+        }
+        store
+    }
+}
+
+impl Extend<Fragment> for ShardedFragmentStore {
+    fn extend<I: IntoIterator<Item = Fragment>>(&mut self, iter: I) {
+        for f in iter {
+            self.insert(f);
+        }
+    }
+}
+
+impl Extend<Arc<Fragment>> for ShardedFragmentStore {
+    fn extend<I: IntoIterator<Item = Arc<Fragment>>>(&mut self, iter: I) {
+        for f in iter {
+            self.insert(f);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +567,95 @@ mod tests {
         // The `only-a` bucket is gone entirely, not left as an empty Vec.
         assert_eq!(s.by_consumed_label.len(), 1);
         assert!(s.by_consumed_label.contains_key(&Label::new("only-x")));
+    }
+
+    #[test]
+    fn sharded_store_matches_monolithic_answers() {
+        // Same database, any shard count: identical query answers in
+        // identical (global insertion) order.
+        let frags: Vec<Fragment> = (0..40)
+            .map(|i| {
+                frag(
+                    &format!("f{i}"),
+                    &format!("t{i}"),
+                    &[&format!("in{}", i % 7), "common"],
+                    &[&format!("out{}", i % 5)],
+                )
+            })
+            .collect();
+        let mono: InMemoryFragmentStore = frags.iter().cloned().collect();
+        for shards in [1usize, 2, 3, 8] {
+            let mut sharded = ShardedFragmentStore::with_shards(shards);
+            sharded.extend(frags.iter().cloned());
+            assert_eq!(sharded.len(), 40);
+            assert_eq!(sharded.shard_count(), shards);
+            for query in [
+                vec![Label::new("common")],
+                vec![Label::new("in3")],
+                vec![Label::new("in1"), Label::new("in2")],
+                vec![Label::new("absent")],
+            ] {
+                let a: Vec<String> = mono
+                    .consuming(&query)
+                    .iter()
+                    .map(|f| f.id().to_string())
+                    .collect();
+                let b: Vec<String> = sharded
+                    .consuming(&query)
+                    .iter()
+                    .map(|f| f.id().to_string())
+                    .collect();
+                assert_eq!(a, b, "{shards} shards, query {query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_store_replaces_by_id() {
+        let mut s = ShardedFragmentStore::with_shards(4);
+        assert!(s.insert(frag("f", "t", &["a"], &["b"])));
+        assert!(!s.insert(frag("f", "t", &["x"], &["y"])), "replacement");
+        assert_eq!(s.len(), 1);
+        assert!(s.consuming(&[Label::new("a")]).is_empty());
+        assert_eq!(s.consuming(&[Label::new("x")]).len(), 1);
+        assert!(s.get(&FragmentId::new("f")).is_some());
+    }
+
+    #[test]
+    fn sharded_store_lists_fragments_in_insertion_order() {
+        let mut s = ShardedFragmentStore::with_shards(3);
+        for i in 0..10 {
+            s.insert(frag(
+                &format!("f{i}"),
+                &format!("t{i}"),
+                &["a"],
+                &[&format!("o{i}")],
+            ));
+        }
+        let ids: Vec<&str> = s
+            .fragments_shared()
+            .iter()
+            .map(|f| f.id().as_str())
+            .collect();
+        let want: Vec<String> = (0..10).map(|i| format!("f{i}")).collect();
+        assert_eq!(ids, want);
+    }
+
+    #[test]
+    fn shard_consuming_hits_carry_global_sequence() {
+        let mut s = ShardedFragmentStore::with_shards(2);
+        s.insert(frag("f0", "t0", &["a"], &["x"]));
+        s.insert(frag("f1", "t1", &["a", "b"], &["y"]));
+        let mut hits = Vec::new();
+        for shard in 0..s.shard_count() {
+            s.shard_consuming(shard, &[Label::new("a"), Label::new("b")], &mut hits);
+        }
+        // f1 matched twice (a and b); finish_hits dedups and orders.
+        let ids: Vec<String> = finish_hits(hits)
+            .iter()
+            .map(|f| f.id().to_string())
+            .collect();
+        assert_eq!(ids, ["f0", "f1"]);
     }
 
     #[test]

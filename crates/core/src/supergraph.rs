@@ -10,30 +10,76 @@
 //! [`Supergraph`] is therefore an *unrestricted* bipartite union of
 //! fragments. It keeps per-node and per-edge provenance so that a
 //! construction result can report exactly which fragments contributed to
-//! the final workflow. Provenance is stored densely (per-node `Vec`s
-//! indexed by [`NodeIdx`], interned [`FragmentId`]s) and the node-mapping
-//! scratch buffer is reused across merges, so absorbing a fragment does
-//! not allocate proportionally to the supergraph.
+//! the final workflow. Provenance is stored densely — append-only logs of
+//! contributed node indices and dense edge ids with per-fragment spans —
+//! and the mapping scratch buffers are reused across merges, so absorbing
+//! a fragment performs no allocation proportional to the supergraph and
+//! no per-entry allocation at all. Whole query rounds merge through
+//! [`Supergraph::merge_fragments_batch`], which pre-sizes all stores for
+//! the batch.
 
-use std::collections::HashSet;
 use std::fmt;
 
 use crate::error::ModelError;
 use crate::fragment::{Fragment, FragmentId};
-use crate::fx::{FxHashMap, FxHashSet};
 use crate::graph::{Graph, NodeIdx};
 use crate::ids::Label;
 
+/// Membership set over fragment ids, stored as a bitset indexed by the
+/// id's interned symbol: `contains`/`insert` are a shift and a mask into
+/// a table bounded by the community vocabulary (kilobytes per million
+/// distinct names), instead of hash probes into a growing set — the
+/// idempotence check runs for every candidate of every query round.
+#[derive(Clone, Debug, Default)]
+struct MergedSet {
+    words: Vec<u64>,
+}
+
+impl MergedSet {
+    #[inline]
+    fn contains(&self, id: &FragmentId) -> bool {
+        let i = id.sym().id() as usize;
+        match self.words.get(i / 64) {
+            Some(w) => w & (1 << (i % 64)) != 0,
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, id: &FragmentId) {
+        let i = id.sym().id() as usize;
+        if i / 64 >= self.words.len() {
+            self.words.resize((i / 64 + 1).next_power_of_two(), 0);
+        }
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+}
+
 /// Union of workflow fragments with provenance tracking.
+///
+/// Provenance is stored *densely*: one append-only log of contributed
+/// node indices and one of contributed edge ids, with per-fragment spans
+/// into both. Absorbing a fragment appends plain integers to two flat
+/// `Vec`s — no per-node/per-edge lists, no small allocations on the merge
+/// hot path. Coverage queries (which fragments touched these blue
+/// nodes/edges?) run once per construction and scan the logs linearly.
 #[derive(Clone, Default)]
 pub struct Supergraph {
     graph: Graph,
-    merged: FxHashSet<FragmentId>,
-    /// `node_provenance[i]` = fragments that contributed node `i`.
-    node_provenance: Vec<Vec<FragmentId>>,
-    edge_provenance: FxHashMap<(NodeIdx, NodeIdx), Vec<FragmentId>>,
-    /// Reused node-mapping buffer for [`Graph::merge_from_mapped`].
+    merged: MergedSet,
+    /// Merged fragment ids, in merge order (the provenance ordinal space).
+    fragments: Vec<FragmentId>,
+    /// Per-fragment `(node_log start, edge_log start)`; a fragment's span
+    /// ends where the next fragment's begins (or at the log's end).
+    spans: Vec<(u32, u32)>,
+    /// Concatenated per-fragment contributed node indices.
+    node_log: Vec<NodeIdx>,
+    /// Concatenated per-fragment contributed dense edge ids.
+    edge_log: Vec<u32>,
+    /// Reused node-mapping buffer for [`Graph::merge_from_recorded`].
     merge_scratch: Vec<NodeIdx>,
+    /// Reused edge-id buffer for [`Graph::merge_from_recorded`].
+    edge_scratch: Vec<u32>,
 }
 
 impl Supergraph {
@@ -89,16 +135,22 @@ impl Supergraph {
             return Ok(false);
         }
         // Pre-check mode conflicts so a failed merge leaves `self` intact.
-        for t in fragment.tasks() {
-            if let Some(idx) = self.graph.find_task(&t) {
-                let have = self.graph.mode(idx);
-                let want = fragment
-                    .workflow()
-                    .task_mode(&t)
-                    .expect("fragment task exists");
+        // Walks the fragment's nodes directly: mode and kind are direct
+        // reads there, so the only hash lookup per task is ours.
+        let fg = fragment.graph();
+        for idx in fg.node_indices() {
+            if fg.kind(idx) != crate::ids::NodeKind::Task {
+                continue;
+            }
+            if let Some(existing) = self
+                .graph
+                .find_sym(crate::ids::NodeKind::Task, fg.key(idx).sym())
+            {
+                let have = self.graph.mode(existing);
+                let want = fg.mode(idx);
                 if have != want {
                     return Err(ModelError::ConflictingTaskMode {
-                        task: t,
+                        task: fg.key(idx).as_task().expect("task kind"),
                         existing: have,
                         requested: want,
                     });
@@ -106,28 +158,66 @@ impl Supergraph {
             }
         }
         let mut map = std::mem::take(&mut self.merge_scratch);
+        let mut edge_ids = std::mem::take(&mut self.edge_scratch);
         self.graph
-            .merge_from_mapped(fragment.graph(), &mut map)
+            .merge_from_recorded(fragment.graph(), &mut map, Some(&mut edge_ids))
             .expect("mode conflicts pre-checked");
         // Record provenance straight off the merge mapping — no key
-        // re-resolution, no per-node hashing.
+        // re-resolution, no per-node hashing, no per-entry allocation.
         let fid = fragment.id().clone();
-        self.node_provenance
-            .resize_with(self.graph.node_count(), Vec::new);
-        for &idx in &map {
-            self.node_provenance[idx.index()].push(fid.clone());
-        }
-        for (f, t) in fragment.graph().edges() {
-            let fi = map[f.index()];
-            let ti = map[t.index()];
-            self.edge_provenance
-                .entry((fi, ti))
-                .or_default()
-                .push(fid.clone());
-        }
+        self.spans
+            .push((self.node_log.len() as u32, self.edge_log.len() as u32));
+        self.node_log.extend_from_slice(&map);
+        self.edge_log.extend_from_slice(&edge_ids);
+        self.fragments.push(fid.clone());
         self.merge_scratch = map;
-        self.merged.insert(fid);
+        self.edge_scratch = edge_ids;
+        self.merged.insert(&fid);
         Ok(true)
+    }
+
+    /// Merges a whole batch of fragments (one query round's candidates),
+    /// pre-sizing the graph and provenance stores for the batch before
+    /// merging, and skipping fragments whose task modes conflict with
+    /// already-merged knowhow (first definition wins, exactly as the
+    /// incremental constructors treat conflicting community answers).
+    ///
+    /// Returns the number of fragments that were new. Equivalent to
+    /// calling [`Supergraph::try_merge_fragment`] on each fragment in
+    /// order and ignoring errors — batching changes the cost, not the
+    /// result, so sequential and parallel constructions that feed the same
+    /// ordered batch produce identical supergraphs.
+    pub fn merge_fragments_batch<F: AsRef<Fragment>>(&mut self, batch: &[F]) -> usize {
+        let (mut add_nodes, mut add_edges) = (0usize, 0usize);
+        for f in batch {
+            let f = f.as_ref();
+            if !self.merged.contains(f.id()) {
+                add_nodes += f.graph().node_count();
+                add_edges += f.graph().edge_count();
+            }
+        }
+        self.reserve(batch.len(), add_nodes, add_edges);
+        let mut new_fragments = 0;
+        for f in batch {
+            if let Ok(true) = self.try_merge_fragment(f.as_ref()) {
+                new_fragments += 1;
+            }
+        }
+        new_fragments
+    }
+
+    /// Pre-sizes the supergraph for roughly `fragments` further merges
+    /// totalling `nodes` nodes and `edges` edges (upper bounds are fine:
+    /// shared nodes/edges simply leave slack). Incremental constructions
+    /// over large universes call this once with universe hints so the node
+    /// index and provenance stores do not pay for repeated rehash/regrow.
+    pub fn reserve(&mut self, fragments: usize, nodes: usize, edges: usize) {
+        self.graph.reserve(nodes, edges);
+
+        self.fragments.reserve(fragments);
+        self.spans.reserve(fragments);
+        self.node_log.reserve(nodes);
+        self.edge_log.reserve(edges);
     }
 
     /// The underlying (unrestricted) graph.
@@ -137,7 +227,7 @@ impl Supergraph {
 
     /// Number of distinct fragments merged so far.
     pub fn fragment_count(&self) -> usize {
-        self.merged.len()
+        self.fragments.len()
     }
 
     /// True if a fragment with this id has been merged.
@@ -145,46 +235,69 @@ impl Supergraph {
         self.merged.contains(id)
     }
 
-    /// Fragments that contributed a given node.
-    pub fn node_fragments(&self, idx: NodeIdx) -> &[FragmentId] {
-        self.node_provenance
-            .get(idx.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// The span of fragment ordinal `i` in the provenance logs.
+    fn span(&self, i: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        let (n0, e0) = self.spans[i];
+        let (n1, e1) = self
+            .spans
+            .get(i + 1)
+            .copied()
+            .unwrap_or((self.node_log.len() as u32, self.edge_log.len() as u32));
+        (n0 as usize..n1 as usize, e0 as usize..e1 as usize)
     }
 
-    /// Fragments that contributed a given edge.
-    pub fn edge_fragments(&self, from: NodeIdx, to: NodeIdx) -> &[FragmentId] {
-        self.edge_provenance
-            .get(&(from, to))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// Fragments that contributed a given node, in merge order.
+    ///
+    /// Answered by scanning the provenance log — a per-construction
+    /// diagnostic, not a hot-path query.
+    pub fn node_fragments(&self, idx: NodeIdx) -> Vec<FragmentId> {
+        (0..self.fragments.len())
+            .filter(|&i| self.node_log[self.span(i).0].contains(&idx))
+            .map(|i| self.fragments[i].clone())
+            .collect()
+    }
+
+    /// Fragments that contributed a given edge, in merge order.
+    ///
+    /// Answered by scanning the provenance log — a per-construction
+    /// diagnostic, not a hot-path query.
+    pub fn edge_fragments(&self, from: NodeIdx, to: NodeIdx) -> Vec<FragmentId> {
+        let Some(eid) = self.graph.edge_id(from, to) else {
+            return Vec::new();
+        };
+        (0..self.fragments.len())
+            .filter(|&i| self.edge_log[self.span(i).1].contains(&eid))
+            .map(|i| self.fragments[i].clone())
+            .collect()
     }
 
     /// The set of fragments covering the given nodes and edges — used to
     /// report which pieces of community knowhow a constructed workflow drew
-    /// on.
+    /// on. One linear scan of the provenance logs against membership
+    /// bitmaps; returns ids sorted by name.
     pub fn covering_fragments(
         &self,
         nodes: impl IntoIterator<Item = NodeIdx>,
         edges: impl IntoIterator<Item = (NodeIdx, NodeIdx)>,
     ) -> Vec<FragmentId> {
-        let mut seen = HashSet::new();
-        let mut out = Vec::new();
+        let mut node_hit = vec![false; self.graph.node_count()];
         for n in nodes {
-            for f in self.node_fragments(n) {
-                if seen.insert(f.clone()) {
-                    out.push(f.clone());
-                }
-            }
+            node_hit[n.index()] = true;
         }
+        let mut edge_hit = vec![false; self.graph.edge_count()];
         for (a, b) in edges {
-            for f in self.edge_fragments(a, b) {
-                if seen.insert(f.clone()) {
-                    out.push(f.clone());
-                }
+            if let Some(eid) = self.graph.edge_id(a, b) {
+                edge_hit[eid as usize] = true;
             }
         }
+        let mut out: Vec<FragmentId> = (0..self.fragments.len())
+            .filter(|&i| {
+                let (nspan, espan) = self.span(i);
+                self.node_log[nspan].iter().any(|n| node_hit[n.index()])
+                    || self.edge_log[espan].iter().any(|&e| edge_hit[e as usize])
+            })
+            .map(|i| self.fragments[i].clone())
+            .collect();
         out.sort();
         out
     }
@@ -292,6 +405,51 @@ mod tests {
         // failed merge left the supergraph untouched
         assert_eq!(sg.graph().node_count(), before_nodes);
         assert!(!sg.contains_fragment(&FragmentId::new("f2")));
+    }
+
+    #[test]
+    fn batch_merge_matches_sequential_merges() {
+        let frags = vec![
+            frag("f1", "t1", "a", "b"),
+            frag("f2", "t2", "b", "c"),
+            frag("f1", "t1", "a", "b"), // duplicate id: merged once
+        ];
+        let mut batched = Supergraph::new();
+        let new = batched.merge_fragments_batch(&frags);
+        assert_eq!(new, 2);
+
+        let mut sequential = Supergraph::new();
+        for f in &frags {
+            let _ = sequential.try_merge_fragment(f);
+        }
+        assert_eq!(
+            batched.graph().node_count(),
+            sequential.graph().node_count()
+        );
+        assert_eq!(
+            batched.graph().edge_count(),
+            sequential.graph().edge_count()
+        );
+        for idx in batched.graph().node_indices() {
+            assert_eq!(batched.node_fragments(idx), sequential.node_fragments(idx));
+        }
+        for (f, t) in batched.graph().edges() {
+            assert_eq!(
+                batched.edge_fragments(f, t),
+                sequential.edge_fragments(f, t)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_merge_skips_mode_conflicts() {
+        let good = Fragment::single_task("g", "t", Mode::Conjunctive, ["a"], ["b"]).unwrap();
+        let bad = Fragment::single_task("c", "t", Mode::Disjunctive, ["x"], ["y"]).unwrap();
+        let mut sg = Supergraph::new();
+        let new = sg.merge_fragments_batch(&[good, bad]);
+        assert_eq!(new, 1, "conflicting fragment is skipped, first wins");
+        assert!(sg.contains_fragment(&FragmentId::new("g")));
+        assert!(!sg.contains_fragment(&FragmentId::new("c")));
     }
 
     #[test]

@@ -3,22 +3,68 @@
 //! §4.2: "The Fragment Manager is responsible for maintaining a host's
 //! database of workflow fragments and responding to knowhow queries during
 //! workflow construction."
+//!
+//! The database is a [`ShardedFragmentStore`]: fragments partition across
+//! shards by produced-label symbol, so a host configured with
+//! construction parallelism (`HostConfig::construction_threads`) answers
+//! big frontier queries by fanning the labels out over scoped worker
+//! threads — the same shard layout the core's parallel incremental
+//! constructor drains. The default is one shard and no threads, which is
+//! the monolithic fast path.
 
 use std::fmt;
 use std::sync::Arc;
 
-use openwf_core::{Fragment, InMemoryFragmentStore, Label};
+use openwf_core::store::finish_hits;
+use openwf_core::{Fragment, Label, ParallelFragmentSource, ShardedFragmentStore};
+
+/// Below this many stored fragments a parallel query costs more in
+/// thread choreography than it saves; answer inline instead.
+const PARALLEL_QUERY_MIN_FRAGMENTS: usize = 4096;
 
 /// Per-host fragment database answering knowhow queries.
-#[derive(Default)]
 pub struct FragmentManager {
-    store: InMemoryFragmentStore,
+    store: ShardedFragmentStore,
+    threads: usize,
+    parallel_min: usize,
+}
+
+impl Default for FragmentManager {
+    fn default() -> Self {
+        FragmentManager::new()
+    }
 }
 
 impl FragmentManager {
-    /// An empty database.
+    /// An empty database: one shard, inline queries.
     pub fn new() -> Self {
-        FragmentManager::default()
+        FragmentManager::with_parallelism(1)
+    }
+
+    /// An empty database sharded for `threads` query workers (`0` = one
+    /// per hardware thread).
+    pub fn with_parallelism(threads: usize) -> Self {
+        let threads = match threads {
+            0 => openwf_core::hardware_parallelism(),
+            n => n,
+        };
+        FragmentManager {
+            store: ShardedFragmentStore::with_shards(threads),
+            threads,
+            parallel_min: PARALLEL_QUERY_MIN_FRAGMENTS,
+        }
+    }
+
+    /// The configured query worker count.
+    pub fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    /// Lowers the parallel-query size threshold (tests exercise the
+    /// threaded path without building a huge database).
+    #[cfg(test)]
+    fn set_parallel_threshold(&mut self, n: usize) {
+        self.parallel_min = n;
     }
 
     /// Adds a fragment to the database (step 2 of the paper's deployment:
@@ -38,16 +84,49 @@ impl FragmentManager {
         self.store.is_empty()
     }
 
-    /// Answers a knowhow query: fragments containing a task that consumes
-    /// any of `labels`. The returned handles share the stored allocations
-    /// — replying to a frontier query copies pointers, not graphs.
-    pub fn query(&self, labels: &[Label]) -> Vec<Arc<Fragment>> {
-        self.store.consuming(labels)
+    /// The underlying sharded store (e.g. to drive
+    /// `IncrementalConstructor::construct_parallel` directly against this
+    /// host's knowhow).
+    pub fn store(&self) -> &ShardedFragmentStore {
+        &self.store
     }
 
-    /// All fragments (e.g. for configuration dumps).
+    /// Answers a knowhow query: fragments containing a task that consumes
+    /// any of `labels`, in insertion order. The returned handles share the
+    /// stored allocations — replying to a frontier query copies pointers,
+    /// not graphs. With construction parallelism configured and a large
+    /// enough database, the labels fan out over scoped worker threads.
+    pub fn query(&self, labels: &[Label]) -> Vec<Arc<Fragment>> {
+        if self.threads <= 1 || labels.len() <= 1 || self.store.len() < self.parallel_min {
+            return self.store.consuming(labels);
+        }
+        let workers = self.threads.min(labels.len());
+        let hits = crossbeam::thread::scope(|scope| {
+            let chunks: Vec<&[Label]> = labels.chunks(labels.len().div_ceil(workers)).collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for shard in 0..self.store.shard_count() {
+                            self.store.shard_consuming(shard, chunk, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut hits = Vec::new();
+            for h in handles {
+                hits.extend(h.join().expect("query worker panicked"));
+            }
+            hits
+        });
+        finish_hits(hits)
+    }
+
+    /// All fragments (e.g. for configuration dumps), in insertion order.
     pub fn fragments(&self) -> impl Iterator<Item = &Fragment> + '_ {
-        self.store.fragments()
+        self.store.fragments_shared().into_iter().map(Arc::as_ref)
     }
 }
 
@@ -55,6 +134,7 @@ impl fmt::Debug for FragmentManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FragmentManager")
             .field("fragments", &self.store.len())
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -81,5 +161,42 @@ mod tests {
         let fm = FragmentManager::new();
         assert!(fm.is_empty());
         assert!(fm.query(&[Label::new("a")]).is_empty());
+    }
+
+    #[test]
+    fn parallel_manager_answers_like_sequential() {
+        let build = |threads: usize| {
+            let mut fm = FragmentManager::with_parallelism(threads);
+            for i in 0..64 {
+                fm.add(
+                    Fragment::single_task(
+                        format!("pf{i}"),
+                        format!("pt{i}"),
+                        Mode::Disjunctive,
+                        [format!("pin{}", i % 8)],
+                        [format!("pout{i}")],
+                    )
+                    .unwrap(),
+                );
+            }
+            fm
+        };
+        let seq = build(1);
+        let mut par = build(3);
+        par.set_parallel_threshold(1); // exercise the scoped-thread path
+        assert_eq!(par.parallelism(), 3);
+        let query: Vec<Label> = (0..8).map(|i| Label::new(format!("pin{i}"))).collect();
+        let a: Vec<String> = seq
+            .query(&query)
+            .iter()
+            .map(|f| f.id().to_string())
+            .collect();
+        let b: Vec<String> = par
+            .query(&query)
+            .iter()
+            .map(|f| f.id().to_string())
+            .collect();
+        assert_eq!(a, b, "shard layout must not change answers");
+        assert_eq!(a.len(), 64);
     }
 }

@@ -26,6 +26,7 @@ use crate::prefs::Preferences;
 use crate::report::ProblemStatus;
 use crate::schedule::ScheduleManager;
 use crate::service::{ServiceDescription, ServiceManager};
+use crate::vocab::VocabularyGuard;
 use crate::workflow_mgr::{Phase, WorkflowManager, WsAction};
 
 /// Static configuration of one host: its knowhow, capabilities, place and
@@ -46,6 +47,18 @@ pub struct HostConfig {
     pub site: SiteMap,
     /// Willingness preferences.
     pub prefs: Preferences,
+    /// Construction parallelism: worker threads (and fragment-store
+    /// shards) this host uses to answer and fan out frontier queries.
+    /// `1` (default) keeps everything inline; `0` means one worker per
+    /// hardware thread.
+    pub construction_threads: usize,
+    /// Per-community vocabulary cap: the maximum number of distinct
+    /// interned names (labels, tasks, fragment ids) this host admits
+    /// across its own knowhow and peer fragment replies. Replies that
+    /// would exceed the cap are rejected as protocol errors instead of
+    /// growing the process-wide interner without bound. `None` (default)
+    /// trusts the community.
+    pub max_interned_names: Option<usize>,
 }
 
 impl Default for HostConfig {
@@ -57,6 +70,8 @@ impl Default for HostConfig {
             motion: Motion::STATIONARY,
             site: SiteMap::new(),
             prefs: Preferences::willing(),
+            construction_threads: 1,
+            max_interned_names: None,
         }
     }
 }
@@ -98,6 +113,20 @@ impl HostConfig {
         self.prefs = prefs;
         self
     }
+
+    /// Sets the construction worker-thread count (`0` = one per hardware
+    /// thread).
+    pub fn with_construction_threads(mut self, threads: usize) -> Self {
+        self.construction_threads = threads;
+        self
+    }
+
+    /// Sets the per-community vocabulary cap (see
+    /// [`HostConfig::max_interned_names`]).
+    pub fn with_vocabulary_cap(mut self, cap: usize) -> Self {
+        self.max_interned_names = Some(cap);
+        self
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -123,6 +152,9 @@ pub struct OwmsHost {
     exec_mgr: ExecutionManager,
     /// Construction subsystem.
     workflow_mgr: WorkflowManager,
+    /// Vocabulary trust boundary for peer fragment replies.
+    vocab: VocabularyGuard,
+    vocabulary_rejections: u64,
     /// Timer bookkeeping.
     timers: HashMap<u64, TimerPurpose>,
     next_timer: u64,
@@ -131,8 +163,12 @@ pub struct OwmsHost {
 impl OwmsHost {
     /// Builds a host from its configuration.
     pub fn new(config: HostConfig, params: RuntimeParams) -> Self {
-        let mut fragment_mgr = FragmentManager::new();
+        let mut fragment_mgr = FragmentManager::with_parallelism(config.construction_threads);
+        let mut vocab = VocabularyGuard::new(config.max_interned_names);
         for f in config.fragments {
+            // Own knowhow is trusted: it seeds the vocabulary instead of
+            // being checked against the cap.
+            vocab.seed(&f);
             fragment_mgr.add(f);
         }
         let mut service_mgr = ServiceManager::new();
@@ -150,9 +186,17 @@ impl OwmsHost {
             auction_part: AuctionParticipationManager::new(),
             exec_mgr: ExecutionManager::new(),
             workflow_mgr: WorkflowManager::new(),
+            vocab,
+            vocabulary_rejections: 0,
             timers: HashMap::new(),
             next_timer: 0,
         }
+    }
+
+    /// Number of peer fragment replies rejected at the vocabulary trust
+    /// boundary (see [`HostConfig::max_interned_names`]).
+    pub fn vocabulary_rejections(&self) -> u64 {
+        self.vocabulary_rejections
     }
 
     /// Sets the community membership (all host ids, including this one).
@@ -600,6 +644,19 @@ impl Actor<Msg> for OwmsHost {
                 round,
                 fragments,
             } => {
+                // Trust boundary: in a networked deployment this check
+                // runs inside fragment deserialization; here the payload
+                // arrives pre-decoded, so admission is the same seam one
+                // step later. A rejected reply is dropped (the round
+                // proceeds with it counted as an empty answer) — the
+                // protocol error is recorded, not fatal.
+                let fragments = match self.vocab.admit(&fragments) {
+                    Ok(()) => fragments,
+                    Err(_exceeded) => {
+                        self.vocabulary_rejections += 1;
+                        Vec::new()
+                    }
+                };
                 let actions = match self.workflow_mgr.get_mut(&problem) {
                     Some(ws) => ws.on_fragment_reply(
                         round,

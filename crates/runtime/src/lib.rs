@@ -48,6 +48,7 @@ pub mod prefs;
 pub mod report;
 pub mod schedule;
 pub mod service;
+pub mod vocab;
 pub mod workflow_mgr;
 
 pub use community::{Community, CommunityBuilder, ProblemHandle};
@@ -59,3 +60,4 @@ pub use prefs::Preferences;
 pub use report::{PhaseTimings, ProblemReport, ProblemStatus};
 pub use schedule::Commitment;
 pub use service::ServiceDescription;
+pub use vocab::{VocabularyExceeded, VocabularyGuard};

@@ -1,0 +1,194 @@
+//! Per-community vocabulary budgeting at the fragment trust boundary.
+//!
+//! Node and fragment names are process-wide interned symbols
+//! (`openwf_core::ids::Sym`); the interner is append-only and never
+//! frees. Accepting fragments from peers therefore grows a long-lived
+//! host's memory by one copy of every *distinct* name a peer ever minted
+//! — an unbounded-growth channel for a malicious or misbehaving peer
+//! (see the ROADMAP trust-boundary item). [`VocabularyGuard`] bounds it:
+//! each host budgets how many distinct names the community may introduce,
+//! and a fragment reply that would exceed the budget is rejected as a
+//! protocol error instead of being admitted.
+//!
+//! In a networked deployment this check belongs *inside* deserialization,
+//! before any name is interned. The in-process simulator ships fragments
+//! as pre-interned `Arc<Fragment>` handles (the serde shim is value-tree
+//! only), so the guard runs at reply admission — the same seam, one step
+//! later — and counts vocabulary against the per-host budget rather than
+//! inspecting the global interner, which tests and co-hosted communities
+//! share.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use openwf_core::{Fragment, FxHashSet, Sym};
+
+/// Rejection of a fragment payload that would blow the vocabulary cap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VocabularyExceeded {
+    /// The configured cap on distinct interned names.
+    pub cap: usize,
+    /// Distinct names the admitted payload would have brought the host to.
+    pub attempted: usize,
+}
+
+impl fmt::Display for VocabularyExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "protocol error: fragment payload exceeds the vocabulary cap \
+             ({} distinct names attempted, cap {})",
+            self.attempted, self.cap
+        )
+    }
+}
+
+impl Error for VocabularyExceeded {}
+
+/// Tracks the distinct names a host has admitted and enforces an optional
+/// cap (`HostConfig::max_interned_names`).
+#[derive(Clone, Debug, Default)]
+pub struct VocabularyGuard {
+    cap: Option<usize>,
+    seen: FxHashSet<Sym>,
+}
+
+impl VocabularyGuard {
+    /// A guard with the given cap; `None` admits everything (trusted
+    /// communities, the default).
+    pub fn new(cap: Option<usize>) -> Self {
+        VocabularyGuard {
+            cap,
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// Number of distinct names seen so far (own knowhow included).
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if no names have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Records a host's *own* knowhow without consuming budget checks —
+    /// local configuration is trusted; the cap constrains what the
+    /// community can add on top. A no-op without a cap: an uncapped
+    /// guard tracks nothing, so the default configuration pays nothing
+    /// on the reply hot path.
+    pub fn seed(&mut self, fragment: &Fragment) {
+        if self.cap.is_none() {
+            return;
+        }
+        for sym in fragment_syms(fragment) {
+            self.seen.insert(sym);
+        }
+    }
+
+    /// Admits a peer fragment payload, atomically: either every name is
+    /// recorded, or (past the cap) none is. Uncapped guards admit
+    /// everything without recording anything.
+    ///
+    /// # Errors
+    ///
+    /// [`VocabularyExceeded`] when recording the payload's names would
+    /// push the distinct-name count past the cap. The payload must then
+    /// be dropped at the protocol layer.
+    pub fn admit(&mut self, fragments: &[Arc<Fragment>]) -> Result<(), VocabularyExceeded> {
+        let Some(cap) = self.cap else {
+            return Ok(());
+        };
+        let mut fresh: Vec<Sym> = Vec::new();
+        let mut fresh_set: FxHashSet<Sym> = FxHashSet::default();
+        for f in fragments {
+            for sym in fragment_syms(f) {
+                if !self.seen.contains(&sym) && fresh_set.insert(sym) {
+                    fresh.push(sym);
+                }
+            }
+        }
+        let attempted = self.seen.len() + fresh.len();
+        if attempted > cap {
+            return Err(VocabularyExceeded { cap, attempted });
+        }
+        self.seen.extend(fresh);
+        Ok(())
+    }
+}
+
+/// Every interned symbol a fragment carries: its id plus all node names.
+fn fragment_syms(fragment: &Fragment) -> impl Iterator<Item = Sym> + '_ {
+    std::iter::once(fragment.id().sym()).chain(fragment.graph().nodes().map(|(_, key)| key.sym()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::Mode;
+
+    fn frag(id: &str, task: &str, input: &str, output: &str) -> Arc<Fragment> {
+        Arc::new(Fragment::single_task(id, task, Mode::Disjunctive, [input], [output]).unwrap())
+    }
+
+    #[test]
+    fn uncapped_guard_admits_everything_and_tracks_nothing() {
+        let mut g = VocabularyGuard::new(None);
+        assert!(g.admit(&[frag("vg-f1", "vg-t1", "vg-a", "vg-b")]).is_ok());
+        assert!(g.is_empty(), "no cap, no bookkeeping on the hot path");
+    }
+
+    #[test]
+    fn capped_guard_counts_admitted_names() {
+        let mut g = VocabularyGuard::new(Some(100));
+        assert!(g
+            .admit(&[frag("vgn-f1", "vgn-t1", "vgn-a", "vgn-b")])
+            .is_ok());
+        assert_eq!(g.len(), 4, "id + task + two labels");
+    }
+
+    #[test]
+    fn cap_rejects_excess_vocabulary_atomically() {
+        let mut g = VocabularyGuard::new(Some(4));
+        g.admit(&[frag("vgc-f1", "vgc-t1", "vgc-a", "vgc-b")])
+            .expect("exactly at cap");
+        let before = g.len();
+        let err = g
+            .admit(&[frag("vgc-f2", "vgc-t2", "vgc-b", "vgc-c")])
+            .unwrap_err();
+        assert!(err.attempted > err.cap);
+        assert_eq!(g.len(), before, "rejected payload records nothing");
+        // Re-sent knowhow with only known names is still fine.
+        assert!(g
+            .admit(&[frag("vgc-f1", "vgc-t1", "vgc-a", "vgc-b")])
+            .is_ok());
+    }
+
+    #[test]
+    fn seeded_own_knowhow_does_not_consume_cap_headroom_twice() {
+        let mut g = VocabularyGuard::new(Some(4));
+        let own = frag("vgs-f", "vgs-t", "vgs-a", "vgs-b");
+        g.seed(&own);
+        assert_eq!(g.len(), 4);
+        // A peer echoing the same fragment adds no new names: admitted.
+        assert!(g.admit(std::slice::from_ref(&own)).is_ok());
+        // A peer minting one fresh name: rejected.
+        assert!(g
+            .admit(&[frag("vgs-f2", "vgs-t", "vgs-a", "vgs-b")])
+            .is_err());
+    }
+
+    #[test]
+    fn error_display_names_the_numbers() {
+        let e = VocabularyExceeded {
+            cap: 4,
+            attempted: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cap 4"), "{s}");
+        assert!(s.contains('9'), "{s}");
+        assert!(s.contains("protocol error"), "{s}");
+    }
+}

@@ -331,15 +331,11 @@ impl Workspace {
         let c = self.collect.take().expect("round in progress");
         match c.kind {
             CollectKind::Fragments => {
-                let mut new_fragments = 0usize;
-                for f in &c.fragments {
-                    // Conflicting knowhow (same task, different mode) from
-                    // another host: first definition wins, as in the local
-                    // incremental constructor.
-                    if let Ok(true) = self.supergraph.try_merge_fragment(f) {
-                        new_fragments += 1;
-                    }
-                }
+                // One batched merge for the whole round's candidates.
+                // Conflicting knowhow (same task, different mode) from
+                // another host is skipped — first definition wins, as in
+                // the local incremental constructor.
+                let new_fragments = self.supergraph.merge_fragments_batch(&c.fragments);
                 self.report.fragments_pulled += new_fragments;
                 let charge =
                     WsAction::Charge(params.merge_fragment_cost.times(new_fragments as u64));

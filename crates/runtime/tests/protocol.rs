@@ -179,6 +179,62 @@ fn watchdog_repair_under_jitter() {
     assert_ne!(report.assignments[0].1, winner);
 }
 
+/// The vocabulary trust boundary: a host with `max_interned_names` set
+/// rejects peer fragment replies that would mint more distinct names
+/// than the cap allows — the reply is dropped as a protocol error and
+/// the problem fails rather than the interner growing without bound.
+#[test]
+fn vocabulary_cap_rejects_name_minting_peers() {
+    let build = |cap: Option<usize>| {
+        let mut initiator = HostConfig::new()
+            .with_fragment(frag("vcap-f0", "vcap-t0", "vcap-a", "vcap-b"))
+            .with_service(service("vcap-t0", 1))
+            .with_service(service("vcap-t1", 1));
+        if let Some(cap) = cap {
+            initiator = initiator.with_vocabulary_cap(cap);
+        }
+        CommunityBuilder::new(58)
+            .host(initiator)
+            // The peer's knowhow introduces fresh names (vcap-f1,
+            // vcap-t1, vcap-c) beyond the initiator's seeded vocabulary.
+            .host(HostConfig::new().with_fragment(frag("vcap-f1", "vcap-t1", "vcap-b", "vcap-c")))
+            .build()
+    };
+
+    // Uncapped: the community's knowhow completes the chain.
+    let mut open = build(None);
+    let h = open.hosts()[0];
+    let handle = open.submit(h, Spec::new(["vcap-a"], ["vcap-c"]));
+    let report = open.run_until_complete(handle);
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "{report}"
+    );
+
+    // Capped at exactly the initiator's own vocabulary (fragment id,
+    // task, two labels = 4 names): the peer's reply must be rejected and
+    // the goal stays unreachable.
+    let mut capped = build(Some(4));
+    let hosts = capped.hosts();
+    let handle = capped.submit(hosts[0], Spec::new(["vcap-a"], ["vcap-c"]));
+    let report = capped.run_until_complete(handle);
+    match &report.status {
+        ProblemStatus::Failed { reason } => {
+            assert!(reason.contains("unreachable"), "{reason}");
+        }
+        other => panic!("expected failure under the vocabulary cap, got {other}"),
+    }
+    assert!(
+        capped.host(hosts[0]).vocabulary_rejections() > 0,
+        "the dropped reply must be recorded as a protocol error"
+    );
+    assert_eq!(
+        capped.host(hosts[1]).vocabulary_rejections(),
+        0,
+        "only the capped host rejects"
+    );
+}
+
 /// Multiple rounds of frontier queries really happen on long chains:
 /// query_rounds grows with chain depth.
 #[test]

@@ -1,9 +1,28 @@
 //! Minimal, std-only stand-in for the `crossbeam` crate.
 //!
-//! Only the `channel` module surface used by this workspace is provided,
-//! delegating to `std::sync::mpsc` (which, since Rust 1.72, *is* the
-//! crossbeam channel implementation under the hood — `Sender` is
-//! `Send + Sync + Clone`, which is all the threaded network needs).
+//! Two module surfaces used by this workspace are provided:
+//!
+//! * [`channel`] — unbounded MPSC channels, delegating to
+//!   `std::sync::mpsc` (which, since Rust 1.72, *is* the crossbeam
+//!   channel implementation under the hood — `Sender` is
+//!   `Send + Sync + Clone`, which is all the threaded network needs).
+//! * [`thread`] — scoped threads, delegating to `std::thread::scope`
+//!   (stabilized in 1.63, absorbing crossbeam's scoped-thread design).
+
+/// Scoped threads in the shape of `crossbeam::thread`.
+///
+/// The parallel frontier workers of `openwf-core` borrow the sharded
+/// fragment store for the duration of one construction; scoped spawns are
+/// what make that borrow sound without `Arc`-wrapping the store.
+///
+/// API note for the eventual swap to the real crate: `std::thread::scope`
+/// postdates crossbeam 0.8 and differs in two details — spawn closures
+/// take no `&Scope` argument, and `scope` propagates child panics instead
+/// of returning `thread::Result`. Call sites need only `|_|`/`Ok`-shaped
+/// tweaks when swapping.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
 
 /// Multi-producer channels in the shape of `crossbeam::channel`.
 pub mod channel {
@@ -101,6 +120,18 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(1)),
             Err(channel::RecvTimeoutError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let data = [1u64, 2, 3, 4];
+        let (front, back) = data.split_at(2);
+        let total: u64 = crate::thread::scope(|s| {
+            let lo = s.spawn(|| front.iter().sum::<u64>());
+            let hi = s.spawn(|| back.iter().sum::<u64>());
+            lo.join().unwrap() + hi.join().unwrap()
+        });
+        assert_eq!(total, 10);
     }
 
     #[test]
