@@ -1,0 +1,48 @@
+//! Wire codec + storage-backend bench: encode/decode throughput over
+//! 1k/10k/100k fragment universes plus a memory-vs-durable construction
+//! sweep.
+//!
+//! Full mode (`cargo bench --bench wire_codec`) measures every size and
+//! writes the trajectory file `BENCH_wire_codec.json` at the workspace
+//! root. Fast mode (`OPENWF_WIRE_FAST=1`, or `--test` as used by
+//! `cargo test --benches`) runs only the 1k size with few samples and
+//! does not touch the committed file — the CI bit-rot guard for the
+//! encode/decode and durable-replay paths.
+
+use openwf_bench::wirebench::{default_report_path, run, to_json, WIRE_SIZES};
+
+fn samples_for(fragments: usize) -> usize {
+    match fragments {
+        n if n <= 1_000 => 20,
+        n if n <= 10_000 => 10,
+        _ => 5,
+    }
+}
+
+fn main() {
+    let fast =
+        std::env::var_os("OPENWF_WIRE_FAST").is_some() || std::env::args().any(|a| a == "--test");
+    let sizes: &[usize] = if fast { &WIRE_SIZES[..1] } else { WIRE_SIZES };
+    let results = run(sizes, |n| if fast { 3 } else { samples_for(n) });
+    for r in &results {
+        println!(
+            "wire/{}/{:<7} {:>12.0} ns mean  p50 {:>12.0}  p95 {:>12.0}  ({} samples{})",
+            r.op,
+            r.fragments,
+            r.mean_ns,
+            r.p50_ns,
+            r.p95_ns,
+            r.samples,
+            if r.bytes > 0 {
+                format!(", {} bytes, {:.1} MiB/s", r.bytes, r.mibps)
+            } else {
+                String::new()
+            },
+        );
+    }
+    if !fast {
+        let path = default_report_path();
+        std::fs::write(&path, to_json(&results)).expect("write trajectory file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -24,6 +24,7 @@ use openwf_scenario::{ExperimentConfig, LatencyKind, SeriesPoint};
 pub mod ablation;
 pub mod repair;
 pub mod scale;
+pub mod wirebench;
 
 /// Host counts of Figure 4.
 pub const FIG4_HOSTS: &[usize] = &[2, 3, 4, 5, 10, 15];

@@ -236,8 +236,10 @@ pub fn measure(universe: &ScaleUniverse, threads: usize, samples: usize) -> Scal
     }
 }
 
-/// Nearest-rank percentile over ascending-sorted samples.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+/// Nearest-rank percentile over ascending-sorted samples (shared with
+/// the wire-codec harness so the committed trajectory files stay
+/// statistically comparable).
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty());
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]

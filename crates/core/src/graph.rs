@@ -102,7 +102,10 @@ impl<T: Copy> Adj<T> {
 /// read, no hashing or probing at all. The dense lanes are sized by the
 /// largest symbol id the graph has seen (amortized doubling), which is
 /// bounded by the community vocabulary — the same bound the interner
-/// itself lives with.
+/// itself lives with. When the process-global universe dwarfs the
+/// graph's own expected size (see [`DENSE_MAX_SYM_RATIO`]), [`Graph::reserve`]
+/// refuses the switch and keeps hashing rather than allocate lanes that
+/// would be mostly vacant.
 #[derive(Clone, Debug)]
 enum NodeIndex {
     Hashed(FxHashMap<u64, NodeIdx>),
@@ -115,6 +118,22 @@ enum NodeIndex {
 
 /// Node-count reserve at which the index switches to the dense layout.
 const DENSE_INDEX_THRESHOLD: usize = 1 << 16;
+
+/// Maximum tolerated ratio of the process-global symbol universe to a
+/// graph's reserved node count before densifying is refused. Dense lanes
+/// are sized by the largest symbol id the graph touches — bounded by the
+/// interner size, *not* by the graph — so in a process that interned many
+/// other communities' names first, a densified graph would pay
+/// ~8 bytes × max-sym-id regardless of its own size. Past this ratio the
+/// hashed index is cheaper than the wasted lane memory.
+const DENSE_MAX_SYM_RATIO: usize = 8;
+
+/// True when the direct-mapped layout is economical: the global symbol
+/// universe (an upper bound on lane length) is within
+/// [`DENSE_MAX_SYM_RATIO`] of the graph's expected node count.
+fn dense_layout_is_economical(node_hint: usize, interned_universe: usize) -> bool {
+    interned_universe <= node_hint.saturating_mul(DENSE_MAX_SYM_RATIO)
+}
 
 const VACANT: u32 = u32::MAX;
 
@@ -410,19 +429,34 @@ impl Graph {
     /// size is known from universe hints) does not pay for incremental
     /// rehash/regrow of the hot-path hash indexes.
     pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.reserve_against_universe(nodes, edges, crate::ids::Sym::interned_count());
+    }
+
+    /// [`Graph::reserve`] with the symbol-universe size made explicit
+    /// (tests inject a universe without polluting the process interner).
+    fn reserve_against_universe(&mut self, nodes: usize, edges: usize, universe: usize) {
         self.nodes.reserve(nodes);
         self.parents.reserve(nodes);
         self.children.reserve(nodes);
         self.parent_eids.reserve(nodes);
         self.child_eids.reserve(nodes);
-        if nodes >= DENSE_INDEX_THRESHOLD {
+        if nodes >= DENSE_INDEX_THRESHOLD && dense_layout_is_economical(nodes, universe) {
             // Supergraph scale: switch the node index to the
-            // direct-mapped layout (see [`NodeIndex`]).
+            // direct-mapped layout (see [`NodeIndex`]). When the process
+            // has interned far more names than this graph will hold
+            // (max-sym-id ≫ node hint), the dense lanes would mostly be
+            // vacant padding, so the hashed index is kept instead.
             self.index.densify(&self.nodes);
         } else if let NodeIndex::Hashed(map) = &mut self.index {
             map.reserve(nodes);
         }
         self.edge_order.reserve(edges);
+    }
+
+    /// True when the node index uses the direct-mapped (dense) layout.
+    /// Diagnostic only — answers never depend on the layout.
+    pub fn index_is_dense(&self) -> bool {
+        matches!(self.index, NodeIndex::Dense { .. })
     }
 
     /// The key of a node.
@@ -733,6 +767,36 @@ mod tests {
         assert_eq!(g.node_count(), 5);
         assert_eq!(g.edge_count(), 4);
         assert!(g.find_label(&Label::new("a")).is_some());
+    }
+
+    #[test]
+    fn dense_layout_economy_thresholds() {
+        // Universe comparable to the graph: densify.
+        assert!(dense_layout_is_economical(1 << 16, 1 << 16));
+        assert!(dense_layout_is_economical(1 << 16, (1 << 16) * 8));
+        // Universe far larger than the graph (other communities interned
+        // first): the dense lanes would be mostly vacant — stay hashed.
+        assert!(!dense_layout_is_economical(1 << 16, (1 << 16) * 8 + 1));
+        assert!(!dense_layout_is_economical(1 << 16, 10_000_000));
+        // Overflow-safe on absurd hints.
+        assert!(dense_layout_is_economical(usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn reserve_skips_densify_when_universe_dwarfs_hint() {
+        let mut g = diamond();
+        // Supergraph-scale hint, but a process that already interned 100×
+        // as many names: the index must stay hashed rather than size its
+        // lanes by the process-global max symbol id.
+        g.reserve_against_universe(1 << 16, 0, (1 << 16) * 100);
+        assert!(!g.index_is_dense(), "over-allocating densify refused");
+        // Same hint with a proportionate universe: densify as before.
+        g.reserve_against_universe(1 << 16, 0, 1 << 16);
+        assert!(g.index_is_dense());
+        // Lookups survive both layouts.
+        assert!(g.find_label(&Label::new("a")).is_some());
+        assert!(g.find_task(&TaskId::new("t1")).is_some());
+        assert_eq!(g.node_count(), 5);
     }
 
     #[test]

@@ -78,6 +78,31 @@ impl Sym {
         (sym, text)
     }
 
+    /// Probes the interner **without interning**: the symbol of `s` if some
+    /// earlier caller interned it, `None` otherwise.
+    ///
+    /// This is the wire decoder's trust-boundary primitive: a peer payload
+    /// can be checked against a vocabulary budget *before* any of its names
+    /// are admitted to the process-wide table (`openwf-wire`'s
+    /// `VocabularyBudget` charges exactly the names this probe misses).
+    pub fn lookup(s: &str) -> Option<Sym> {
+        interner()
+            .read()
+            .expect("interner lock")
+            .map
+            .get(s)
+            .copied()
+    }
+
+    /// Number of distinct symbols interned process-wide so far.
+    ///
+    /// Monotonically increasing. [`crate::Graph`] consults this when
+    /// deciding whether its direct-mapped node index (lanes sized by symbol
+    /// id) would over-allocate relative to the graph's own expected size.
+    pub fn interned_count() -> usize {
+        interner().read().expect("interner lock").table.len()
+    }
+
     /// The interned string.
     pub fn as_str(self) -> &'static str {
         interner().read().expect("interner lock").table[self.0 as usize]
@@ -422,6 +447,20 @@ mod tests {
         assert_ne!(a1, b);
         assert_eq!(a1.as_str(), "sym-test-a");
         assert_eq!(b.as_str(), "sym-test-b");
+    }
+
+    #[test]
+    fn lookup_probes_without_interning() {
+        let before = Sym::interned_count();
+        assert_eq!(Sym::lookup("sym-lookup-never-interned"), None);
+        assert_eq!(
+            Sym::interned_count(),
+            before,
+            "a failed probe must not grow the interner"
+        );
+        let sym = Sym::intern("sym-lookup-present");
+        assert_eq!(Sym::lookup("sym-lookup-present"), Some(sym));
+        assert!(Sym::interned_count() > before);
     }
 
     #[test]

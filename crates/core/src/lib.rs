@@ -95,7 +95,10 @@ pub use fx::{FxHashMap, FxHashSet};
 pub use graph::{Graph, NodeIdx};
 pub use ids::{Label, Mode, NodeKey, NodeKind, Sym, TaskId};
 pub use spec::Spec;
-pub use store::{InMemoryFragmentStore, ParallelFragmentSource, ShardedFragmentStore};
+pub use store::{
+    BackendError, FragmentBackend, InMemoryFragmentStore, ParallelFragmentSource,
+    ShardedFragmentStore,
+};
 pub use supergraph::Supergraph;
 pub use validate::ValidityError;
 pub use workflow::Workflow;

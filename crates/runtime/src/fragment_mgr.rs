@@ -4,19 +4,26 @@
 //! database of workflow fragments and responding to knowhow queries during
 //! workflow construction."
 //!
-//! The database is a [`ShardedFragmentStore`]: fragments partition across
-//! shards by produced-label symbol, so a host configured with
-//! construction parallelism (`HostConfig::construction_threads`) answers
-//! big frontier queries by fanning the labels out over scoped worker
-//! threads — the same shard layout the core's parallel incremental
-//! constructor drains. The default is one shard and no threads, which is
-//! the monolithic fast path.
+//! The database lives behind a pluggable [`FragmentBackend`]
+//! (`HostConfig::storage` selects it): the default in-memory
+//! [`ShardedFragmentStore`], or `openwf-wire`'s durable segment log,
+//! which appends every insert to disk and rebuilds the same store by
+//! replay on restart. Either way queries are answered from the in-memory
+//! index: fragments partition across shards by produced-label symbol, so
+//! a host configured with construction parallelism
+//! (`HostConfig::construction_threads`) answers big frontier queries by
+//! fanning the labels out over scoped worker threads — the same shard
+//! layout the core's parallel incremental constructor drains. The
+//! default is one shard and no threads, which is the monolithic fast
+//! path.
 
 use std::fmt;
 use std::sync::Arc;
 
 use openwf_core::store::finish_hits;
-use openwf_core::{Fragment, Label, ParallelFragmentSource, ShardedFragmentStore};
+use openwf_core::{
+    BackendError, Fragment, FragmentBackend, Label, ParallelFragmentSource, ShardedFragmentStore,
+};
 
 /// Below this many stored fragments a parallel query costs more in
 /// thread choreography than it saves; answer inline instead.
@@ -24,7 +31,7 @@ const PARALLEL_QUERY_MIN_FRAGMENTS: usize = 4096;
 
 /// Per-host fragment database answering knowhow queries.
 pub struct FragmentManager {
-    store: ShardedFragmentStore,
+    backend: Box<dyn FragmentBackend>,
     threads: usize,
     parallel_min: usize,
 }
@@ -36,28 +43,58 @@ impl Default for FragmentManager {
 }
 
 impl FragmentManager {
-    /// An empty database: one shard, inline queries.
+    /// An empty in-memory database: one shard, inline queries.
     pub fn new() -> Self {
         FragmentManager::with_parallelism(1)
     }
 
-    /// An empty database sharded for `threads` query workers (`0` = one
-    /// per hardware thread).
+    /// An empty in-memory database sharded for `threads` query workers
+    /// (`0` = one per hardware thread).
     pub fn with_parallelism(threads: usize) -> Self {
-        let threads = match threads {
-            0 => openwf_core::hardware_parallelism(),
-            n => n,
-        };
-        FragmentManager {
-            store: ShardedFragmentStore::with_shards(threads),
+        let threads = normalize_threads(threads);
+        FragmentManager::with_backend(
+            Box::new(ShardedFragmentStore::with_shards(threads)),
             threads,
+        )
+    }
+
+    /// A database over an explicit storage backend (see
+    /// [`FragmentBackend`]); `threads` configures query fan-out and
+    /// should match the backend's shard count.
+    pub fn with_backend(backend: Box<dyn FragmentBackend>, threads: usize) -> Self {
+        FragmentManager {
+            backend,
+            threads: normalize_threads(threads),
             parallel_min: PARALLEL_QUERY_MIN_FRAGMENTS,
         }
+    }
+
+    /// A database over `openwf-wire`'s durable segment log at `dir`,
+    /// sharded for `threads` query workers (`0` = one per hardware
+    /// thread). An existing log is replayed into the index first.
+    ///
+    /// # Errors
+    ///
+    /// [`openwf_wire::StorageError`] when the log cannot be opened or is
+    /// corrupt beyond crash recovery.
+    pub fn durable(
+        dir: impl Into<std::path::PathBuf>,
+        threads: usize,
+        segment_bytes: u64,
+    ) -> Result<Self, openwf_wire::StorageError> {
+        let threads = normalize_threads(threads);
+        let backend = openwf_wire::DurableFragmentStore::open_with(dir, threads, segment_bytes)?;
+        Ok(FragmentManager::with_backend(Box::new(backend), threads))
     }
 
     /// The configured query worker count.
     pub fn parallelism(&self) -> usize {
         self.threads
+    }
+
+    /// The storage backend's short name (`"memory"`, `"durable"`).
+    pub fn backend_kind(&self) -> &'static str {
+        self.backend.backend_kind()
     }
 
     /// Lowers the parallel-query size threshold (tests exercise the
@@ -70,25 +107,51 @@ impl FragmentManager {
     /// Adds a fragment to the database (step 2 of the paper's deployment:
     /// "adding knowhow in the form of workflow fragments"). Accepts owned
     /// fragments or shared `Arc<Fragment>` handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a durable backend cannot persist the fragment (disk
+    /// failure); use [`FragmentManager::try_add`] to handle that.
     pub fn add(&mut self, fragment: impl Into<Arc<Fragment>>) {
-        self.store.insert(fragment);
+        self.try_add(fragment)
+            .expect("fragment backend failed to persist an insert");
+    }
+
+    /// Adds a fragment, surfacing backend persistence failures. Returns
+    /// `Ok(true)` when the fragment was new.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the storage backend cannot persist the
+    /// insert; the database is unchanged in that case.
+    pub fn try_add(&mut self, fragment: impl Into<Arc<Fragment>>) -> Result<bool, BackendError> {
+        self.backend.insert_fragment(fragment.into())
+    }
+
+    /// Flushes a durable backend to stable storage (no-op in memory).
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] when the flush fails.
+    pub fn sync(&mut self) -> Result<(), BackendError> {
+        self.backend.sync()
     }
 
     /// Number of stored fragments.
     pub fn len(&self) -> usize {
-        self.store.len()
+        self.backend.index().len()
     }
 
     /// True if the host has no knowhow.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.backend.index().is_empty()
     }
 
-    /// The underlying sharded store (e.g. to drive
+    /// The underlying sharded query index (e.g. to drive
     /// `IncrementalConstructor::construct_parallel` directly against this
     /// host's knowhow).
     pub fn store(&self) -> &ShardedFragmentStore {
-        &self.store
+        self.backend.index()
     }
 
     /// Answers a knowhow query: fragments containing a task that consumes
@@ -97,8 +160,9 @@ impl FragmentManager {
     /// not graphs. With construction parallelism configured and a large
     /// enough database, the labels fan out over scoped worker threads.
     pub fn query(&self, labels: &[Label]) -> Vec<Arc<Fragment>> {
-        if self.threads <= 1 || labels.len() <= 1 || self.store.len() < self.parallel_min {
-            return self.store.consuming(labels);
+        let store = self.backend.index();
+        if self.threads <= 1 || labels.len() <= 1 || store.len() < self.parallel_min {
+            return store.consuming(labels);
         }
         let workers = self.threads.min(labels.len());
         let hits = crossbeam::thread::scope(|scope| {
@@ -108,8 +172,8 @@ impl FragmentManager {
                 .map(|chunk| {
                     scope.spawn(move || {
                         let mut out = Vec::new();
-                        for shard in 0..self.store.shard_count() {
-                            self.store.shard_consuming(shard, chunk, &mut out);
+                        for shard in 0..store.shard_count() {
+                            store.shard_consuming(shard, chunk, &mut out);
                         }
                         out
                     })
@@ -126,15 +190,27 @@ impl FragmentManager {
 
     /// All fragments (e.g. for configuration dumps), in insertion order.
     pub fn fragments(&self) -> impl Iterator<Item = &Fragment> + '_ {
-        self.store.fragments_shared().into_iter().map(Arc::as_ref)
+        self.backend
+            .index()
+            .fragments_shared()
+            .into_iter()
+            .map(Arc::as_ref)
+    }
+}
+
+fn normalize_threads(threads: usize) -> usize {
+    match threads {
+        0 => openwf_core::hardware_parallelism(),
+        n => n,
     }
 }
 
 impl fmt::Debug for FragmentManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FragmentManager")
-            .field("fragments", &self.store.len())
+            .field("fragments", &self.len())
             .field("threads", &self.threads)
+            .field("backend", &self.backend.backend_kind())
             .finish()
     }
 }
@@ -150,6 +226,7 @@ mod tests {
         fm.add(Fragment::single_task("f1", "t1", Mode::Disjunctive, ["a"], ["b"]).unwrap());
         fm.add(Fragment::single_task("f2", "t2", Mode::Disjunctive, ["b"], ["c"]).unwrap());
         assert_eq!(fm.len(), 2);
+        assert_eq!(fm.backend_kind(), "memory");
         let hits = fm.query(&[Label::new("a")]);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].id().as_str(), "f1");
@@ -161,6 +238,29 @@ mod tests {
         let fm = FragmentManager::new();
         assert!(fm.is_empty());
         assert!(fm.query(&[Label::new("a")]).is_empty());
+    }
+
+    #[test]
+    fn durable_backend_answers_like_memory() {
+        let dir = std::env::temp_dir().join(format!(
+            "openwf-fm-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = openwf_wire::DurableFragmentStore::open(&dir).unwrap();
+        let mut fm = FragmentManager::with_backend(Box::new(backend), 1);
+        assert_eq!(fm.backend_kind(), "durable");
+        fm.add(Fragment::single_task("df1", "dt1", Mode::Disjunctive, ["da"], ["db"]).unwrap());
+        fm.sync().unwrap();
+        assert_eq!(fm.query(&[Label::new("da")]).len(), 1);
+        drop(fm);
+        // Reopen: the log replays into an identical database.
+        let backend = openwf_wire::DurableFragmentStore::open(&dir).unwrap();
+        let fm = FragmentManager::with_backend(Box::new(backend), 1);
+        assert_eq!(fm.len(), 1);
+        assert_eq!(fm.query(&[Label::new("da")])[0].id().as_str(), "df1");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

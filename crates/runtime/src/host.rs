@@ -9,14 +9,17 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use openwf_core::{Fragment, Label, TaskId};
 use openwf_mobility::{Motion, Point, SiteMap};
 use openwf_simnet::{Actor, Context, HostId, SimDuration, SimTime, TimerToken};
+use openwf_wire::VocabularyBudget;
 
 use crate::auction::{AuctionAction, ProblemAuctions};
 use crate::auction_part::{AuctionParticipationManager, BidDecision};
+use crate::codec;
 use crate::exec::{ExecEvent, ExecutionManager};
 use crate::fragment_mgr::FragmentManager;
 use crate::messages::{Msg, ProblemId};
@@ -26,8 +29,27 @@ use crate::prefs::Preferences;
 use crate::report::ProblemStatus;
 use crate::schedule::ScheduleManager;
 use crate::service::{ServiceDescription, ServiceManager};
-use crate::vocab::VocabularyGuard;
 use crate::workflow_mgr::{Phase, WorkflowManager, WsAction};
+
+/// Which storage backend backs a host's Fragment Manager (see
+/// [`openwf_core::FragmentBackend`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum StorageConfig {
+    /// Knowhow lives only in memory (the default; a restart loses it).
+    #[default]
+    InMemory,
+    /// Knowhow is appended to `openwf-wire`'s CRC-checked segment log in
+    /// `dir` and replayed on restart, so a restarted host reconstructs
+    /// the same database — and therefore bit-identical supergraphs.
+    Durable {
+        /// Log directory (created if absent; an existing log is
+        /// replayed).
+        dir: PathBuf,
+        /// Segment roll size in bytes
+        /// ([`openwf_wire::DEFAULT_SEGMENT_BYTES`] unless overridden).
+        segment_bytes: u64,
+    },
+}
 
 /// Static configuration of one host: its knowhow, capabilities, place and
 /// disposition (the paper's deployment steps 2 and 3: "adding knowhow in
@@ -56,9 +78,15 @@ pub struct HostConfig {
     /// interned names (labels, tasks, fragment ids) this host admits
     /// across its own knowhow and peer fragment replies. Replies that
     /// would exceed the cap are rejected as protocol errors instead of
-    /// growing the process-wide interner without bound. `None` (default)
-    /// trusts the community.
+    /// growing the process-wide interner without bound. Enforcement runs
+    /// at wire decode (`openwf-wire`'s `VocabularyBudget`): a capped
+    /// host routes peer replies through the binary codec and charges
+    /// each distinct un-interned name *before* anything is interned.
+    /// `None` (default) trusts the community.
     pub max_interned_names: Option<usize>,
+    /// Fragment storage backend (see [`StorageConfig`]). The default is
+    /// in-memory.
+    pub storage: StorageConfig,
 }
 
 impl Default for HostConfig {
@@ -72,6 +100,7 @@ impl Default for HostConfig {
             prefs: Preferences::willing(),
             construction_threads: 1,
             max_interned_names: None,
+            storage: StorageConfig::InMemory,
         }
     }
 }
@@ -127,6 +156,22 @@ impl HostConfig {
         self.max_interned_names = Some(cap);
         self
     }
+
+    /// Selects the fragment storage backend.
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Persists this host's knowhow in a durable segment log at `dir`
+    /// (replayed on restart; see [`StorageConfig::Durable`]).
+    pub fn with_durable_storage(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.storage = StorageConfig::Durable {
+            dir: dir.into(),
+            segment_bytes: openwf_wire::DEFAULT_SEGMENT_BYTES,
+        };
+        self
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -152,9 +197,13 @@ pub struct OwmsHost {
     exec_mgr: ExecutionManager,
     /// Construction subsystem.
     workflow_mgr: WorkflowManager,
-    /// Vocabulary trust boundary for peer fragment replies.
-    vocab: VocabularyGuard,
+    /// Vocabulary trust boundary: the decode-side budget capped peer
+    /// replies are charged against (see [`crate::codec::reply_through_wire`]).
+    vocab: VocabularyBudget,
     vocabulary_rejections: u64,
+    /// Per-peer vocabulary rejection tallies — the bookkeeping a future
+    /// per-peer rate limit will act on.
+    vocab_rejections_by_peer: HashMap<HostId, u64>,
     /// Timer bookkeeping.
     timers: HashMap<u64, TimerPurpose>,
     next_timer: u64,
@@ -162,14 +211,48 @@ pub struct OwmsHost {
 
 impl OwmsHost {
     /// Builds a host from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`StorageConfig::Durable`] storage cannot be opened
+    /// or an insert cannot be persisted (I/O failure, corrupt log).
     pub fn new(config: HostConfig, params: RuntimeParams) -> Self {
-        let mut fragment_mgr = FragmentManager::with_parallelism(config.construction_threads);
-        let mut vocab = VocabularyGuard::new(config.max_interned_names);
+        let mut fragment_mgr = match config.storage {
+            StorageConfig::InMemory => {
+                FragmentManager::with_parallelism(config.construction_threads)
+            }
+            StorageConfig::Durable { dir, segment_bytes } => {
+                FragmentManager::durable(dir, config.construction_threads, segment_bytes)
+                    .expect("open the durable fragment log")
+            }
+        };
         for f in config.fragments {
+            // A durable backend may have replayed this exact fragment
+            // from its log already (a restarted host re-running its
+            // config): re-appending it would grow the log by one
+            // replace-by-id record per restart, so skip byte-identical
+            // knowhow. A *changed* fragment under the same id still
+            // replaces the logged one.
+            let already_logged = fragment_mgr.store().get(f.id()).is_some_and(|existing| {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                openwf_wire::encode_fragment(existing, &mut a);
+                openwf_wire::encode_fragment(&f, &mut b);
+                a == b
+            });
+            if !already_logged {
+                fragment_mgr.add(f);
+            }
+        }
+        let mut vocab = VocabularyBudget::new(config.max_interned_names);
+        if vocab.cap().is_some() {
             // Own knowhow is trusted: it seeds the vocabulary instead of
-            // being checked against the cap.
-            vocab.seed(&f);
-            fragment_mgr.add(f);
+            // being checked against the cap. Seed from the *manager*,
+            // not the config, so knowhow replayed from a durable log
+            // keeps its budget headroom across restarts.
+            for f in fragment_mgr.fragments() {
+                vocab.seed_fragment(f);
+            }
         }
         let mut service_mgr = ServiceManager::new();
         for s in config.services {
@@ -188,6 +271,7 @@ impl OwmsHost {
             workflow_mgr: WorkflowManager::new(),
             vocab,
             vocabulary_rejections: 0,
+            vocab_rejections_by_peer: HashMap::new(),
             timers: HashMap::new(),
             next_timer: 0,
         }
@@ -197,6 +281,22 @@ impl OwmsHost {
     /// boundary (see [`HostConfig::max_interned_names`]).
     pub fn vocabulary_rejections(&self) -> u64 {
         self.vocabulary_rejections
+    }
+
+    /// Vocabulary rejections attributed to one peer — groundwork for
+    /// per-peer rate limiting of name-minting hosts.
+    pub fn vocabulary_rejections_from(&self, peer: HostId) -> u64 {
+        self.vocab_rejections_by_peer
+            .get(&peer)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Distinct names recorded in the vocabulary budget (own knowhow —
+    /// including knowhow replayed from a durable log — plus admitted
+    /// peer names). Always 0 for uncapped hosts, which track nothing.
+    pub fn vocabulary_names(&self) -> usize {
+        self.vocab.len()
     }
 
     /// Sets the community membership (all host ids, including this one).
@@ -644,18 +744,36 @@ impl Actor<Msg> for OwmsHost {
                 round,
                 fragments,
             } => {
-                // Trust boundary: in a networked deployment this check
-                // runs inside fragment deserialization; here the payload
-                // arrives pre-decoded, so admission is the same seam one
-                // step later. A rejected reply is dropped (the round
-                // proceeds with it counted as an empty answer) — the
-                // protocol error is recorded, not fatal.
-                let fragments = match self.vocab.admit(&fragments) {
-                    Ok(()) => fragments,
-                    Err(_exceeded) => {
-                        self.vocabulary_rejections += 1;
-                        Vec::new()
+                // Trust boundary: a capped host receives the reply *off
+                // the wire* — it re-encodes the payload and decodes it
+                // through the vocabulary budget, which charges every
+                // distinct un-interned name before interning anything
+                // (in a networked deployment the decode half is the only
+                // half; the in-process simulator adds the encode). A
+                // rejected reply is dropped (the round proceeds with it
+                // counted as an empty answer) — the protocol error is
+                // recorded per peer, not fatal.
+                let fragments = if self.vocab.cap().is_some() {
+                    match codec::reply_through_wire(problem, round, fragments, &mut self.vocab) {
+                        Ok(decoded) => decoded,
+                        Err(openwf_wire::WireError::VocabularyExceeded { .. }) => {
+                            // The peer minted past the cap: book the
+                            // protocol error against it.
+                            self.vocabulary_rejections += 1;
+                            *self.vocab_rejections_by_peer.entry(from).or_insert(0) += 1;
+                            Vec::new()
+                        }
+                        Err(_) => {
+                            // Any other wire failure (e.g. a reply past
+                            // the frame-size cap) is a transport-level
+                            // loss, not vocabulary minting: drop the
+                            // reply like a never-delivered message, but
+                            // do not blame the peer's vocabulary.
+                            Vec::new()
+                        }
                     }
+                } else {
+                    fragments
                 };
                 let actions = match self.workflow_mgr.get_mut(&problem) {
                     Some(ws) => ws.on_fragment_reply(

@@ -36,6 +36,7 @@
 
 pub mod auction;
 pub mod auction_part;
+pub mod codec;
 pub mod community;
 pub mod config;
 pub mod exec;
@@ -51,8 +52,9 @@ pub mod service;
 pub mod vocab;
 pub mod workflow_mgr;
 
+pub use codec::{decode_msg, encode_msg};
 pub use community::{Community, CommunityBuilder, ProblemHandle};
-pub use host::{HostConfig, OwmsHost};
+pub use host::{HostConfig, OwmsHost, StorageConfig};
 pub use messages::{Msg, ProblemId};
 pub use metadata::{Assignment, TaskMetadata};
 pub use params::RuntimeParams;

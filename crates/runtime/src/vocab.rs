@@ -4,19 +4,20 @@
 //! (`openwf_core::ids::Sym`); the interner is append-only and never
 //! frees. Accepting fragments from peers therefore grows a long-lived
 //! host's memory by one copy of every *distinct* name a peer ever minted
-//! — an unbounded-growth channel for a malicious or misbehaving peer
-//! (see the ROADMAP trust-boundary item). [`VocabularyGuard`] bounds it:
-//! each host budgets how many distinct names the community may introduce,
-//! and a fragment reply that would exceed the budget is rejected as a
-//! protocol error instead of being admitted.
+//! — an unbounded-growth channel for a malicious or misbehaving peer.
 //!
-//! In a networked deployment this check belongs *inside* deserialization,
-//! before any name is interned. The in-process simulator ships fragments
-//! as pre-interned `Arc<Fragment>` handles (the serde shim is value-tree
-//! only), so the guard runs at reply admission — the same seam, one step
-//! later — and counts vocabulary against the per-host budget rather than
-//! inspecting the global interner, which tests and co-hosted communities
-//! share.
+//! **Enforcement lives at wire decode now**: a capped [`crate::OwmsHost`]
+//! routes peer fragment replies through the binary codec
+//! ([`crate::codec::reply_through_wire`]), and `openwf-wire`'s
+//! [`VocabularyBudget`](openwf_wire::VocabularyBudget) charges each
+//! distinct un-interned name in the frame's name table *before anything
+//! is interned* — the seam a networked deployment needs. This module
+//! keeps [`VocabularyGuard`], the original **admission-time** check over
+//! pre-interned `Arc<Fragment>` handles, as an independent reference
+//! implementation: property tests assert the two accountings accept and
+//! reject exactly the same payloads (`tests/wire_protocol.rs`), so the
+//! decode-side budget cannot silently drift from the documented
+//! semantics.
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,171 @@
+//! Vocabulary budgeting at the decode trust boundary.
+//!
+//! Node and fragment names are process-wide interned symbols
+//! (`openwf_core::ids::Sym`); the interner is append-only and never
+//! frees, so every *distinct* name an untrusted peer ships is a
+//! permanent memory grant. [`VocabularyBudget`] is the decode-side
+//! guard: a frame's entire name table is checked against the budget
+//! **before any of its names is interned** (the table arrives as
+//! borrowed `&str` slices — see [`crate::FrameView::names`]), and a
+//! frame that would blow the cap is rejected whole, leaving both the
+//! budget and the interner untouched.
+//!
+//! This is the same accounting as `openwf_runtime`'s admission-time
+//! `VocabularyGuard`, moved to where a networked deployment needs it:
+//! inside deserialization, one step *earlier* than reply admission.
+
+use openwf_core::{Fragment, FxHashSet, Sym};
+
+use crate::error::WireError;
+
+/// Tracks the distinct names a host has admitted across its own knowhow
+/// and decoded peer frames, enforcing an optional cap.
+#[derive(Clone, Debug, Default)]
+pub struct VocabularyBudget {
+    cap: Option<usize>,
+    seen: FxHashSet<Sym>,
+}
+
+impl VocabularyBudget {
+    /// A budget with the given cap; `None` admits everything (trusted
+    /// communities) and tracks nothing, so uncapped decoding pays no
+    /// bookkeeping.
+    pub fn new(cap: Option<usize>) -> Self {
+        VocabularyBudget {
+            cap,
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// An uncapped budget.
+    pub fn unlimited() -> Self {
+        VocabularyBudget::new(None)
+    }
+
+    /// A budget capped at `cap` distinct names.
+    pub fn with_cap(cap: usize) -> Self {
+        VocabularyBudget::new(Some(cap))
+    }
+
+    /// The configured cap, if any.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Distinct names recorded so far (own knowhow included).
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if no names have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Records a host's *own* knowhow without budget checks — local
+    /// configuration is trusted; the cap constrains what peers add on
+    /// top. A no-op without a cap.
+    pub fn seed_fragment(&mut self, fragment: &Fragment) {
+        if self.cap.is_none() {
+            return;
+        }
+        self.seen.insert(fragment.id().sym());
+        for (_, key) in fragment.graph().nodes() {
+            self.seen.insert(key.sym());
+        }
+    }
+
+    /// Charges a frame's name table against the budget, atomically:
+    /// either every fresh name is admitted (and only then interned), or
+    /// — past the cap — none is and nothing was interned.
+    ///
+    /// A name is *fresh* when it is not already recorded in this budget;
+    /// names another co-hosted community interned still charge this
+    /// host's budget on first sight, exactly like admission-time
+    /// guarding. Returns the number of fresh names admitted.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::VocabularyExceeded`] when admitting the table would
+    /// push the distinct-name count past the cap.
+    pub fn charge_names(&mut self, names: &[&str]) -> Result<usize, WireError> {
+        let Some(cap) = self.cap else {
+            return Ok(0);
+        };
+        let mut fresh: Vec<&str> = Vec::new();
+        let mut fresh_set: FxHashSet<&str> = FxHashSet::default();
+        for &name in names {
+            if let Some(sym) = Sym::lookup(name) {
+                if self.seen.contains(&sym) {
+                    continue;
+                }
+            }
+            if fresh_set.insert(name) {
+                fresh.push(name);
+            }
+        }
+        let attempted = self.seen.len() + fresh.len();
+        if attempted > cap {
+            return Err(WireError::VocabularyExceeded { cap, attempted });
+        }
+        let admitted = fresh.len();
+        for name in fresh {
+            // Interning happens only now, after the whole table cleared
+            // the cap.
+            self.seen.insert(Sym::intern(name));
+        }
+        Ok(admitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::Mode;
+
+    #[test]
+    fn uncapped_budget_admits_everything_and_tracks_nothing() {
+        let mut b = VocabularyBudget::unlimited();
+        assert_eq!(b.charge_names(&["wb-a", "wb-b"]).unwrap(), 0);
+        assert!(b.is_empty(), "no cap, no bookkeeping");
+    }
+
+    #[test]
+    fn capped_budget_counts_distinct_names() {
+        let mut b = VocabularyBudget::with_cap(10);
+        assert_eq!(b.charge_names(&["wbc-a", "wbc-b", "wbc-a"]).unwrap(), 2);
+        assert_eq!(b.len(), 2);
+        // Already-admitted names are free.
+        assert_eq!(b.charge_names(&["wbc-b"]).unwrap(), 0);
+    }
+
+    #[test]
+    fn over_budget_frame_interns_nothing() {
+        let mut b = VocabularyBudget::with_cap(2);
+        b.charge_names(&["wbo-a", "wbo-b"]).unwrap();
+        let victim = "wbo-never-interned-name";
+        assert_eq!(Sym::lookup(victim), None);
+        let err = b.charge_names(&["wbo-a", victim]).unwrap_err();
+        assert!(matches!(err, WireError::VocabularyExceeded { cap: 2, .. }));
+        assert_eq!(b.len(), 2, "rejected frame records nothing");
+        assert_eq!(
+            Sym::lookup(victim),
+            None,
+            "rejected frame must not intern its names"
+        );
+    }
+
+    #[test]
+    fn seeded_knowhow_does_not_double_charge() {
+        let mut b = VocabularyBudget::with_cap(4);
+        let own = Fragment::single_task("wbs-f", "wbs-t", Mode::Disjunctive, ["wbs-a"], ["wbs-b"])
+            .unwrap();
+        b.seed_fragment(&own);
+        assert_eq!(b.len(), 4);
+        // A peer echoing the same names is admitted; one fresh name is not.
+        assert!(b
+            .charge_names(&["wbs-f", "wbs-t", "wbs-a", "wbs-b"])
+            .is_ok());
+        assert!(b.charge_names(&["wbs-fresh"]).is_err());
+    }
+}

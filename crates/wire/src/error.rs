@@ -1,0 +1,96 @@
+//! Decode-side error taxonomy.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a wire payload was rejected.
+///
+/// Every variant is a *rejection*, never a panic: the decoder treats the
+/// input as hostile (truncated frames, bit flips, absurd lengths,
+/// over-budget vocabularies) and reports instead of trusting it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the frame (or a field inside it) did.
+    Truncated,
+    /// The frame header announces a length past the decoder's cap — a
+    /// corrupt or malicious length prefix, not a reason to allocate.
+    FrameTooLarge {
+        /// Announced body length.
+        len: u64,
+        /// The decoder's cap ([`crate::MAX_FRAME_LEN`]).
+        max: u64,
+    },
+    /// The version byte names a format this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// The frame's type tag is not the one the caller asked for.
+    UnexpectedTag {
+        /// Tag the caller expected.
+        expected: u8,
+        /// Tag found in the frame.
+        found: u8,
+    },
+    /// The frame's type tag is not one this decoder knows.
+    UnknownTag(u8),
+    /// A structural invariant of the encoding is violated (out-of-range
+    /// index, oversized count, bad flag bits, trailing bytes…).
+    Malformed(&'static str),
+    /// A name or string field is not valid UTF-8.
+    InvalidUtf8,
+    /// Admitting the frame's name table would exceed the vocabulary cap.
+    /// Raised *before* any name is interned (see
+    /// [`crate::VocabularyBudget`]).
+    VocabularyExceeded {
+        /// The configured cap on distinct names.
+        cap: usize,
+        /// Distinct names the frame would have brought the host to.
+        attempted: usize,
+    },
+    /// The payload parsed but does not describe a valid model object
+    /// (non-bipartite edge, conflicting task modes, invalid workflow…).
+    InvalidModel(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the decoder cap {max}")
+            }
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnexpectedTag { expected, found } => {
+                write!(f, "expected frame tag {expected:#04x}, found {found:#04x}")
+            }
+            WireError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::InvalidUtf8 => f.write_str("string field is not valid UTF-8"),
+            WireError::VocabularyExceeded { cap, attempted } => write!(
+                f,
+                "protocol error: frame vocabulary exceeds the cap \
+                 ({attempted} distinct names attempted, cap {cap})"
+            ),
+            WireError::InvalidModel(detail) => write!(f, "payload is not a valid model: {detail}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::VocabularyExceeded {
+            cap: 4,
+            attempted: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cap 4"), "{s}");
+        assert!(s.contains('9'), "{s}");
+        assert!(s.contains("protocol error"), "{s}");
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::UnknownTag(0xfe).to_string().contains("0xfe"));
+    }
+}

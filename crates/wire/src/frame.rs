@@ -1,0 +1,491 @@
+//! Framing: length prefix, version byte, type tag, per-frame name table.
+//!
+//! ```text
+//! frame   := varint(body_len) body
+//! body    := version:u8  tag:u8  names  payload
+//! names   := varint(count) { varint(len) utf8-bytes }*
+//! payload := tag-specific (see `model`, `openwf-runtime::codec`)
+//! ```
+//!
+//! Every interned semantic name (label, task, fragment id) a frame
+//! carries appears **exactly once** in its name table; the payload refers
+//! to names by table index. That makes payloads compact (a hub label
+//! consumed by fifty tasks is spelled once) and gives the trust boundary
+//! one place to stand: the whole table is checked against a
+//! [`crate::VocabularyBudget`] *before* the payload is decoded or any
+//! name is interned. Strings that are not semantic names (e.g. location
+//! hints) are encoded inline and bypass the table — they never touch the
+//! interner.
+
+use openwf_core::{FxHashMap, Sym};
+
+use crate::error::WireError;
+use crate::varint;
+
+/// The wire format version this crate encodes and decodes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Decoder cap on a frame's body length (16 MiB). A length prefix past
+/// this is treated as corruption rather than an allocation request.
+pub const MAX_FRAME_LEN: u64 = 16 * 1024 * 1024;
+
+/// Decoder cap on a single name's byte length (64 KiB).
+pub const MAX_NAME_LEN: u64 = 64 * 1024;
+
+/// Builds one frame: registers names, accumulates the payload, then
+/// [`FrameEncoder::finish`] assembles `len | version | tag | names |
+/// payload`.
+#[derive(Debug)]
+pub struct FrameEncoder {
+    tag: u8,
+    name_index: FxHashMap<Sym, u32>,
+    names: Vec<Sym>,
+    payload: Vec<u8>,
+}
+
+impl FrameEncoder {
+    /// Starts a frame with the given type tag.
+    pub fn new(tag: u8) -> Self {
+        FrameEncoder {
+            tag,
+            name_index: FxHashMap::default(),
+            names: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Appends a varint to the payload.
+    pub fn varint(&mut self, v: u64) {
+        varint::write(v, &mut self.payload);
+    }
+
+    /// Appends one raw byte to the payload.
+    pub fn byte(&mut self, b: u8) {
+        self.payload.push(b);
+    }
+
+    /// Appends a reference to an interned name: the name joins the frame's
+    /// table on first use, and the payload stores its table index.
+    pub fn name(&mut self, sym: Sym) {
+        let next = self.names.len() as u32;
+        let idx = *self.name_index.entry(sym).or_insert_with(|| {
+            self.names.push(sym);
+            next
+        });
+        varint::write(u64::from(idx), &mut self.payload);
+    }
+
+    /// Appends an inline (non-interned) string: varint length + bytes.
+    /// For free-form fields like locations that must never charge the
+    /// vocabulary budget.
+    pub fn inline_str(&mut self, s: &str) {
+        varint::write(s.len() as u64, &mut self.payload);
+        self.payload.extend_from_slice(s.as_bytes());
+    }
+
+    /// Assembles the complete length-prefixed frame onto `out`.
+    pub fn finish(self, out: &mut Vec<u8>) {
+        let mut body: Vec<u8> = Vec::with_capacity(self.payload.len() + 16);
+        body.push(WIRE_VERSION);
+        body.push(self.tag);
+        varint::write(self.names.len() as u64, &mut body);
+        for sym in &self.names {
+            let text = sym.as_str();
+            varint::write(text.len() as u64, &mut body);
+            body.extend_from_slice(text.as_bytes());
+        }
+        body.extend_from_slice(&self.payload);
+        varint::write(body.len() as u64, out);
+        out.extend_from_slice(&body);
+    }
+}
+
+/// A parsed frame borrowing the input buffer: header fields, the name
+/// table as **un-interned** string slices, and the raw payload.
+#[derive(Debug)]
+pub struct FrameView<'a> {
+    /// Wire format version (always [`WIRE_VERSION`] after a successful
+    /// parse).
+    pub version: u8,
+    /// Frame type tag.
+    pub tag: u8,
+    names: Vec<&'a str>,
+    payload: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// The frame's name table, in first-reference order. Slices borrow
+    /// the input buffer — nothing here has been interned.
+    pub fn names(&self) -> &[&'a str] {
+        &self.names
+    }
+
+    /// A cursor over the payload that resolves name references against
+    /// this frame's table.
+    pub fn reader(&self) -> PayloadReader<'a, '_> {
+        PayloadReader {
+            names: &self.names,
+            buf: self.payload,
+            pos: 0,
+        }
+    }
+}
+
+/// Length of the complete frame at the head of `buf`, if fully buffered.
+///
+/// Returns `Ok(None)` when more bytes are needed (streaming), the total
+/// frame length (prefix + body) when available.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] on a length prefix past
+/// [`MAX_FRAME_LEN`]; [`WireError::Malformed`] on a corrupt prefix.
+pub fn frame_extent(buf: &[u8]) -> Result<Option<usize>, WireError> {
+    let mut pos = 0;
+    let body_len = match varint::read(buf, &mut pos) {
+        Ok(n) => n,
+        Err(WireError::Truncated) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if body_len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            len: body_len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let total = pos + body_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some(total))
+}
+
+/// Parses the frame at the head of `buf`, returning the view and the
+/// total bytes consumed (length prefix included).
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the buffer does not hold a complete
+/// frame; every other variant on corrupt input. Never panics.
+pub fn read_frame(buf: &[u8]) -> Result<(FrameView<'_>, usize), WireError> {
+    let Some(total) = frame_extent(buf)? else {
+        return Err(WireError::Truncated);
+    };
+    let mut pos = 0;
+    let body_len = varint::read(buf, &mut pos)? as usize;
+    let body = &buf[pos..pos + body_len];
+
+    let mut bpos = 0;
+    let Some(&version) = body.first() else {
+        return Err(WireError::Truncated);
+    };
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let Some(&tag) = body.get(1) else {
+        return Err(WireError::Truncated);
+    };
+    bpos += 2;
+
+    let n_names = varint::read(body, &mut bpos)?;
+    // Every table entry costs at least one byte; a count past the
+    // remaining bytes is a lie, not an allocation request.
+    if n_names > (body.len() - bpos) as u64 {
+        return Err(WireError::Malformed("name count exceeds frame size"));
+    }
+    let mut names: Vec<&str> = Vec::with_capacity(n_names as usize);
+    for _ in 0..n_names {
+        let len = varint::read(body, &mut bpos)?;
+        if len > MAX_NAME_LEN {
+            return Err(WireError::Malformed("name longer than the cap"));
+        }
+        let len = len as usize;
+        let Some(bytes) = body.get(bpos..bpos + len) else {
+            return Err(WireError::Truncated);
+        };
+        bpos += len;
+        let text = std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)?;
+        names.push(text);
+    }
+
+    Ok((
+        FrameView {
+            version,
+            tag,
+            names,
+            payload: &body[bpos..],
+        },
+        total,
+    ))
+}
+
+/// A bounds-checked cursor over a frame payload.
+///
+/// Lifetimes: `'a` is the input buffer (strings borrow it), the second
+/// borrow is the [`FrameView`] holding the name table.
+#[derive(Debug)]
+pub struct PayloadReader<'a, 'v> {
+    names: &'v [&'a str],
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a, '_> {
+    /// Reads one varint.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::Malformed`] on bad input.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        varint::read(self.buf, &mut self.pos)
+    }
+
+    /// Reads one raw byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of payload.
+    pub fn byte(&mut self) -> Result<u8, WireError> {
+        let Some(&b) = self.buf.get(self.pos) else {
+            return Err(WireError::Truncated);
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a name reference and resolves it against the frame's table.
+    /// The returned slice is **not interned**.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when the index is out of table range.
+    pub fn name(&mut self) -> Result<&'a str, WireError> {
+        let idx = self.varint()?;
+        self.names
+            .get(idx as usize)
+            .copied()
+            .ok_or(WireError::Malformed("name index out of table range"))
+    }
+
+    /// Reads an inline string (varint length + UTF-8 bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::InvalidUtf8`] /
+    /// [`WireError::Malformed`] on bad input.
+    pub fn inline_str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.varint()?;
+        if len > MAX_NAME_LEN {
+            return Err(WireError::Malformed("inline string longer than the cap"));
+        }
+        let len = len as usize;
+        let Some(bytes) = self.buf.get(self.pos..self.pos + len) else {
+            return Err(WireError::Truncated);
+        };
+        self.pos += len;
+        std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Validates an element count against the bytes actually remaining:
+    /// `count` elements of at least `min_bytes` each must fit. Guards
+    /// `Vec::with_capacity` against bit-flipped counts.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when the count cannot possibly fit.
+    pub fn guard_count(&self, count: u64, min_bytes: usize) -> Result<usize, WireError> {
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if count.saturating_mul(min_bytes as u64) > remaining {
+            return Err(WireError::Malformed("element count exceeds frame size"));
+        }
+        Ok(count as usize)
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when trailing bytes remain — a symptom
+    /// of a corrupted count field upstream.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+/// Streaming frame decoder: feed byte chunks as they arrive (a TCP
+/// stream, a segment-log read), pop complete frames as they close.
+///
+/// The internal buffer compacts itself once consumed bytes dominate, so
+/// long-lived connections do not grow without bound.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends incoming bytes to the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && self.pos >= self.buf.len() / 2 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on a corrupt stream. The stream is
+    /// unrecoverable after an error (framing is lost); callers should
+    /// drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<FrameView<'_>>, WireError> {
+        let avail = &self.buf[self.pos..];
+        let Some(total) = frame_extent(avail)? else {
+            return Ok(None);
+        };
+        let start = self.pos;
+        self.pos += total;
+        let (frame, consumed) = read_frame(&self.buf[start..start + total])?;
+        debug_assert_eq!(consumed, total);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut enc = FrameEncoder::new(0x2a);
+        enc.name(Sym::intern("frame-test-alpha"));
+        enc.name(Sym::intern("frame-test-beta"));
+        enc.name(Sym::intern("frame-test-alpha")); // repeat: same index
+        enc.varint(12345);
+        enc.inline_str("not a name");
+        let mut out = Vec::new();
+        enc.finish(&mut out);
+        out
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = sample_frame();
+        let (frame, consumed) = read_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(frame.version, WIRE_VERSION);
+        assert_eq!(frame.tag, 0x2a);
+        assert_eq!(frame.names(), &["frame-test-alpha", "frame-test-beta"]);
+        let mut r = frame.reader();
+        assert_eq!(r.name().unwrap(), "frame-test-alpha");
+        assert_eq!(r.name().unwrap(), "frame-test-beta");
+        assert_eq!(r.name().unwrap(), "frame-test-alpha");
+        assert_eq!(r.varint().unwrap(), 12345);
+        assert_eq!(r.inline_str().unwrap(), "not a name");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        let bytes = sample_frame();
+        for cut in 0..bytes.len() {
+            match read_frame(&bytes[..cut]) {
+                Err(_) => {}
+                Ok((_, consumed)) => {
+                    panic!("truncated at {cut}/{} parsed {consumed} bytes", bytes.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_version_and_giant_length_are_rejected() {
+        let mut bytes = sample_frame();
+        // Body starts after the 1-byte length prefix here; flip version.
+        bytes[1] = 99;
+        assert_eq!(
+            read_frame(&bytes).unwrap_err(),
+            WireError::UnsupportedVersion(99)
+        );
+
+        let mut giant = Vec::new();
+        varint::write(MAX_FRAME_LEN + 1, &mut giant);
+        assert!(matches!(
+            read_frame(&giant),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn name_count_lies_are_rejected() {
+        let mut enc = FrameEncoder::new(1);
+        enc.varint(7);
+        let mut bytes = Vec::new();
+        enc.finish(&mut bytes);
+        // body = [version, tag, name_count=0, payload...]; claim 200 names.
+        bytes[3] = 200;
+        assert!(matches!(read_frame(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn out_of_range_name_index_is_rejected() {
+        let mut enc = FrameEncoder::new(1);
+        enc.varint(3); // payload: a "name index" with an empty table
+        let mut bytes = Vec::new();
+        enc.finish(&mut bytes);
+        let (frame, _) = read_frame(&bytes).unwrap();
+        let mut r = frame.reader();
+        assert!(matches!(r.name(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn streaming_decoder_reassembles_split_frames() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&sample_frame());
+        stream.extend_from_slice(&sample_frame());
+        stream.extend_from_slice(&sample_frame());
+
+        for chunk in [1usize, 2, 3, 7, stream.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut frames = 0;
+            for piece in stream.chunks(chunk) {
+                dec.feed(piece);
+                while let Some(frame) = dec.next_frame().unwrap() {
+                    assert_eq!(frame.tag, 0x2a);
+                    frames += 1;
+                }
+            }
+            assert_eq!(frames, 3, "chunk size {chunk}");
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_reports_corrupt_streams() {
+        let mut dec = FrameDecoder::new();
+        let mut giant = Vec::new();
+        varint::write(MAX_FRAME_LEN + 1, &mut giant);
+        dec.feed(&giant);
+        assert!(dec.next_frame().is_err());
+    }
+}

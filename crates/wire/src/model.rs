@@ -1,0 +1,323 @@
+//! Payload codecs for the core model types: [`Fragment`] and [`Spec`].
+//!
+//! Payload layouts (all names are table references, see [`crate::frame`]):
+//!
+//! ```text
+//! fragment := name(id) varint(n_nodes) node* varint(n_edges) edge*
+//! node     := flags:u8 name          ; flags bit0 = task, bit1 = disjunctive
+//! edge     := varint(from_pos) varint(to_pos)   ; positions into node list
+//! spec     := varint(n_triggers) name* varint(n_goals) name*
+//! ```
+//!
+//! The decoder rebuilds the fragment's graph node by node and re-runs the
+//! full workflow validity check, so a corrupted payload yields a
+//! [`WireError`], never an invalid in-memory model (and never a panic).
+
+use std::sync::Arc;
+
+use openwf_core::workflow::Workflow;
+use openwf_core::{Fragment, Graph, Mode, NodeKind, Spec};
+
+use crate::error::WireError;
+use crate::frame::{read_frame, FrameEncoder, FrameView, PayloadReader};
+use crate::VocabularyBudget;
+
+/// Frame tag: one [`Fragment`].
+pub const TAG_FRAGMENT: u8 = 0x01;
+/// Frame tag: one [`Spec`].
+pub const TAG_SPEC: u8 = 0x02;
+/// Frame tag: one protocol message (payload defined by
+/// `openwf-runtime::codec`).
+pub const TAG_MSG: u8 = 0x03;
+
+const NODE_FLAG_TASK: u8 = 0b01;
+const NODE_FLAG_DISJUNCTIVE: u8 = 0b10;
+
+/// Writes a fragment payload onto an open frame.
+pub fn write_fragment(enc: &mut FrameEncoder, fragment: &Fragment) {
+    enc.name(fragment.id().sym());
+    let g = fragment.graph();
+    enc.varint(g.node_count() as u64);
+    for (idx, key) in g.nodes() {
+        let flags = match key.kind() {
+            NodeKind::Label => 0,
+            NodeKind::Task => {
+                NODE_FLAG_TASK
+                    | match g.mode(idx) {
+                        Mode::Conjunctive => 0,
+                        Mode::Disjunctive => NODE_FLAG_DISJUNCTIVE,
+                    }
+            }
+        };
+        enc.byte(flags);
+        enc.name(key.sym());
+    }
+    enc.varint(g.edge_count() as u64);
+    for (from, to) in g.edges() {
+        enc.varint(from.index() as u64);
+        enc.varint(to.index() as u64);
+    }
+}
+
+/// Reads a fragment payload, rebuilding and re-validating its workflow.
+///
+/// # Errors
+///
+/// Any [`WireError`] on truncated, corrupt, or model-invalid input.
+pub fn read_fragment(r: &mut PayloadReader<'_, '_>) -> Result<Fragment, WireError> {
+    let id = r.name()?;
+    let n_nodes = r.varint()?;
+    let n_nodes = r.guard_count(n_nodes, 2)?;
+    let mut graph = Graph::new();
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let flags = r.byte()?;
+        let name = r.name()?;
+        let idx = if flags == 0 {
+            graph.add_label(name)
+        } else if flags & NODE_FLAG_TASK != 0
+            && flags & !(NODE_FLAG_TASK | NODE_FLAG_DISJUNCTIVE) == 0
+        {
+            let mode = if flags & NODE_FLAG_DISJUNCTIVE != 0 {
+                Mode::Disjunctive
+            } else {
+                Mode::Conjunctive
+            };
+            graph
+                .try_add_task(name, mode)
+                .map_err(|e| WireError::InvalidModel(e.to_string()))?
+        } else {
+            return Err(WireError::Malformed("unknown node flag bits"));
+        };
+        nodes.push(idx);
+    }
+    let n_edges = r.varint()?;
+    let n_edges = r.guard_count(n_edges, 2)?;
+    for _ in 0..n_edges {
+        let from = r.varint()? as usize;
+        let to = r.varint()? as usize;
+        let (Some(&f), Some(&t)) = (nodes.get(from), nodes.get(to)) else {
+            return Err(WireError::Malformed("edge endpoint out of node range"));
+        };
+        graph
+            .add_edge(f, t)
+            .map_err(|e| WireError::InvalidModel(e.to_string()))?;
+    }
+    let workflow =
+        Workflow::from_graph(graph).map_err(|e| WireError::InvalidModel(e.to_string()))?;
+    Ok(Fragment::from_workflow(id, workflow))
+}
+
+/// Writes a spec payload onto an open frame.
+pub fn write_spec(enc: &mut FrameEncoder, spec: &Spec) {
+    enc.varint(spec.triggers().len() as u64);
+    for label in spec.triggers() {
+        enc.name(label.sym());
+    }
+    enc.varint(spec.goals().len() as u64);
+    for label in spec.goals() {
+        enc.name(label.sym());
+    }
+}
+
+/// Reads a spec payload.
+///
+/// # Errors
+///
+/// Any [`WireError`] on truncated or corrupt input.
+pub fn read_spec(r: &mut PayloadReader<'_, '_>) -> Result<Spec, WireError> {
+    let n_triggers = r.varint()?;
+    let n_triggers = r.guard_count(n_triggers, 1)?;
+    let mut triggers = Vec::with_capacity(n_triggers);
+    for _ in 0..n_triggers {
+        triggers.push(r.name()?);
+    }
+    let n_goals = r.varint()?;
+    let n_goals = r.guard_count(n_goals, 1)?;
+    let mut goals = Vec::with_capacity(n_goals);
+    for _ in 0..n_goals {
+        goals.push(r.name()?);
+    }
+    Ok(Spec::new(triggers, goals))
+}
+
+/// Checks a parsed frame's version/tag and charges its name table.
+///
+/// # Errors
+///
+/// [`WireError::UnexpectedTag`] on a tag mismatch, or the budget's
+/// [`WireError::VocabularyExceeded`].
+pub fn admit_frame(
+    frame: &FrameView<'_>,
+    expected_tag: u8,
+    budget: &mut VocabularyBudget,
+) -> Result<(), WireError> {
+    if frame.tag != expected_tag {
+        return Err(WireError::UnexpectedTag {
+            expected: expected_tag,
+            found: frame.tag,
+        });
+    }
+    budget.charge_names(frame.names())?;
+    Ok(())
+}
+
+/// Encodes one fragment as a complete [`TAG_FRAGMENT`] frame onto `out`.
+pub fn encode_fragment(fragment: &Fragment, out: &mut Vec<u8>) {
+    let mut enc = FrameEncoder::new(TAG_FRAGMENT);
+    write_fragment(&mut enc, fragment);
+    enc.finish(out);
+}
+
+/// Decodes one [`TAG_FRAGMENT`] frame from the head of `buf`, charging
+/// its vocabulary against `budget` before interning anything. Returns
+/// the fragment and the bytes consumed.
+///
+/// # Errors
+///
+/// Any [`WireError`]; on [`WireError::VocabularyExceeded`] no name was
+/// interned.
+pub fn decode_fragment(
+    buf: &[u8],
+    budget: &mut VocabularyBudget,
+) -> Result<(Arc<Fragment>, usize), WireError> {
+    let (frame, consumed) = read_frame(buf)?;
+    admit_frame(&frame, TAG_FRAGMENT, budget)?;
+    let mut r = frame.reader();
+    let fragment = read_fragment(&mut r)?;
+    r.expect_end()?;
+    Ok((Arc::new(fragment), consumed))
+}
+
+/// Encodes one spec as a complete [`TAG_SPEC`] frame onto `out`.
+pub fn encode_spec(spec: &Spec, out: &mut Vec<u8>) {
+    let mut enc = FrameEncoder::new(TAG_SPEC);
+    write_spec(&mut enc, spec);
+    enc.finish(out);
+}
+
+/// Decodes one [`TAG_SPEC`] frame from the head of `buf`, charging its
+/// vocabulary against `budget` first. Returns the spec and the bytes
+/// consumed.
+///
+/// # Errors
+///
+/// Any [`WireError`]; on [`WireError::VocabularyExceeded`] no name was
+/// interned.
+pub fn decode_spec(buf: &[u8], budget: &mut VocabularyBudget) -> Result<(Spec, usize), WireError> {
+    let (frame, consumed) = read_frame(buf)?;
+    admit_frame(&frame, TAG_SPEC, budget)?;
+    let mut r = frame.reader();
+    let spec = read_spec(&mut r)?;
+    r.expect_end()?;
+    Ok((spec, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::{Label, TaskId};
+
+    fn chain_fragment() -> Fragment {
+        Fragment::builder("mw-chain")
+            .task("mw-t1", Mode::Conjunctive)
+            .inputs(["mw-a", "mw-b"])
+            .outputs(["mw-mid"])
+            .done()
+            .task("mw-t2", Mode::Disjunctive)
+            .inputs(["mw-mid"])
+            .outputs(["mw-z"])
+            .done()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fragment_round_trips_bit_identically() {
+        let f = chain_fragment();
+        let mut bytes = Vec::new();
+        encode_fragment(&f, &mut bytes);
+        let (decoded, consumed) = decode_fragment(&bytes, &mut VocabularyBudget::unlimited())
+            .expect("valid frame decodes");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded.id().as_str(), "mw-chain");
+        assert_eq!(decoded.tasks().count(), 2);
+        let mut re = Vec::new();
+        encode_fragment(&decoded, &mut re);
+        assert_eq!(re, bytes, "decode → encode reproduces the exact bytes");
+    }
+
+    #[test]
+    fn fragment_decode_preserves_structure() {
+        let f = chain_fragment();
+        let mut bytes = Vec::new();
+        encode_fragment(&f, &mut bytes);
+        let (d, _) = decode_fragment(&bytes, &mut VocabularyBudget::unlimited()).unwrap();
+        assert_eq!(d.consumed_labels(), f.consumed_labels());
+        assert_eq!(d.produced_labels(), f.produced_labels());
+        assert_eq!(d.graph().node_count(), f.graph().node_count(),);
+        assert_eq!(d.graph().edge_count(), f.graph().edge_count());
+        let g = d.graph();
+        let t1 = g.find_task(&TaskId::new("mw-t1")).unwrap();
+        assert_eq!(g.mode(t1), Mode::Conjunctive);
+        let t2 = g.find_task(&TaskId::new("mw-t2")).unwrap();
+        assert_eq!(g.mode(t2), Mode::Disjunctive);
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = Spec::new(["ms-a", "ms-b"], ["ms-z"]);
+        let mut bytes = Vec::new();
+        encode_spec(&spec, &mut bytes);
+        let (decoded, consumed) = decode_spec(&bytes, &mut VocabularyBudget::unlimited()).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, spec);
+        assert!(decoded.triggers().contains(&Label::new("ms-a")));
+    }
+
+    #[test]
+    fn wrong_tag_is_rejected() {
+        let spec = Spec::new(["mt-a"], ["mt-b"]);
+        let mut bytes = Vec::new();
+        encode_spec(&spec, &mut bytes);
+        let err = decode_fragment(&bytes, &mut VocabularyBudget::unlimited()).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::UnexpectedTag {
+                expected: TAG_FRAGMENT,
+                found: TAG_SPEC
+            }
+        );
+    }
+
+    #[test]
+    fn over_budget_fragment_is_rejected_before_interning() {
+        let f = chain_fragment(); // 7 distinct names (id + 2 tasks + 4 labels)
+        let mut bytes = Vec::new();
+        encode_fragment(&f, &mut bytes);
+        let mut budget = VocabularyBudget::with_cap(3);
+        let err = decode_fragment(&bytes, &mut budget).unwrap_err();
+        assert!(matches!(err, WireError::VocabularyExceeded { cap: 3, .. }));
+        assert_eq!(budget.len(), 0);
+        // A generous budget admits it and records exactly the names.
+        let mut budget = VocabularyBudget::with_cap(100);
+        decode_fragment(&bytes, &mut budget).unwrap();
+        assert_eq!(budget.len(), 7);
+    }
+
+    #[test]
+    fn invalid_model_is_reported_not_panicked() {
+        // Hand-build a frame whose graph is a lone task (task source AND
+        // sink — invalid as a workflow).
+        let mut enc = FrameEncoder::new(TAG_FRAGMENT);
+        enc.name(openwf_core::Sym::intern("mi-id"));
+        enc.varint(1); // one node
+        enc.byte(NODE_FLAG_TASK);
+        enc.name(openwf_core::Sym::intern("mi-task"));
+        enc.varint(0); // no edges
+        let mut bytes = Vec::new();
+        enc.finish(&mut bytes);
+        let err = decode_fragment(&bytes, &mut VocabularyBudget::unlimited()).unwrap_err();
+        assert!(matches!(err, WireError::InvalidModel(_)), "{err}");
+    }
+}

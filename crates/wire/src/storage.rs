@@ -1,0 +1,665 @@
+//! Durable fragment storage: an append-only, CRC-checked segment log.
+//!
+//! [`DurableFragmentStore`] persists every inserted fragment as one
+//! encoded wire frame in a log of rolling segment files, and keeps an
+//! in-memory [`ShardedFragmentStore`] as its query index. Opening a
+//! directory **replays** the log in order — decoding each record,
+//! verifying its CRC, and rebuilding the index with the *same global
+//! insertion sequence* the original process assigned — so a restarted
+//! host answers every consumed-label query identically and reconstructs
+//! bit-identical supergraphs from its recovered knowhow.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! dir/seg-00000000.owfl, dir/seg-00000001.owfl, …
+//! segment := header record*
+//! header  := magic "OWFSEG" version:u8 reserved:u8        (8 bytes)
+//! record  := len:u32 crc:u32 payload[len]                 (crc = CRC-32/IEEE of payload)
+//! payload := one TAG_FRAGMENT wire frame
+//! ```
+//!
+//! Crash recovery: a torn append leaves a partial record (or a record
+//! whose CRC no longer matches) at the **tail of the final segment**;
+//! replay truncates the file back to the last intact record and carries
+//! on — losing at most the write that was in flight. Damage anywhere
+//! *else* (a bad record with intact records after it, a bad header on a
+//! non-final segment) is not a crash signature and is reported as
+//! [`StorageError::Corrupt`] instead of being silently dropped.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use openwf_core::construct::incremental::FragmentSource;
+use openwf_core::store::{BackendError, FragmentBackend};
+use openwf_core::{Fragment, FragmentId, Label, ParallelFragmentSource, ShardedFragmentStore};
+
+use crate::model::{decode_fragment, encode_fragment};
+use crate::VocabularyBudget;
+
+const SEGMENT_MAGIC: &[u8; 6] = b"OWFSEG";
+const SEGMENT_VERSION: u8 = 1;
+const SEGMENT_HEADER_LEN: u64 = 8;
+const RECORD_HEADER_LEN: u64 = 8;
+
+/// Default segment roll size: 8 MiB.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Cap on a single record's payload length; larger prefixes are
+/// corruption, not allocation requests.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the per-record checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Why a durable store could not be opened or written.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An I/O failure from the filesystem.
+    Io(std::io::Error),
+    /// The log is damaged somewhere a crash cannot explain (see the
+    /// module docs for the recovery contract).
+    Corrupt {
+        /// The damaged segment file.
+        segment: PathBuf,
+        /// Byte offset of the damaged record (or header).
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The fragment's encoded frame would exceed a decoder cap
+    /// ([`crate::MAX_FRAME_LEN`] / [`crate::MAX_NAME_LEN`]), so
+    /// persisting it would write a record replay must refuse. Rejected
+    /// at insert instead — the log never holds unreplayable data.
+    Unstorable {
+        /// What exceeds which cap.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "fragment log I/O error: {e}"),
+            StorageError::Corrupt {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "fragment log corrupt at {}+{offset}: {detail}",
+                segment.display()
+            ),
+            StorageError::Unstorable { detail } => {
+                write!(f, "fragment cannot be stored replayably: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Corrupt { .. } | StorageError::Unstorable { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:08}.owfl"))
+}
+
+/// A fragment database whose record of inserts survives process death.
+///
+/// See the module docs for the format and recovery semantics. Queries
+/// are answered by the in-memory index ([`DurableFragmentStore::index`])
+/// and never touch the disk.
+pub struct DurableFragmentStore {
+    dir: PathBuf,
+    index: ShardedFragmentStore,
+    writer: BufWriter<File>,
+    /// Sequence number of the segment currently being appended.
+    seg_seq: u64,
+    /// Bytes in the current segment (header included).
+    seg_len: u64,
+    /// Roll threshold.
+    segment_bytes: u64,
+    /// Total payload + record-header bytes across all segments.
+    log_bytes: u64,
+    scratch: Vec<u8>,
+}
+
+impl fmt::Debug for DurableFragmentStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableFragmentStore")
+            .field("dir", &self.dir)
+            .field("fragments", &self.index.len())
+            .field("segments", &(self.seg_seq + 1))
+            .field("log_bytes", &self.log_bytes)
+            .finish()
+    }
+}
+
+impl DurableFragmentStore {
+    /// Opens (creating if absent) the log in `dir` with one index shard
+    /// and the default segment size, replaying any existing records.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on I/O failure or non-recoverable corruption.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        DurableFragmentStore::open_with(dir, 1, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Opens the log in `dir` with `shards` index shards and a custom
+    /// segment roll size.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on I/O failure or non-recoverable corruption.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        shards: usize,
+        segment_bytes: u64,
+    ) -> Result<Self, StorageError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut seqs: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".owfl"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+
+        let mut index = ShardedFragmentStore::with_shards(shards);
+        let mut log_bytes = 0u64;
+        let mut last_len = SEGMENT_HEADER_LEN;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let last = i + 1 == seqs.len();
+            let len = replay_segment(&segment_path(&dir, seq), last, &mut index, &mut log_bytes)?;
+            if last {
+                last_len = len;
+            }
+        }
+
+        let (seg_seq, mut seg_len) = match seqs.last() {
+            Some(&seq) if last_len < segment_bytes => (seq, last_len),
+            Some(&seq) => (seq + 1, SEGMENT_HEADER_LEN),
+            None => (0, SEGMENT_HEADER_LEN),
+        };
+        let path = segment_path(&dir, seg_seq);
+        // A segment that was torn below its header (or does not exist
+        // yet) is rewritten from scratch so the header is always intact.
+        let file = if seg_len < SEGMENT_HEADER_LEN || !path.exists() {
+            let mut file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)?;
+            let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+            header[..6].copy_from_slice(SEGMENT_MAGIC);
+            header[6] = SEGMENT_VERSION;
+            file.write_all(&header)?;
+            seg_len = SEGMENT_HEADER_LEN;
+            file
+        } else {
+            OpenOptions::new().append(true).open(&path)?
+        };
+
+        Ok(DurableFragmentStore {
+            dir,
+            index,
+            writer: BufWriter::new(file),
+            seg_seq,
+            seg_len,
+            segment_bytes,
+            log_bytes,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Appends a fragment to the log and indexes it. Returns `true` when
+    /// the fragment was new (same replace-by-id contract as the
+    /// in-memory stores; a replayed replace re-applies in log order).
+    ///
+    /// Writes are buffered — call [`DurableFragmentStore::sync`] for a
+    /// durability point.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] when the append fails; the index is not
+    /// updated in that case.
+    pub fn insert(&mut self, fragment: impl Into<Arc<Fragment>>) -> Result<bool, StorageError> {
+        let fragment = fragment.into();
+        // Refuse anything replay's decoder would refuse — a record the
+        // log cannot read back is data loss deferred to the next open.
+        let longest_name = std::iter::once(fragment.id().as_str())
+            .chain(fragment.graph().nodes().map(|(_, key)| key.name()))
+            .map(str::len)
+            .max()
+            .unwrap_or(0) as u64;
+        if longest_name > crate::MAX_NAME_LEN {
+            return Err(StorageError::Unstorable {
+                detail: format!(
+                    "a name of {longest_name} bytes exceeds the wire cap {}",
+                    crate::MAX_NAME_LEN
+                ),
+            });
+        }
+        self.scratch.clear();
+        encode_fragment(&fragment, &mut self.scratch);
+        if self.scratch.len() as u64 > crate::MAX_FRAME_LEN {
+            return Err(StorageError::Unstorable {
+                detail: format!(
+                    "encoded frame of {} bytes exceeds the wire cap {}",
+                    self.scratch.len(),
+                    crate::MAX_FRAME_LEN
+                ),
+            });
+        }
+
+        if self.seg_len >= self.segment_bytes {
+            self.roll()?;
+        }
+        let len = u32::try_from(self.scratch.len()).expect("fragment frame under 4 GiB");
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(&crc32(&self.scratch).to_le_bytes())?;
+        self.writer.write_all(&self.scratch)?;
+        let appended = RECORD_HEADER_LEN + u64::from(len);
+        self.seg_len += appended;
+        self.log_bytes += appended;
+        Ok(self.index.insert(fragment))
+    }
+
+    fn roll(&mut self) -> Result<(), StorageError> {
+        self.writer.flush()?;
+        self.seg_seq += 1;
+        self.seg_len = SEGMENT_HEADER_LEN;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(segment_path(&self.dir, self.seg_seq))?;
+        let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+        header[..6].copy_from_slice(SEGMENT_MAGIC);
+        header[6] = SEGMENT_VERSION;
+        file.write_all(&header)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Flushes buffered appends and fsyncs the current segment — the
+    /// log's durability point.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] when the flush or fsync fails.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// The in-memory query index over the logged fragments.
+    pub fn index(&self) -> &ShardedFragmentStore {
+        &self.index
+    }
+
+    /// The log directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of stored (live, post-replace) fragments.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no fragments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Looks up a fragment by id.
+    pub fn get(&self, id: &FragmentId) -> Option<&Arc<Fragment>> {
+        self.index.get(id)
+    }
+
+    /// Total record bytes in the log (headers included, segment headers
+    /// excluded). Replays plus appends.
+    pub fn log_bytes(&self) -> u64 {
+        self.log_bytes
+    }
+
+    /// Number of segment files (the one being appended included).
+    pub fn segment_count(&self) -> u64 {
+        self.seg_seq + 1
+    }
+}
+
+impl Drop for DurableFragmentStore {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Replays one segment into the index. `last` selects crash semantics:
+/// a torn/invalid tail is truncated on the final segment and fatal on
+/// any other. Returns the segment's (possibly truncated) byte length.
+fn replay_segment(
+    path: &Path,
+    last: bool,
+    index: &mut ShardedFragmentStore,
+    log_bytes: &mut u64,
+) -> Result<u64, StorageError> {
+    let corrupt = |offset: u64, detail: &str| StorageError::Corrupt {
+        segment: path.to_path_buf(),
+        offset,
+        detail: detail.to_string(),
+    };
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+
+    if bytes.len() < SEGMENT_HEADER_LEN as usize
+        || &bytes[..6] != SEGMENT_MAGIC
+        || bytes[6] != SEGMENT_VERSION
+    {
+        if last && bytes.len() < SEGMENT_HEADER_LEN as usize {
+            // Torn segment creation: reset to an empty, well-formed file.
+            truncate_to(path, 0)?;
+            return Ok(0);
+        }
+        return Err(corrupt(0, "bad segment header"));
+    }
+
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    loop {
+        let record_start = pos as u64;
+        let Some(header) = bytes.get(pos..pos + RECORD_HEADER_LEN as usize) else {
+            if pos == bytes.len() {
+                return Ok(pos as u64); // clean end of segment
+            }
+            // Partial record header at the tail.
+            return tail_or_corrupt(path, last, record_start, "torn record header", corrupt);
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            return tail_or_corrupt(path, last, record_start, "absurd record length", corrupt);
+        }
+        pos += RECORD_HEADER_LEN as usize;
+        let Some(payload) = bytes.get(pos..pos + len as usize) else {
+            return tail_or_corrupt(path, last, record_start, "torn record payload", corrupt);
+        };
+        if crc32(payload) != crc {
+            return tail_or_corrupt(path, last, record_start, "record CRC mismatch", corrupt);
+        }
+        match decode_fragment(payload, &mut VocabularyBudget::unlimited()) {
+            Ok((fragment, consumed)) if consumed == payload.len() => {
+                index.insert(fragment);
+            }
+            Ok(_) => {
+                return tail_or_corrupt(
+                    path,
+                    last,
+                    record_start,
+                    "record carries trailing bytes",
+                    corrupt,
+                );
+            }
+            Err(e) => {
+                // CRC passed but the frame is invalid — possible only if
+                // the record was *written* damaged (torn buffer flush).
+                return tail_or_corrupt(path, last, record_start, &e.to_string(), corrupt);
+            }
+        }
+        pos += len as usize;
+        *log_bytes += RECORD_HEADER_LEN + u64::from(len);
+    }
+}
+
+/// Tail damage on the final segment is a crash signature: truncate back
+/// to the last intact record and report the surviving length. Anywhere
+/// else it is corruption.
+fn tail_or_corrupt(
+    path: &Path,
+    last: bool,
+    offset: u64,
+    detail: &str,
+    corrupt: impl Fn(u64, &str) -> StorageError,
+) -> Result<u64, StorageError> {
+    if last {
+        truncate_to(path, offset)?;
+        return Ok(offset);
+    }
+    Err(corrupt(offset, detail))
+}
+
+fn truncate_to(path: &Path, len: u64) -> Result<(), StorageError> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+impl FragmentBackend for DurableFragmentStore {
+    fn insert_fragment(&mut self, fragment: Arc<Fragment>) -> Result<bool, BackendError> {
+        self.insert(fragment).map_err(BackendError::from)
+    }
+
+    fn index(&self) -> &ShardedFragmentStore {
+        &self.index
+    }
+
+    fn backend_kind(&self) -> &'static str {
+        "durable"
+    }
+
+    fn sync(&mut self) -> Result<(), BackendError> {
+        DurableFragmentStore::sync(self).map_err(BackendError::from)
+    }
+}
+
+impl ParallelFragmentSource for DurableFragmentStore {
+    fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
+    fn shard_consuming(&self, shard: usize, labels: &[Label], out: &mut Vec<(u64, Arc<Fragment>)>) {
+        self.index.shard_consuming(shard, labels, out);
+    }
+}
+
+impl FragmentSource for DurableFragmentStore {
+    fn fragments_consuming(&mut self, labels: &[Label]) -> Vec<Arc<Fragment>> {
+        self.index.consuming(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openwf_core::Mode;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "openwf-wire-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn frag(i: usize) -> Fragment {
+        Fragment::single_task(
+            format!("ds-f{i}"),
+            format!("ds-t{i}"),
+            Mode::Disjunctive,
+            [format!("ds-l{i}")],
+            [format!("ds-l{}", i + 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn reopen_replays_identically() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut s = DurableFragmentStore::open(&dir).unwrap();
+            for i in 0..50 {
+                assert!(s.insert(frag(i)).unwrap());
+            }
+            assert!(!s.insert(frag(7)).unwrap(), "replace by id");
+            s.sync().unwrap();
+            assert_eq!(s.len(), 50);
+        }
+        let s = DurableFragmentStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 50);
+        let ids: Vec<String> = s
+            .index()
+            .fragments_shared()
+            .iter()
+            .map(|f| f.id().to_string())
+            .collect();
+        let want: Vec<String> = (0..50).map(|i| format!("ds-f{i}")).collect();
+        assert_eq!(ids, want, "replay preserves global insertion order");
+        assert_eq!(
+            s.index().consuming(&[Label::new("ds-l7")]).len(),
+            1,
+            "consumed-label index rebuilt by replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_roll_and_replay_in_order() {
+        let dir = tmp_dir("roll");
+        {
+            // Tiny segments force several rolls.
+            let mut s = DurableFragmentStore::open_with(&dir, 2, 256).unwrap();
+            for i in 0..40 {
+                s.insert(frag(i)).unwrap();
+            }
+            assert!(s.segment_count() > 2, "got {}", s.segment_count());
+        }
+        let s = DurableFragmentStore::open_with(&dir, 2, 256).unwrap();
+        assert_eq!(s.len(), 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_rest_survives() {
+        let dir = tmp_dir("torn");
+        let full_len;
+        {
+            let mut s = DurableFragmentStore::open(&dir).unwrap();
+            for i in 0..10 {
+                s.insert(frag(i)).unwrap();
+            }
+            s.sync().unwrap();
+            full_len = std::fs::metadata(segment_path(&dir, 0)).unwrap().len();
+        }
+        // Tear the last record: chop a few bytes off the file tail.
+        let seg = segment_path(&dir, 0);
+        truncate_to(&seg, full_len - 3).unwrap();
+        let s = DurableFragmentStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 9, "the torn record is dropped, the rest kept");
+        // The file was truncated back to the intact prefix.
+        assert!(std::fs::metadata(&seg).unwrap().len() < full_len - 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreplayable_fragments_are_refused_at_insert() {
+        let dir = tmp_dir("unstorable");
+        let mut s = DurableFragmentStore::open(&dir).unwrap();
+        // A name past the wire decoder's cap would make the logged
+        // record unreadable on replay: refuse it up front.
+        let giant = "g".repeat((crate::MAX_NAME_LEN + 1) as usize);
+        let f = Fragment::single_task("ds-giant", giant, Mode::Disjunctive, ["ds-a"], ["ds-b"])
+            .unwrap();
+        let err = s.insert(f).unwrap_err();
+        assert!(matches!(err, StorageError::Unstorable { .. }), "{err}");
+        assert_eq!(s.len(), 0, "nothing indexed, nothing logged");
+        drop(s);
+        let s = DurableFragmentStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 0, "the log replays clean");
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_fatal_not_silent() {
+        let dir = tmp_dir("midcorrupt");
+        {
+            let mut s = DurableFragmentStore::open_with(&dir, 1, 128).unwrap();
+            for i in 0..20 {
+                s.insert(frag(i)).unwrap();
+            }
+            assert!(s.segment_count() > 1);
+        }
+        // Damage the FIRST segment (not the final one): flip a payload byte.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let idx = bytes.len() - 2;
+        bytes[idx] ^= 0xff;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = DurableFragmentStore::open_with(&dir, 1, 128).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,125 @@
+//! LEB128 variable-length integers — the wire format's only number
+//! encoding.
+//!
+//! Unsigned little-endian base-128: seven payload bits per byte, high bit
+//! set on every byte but the last. Small values (lengths, counts, node
+//! indices, name-table references) take one byte; a full `u64` takes ten.
+
+use crate::error::WireError;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+pub fn write(v: u64, out: &mut Vec<u8>) {
+    let mut v = v;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 integer from `buf[*pos..]`, advancing `*pos`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the buffer ends mid-integer;
+/// [`WireError::Malformed`] when the encoding runs past ten bytes or
+/// overflows 64 bits (bit-flipped continuation bits, not a reason to
+/// loop forever).
+pub fn read(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(WireError::Truncated);
+        };
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(WireError::Malformed("varint overflows u64"));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::Malformed("varint longer than 10 bytes"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) {
+        let mut buf = Vec::new();
+        write(v, &mut buf);
+        let mut pos = 0;
+        assert_eq!(read(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len(), "no trailing bytes for {v}");
+    }
+
+    #[test]
+    fn round_trips_across_the_range() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let mut buf = Vec::new();
+        write(127, &mut buf);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write(128, &mut buf);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        write(u64::MAX, &mut buf);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        write(u64::MAX, &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(read(&buf[..cut], &mut pos), Err(WireError::Truncated));
+        }
+    }
+
+    #[test]
+    fn overlong_and_overflowing_varints_are_rejected() {
+        // Eleven continuation bytes: too long.
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            read(&overlong, &mut pos),
+            Err(WireError::Malformed(_))
+        ));
+        // Ten bytes whose last payload overflows bit 64.
+        let overflow = [0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f];
+        let mut pos = 0;
+        assert!(matches!(
+            read(&overflow, &mut pos),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the wire codec.
+//!
+//! * **Bit-identical round-trips** — `decode(encode(x))` reproduces the
+//!   exact model structure and re-encodes to the exact bytes, for
+//!   arbitrary fragments and specs.
+//! * **Hostile-input totality** — the decoder returns errors (never
+//!   panics, never allocates unboundedly) on every truncation of a
+//!   valid buffer and on arbitrarily bit-flipped buffers.
+
+use openwf_core::{Fragment, Graph, Mode, Spec};
+use openwf_wire::{decode_fragment, decode_spec, encode_fragment, encode_spec, VocabularyBudget};
+use proptest::prelude::*;
+
+/// Compact recipe for one generated multi-task fragment.
+#[derive(Clone, Debug)]
+struct RawFragment {
+    /// Pool labels consumed by each task (1–3 per task).
+    task_inputs: Vec<Vec<u8>>,
+    /// Task mode selector per task.
+    conjunctive: Vec<bool>,
+}
+
+fn arb_fragment() -> impl Strategy<Value = RawFragment> {
+    (
+        collection::vec(collection::vec(any::<u8>(), 1..4), 1..4),
+        collection::vec(any::<bool>(), 3..4),
+    )
+        .prop_map(|(task_inputs, conjunctive)| RawFragment {
+            task_inputs,
+            conjunctive,
+        })
+}
+
+/// Builds a valid fragment from a recipe: task `j` consumes pool labels
+/// (plus task `j-1`'s output, chaining) and produces one fragment-unique
+/// label, so the graph is always a valid workflow.
+fn build_fragment(idx: usize, raw: &RawFragment) -> Fragment {
+    let mut b = Fragment::builder(format!("cpf{idx}"));
+    for (j, inputs) in raw.task_inputs.iter().enumerate() {
+        let mode = if raw.conjunctive[j % raw.conjunctive.len()] {
+            Mode::Conjunctive
+        } else {
+            Mode::Disjunctive
+        };
+        let mut ins: Vec<String> = inputs
+            .iter()
+            .map(|&i| format!("cp-pool{}", i % 24))
+            .collect();
+        if j > 0 {
+            ins.push(format!("cpf{idx}-mid{}", j - 1));
+        }
+        ins.sort();
+        ins.dedup();
+        b = b
+            .task(format!("cpf{idx}-t{j}"), mode)
+            .inputs(ins)
+            .outputs([format!("cpf{idx}-mid{j}")])
+            .done();
+    }
+    b.build().expect("generated fragments are valid")
+}
+
+fn graphs_identical(a: &Graph, b: &Graph) -> bool {
+    a.node_count() == b.node_count()
+        && a.edge_count() == b.edge_count()
+        && a.nodes()
+            .zip(b.nodes())
+            .all(|((ai, ak), (bi, bk))| ai == bi && ak == bk && a.mode(ai) == b.mode(bi))
+        && a.edges().eq(b.edges())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fragments_round_trip_bit_identically(raws in collection::vec(arb_fragment(), 1..6)) {
+        for (i, raw) in raws.iter().enumerate() {
+            let fragment = build_fragment(i, raw);
+            let mut bytes = Vec::new();
+            encode_fragment(&fragment, &mut bytes);
+            let (decoded, consumed) =
+                decode_fragment(&bytes, &mut VocabularyBudget::unlimited())
+                    .expect("valid frames decode");
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(decoded.id(), fragment.id());
+            prop_assert!(
+                graphs_identical(decoded.graph(), fragment.graph()),
+                "decoded graph differs: {:?} vs {:?}", decoded, fragment
+            );
+            let mut re = Vec::new();
+            encode_fragment(&decoded, &mut re);
+            prop_assert_eq!(re, bytes, "re-encode must reproduce the bytes");
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_bit_identically(
+        triggers in collection::vec(any::<u8>(), 0..8),
+        goals in collection::vec(any::<u8>(), 1..8),
+    ) {
+        let spec = Spec::new(
+            triggers.iter().map(|&i| format!("cp-pool{}", i % 24)),
+            goals.iter().map(|&i| format!("cp-goal{}", i % 24)),
+        );
+        let mut bytes = Vec::new();
+        encode_spec(&spec, &mut bytes);
+        let (decoded, consumed) =
+            decode_spec(&bytes, &mut VocabularyBudget::unlimited()).expect("valid spec decodes");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&decoded, &spec);
+        let mut re = Vec::new();
+        encode_spec(&decoded, &mut re);
+        prop_assert_eq!(re, bytes);
+    }
+
+    #[test]
+    fn truncated_input_never_panics_and_always_errors(raw in arb_fragment()) {
+        let fragment = build_fragment(0, &raw);
+        let mut bytes = Vec::new();
+        encode_fragment(&fragment, &mut bytes);
+        for cut in 0..bytes.len() {
+            let result = decode_fragment(&bytes[..cut], &mut VocabularyBudget::unlimited());
+            prop_assert!(result.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn bit_flipped_input_never_panics(
+        raw in arb_fragment(),
+        flips in collection::vec((any::<u16>(), 0u8..8), 1..4),
+        cap in 1usize..64,
+    ) {
+        let fragment = build_fragment(0, &raw);
+        let mut bytes = Vec::new();
+        encode_fragment(&fragment, &mut bytes);
+        for &(pos, bit) in &flips {
+            let idx = pos as usize % bytes.len();
+            bytes[idx] ^= 1 << bit;
+        }
+        // Must return (Ok or Err, both fine) without panicking, with and
+        // without a vocabulary cap in play.
+        let _ = decode_fragment(&bytes, &mut VocabularyBudget::unlimited());
+        let _ = decode_fragment(&bytes, &mut VocabularyBudget::with_cap(cap));
+        let _ = decode_spec(&bytes, &mut VocabularyBudget::unlimited());
+    }
+
+    #[test]
+    fn vocabulary_rejection_is_atomic_for_arbitrary_fragments(raw in arb_fragment()) {
+        let fragment = build_fragment(0, &raw);
+        let mut bytes = Vec::new();
+        encode_fragment(&fragment, &mut bytes);
+        // Count the frame's distinct names via an uncharged decode.
+        let mut probe = VocabularyBudget::with_cap(usize::MAX);
+        decode_fragment(&bytes, &mut probe).expect("valid frame");
+        let names = probe.len();
+        prop_assume!(names > 1);
+        // One short of the requirement: rejected, and nothing recorded.
+        let mut budget = VocabularyBudget::with_cap(names - 1);
+        prop_assert!(decode_fragment(&bytes, &mut budget).is_err());
+        prop_assert_eq!(budget.len(), 0);
+        // Exactly enough: admitted.
+        let mut budget = VocabularyBudget::with_cap(names);
+        prop_assert!(decode_fragment(&bytes, &mut budget).is_ok());
+        prop_assert_eq!(budget.len(), names);
+    }
+}

@@ -13,6 +13,7 @@
 //! | layer | crate | contents |
 //! |---|---|---|
 //! | [`wfcore`] | `openwf-core` | workflow model, fragments, composition, pruning, Algorithm 1 |
+//! | [`wire`] | `openwf-wire` | binary wire codec, vocabulary budget, durable fragment log |
 //! | [`simnet`] | `openwf-simnet` | DES kernel, transports, latency models, faults |
 //! | [`mobility`] | `openwf-mobility` | 2D locations, travel, waypoint mobility |
 //! | [`runtime`] | `openwf-runtime` | the per-host managers and community harness |
@@ -64,6 +65,7 @@ pub use openwf_mobility as mobility;
 pub use openwf_runtime as runtime;
 pub use openwf_scenario as scenario;
 pub use openwf_simnet as simnet;
+pub use openwf_wire as wire;
 
 /// The most common imports for building and running open workflows.
 pub mod prelude {
@@ -74,9 +76,10 @@ pub mod prelude {
     pub use openwf_mobility::{Motion, Point, SiteMap};
     pub use openwf_runtime::{
         Community, CommunityBuilder, HostConfig, Preferences, ProblemStatus, RuntimeParams,
-        ServiceDescription,
+        ServiceDescription, StorageConfig,
     };
     pub use openwf_simnet::{
         ConstantLatency, HostId, SimDuration, SimTime, UniformLatency, Wireless80211g,
     };
+    pub use openwf_wire::{DurableFragmentStore, VocabularyBudget};
 }
