@@ -445,6 +445,26 @@ pub fn decode_msg(buf: &[u8], budget: &mut VocabularyBudget) -> Result<(Msg, usi
     Ok((msg, consumed))
 }
 
+/// True when the `TAG_MSG` frame at the head of `buf` carries a
+/// `FragmentReply` — the message family through which a peer mints
+/// *knowhow* names of its own choosing (every other message echoes
+/// names from specs, queries and plans that originate elsewhere).
+/// Frame receivers use this to decide whether an over-budget frame is
+/// evidence against its sender (`HostCore::handle_frame` blames — and
+/// eventually quarantines — only for replies); it costs a full frame
+/// parse, so keep it off decode hot paths.
+///
+/// # Errors
+///
+/// Any [`WireError`] from frame parsing or an empty payload.
+pub fn frame_is_fragment_reply(buf: &[u8]) -> Result<bool, WireError> {
+    let (frame, _) = read_frame(buf)?;
+    if frame.tag != TAG_MSG {
+        return Err(WireError::UnknownTag(frame.tag));
+    }
+    Ok(frame.reader().byte()? == V_FRAGMENT_REPLY)
+}
+
 /// The exact encoded size of a message in bytes (one full frame).
 ///
 /// Allocates a scratch buffer per call; the simulator's bandwidth model

@@ -4,17 +4,24 @@
 //! network — the §5 experimental setup ("configure the hosts, establish
 //! connectivity within the community") plus convenience drivers that
 //! submit problems and run the network until allocation or completion.
+//! It is a facade over [`SimDriver`], the simulator implementation of
+//! the transport-agnostic [`Driver`] API; the same scenarios run over
+//! encoded wire frames through
+//! [`crate::driver::LoopbackBytesDriver`].
 
 use std::fmt;
 
 use openwf_core::Spec;
 use openwf_simnet::{HostId, LatencyModel, NetStats, SimNetwork, SimTime};
 
+use crate::driver::{Driver, SimDriver};
 use crate::host::{HostConfig, OwmsHost};
-use crate::messages::{Msg, ProblemId};
+use crate::messages::Msg;
 use crate::params::RuntimeParams;
 use crate::report::ProblemReport;
 use crate::workflow_mgr::Phase;
+
+pub use crate::driver::ProblemHandle;
 
 /// Builder for a [`Community`].
 pub struct CommunityBuilder {
@@ -69,18 +76,9 @@ impl CommunityBuilder {
             !self.hosts.is_empty(),
             "a community needs at least one host"
         );
-        let mut net: SimNetwork<Msg, OwmsHost> = SimNetwork::new(self.seed);
-        if let Some(model) = self.latency {
-            net.set_latency_boxed(model);
+        Community {
+            driver: SimDriver::build(self.seed, self.params, self.latency, self.hosts),
         }
-        let n = self.hosts.len() as u32;
-        let all: Vec<HostId> = (0..n).map(HostId).collect();
-        for cfg in self.hosts {
-            let mut host = OwmsHost::new(cfg, self.params.clone());
-            host.set_community(all.clone());
-            net.add_host(host);
-        }
-        Community { net, next_seq: 0 }
     }
 }
 
@@ -93,112 +91,88 @@ impl fmt::Debug for CommunityBuilder {
     }
 }
 
-/// Handle to a submitted problem.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ProblemHandle {
-    /// The first-attempt problem id.
-    pub id: ProblemId,
-}
-
 /// A running community of open workflow hosts.
 pub struct Community {
-    net: SimNetwork<Msg, OwmsHost>,
-    next_seq: u32,
+    driver: SimDriver,
 }
 
 impl Community {
     /// All host ids.
     pub fn hosts(&self) -> Vec<HostId> {
-        self.net.hosts()
+        self.driver.hosts()
     }
 
     /// Immutable access to a host.
     pub fn host(&self, id: HostId) -> &OwmsHost {
-        self.net.host(id)
+        self.driver.host(id)
     }
 
     /// Mutable access to a host (e.g. to install service hooks).
     pub fn host_mut(&mut self, id: HostId) -> &mut OwmsHost {
-        self.net.host_mut(id)
+        self.driver.host_mut(id)
     }
 
     /// The underlying network (topology, faults, latency, stats).
     pub fn net_mut(&mut self) -> &mut SimNetwork<Msg, OwmsHost> {
-        &mut self.net
+        self.driver.net_mut()
+    }
+
+    /// The underlying simulator driver (the [`Driver`]-trait view of
+    /// this community).
+    pub fn driver_mut(&mut self) -> &mut SimDriver {
+        &mut self.driver
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.net.now()
+        self.driver.now()
     }
 
     /// Network traffic counters.
     pub fn stats(&self) -> NetStats {
-        self.net.stats()
+        self.driver.stats()
     }
 
     /// Submits a problem specification to `initiator` (the Workflow
     /// Initiator's job in §4.2). Returns a handle for driving/reporting.
     pub fn submit(&mut self, initiator: HostId, spec: Spec) -> ProblemHandle {
-        let id = ProblemId::new(initiator, self.next_seq);
-        self.next_seq += 1;
-        self.net
-            .send_external(initiator, initiator, Msg::Initiate { problem: id, spec });
-        ProblemHandle { id }
+        self.driver.submit(initiator, spec)
     }
 
     /// The latest-attempt report for a problem, if any.
     pub fn report(&self, handle: ProblemHandle) -> Option<ProblemReport> {
-        self.net
-            .host(handle.id.initiator)
-            .latest_attempt(handle.id)
-            .map(|ws| ws.report.clone())
+        self.driver.report(handle)
     }
 
     /// The latest-attempt phase for a problem.
     pub fn phase(&self, handle: ProblemHandle) -> Option<Phase> {
-        self.net
-            .host(handle.id.initiator)
-            .latest_attempt(handle.id)
-            .map(|ws| ws.phase.clone())
+        self.driver.phase(handle)
     }
 
     /// Runs until the problem's tasks are all allocated (the paper's
     /// measurement endpoint) or the problem fails; returns the report.
     pub fn run_until_allocated(&mut self, handle: ProblemHandle) -> ProblemReport {
-        self.net.run_until_pred(|net| {
-            match net.host(handle.id.initiator).latest_attempt(handle.id) {
-                Some(ws) => ws.report.timings.allocated_at.is_some() || ws.phase == Phase::Failed,
-                None => false,
-            }
-        });
-        self.report(handle).expect("workspace exists after submit")
+        self.driver.run_until_allocated(handle)
     }
 
     /// Runs until the problem completes (all goals delivered) or fails;
     /// returns the report.
     pub fn run_until_complete(&mut self, handle: ProblemHandle) -> ProblemReport {
-        self.net.run_until_pred(|net| {
-            match net.host(handle.id.initiator).latest_attempt(handle.id) {
-                Some(ws) => matches!(ws.phase, Phase::Completed | Phase::Failed),
-                None => false,
-            }
-        });
-        self.report(handle).expect("workspace exists after submit")
+        self.driver.run_until_complete(handle)
     }
 
     /// Runs the network to quiescence (drains watchdogs and hold-expiry
     /// timers too).
     pub fn run_to_quiescence(&mut self) -> SimTime {
-        self.net.run_until_quiescent()
+        self.driver.run_until_quiescent()
     }
 }
 
 impl fmt::Debug for Community {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Community")
-            .field("hosts", &self.net.len())
-            .field("now", &self.net.now())
+            .field("hosts", &self.hosts().len())
+            .field("now", &self.now())
             .finish()
     }
 }

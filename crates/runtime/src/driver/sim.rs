@@ -1,0 +1,117 @@
+//! The simulator driver: [`HostCore`]s adapted back onto
+//! `openwf-simnet`'s deterministic discrete-event kernel.
+
+use std::fmt;
+
+use openwf_core::Spec;
+use openwf_simnet::{HostId, LatencyModel, NetStats, SimNetwork, SimTime};
+
+use crate::core_sm::{HostConfig, HostCore};
+use crate::driver::{Driver, ProblemHandle};
+use crate::host::OwmsHost;
+use crate::messages::{Msg, ProblemId};
+use crate::params::RuntimeParams;
+
+/// Drives a community on the virtual-time simulator: each host is an
+/// [`OwmsHost`] actor (the thin `simnet` adapter over [`HostCore`]),
+/// messages travel as typed [`Msg`]s through the pluggable
+/// latency/topology/fault models, and the run is a deterministic
+/// function of the seed.
+pub struct SimDriver {
+    net: SimNetwork<Msg, OwmsHost>,
+    next_seq: u32,
+}
+
+impl SimDriver {
+    /// Assembles a community network from per-host configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn build(
+        seed: u64,
+        params: RuntimeParams,
+        latency: Option<Box<dyn LatencyModel + 'static>>,
+        configs: Vec<HostConfig>,
+    ) -> Self {
+        assert!(!configs.is_empty(), "a community needs at least one host");
+        let mut net: SimNetwork<Msg, OwmsHost> = SimNetwork::new(seed);
+        if let Some(model) = latency {
+            net.set_latency_boxed(model);
+        }
+        let n = configs.len() as u32;
+        let all: Vec<HostId> = (0..n).map(HostId).collect();
+        for cfg in configs {
+            let mut host = OwmsHost::new(cfg, params.clone());
+            host.set_community(all.clone());
+            net.add_host(host);
+        }
+        SimDriver { net, next_seq: 0 }
+    }
+
+    /// The underlying network (topology, faults, latency, stats).
+    pub fn net_mut(&mut self) -> &mut SimNetwork<Msg, OwmsHost> {
+        &mut self.net
+    }
+
+    /// Immutable access to a host's simulator adapter.
+    pub fn host(&self, id: HostId) -> &OwmsHost {
+        self.net.host(id)
+    }
+
+    /// Mutable access to a host's simulator adapter.
+    pub fn host_mut(&mut self, id: HostId) -> &mut OwmsHost {
+        self.net.host_mut(id)
+    }
+
+    /// Network traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Runs until `pred` holds on the network (checked after every
+    /// event) or the queue empties. Returns `true` if the predicate
+    /// held.
+    pub fn run_until_pred(&mut self, pred: impl FnMut(&SimNetwork<Msg, OwmsHost>) -> bool) -> bool {
+        self.net.run_until_pred(pred)
+    }
+}
+
+impl Driver for SimDriver {
+    fn hosts(&self) -> Vec<HostId> {
+        self.net.hosts()
+    }
+
+    fn core(&self, id: HostId) -> &HostCore {
+        self.net.host(id).core()
+    }
+
+    fn core_mut(&mut self, id: HostId) -> &mut HostCore {
+        self.net.host_mut(id).core_mut()
+    }
+
+    fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    fn submit(&mut self, initiator: HostId, spec: Spec) -> ProblemHandle {
+        let id = ProblemId::new(initiator, self.next_seq);
+        self.next_seq += 1;
+        self.net
+            .send_external(initiator, initiator, Msg::Initiate { problem: id, spec });
+        ProblemHandle { id }
+    }
+
+    fn step(&mut self) -> bool {
+        self.net.step()
+    }
+}
+
+impl fmt::Debug for SimDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimDriver")
+            .field("hosts", &self.net.len())
+            .field("now", &self.net.now())
+            .finish()
+    }
+}

@@ -1,212 +1,31 @@
-//! The open workflow host: one participant's device.
+//! The open workflow host: one participant's device on the simulated
+//! network.
 //!
-//! [`OwmsHost`] wires the paper's §4.2 components into a single
-//! [`Actor`]: the construction subsystem (Workflow Manager + Auction
-//! Manager driving) and the execution subsystem (Fragment, Service,
-//! Schedule, Auction Participation and Execution Managers). "One host acts
-//! as the initiator while all hosts (including the initiator) may act as
-//! participants."
+//! [`OwmsHost`] is a **thin transport adapter**: all protocol logic lives
+//! in the sans-io [`HostCore`] state machine (see [`crate::core_sm`]).
+//! This type merely implements [`Actor`] by forwarding each delivered
+//! message/timer into the core and replaying the returned
+//! [`ActionQueue`] onto the simulator's [`Context`] — sends become
+//! `ctx.send`, timers become `ctx.set_timer`, compute charges become
+//! `ctx.charge`, and [`WorkflowEvent`]s are collected for inspection.
+//! The same core drives identically over encoded wire frames through
+//! [`crate::driver::LoopbackBytesDriver`].
 
-use std::collections::HashMap;
 use std::fmt;
-use std::path::PathBuf;
-use std::sync::Arc;
 
-use openwf_core::{Fragment, Label, TaskId};
-use openwf_mobility::{Motion, Point, SiteMap};
-use openwf_simnet::{Actor, Context, HostId, SimDuration, SimTime, TimerToken};
-use openwf_wire::VocabularyBudget;
+use openwf_simnet::{Actor, Context, HostId, TimerToken};
 
-use crate::auction::{AuctionAction, ProblemAuctions};
-use crate::auction_part::{AuctionParticipationManager, BidDecision};
-use crate::codec;
-use crate::exec::{ExecEvent, ExecutionManager};
-use crate::fragment_mgr::FragmentManager;
+use crate::core_sm::{Action, ActionQueue, HostCore, WorkflowEvent};
 use crate::messages::{Msg, ProblemId};
-use crate::metadata::{build_plans, compute_metadata};
 use crate::params::RuntimeParams;
-use crate::prefs::Preferences;
-use crate::report::ProblemStatus;
-use crate::schedule::ScheduleManager;
-use crate::service::{ServiceDescription, ServiceManager};
-use crate::workflow_mgr::{Phase, WorkflowManager, WsAction};
 
-/// Which storage backend backs a host's Fragment Manager (see
-/// [`openwf_core::FragmentBackend`]).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub enum StorageConfig {
-    /// Knowhow lives only in memory (the default; a restart loses it).
-    #[default]
-    InMemory,
-    /// Knowhow is appended to `openwf-wire`'s CRC-checked segment log in
-    /// `dir` and replayed on restart, so a restarted host reconstructs
-    /// the same database — and therefore bit-identical supergraphs.
-    Durable {
-        /// Log directory (created if absent; an existing log is
-        /// replayed).
-        dir: PathBuf,
-        /// Segment roll size in bytes
-        /// ([`openwf_wire::DEFAULT_SEGMENT_BYTES`] unless overridden).
-        segment_bytes: u64,
-    },
-}
+pub use crate::core_sm::{HostConfig, StorageConfig};
 
-/// Static configuration of one host: its knowhow, capabilities, place and
-/// disposition (the paper's deployment steps 2 and 3: "adding knowhow in
-/// the form of workflow fragments, and adding service descriptions").
-#[derive(Debug)]
-pub struct HostConfig {
-    /// Workflow fragments this host knows (shared handles; scenario
-    /// generators hand the same allocation to every consumer).
-    pub fragments: Vec<Arc<Fragment>>,
-    /// Services this host offers.
-    pub services: Vec<ServiceDescription>,
-    /// Starting position.
-    pub position: Point,
-    /// Motion capability.
-    pub motion: Motion,
-    /// Site map for resolving symbolic locations.
-    pub site: SiteMap,
-    /// Willingness preferences.
-    pub prefs: Preferences,
-    /// Construction parallelism: worker threads (and fragment-store
-    /// shards) this host uses to answer and fan out frontier queries.
-    /// `1` (default) keeps everything inline; `0` means one worker per
-    /// hardware thread.
-    pub construction_threads: usize,
-    /// Per-community vocabulary cap: the maximum number of distinct
-    /// interned names (labels, tasks, fragment ids) this host admits
-    /// across its own knowhow and peer fragment replies. Replies that
-    /// would exceed the cap are rejected as protocol errors instead of
-    /// growing the process-wide interner without bound. Enforcement runs
-    /// at wire decode (`openwf-wire`'s `VocabularyBudget`): a capped
-    /// host routes peer replies through the binary codec and charges
-    /// each distinct un-interned name *before* anything is interned.
-    /// `None` (default) trusts the community.
-    pub max_interned_names: Option<usize>,
-    /// Fragment storage backend (see [`StorageConfig`]). The default is
-    /// in-memory.
-    pub storage: StorageConfig,
-}
-
-impl Default for HostConfig {
-    fn default() -> Self {
-        HostConfig {
-            fragments: Vec::new(),
-            services: Vec::new(),
-            position: Point::ORIGIN,
-            motion: Motion::STATIONARY,
-            site: SiteMap::new(),
-            prefs: Preferences::willing(),
-            construction_threads: 1,
-            max_interned_names: None,
-            storage: StorageConfig::InMemory,
-        }
-    }
-}
-
-impl HostConfig {
-    /// An empty configuration (no knowhow, no services, stationary at the
-    /// origin).
-    pub fn new() -> Self {
-        HostConfig::default()
-    }
-
-    /// Adds a fragment (owned or shared).
-    pub fn with_fragment(mut self, fragment: impl Into<Arc<Fragment>>) -> Self {
-        self.fragments.push(fragment.into());
-        self
-    }
-
-    /// Adds a service.
-    pub fn with_service(mut self, service: ServiceDescription) -> Self {
-        self.services.push(service);
-        self
-    }
-
-    /// Sets position and motion.
-    pub fn located(mut self, position: Point, motion: Motion) -> Self {
-        self.position = position;
-        self.motion = motion;
-        self
-    }
-
-    /// Sets the site map.
-    pub fn with_site(mut self, site: SiteMap) -> Self {
-        self.site = site;
-        self
-    }
-
-    /// Sets preferences.
-    pub fn with_prefs(mut self, prefs: Preferences) -> Self {
-        self.prefs = prefs;
-        self
-    }
-
-    /// Sets the construction worker-thread count (`0` = one per hardware
-    /// thread).
-    pub fn with_construction_threads(mut self, threads: usize) -> Self {
-        self.construction_threads = threads;
-        self
-    }
-
-    /// Sets the per-community vocabulary cap (see
-    /// [`HostConfig::max_interned_names`]).
-    pub fn with_vocabulary_cap(mut self, cap: usize) -> Self {
-        self.max_interned_names = Some(cap);
-        self
-    }
-
-    /// Selects the fragment storage backend.
-    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
-        self.storage = storage;
-        self
-    }
-
-    /// Persists this host's knowhow in a durable segment log at `dir`
-    /// (replayed on restart; see [`StorageConfig::Durable`]).
-    pub fn with_durable_storage(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.storage = StorageConfig::Durable {
-            dir: dir.into(),
-            segment_bytes: openwf_wire::DEFAULT_SEGMENT_BYTES,
-        };
-        self
-    }
-}
-
-#[derive(Clone, Debug)]
-enum TimerPurpose {
-    RoundTimeout { problem: ProblemId, round: u32 },
-    AuctionDeadline { problem: ProblemId, task: TaskId },
-    BidHoldExpiry { problem: ProblemId, task: TaskId },
-    ExecStart { problem: ProblemId, task: TaskId },
-    ExecFinish { problem: ProblemId, task: TaskId },
-    Watchdog { problem: ProblemId },
-}
-
-/// One participant's device: all managers plus protocol glue.
+/// One participant's device: the sans-io [`HostCore`] bound to the
+/// simulator transport.
 pub struct OwmsHost {
-    community: Vec<HostId>,
-    params: RuntimeParams,
-    prefs: Preferences,
-    /// Execution subsystem.
-    fragment_mgr: FragmentManager,
-    service_mgr: ServiceManager,
-    schedule: ScheduleManager,
-    auction_part: AuctionParticipationManager,
-    exec_mgr: ExecutionManager,
-    /// Construction subsystem.
-    workflow_mgr: WorkflowManager,
-    /// Vocabulary trust boundary: the decode-side budget capped peer
-    /// replies are charged against (see [`crate::codec::reply_through_wire`]).
-    vocab: VocabularyBudget,
-    vocabulary_rejections: u64,
-    /// Per-peer vocabulary rejection tallies — the bookkeeping a future
-    /// per-peer rate limit will act on.
-    vocab_rejections_by_peer: HashMap<HostId, u64>,
-    /// Timer bookkeeping.
-    timers: HashMap<u64, TimerPurpose>,
-    next_timer: u64,
+    core: HostCore,
+    events: Vec<WorkflowEvent>,
 }
 
 impl OwmsHost {
@@ -217,758 +36,131 @@ impl OwmsHost {
     /// Panics when [`StorageConfig::Durable`] storage cannot be opened
     /// or an insert cannot be persisted (I/O failure, corrupt log).
     pub fn new(config: HostConfig, params: RuntimeParams) -> Self {
-        let mut fragment_mgr = match config.storage {
-            StorageConfig::InMemory => {
-                FragmentManager::with_parallelism(config.construction_threads)
-            }
-            StorageConfig::Durable { dir, segment_bytes } => {
-                FragmentManager::durable(dir, config.construction_threads, segment_bytes)
-                    .expect("open the durable fragment log")
-            }
-        };
-        for f in config.fragments {
-            // A durable backend may have replayed this exact fragment
-            // from its log already (a restarted host re-running its
-            // config): re-appending it would grow the log by one
-            // replace-by-id record per restart, so skip byte-identical
-            // knowhow. A *changed* fragment under the same id still
-            // replaces the logged one.
-            let already_logged = fragment_mgr.store().get(f.id()).is_some_and(|existing| {
-                let mut a = Vec::new();
-                let mut b = Vec::new();
-                openwf_wire::encode_fragment(existing, &mut a);
-                openwf_wire::encode_fragment(&f, &mut b);
-                a == b
-            });
-            if !already_logged {
-                fragment_mgr.add(f);
-            }
-        }
-        let mut vocab = VocabularyBudget::new(config.max_interned_names);
-        if vocab.cap().is_some() {
-            // Own knowhow is trusted: it seeds the vocabulary instead of
-            // being checked against the cap. Seed from the *manager*,
-            // not the config, so knowhow replayed from a durable log
-            // keeps its budget headroom across restarts.
-            for f in fragment_mgr.fragments() {
-                vocab.seed_fragment(f);
-            }
-        }
-        let mut service_mgr = ServiceManager::new();
-        for s in config.services {
-            service_mgr.register(s);
-        }
-        let schedule = ScheduleManager::new(config.position, config.motion, config.site);
         OwmsHost {
-            community: Vec::new(),
-            params,
-            prefs: config.prefs,
-            fragment_mgr,
-            service_mgr,
-            schedule,
-            auction_part: AuctionParticipationManager::new(),
-            exec_mgr: ExecutionManager::new(),
-            workflow_mgr: WorkflowManager::new(),
-            vocab,
-            vocabulary_rejections: 0,
-            vocab_rejections_by_peer: HashMap::new(),
-            timers: HashMap::new(),
-            next_timer: 0,
+            core: HostCore::new(config, params),
+            events: Vec::new(),
         }
+    }
+
+    /// The sans-io protocol core this adapter drives.
+    pub fn core(&self) -> &HostCore {
+        &self.core
+    }
+
+    /// Mutable access to the protocol core.
+    pub fn core_mut(&mut self) -> &mut HostCore {
+        &mut self.core
+    }
+
+    /// Workflow events the core surfaced so far (milestones, quarantine
+    /// decisions), in emission order.
+    pub fn events(&self) -> &[WorkflowEvent] {
+        &self.events
     }
 
     /// Number of peer fragment replies rejected at the vocabulary trust
     /// boundary (see [`HostConfig::max_interned_names`]).
     pub fn vocabulary_rejections(&self) -> u64 {
-        self.vocabulary_rejections
+        self.core.vocabulary_rejections()
     }
 
-    /// Vocabulary rejections attributed to one peer — groundwork for
-    /// per-peer rate limiting of name-minting hosts.
+    /// Vocabulary rejections attributed to one peer (what
+    /// [`HostConfig::max_vocabulary_rejections`] acts on).
     pub fn vocabulary_rejections_from(&self, peer: HostId) -> u64 {
-        self.vocab_rejections_by_peer
-            .get(&peer)
-            .copied()
-            .unwrap_or(0)
+        self.core.vocabulary_rejections_from(peer)
     }
 
     /// Distinct names recorded in the vocabulary budget (own knowhow —
     /// including knowhow replayed from a durable log — plus admitted
     /// peer names). Always 0 for uncapped hosts, which track nothing.
     pub fn vocabulary_names(&self) -> usize {
-        self.vocab.len()
+        self.core.vocabulary_names()
     }
 
     /// Sets the community membership (all host ids, including this one).
     /// Called by the community builder before the network starts.
     pub fn set_community(&mut self, community: Vec<HostId>) {
-        self.community = community;
+        self.core.set_community(community);
     }
 
     /// The workflow manager (workspaces/reports), for inspection.
-    pub fn workflow_mgr(&self) -> &WorkflowManager {
-        &self.workflow_mgr
+    pub fn workflow_mgr(&self) -> &crate::workflow_mgr::WorkflowManager {
+        self.core.workflow_mgr()
     }
 
     /// The fragment manager, for inspection and late configuration.
-    pub fn fragment_mgr_mut(&mut self) -> &mut FragmentManager {
-        &mut self.fragment_mgr
+    pub fn fragment_mgr_mut(&mut self) -> &mut crate::fragment_mgr::FragmentManager {
+        self.core.fragment_mgr_mut()
     }
 
     /// The service manager, for inspection, hooks and late configuration.
-    pub fn service_mgr_mut(&mut self) -> &mut ServiceManager {
-        &mut self.service_mgr
+    pub fn service_mgr_mut(&mut self) -> &mut crate::service::ServiceManager {
+        self.core.service_mgr_mut()
     }
 
     /// The service manager (read-only).
-    pub fn service_mgr(&self) -> &ServiceManager {
-        &self.service_mgr
+    pub fn service_mgr(&self) -> &crate::service::ServiceManager {
+        self.core.service_mgr()
     }
 
     /// The schedule manager (commitments), for inspection.
-    pub fn schedule(&self) -> &ScheduleManager {
-        &self.schedule
+    pub fn schedule(&self) -> &crate::schedule::ScheduleManager {
+        self.core.schedule()
     }
 
     /// The workspace of the **latest attempt** of the problem `base`
     /// belongs to, if any.
     pub fn latest_attempt(&self, base: ProblemId) -> Option<&crate::workflow_mgr::Workspace> {
-        self.workflow_mgr
-            .iter()
-            .filter(|ws| ws.problem.same_problem(base))
-            .max_by_key(|ws| ws.problem.attempt)
+        self.core.latest_attempt(base)
     }
 
-    fn arm(&mut self, ctx: &mut Context<'_, Msg>, delay: SimDuration, purpose: TimerPurpose) {
-        let token = self.next_timer;
-        self.next_timer += 1;
-        self.timers.insert(token, purpose);
-        ctx.set_timer(delay, TimerToken(token));
-    }
-
-    fn arm_at(&mut self, ctx: &mut Context<'_, Msg>, at: SimTime, purpose: TimerPurpose) {
-        let delay = at.since(ctx.now());
-        self.arm(ctx, delay, purpose);
-    }
-
-    fn others(&self, me: HostId) -> Vec<HostId> {
-        self.community
-            .iter()
-            .copied()
-            .filter(|&h| h != me)
-            .collect()
-    }
-
-    fn apply_ws_actions(
-        &mut self,
-        problem: ProblemId,
-        actions: Vec<WsAction>,
-        ctx: &mut Context<'_, Msg>,
-    ) {
-        for action in actions {
+    /// Replays a core action queue onto the simulator context.
+    fn apply(&mut self, queue: ActionQueue, ctx: &mut Context<'_, Msg>) {
+        ctx.charge(queue.charged());
+        for action in queue {
             match action {
-                WsAction::BroadcastFragmentQuery { round, labels } => {
-                    let msg = Msg::FragmentQuery {
-                        problem,
-                        round,
-                        labels,
-                    };
-                    ctx.send_all(self.others(ctx.self_id()), msg);
-                }
-                WsAction::BroadcastCapabilityQuery { round, tasks } => {
-                    let msg = Msg::CapabilityQuery {
-                        problem,
-                        round,
-                        tasks,
-                    };
-                    ctx.send_all(self.others(ctx.self_id()), msg);
-                }
-                WsAction::ArmRoundTimeout { round } => {
-                    let delay = self.params.round_timeout;
-                    self.arm(ctx, delay, TimerPurpose::RoundTimeout { problem, round });
-                }
-                WsAction::Charge(d) => ctx.charge(d),
-                WsAction::Constructed => self.start_allocation(problem, ctx),
-                WsAction::Failed { .. } => {
-                    // Construction failure is final: the community's live
-                    // knowledge cannot satisfy the spec. (Repair handles
-                    // allocation/execution failures, where retrying can
-                    // help because community state changed.)
+                Action::Send { to, msg } => ctx.send(to, msg),
+                Action::SetTimer { delay, token } => ctx.set_timer(delay, token),
+                Action::Event(event) => self.events.push(event),
+                Action::SendBytes { to, bytes } => {
+                    // The simulated network carries typed `Msg`s. A core
+                    // someone switched to `OutboundMode::Encoded` still
+                    // works here: carry its frame back to a typed
+                    // message (our own core encoded it, so decoding
+                    // cannot mint foreign names — no budget involved; a
+                    // malformed frame is impossible from our encoder and
+                    // is dropped like transport loss if it happens).
+                    if let Ok((msg, _)) = crate::codec::decode_msg(
+                        &bytes,
+                        &mut openwf_wire::VocabularyBudget::unlimited(),
+                    ) {
+                        ctx.send(to, msg);
+                    }
                 }
             }
         }
-    }
-
-    fn start_allocation(&mut self, problem: ProblemId, ctx: &mut Context<'_, Msg>) {
-        let now = ctx.now();
-        let community_size = self.community.len();
-        let Some(ws) = self.workflow_mgr.get_mut(&problem) else {
-            return;
-        };
-        ws.report.timings.constructed_at = Some(now);
-        let workflow = ws
-            .construction
-            .as_ref()
-            .expect("constructed phase has a workflow")
-            .workflow()
-            .clone();
-        // Task metadata (§3.2): levels, inputs/outputs, earliest starts.
-        // Location requirements are looked up from the *bidders'* service
-        // descriptions; the initiator does not constrain locations here.
-        let metas = compute_metadata(&workflow, now, SimDuration::ZERO, |_| None);
-        ws.auctions = Some(ProblemAuctions::open(metas.clone(), community_size));
-
-        if metas.is_empty() {
-            // Trivial workflow (goals were triggers): skip auctions.
-            self.finalize_allocation(problem, ctx);
-            return;
-        }
-
-        // Call for bids: pairwise to every other member…
-        let others = self.others(ctx.self_id());
-        for (task, meta) in &metas {
-            ctx.send_all(
-                others.iter().copied(),
-                Msg::CallForBids {
-                    problem,
-                    task: task.clone(),
-                    meta: meta.clone(),
-                },
-            );
-        }
-        // …and the initiator participates through the same logic, locally.
-        for (task, meta) in metas {
-            let decision = self.auction_part.consider(
-                problem,
-                &task,
-                &meta,
-                now,
-                &self.service_mgr,
-                &mut self.schedule,
-                &self.prefs,
-                &self.params,
-            );
-            match decision {
-                BidDecision::Submit(bid) => {
-                    let expiry = bid.deadline + self.params.round_timeout;
-                    self.arm_at(
-                        ctx,
-                        expiry,
-                        TimerPurpose::BidHoldExpiry {
-                            problem,
-                            task: task.clone(),
-                        },
-                    );
-                    let me = ctx.self_id();
-                    let action = self
-                        .workflow_mgr
-                        .get_mut(&problem)
-                        .and_then(|ws| ws.auctions.as_mut())
-                        .map(|a| a.on_bid(&task, me, bid))
-                        .unwrap_or(AuctionAction::None);
-                    self.handle_auction_action(problem, action, ctx);
-                }
-                BidDecision::Decline(_) => {
-                    let me = ctx.self_id();
-                    let action = self
-                        .workflow_mgr
-                        .get_mut(&problem)
-                        .and_then(|ws| ws.auctions.as_mut())
-                        .map(|a| a.on_decline(&task, me))
-                        .unwrap_or(AuctionAction::None);
-                    self.handle_auction_action(problem, action, ctx);
-                }
-            }
-        }
-    }
-
-    fn handle_auction_action(
-        &mut self,
-        problem: ProblemId,
-        action: AuctionAction,
-        ctx: &mut Context<'_, Msg>,
-    ) {
-        match action {
-            AuctionAction::None => {}
-            AuctionAction::ArmDeadline(task, at) => {
-                self.arm_at(ctx, at, TimerPurpose::AuctionDeadline { problem, task });
-            }
-            AuctionAction::Award(task, host, assignment) => {
-                if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
-                    ws.assignments.push((task.clone(), assignment.clone()));
-                }
-                ctx.send(
-                    host,
-                    Msg::Award {
-                        problem,
-                        task,
-                        assignment,
-                    },
-                );
-                self.maybe_finish_allocation(problem, ctx);
-            }
-            AuctionAction::Unallocatable(task) => {
-                if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
-                    ws.unallocatable.push(task);
-                }
-                self.maybe_finish_allocation(problem, ctx);
-            }
-        }
-    }
-
-    fn maybe_finish_allocation(&mut self, problem: ProblemId, ctx: &mut Context<'_, Msg>) {
-        let done = self
-            .workflow_mgr
-            .get(&problem)
-            .and_then(|ws| ws.auctions.as_ref())
-            .map(|a| a.all_decided())
-            .unwrap_or(false);
-        if done {
-            self.finalize_allocation(problem, ctx);
-        }
-    }
-
-    fn finalize_allocation(&mut self, problem: ProblemId, ctx: &mut Context<'_, Msg>) {
-        let now = ctx.now();
-        let Some(ws) = self.workflow_mgr.get_mut(&problem) else {
-            return;
-        };
-        if !ws.unallocatable.is_empty() {
-            let reason = format!(
-                "tasks without any capable/willing host: {:?}",
-                ws.unallocatable
-            );
-            self.repair_or_fail(problem, reason, ctx);
-            return;
-        }
-        ws.report.timings.allocated_at = Some(now);
-        ws.report.status = ProblemStatus::Executing;
-        ws.phase = Phase::Executing;
-        ws.report.assignments = ws
-            .assignments
-            .iter()
-            .map(|(t, a)| (t.clone(), a.host))
-            .collect();
-
-        let workflow = ws
-            .construction
-            .as_ref()
-            .expect("allocated phase has a workflow")
-            .workflow()
-            .clone();
-        let goals = ws.spec.goals().clone();
-        let triggers = ws.spec.triggers().clone();
-        let assignments = ws.assignments.clone();
-
-        // Goals the environment supplies directly (no producer task).
-        let mut trivially_done: Vec<Label> = Vec::new();
-        for goal in &goals {
-            if workflow.contains_label(goal) && workflow.producer(goal).is_none() {
-                trivially_done.push(goal.clone());
-            }
-        }
-        for g in &trivially_done {
-            ws.goals_pending.remove(g);
-            ws.report.goals_delivered.push(g.clone());
-        }
-
-        // Dispatch execution plans (self-sends included for uniformity).
-        let plans = build_plans(&workflow, &assignments, &goals);
-        for (host, plan) in plans {
-            ctx.send(host, Msg::Execute { problem, plan });
-        }
-
-        // Seed trigger labels to the hosts consuming them.
-        let host_of = |task: &TaskId| -> Option<HostId> {
-            assignments
-                .iter()
-                .find(|(t, _)| t == task)
-                .map(|(_, a)| a.host)
-        };
-        for label in &triggers {
-            if !workflow.contains_label(label) {
-                continue;
-            }
-            let mut targets: Vec<HostId> = workflow
-                .consumers(label)
-                .iter()
-                .filter_map(host_of)
-                .collect();
-            targets.sort();
-            targets.dedup();
-            for h in targets {
-                ctx.send(
-                    h,
-                    Msg::InputDelivery {
-                        problem,
-                        label: label.clone(),
-                    },
-                );
-            }
-        }
-
-        let watchdog = self.params.execution_watchdog;
-        self.arm(ctx, watchdog, TimerPurpose::Watchdog { problem });
-        self.check_completion(problem, ctx);
-    }
-
-    fn check_completion(&mut self, problem: ProblemId, ctx: &mut Context<'_, Msg>) {
-        let Some(ws) = self.workflow_mgr.get_mut(&problem) else {
-            return;
-        };
-        if ws.phase == Phase::Executing && ws.goals_pending.is_empty() {
-            ws.phase = Phase::Completed;
-            ws.report.status = ProblemStatus::Completed;
-            ws.report.timings.completed_at = Some(ctx.now());
-        }
-    }
-
-    fn repair_or_fail(&mut self, problem: ProblemId, reason: String, ctx: &mut Context<'_, Msg>) {
-        let (attempts_used, spec, original_start) = match self.workflow_mgr.get_mut(&problem) {
-            Some(ws) => {
-                ws.phase = Phase::Failed;
-                ws.report.status = ProblemStatus::Failed {
-                    reason: reason.clone(),
-                };
-                (
-                    ws.report.repair_attempts,
-                    ws.spec.clone(),
-                    ws.report.timings.initiated_at,
-                )
-            }
-            None => return,
-        };
-        if attempts_used >= self.params.max_repair_attempts {
-            return;
-        }
-        // "A failure … should result in a revised or repaired workflow,
-        // which requires reconstruction [and] reallocation" (§5.1): retry
-        // the whole pipeline under a fresh attempt id. Crashed hosts
-        // simply never answer; round timeouts carry construction forward
-        // with the knowledge that is still alive.
-        let next = problem.next_attempt();
-        self.exec_mgr.abandon(&problem);
-        self.schedule.release_problem(problem);
-        let n_peers = self.community.len().saturating_sub(1);
-        self.workflow_mgr.create(next, spec, ctx.now(), n_peers);
-        if let Some(ws) = self.workflow_mgr.get_mut(&next) {
-            ws.report.repair_attempts = attempts_used + 1;
-            // End-to-end timing spans the failed attempt too.
-            ws.report.timings.initiated_at = original_start;
-            let actions = ws.begin(&self.fragment_mgr, &self.service_mgr, &self.params);
-            self.apply_ws_actions(next, actions, ctx);
-        }
-    }
-
-    fn apply_exec_events(
-        &mut self,
-        problem: ProblemId,
-        events: Vec<ExecEvent>,
-        ctx: &mut Context<'_, Msg>,
-    ) {
-        for ev in events {
-            match ev {
-                ExecEvent::WaitUntilStart { task, at } => {
-                    self.arm_at(ctx, at, TimerPurpose::ExecStart { problem, task });
-                }
-                ExecEvent::Begin { task, duration } => {
-                    self.arm(ctx, duration, TimerPurpose::ExecFinish { problem, task });
-                }
-            }
-        }
-    }
-
-    fn finish_task(&mut self, problem: ProblemId, task: TaskId, ctx: &mut Context<'_, Msg>) {
-        let Some(finished) = self.exec_mgr.on_completion(problem, &task) else {
-            return;
-        };
-        // Invoke the service (§4.2: uniform service invocation interface).
-        self.service_mgr
-            .invoke(&finished.task, finished.inputs.clone());
-        // Publish outputs to dependents, goals to the initiator.
-        for out in &finished.outputs {
-            for &consumer in &out.consumers {
-                ctx.send(
-                    consumer,
-                    Msg::InputDelivery {
-                        problem,
-                        label: out.label.clone(),
-                    },
-                );
-            }
-            if out.is_goal {
-                ctx.send(
-                    problem.initiator,
-                    Msg::GoalDelivered {
-                        problem,
-                        label: out.label.clone(),
-                    },
-                );
-            }
-        }
-        ctx.send(problem.initiator, Msg::TaskCompleted { problem, task });
     }
 }
 
 impl Actor<Msg> for OwmsHost {
     fn on_message(&mut self, from: HostId, msg: Msg, ctx: &mut Context<'_, Msg>) {
-        ctx.charge(self.params.per_message_cost);
-        match msg {
-            Msg::Initiate { problem, spec } => {
-                let n_peers = self.community.len().saturating_sub(1);
-                self.workflow_mgr.create(problem, spec, ctx.now(), n_peers);
-                let actions = match self.workflow_mgr.get_mut(&problem) {
-                    Some(ws) => ws.begin(&self.fragment_mgr, &self.service_mgr, &self.params),
-                    None => Vec::new(),
-                };
-                self.apply_ws_actions(problem, actions, ctx);
-            }
-
-            Msg::FragmentQuery {
-                problem,
-                round,
-                labels,
-            } => {
-                let fragments = self.fragment_mgr.query(&labels);
-                ctx.send(
-                    from,
-                    Msg::FragmentReply {
-                        problem,
-                        round,
-                        fragments,
-                    },
-                );
-            }
-            Msg::FragmentReply {
-                problem,
-                round,
-                fragments,
-            } => {
-                // Trust boundary: a capped host receives the reply *off
-                // the wire* — it re-encodes the payload and decodes it
-                // through the vocabulary budget, which charges every
-                // distinct un-interned name before interning anything
-                // (in a networked deployment the decode half is the only
-                // half; the in-process simulator adds the encode). A
-                // rejected reply is dropped (the round proceeds with it
-                // counted as an empty answer) — the protocol error is
-                // recorded per peer, not fatal.
-                let fragments = if self.vocab.cap().is_some() {
-                    match codec::reply_through_wire(problem, round, fragments, &mut self.vocab) {
-                        Ok(decoded) => decoded,
-                        Err(openwf_wire::WireError::VocabularyExceeded { .. }) => {
-                            // The peer minted past the cap: book the
-                            // protocol error against it.
-                            self.vocabulary_rejections += 1;
-                            *self.vocab_rejections_by_peer.entry(from).or_insert(0) += 1;
-                            Vec::new()
-                        }
-                        Err(_) => {
-                            // Any other wire failure (e.g. a reply past
-                            // the frame-size cap) is a transport-level
-                            // loss, not vocabulary minting: drop the
-                            // reply like a never-delivered message, but
-                            // do not blame the peer's vocabulary.
-                            Vec::new()
-                        }
-                    }
-                } else {
-                    fragments
-                };
-                let actions = match self.workflow_mgr.get_mut(&problem) {
-                    Some(ws) => ws.on_fragment_reply(
-                        round,
-                        fragments,
-                        &self.fragment_mgr,
-                        &self.service_mgr,
-                        &self.params,
-                    ),
-                    None => Vec::new(),
-                };
-                self.apply_ws_actions(problem, actions, ctx);
-            }
-
-            Msg::CapabilityQuery {
-                problem,
-                round,
-                tasks,
-            } => {
-                let capable = self.service_mgr.capable_of(&tasks);
-                ctx.send(
-                    from,
-                    Msg::CapabilityReply {
-                        problem,
-                        round,
-                        capable,
-                    },
-                );
-            }
-            Msg::CapabilityReply {
-                problem,
-                round,
-                capable,
-            } => {
-                let actions = match self.workflow_mgr.get_mut(&problem) {
-                    Some(ws) => ws.on_capability_reply(
-                        round,
-                        capable,
-                        &self.fragment_mgr,
-                        &self.service_mgr,
-                        &self.params,
-                    ),
-                    None => Vec::new(),
-                };
-                self.apply_ws_actions(problem, actions, ctx);
-            }
-
-            Msg::CallForBids {
-                problem,
-                task,
-                meta,
-            } => {
-                let decision = self.auction_part.consider(
-                    problem,
-                    &task,
-                    &meta,
-                    ctx.now(),
-                    &self.service_mgr,
-                    &mut self.schedule,
-                    &self.prefs,
-                    &self.params,
-                );
-                match decision {
-                    BidDecision::Submit(bid) => {
-                        let expiry = bid.deadline + self.params.round_timeout;
-                        self.arm_at(
-                            ctx,
-                            expiry,
-                            TimerPurpose::BidHoldExpiry {
-                                problem,
-                                task: task.clone(),
-                            },
-                        );
-                        ctx.send(from, Msg::Bid { problem, task, bid });
-                    }
-                    BidDecision::Decline(_) => {
-                        ctx.send(from, Msg::Decline { problem, task });
-                    }
-                }
-            }
-            Msg::Bid { problem, task, bid } => {
-                ctx.charge(self.params.bid_evaluation_cost);
-                let action = self
-                    .workflow_mgr
-                    .get_mut(&problem)
-                    .and_then(|ws| ws.auctions.as_mut())
-                    .map(|a| a.on_bid(&task, from, bid))
-                    .unwrap_or(AuctionAction::None);
-                self.handle_auction_action(problem, action, ctx);
-            }
-            Msg::Decline { problem, task } => {
-                let action = self
-                    .workflow_mgr
-                    .get_mut(&problem)
-                    .and_then(|ws| ws.auctions.as_mut())
-                    .map(|a| a.on_decline(&task, from))
-                    .unwrap_or(AuctionAction::None);
-                self.handle_auction_action(problem, action, ctx);
-            }
-            Msg::Award {
-                problem,
-                task,
-                assignment: _,
-            } => {
-                // The hold becomes a firm commitment (already scheduled).
-                let _ = self.auction_part.on_award(problem, &task);
-            }
-
-            Msg::Execute { problem, plan } => {
-                // A newer attempt supersedes older ones of the same problem.
-                let events = self.exec_mgr.install_plan(problem, plan, ctx.now());
-                self.apply_exec_events(problem, events, ctx);
-            }
-            Msg::InputDelivery { problem, label } => {
-                let events = self.exec_mgr.on_input(problem, label, ctx.now());
-                self.apply_exec_events(problem, events, ctx);
-            }
-            Msg::TaskCompleted { problem, task } => {
-                if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
-                    ws.tasks_pending.remove(&task);
-                }
-            }
-            Msg::GoalDelivered { problem, label } => {
-                if let Some(ws) = self.workflow_mgr.get_mut(&problem) {
-                    ws.goals_pending.remove(&label);
-                    ws.report.goals_delivered.push(label);
-                }
-                self.check_completion(problem, ctx);
-            }
-        }
+        self.core.bind(ctx.self_id());
+        let queue = self.core.handle_msg(from, msg, ctx.now());
+        self.apply(queue, ctx);
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Msg>) {
-        let Some(purpose) = self.timers.remove(&token.0) else {
-            return;
-        };
-        match purpose {
-            TimerPurpose::RoundTimeout { problem, round } => {
-                let actions = match self.workflow_mgr.get_mut(&problem) {
-                    Some(ws) => ws.on_round_timeout(
-                        round,
-                        &self.fragment_mgr,
-                        &self.service_mgr,
-                        &self.params,
-                    ),
-                    None => Vec::new(),
-                };
-                self.apply_ws_actions(problem, actions, ctx);
-            }
-            TimerPurpose::AuctionDeadline { problem, task } => {
-                let action = self
-                    .workflow_mgr
-                    .get_mut(&problem)
-                    .and_then(|ws| ws.auctions.as_mut())
-                    .map(|a| a.on_deadline(&task))
-                    .unwrap_or(AuctionAction::None);
-                self.handle_auction_action(problem, action, ctx);
-            }
-            TimerPurpose::BidHoldExpiry { problem, task } => {
-                let _ = self
-                    .auction_part
-                    .expire_hold(problem, &task, &mut self.schedule);
-            }
-            TimerPurpose::ExecStart { problem, task } => {
-                let events = self.exec_mgr.on_start_time(problem, &task);
-                self.apply_exec_events(problem, events, ctx);
-            }
-            TimerPurpose::ExecFinish { problem, task } => {
-                self.finish_task(problem, task, ctx);
-            }
-            TimerPurpose::Watchdog { problem } => {
-                let unfinished = self
-                    .workflow_mgr
-                    .get(&problem)
-                    .map(|ws| ws.phase == Phase::Executing)
-                    .unwrap_or(false);
-                if unfinished {
-                    self.repair_or_fail(
-                        problem,
-                        "execution watchdog expired before all goals were delivered".into(),
-                        ctx,
-                    );
-                }
-            }
-        }
+        self.core.bind(ctx.self_id());
+        let queue = self.core.handle_timer(token, ctx.now());
+        self.apply(queue, ctx);
     }
 }
 
 impl fmt::Debug for OwmsHost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("OwmsHost")
-            .field("community", &self.community.len())
-            .field("fragments", &self.fragment_mgr.len())
-            .field("services", &self.service_mgr.service_count())
-            .field("workspaces", &self.workflow_mgr.len())
+            .field("core", &self.core)
+            .field("events", &self.events.len())
             .finish()
     }
 }
@@ -976,7 +168,11 @@ impl fmt::Debug for OwmsHost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use openwf_core::{Mode, Spec};
+    use openwf_core::{Fragment, Mode, Spec, TaskId};
+    use openwf_simnet::SimDuration;
+
+    use crate::service::ServiceDescription;
+    use crate::workflow_mgr::Phase;
 
     fn frag(id: &str, task: &str, input: &str, output: &str) -> Fragment {
         Fragment::single_task(id, task, Mode::Disjunctive, [input], [output]).unwrap()
@@ -1021,6 +217,46 @@ mod tests {
         assert_eq!(inv.len(), 2);
         assert_eq!(inv[0].task, TaskId::new("t1"));
         assert_eq!(inv[1].task, TaskId::new("t2"));
+        // The adapter surfaced the core's milestone events.
+        assert!(net
+            .host(h)
+            .events()
+            .iter()
+            .any(|e| matches!(e, WorkflowEvent::Constructed { .. })));
+        assert!(net
+            .host(h)
+            .events()
+            .iter()
+            .any(|e| matches!(e, WorkflowEvent::Completed { .. })));
+    }
+
+    /// A core someone switched to `OutboundMode::Encoded` still works on
+    /// the typed simulator: the adapter carries its frames back to
+    /// typed messages instead of losing them.
+    #[test]
+    fn encoded_mode_core_still_runs_on_the_simulator() {
+        use crate::core_sm::OutboundMode;
+        use openwf_simnet::SimNetwork;
+        let mut net: SimNetwork<Msg, OwmsHost> = SimNetwork::new(1);
+        let cfg = HostConfig::new()
+            .with_fragment(frag("em-f1", "em-t1", "em-a", "em-b"))
+            .with_service(service("em-t1"));
+        let mut host = OwmsHost::new(cfg, RuntimeParams::default());
+        host.set_community(vec![HostId(0)]);
+        host.core_mut().set_outbound_mode(OutboundMode::Encoded);
+        let h = net.add_host(host);
+        let problem = ProblemId::new(h, 0);
+        net.send_external(
+            h,
+            h,
+            Msg::Initiate {
+                problem,
+                spec: Spec::new(["em-a"], ["em-b"]),
+            },
+        );
+        net.run_until_quiescent();
+        let ws = net.host(h).workflow_mgr().get(&problem).expect("workspace");
+        assert_eq!(ws.phase, Phase::Completed, "report: {}", ws.report);
     }
 
     /// Trivial problem: the goal is already a trigger.
@@ -1067,7 +303,16 @@ mod tests {
         net.run_until_quiescent();
         let ws = net.host(h).workflow_mgr().get(&problem).unwrap();
         assert_eq!(ws.phase, Phase::Failed);
-        assert!(matches!(ws.report.status, ProblemStatus::Failed { .. }));
+        assert!(matches!(
+            ws.report.status,
+            crate::report::ProblemStatus::Failed { .. }
+        ));
+        // Terminal failure surfaces as an event.
+        assert!(net
+            .host(h)
+            .events()
+            .iter()
+            .any(|e| matches!(e, WorkflowEvent::Failed { .. })));
     }
 
     /// Capability gating: knowledge exists but no service anywhere — the

@@ -1,8 +1,11 @@
 //! # openwf-runtime — the open workflow management system
 //!
 //! This crate is the distributed runtime of WUCSE-2009-14 §4: every
-//! participant's device runs an [`OwmsHost`] actor that combines the
-//! paper's two subsystems over the `openwf-simnet` communications layer:
+//! participant's device runs a sans-io [`HostCore`] state machine
+//! combining the paper's two subsystems. The core performs no I/O — a
+//! [`Driver`] transport polls it ([`SimDriver`] on the deterministic
+//! simulator, where [`OwmsHost`] is the thin `simnet` actor adapter, or
+//! [`LoopbackBytesDriver`] over encoded wire frames):
 //!
 //! **Construction subsystem** (active on the initiating host):
 //! * [`WorkflowManager`](workflow_mgr::WorkflowManager) — one isolated
@@ -39,6 +42,8 @@ pub mod auction_part;
 pub mod codec;
 pub mod community;
 pub mod config;
+pub mod core_sm;
+pub mod driver;
 pub mod exec;
 pub mod fragment_mgr;
 pub mod host;
@@ -54,6 +59,8 @@ pub mod workflow_mgr;
 
 pub use codec::{decode_msg, encode_msg};
 pub use community::{Community, CommunityBuilder, ProblemHandle};
+pub use core_sm::{Action, ActionQueue, HostCore, OutboundMode, WorkflowEvent};
+pub use driver::{Driver, LoopbackBytesDriver, SimDriver};
 pub use host::{HostConfig, OwmsHost, StorageConfig};
 pub use messages::{Msg, ProblemId};
 pub use metadata::{Assignment, TaskMetadata};

@@ -1,0 +1,246 @@
+//! Calibration: `Msg::wire_size` (the cheap arithmetic approximation the
+//! simulator's bandwidth model charges on the hot path) against
+//! `codec::encoded_len` (the exact encoded frame size).
+//!
+//! The approximation is intentionally a bounded **overestimate**: its
+//! per-name constant (24 bytes) assumes names are spelled in full per
+//! reference, while the real codec spells each name once in a per-frame
+//! table and refers to it by varint index. Observed ratios
+//! (approx / exact) across representative instances of all 13 variants,
+//! recorded 2026-07 with ~8-to-12-byte names:
+//!
+//! ```text
+//! Initiate 2.54 · FragmentQuery 2.51 · FragmentReply(1 frag) 3.51 ·
+//! FragmentReply(8 frags) 4.04 · CapabilityQuery 2.17 ·
+//! CapabilityReply 2.26 · CallForBids 1.75 · Bid 2.56 · Decline 2.00 ·
+//! Award 3.31 · Execute 1.80 · InputDelivery 2.67 · TaskCompleted 2.00 ·
+//! GoalDelivered 2.11
+//! ```
+//!
+//! The test pins that envelope: every variant stays an overestimate
+//! (ratio ≥ 1.2) and never drifts past 5× — if the codec or the
+//! arithmetic changes enough to leave the band, the bandwidth model
+//! needs recalibrating and this test says so. (The band is specific to
+//! name lengths in this range: the approximation's flat 24-byte charge
+//! would undershoot for very long names, which community vocabularies
+//! do not use.)
+
+use std::sync::Arc;
+
+use openwf_core::{Fragment, Label, Mode, Spec, TaskId};
+use openwf_runtime::auction_part::Bid;
+use openwf_runtime::codec::encoded_len;
+use openwf_runtime::metadata::{ExecutionPlan, PlannedOutput, PlannedTask};
+use openwf_runtime::{Assignment, Msg, ProblemId, TaskMetadata};
+use openwf_simnet::{HostId, Message, SimDuration, SimTime};
+
+const MIN_RATIO: f64 = 1.2;
+const MAX_RATIO: f64 = 5.0;
+
+fn p() -> ProblemId {
+    ProblemId::new(HostId(3), 42)
+}
+
+fn frag(i: usize) -> Arc<Fragment> {
+    Arc::new(
+        Fragment::single_task(
+            format!("cal-f{i}"),
+            format!("cal-task-{i}"),
+            Mode::Disjunctive,
+            [format!("cal-in-{i}"), format!("cal-in-{}", i + 1)],
+            [format!("cal-out-{i}")],
+        )
+        .unwrap(),
+    )
+}
+
+fn all_variants() -> Vec<(&'static str, Msg)> {
+    let meta = TaskMetadata {
+        level: 2,
+        inputs: vec![Label::new("cal-in-0")],
+        outputs: vec![Label::new("cal-out-0")],
+        location: Some("kitchen".into()),
+        earliest_start: SimTime::from_micros(5_000),
+    };
+    let plan = ExecutionPlan {
+        commitments: (0..4)
+            .map(|i| PlannedTask {
+                task: TaskId::new(format!("cal-task-{i}")),
+                inputs: vec![Label::new(format!("cal-in-{i}"))],
+                outputs: vec![PlannedOutput {
+                    label: Label::new(format!("cal-out-{i}")),
+                    consumers: vec![HostId(1), HostId(4)],
+                    is_goal: i == 3,
+                }],
+                start: SimTime::from_micros(10),
+                duration: SimDuration::from_micros(20),
+                location: None,
+            })
+            .collect(),
+    };
+    let bid = Bid {
+        start: SimTime::from_micros(1),
+        travel: SimDuration::from_micros(2),
+        duration: SimDuration::from_micros(3),
+        specialization: 4,
+        deadline: SimTime::from_micros(5),
+    };
+    vec![
+        (
+            "Initiate",
+            Msg::Initiate {
+                problem: p(),
+                spec: Spec::new(["cal-in-0", "cal-in-1"], ["cal-out-3"]),
+            },
+        ),
+        (
+            "FragmentQuery",
+            Msg::FragmentQuery {
+                problem: p(),
+                round: 7,
+                labels: (0..6).map(|i| Label::new(format!("cal-in-{i}"))).collect(),
+            },
+        ),
+        (
+            "FragmentReply(1)",
+            Msg::FragmentReply {
+                problem: p(),
+                round: 7,
+                fragments: vec![frag(0)],
+            },
+        ),
+        (
+            "FragmentReply(8)",
+            Msg::FragmentReply {
+                problem: p(),
+                round: 7,
+                fragments: (0..8).map(frag).collect(),
+            },
+        ),
+        (
+            "CapabilityQuery",
+            Msg::CapabilityQuery {
+                problem: p(),
+                round: 1,
+                tasks: (0..5)
+                    .map(|i| TaskId::new(format!("cal-task-{i}")))
+                    .collect(),
+            },
+        ),
+        (
+            "CapabilityReply",
+            Msg::CapabilityReply {
+                problem: p(),
+                round: 1,
+                capable: (0..3)
+                    .map(|i| TaskId::new(format!("cal-task-{i}")))
+                    .collect(),
+            },
+        ),
+        (
+            "CallForBids",
+            Msg::CallForBids {
+                problem: p(),
+                task: TaskId::new("cal-task-0"),
+                meta,
+            },
+        ),
+        (
+            "Bid",
+            Msg::Bid {
+                problem: p(),
+                task: TaskId::new("cal-task-0"),
+                bid,
+            },
+        ),
+        (
+            "Decline",
+            Msg::Decline {
+                problem: p(),
+                task: TaskId::new("cal-task-0"),
+            },
+        ),
+        (
+            "Award",
+            Msg::Award {
+                problem: p(),
+                task: TaskId::new("cal-task-0"),
+                assignment: Assignment {
+                    host: HostId(2),
+                    start: SimTime::from_micros(9),
+                    duration: SimDuration::from_micros(8),
+                    location: Some("yard".into()),
+                },
+            },
+        ),
+        ("Execute", Msg::Execute { problem: p(), plan }),
+        (
+            "InputDelivery",
+            Msg::InputDelivery {
+                problem: p(),
+                label: Label::new("cal-in-0"),
+            },
+        ),
+        (
+            "TaskCompleted",
+            Msg::TaskCompleted {
+                problem: p(),
+                task: TaskId::new("cal-task-0"),
+            },
+        ),
+        (
+            "GoalDelivered",
+            Msg::GoalDelivered {
+                problem: p(),
+                label: Label::new("cal-out-0"),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn approximation_stays_a_bounded_overestimate_for_every_variant() {
+    let variants = all_variants();
+    // All 13 Msg variants are covered (FragmentReply twice, at two
+    // payload sizes).
+    assert_eq!(variants.len(), 14);
+    for (name, msg) in &variants {
+        let approx = msg.wire_size();
+        let exact = encoded_len(msg);
+        let ratio = approx as f64 / exact as f64;
+        assert!(
+            (MIN_RATIO..=MAX_RATIO).contains(&ratio),
+            "{name}: approx {approx} vs exact {exact} — ratio {ratio:.2} \
+             left the calibrated [{MIN_RATIO}, {MAX_RATIO}] band; \
+             recalibrate Msg::wire_size (see this file's module docs)"
+        );
+    }
+}
+
+/// The approximation must *scale* with content the way the codec does:
+/// growing a reply by one fragment grows both sizes, and their ratio
+/// stays in band — the bandwidth model's relative ordering of messages
+/// is trustworthy, not just its absolute magnitude.
+#[test]
+fn approximation_tracks_payload_growth() {
+    let sizes = [1usize, 4, 16, 64];
+    let mut prev_approx = 0;
+    let mut prev_exact = 0;
+    for n in sizes {
+        let msg = Msg::FragmentReply {
+            problem: p(),
+            round: 0,
+            fragments: (0..n).map(frag).collect(),
+        };
+        let approx = msg.wire_size();
+        let exact = encoded_len(&msg);
+        assert!(approx > prev_approx && exact > prev_exact, "monotone in n");
+        let ratio = approx as f64 / exact as f64;
+        assert!(
+            (MIN_RATIO..=MAX_RATIO).contains(&ratio),
+            "{n} fragments: ratio {ratio:.2} out of band"
+        );
+        prev_approx = approx;
+        prev_exact = exact;
+    }
+}

@@ -160,6 +160,42 @@ pub fn frame_extent(buf: &[u8]) -> Result<Option<usize>, WireError> {
     Ok(Some(total))
 }
 
+/// Peeks the type tag of the complete frame at the head of `buf`
+/// without parsing its name table — what a multiplexing transport uses
+/// to route frames ([`crate::TAG_MSG`] to the protocol core,
+/// [`crate::TAG_FRAGMENT`] to storage replay, …) before paying for a
+/// full parse.
+///
+/// Returns `Ok(None)` when more bytes are needed (streaming).
+///
+/// # Errors
+///
+/// The same prefix errors as [`frame_extent`], plus
+/// [`WireError::UnsupportedVersion`] on a foreign version byte and
+/// [`WireError::Truncated`] on a body too short to carry a header.
+pub fn frame_tag(buf: &[u8]) -> Result<Option<u8>, WireError> {
+    if frame_extent(buf)?.is_none() {
+        return Ok(None);
+    }
+    let mut pos = 0;
+    let body_len = varint::read(buf, &mut pos)?;
+    if body_len < 2 {
+        // A body too short for version + tag; never index past it into
+        // a following frame's bytes.
+        return Err(WireError::Truncated);
+    }
+    let Some(&version) = buf.get(pos) else {
+        return Err(WireError::Truncated);
+    };
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    match buf.get(pos + 1) {
+        Some(&tag) => Ok(Some(tag)),
+        None => Err(WireError::Truncated),
+    }
+}
+
 /// Parses the frame at the head of `buf`, returning the view and the
 /// total bytes consumed (length prefix included).
 ///
@@ -487,5 +523,29 @@ mod tests {
         varint::write(MAX_FRAME_LEN + 1, &mut giant);
         dec.feed(&giant);
         assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn frame_tag_peeks_without_parsing() {
+        let bytes = sample_frame();
+        assert_eq!(frame_tag(&bytes).unwrap(), Some(0x2a));
+        // Streaming: an incomplete frame asks for more bytes.
+        assert_eq!(frame_tag(&bytes[..bytes.len() - 1]).unwrap(), None);
+        assert_eq!(frame_tag(&[]).unwrap(), None);
+        // A foreign version is an error, same as read_frame.
+        let mut alien = bytes.clone();
+        // byte 0 is the length prefix (short frame → 1 byte), byte 1 the
+        // version.
+        alien[1] = WIRE_VERSION + 1;
+        assert!(matches!(
+            frame_tag(&alien),
+            Err(WireError::UnsupportedVersion(_))
+        ));
+        // A complete-but-tagless body never reads into following bytes.
+        let mut tiny = Vec::new();
+        varint::write(1, &mut tiny); // body_len = 1: version only
+        tiny.push(WIRE_VERSION);
+        tiny.push(0x77); // first byte of a hypothetical next frame
+        assert!(matches!(frame_tag(&tiny), Err(WireError::Truncated)));
     }
 }

@@ -44,8 +44,8 @@ pub mod varint;
 pub use budget::VocabularyBudget;
 pub use error::WireError;
 pub use frame::{
-    frame_extent, read_frame, FrameDecoder, FrameEncoder, FrameView, PayloadReader, MAX_FRAME_LEN,
-    MAX_NAME_LEN, WIRE_VERSION,
+    frame_extent, frame_tag, read_frame, FrameDecoder, FrameEncoder, FrameView, PayloadReader,
+    MAX_FRAME_LEN, MAX_NAME_LEN, WIRE_VERSION,
 };
 pub use model::{
     decode_fragment, decode_spec, encode_fragment, encode_spec, TAG_FRAGMENT, TAG_MSG, TAG_SPEC,

@@ -384,6 +384,13 @@ impl DurableFragmentStore {
 }
 
 impl Drop for DurableFragmentStore {
+    /// Flushes buffered appends so a **cleanly dropped** store never
+    /// leaves a torn tail it could have avoided: every insert that
+    /// returned `Ok` reaches the file before the handle goes away, and
+    /// the next open replays all of it. This is an OS-buffer flush, not
+    /// an fsync — [`DurableFragmentStore::sync`] remains the durability
+    /// point against power loss; flush errors on drop are unreportable
+    /// and ignored (call `sync` first when they must be seen).
     fn drop(&mut self) {
         let _ = self.writer.flush();
     }
@@ -639,6 +646,50 @@ mod tests {
         let s = DurableFragmentStore::open(&dir).unwrap();
         assert_eq!(s.len(), 0, "the log replays clean");
         drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a clean drop **without** an explicit `sync()` must
+    /// flush buffered inserts — reopening replays every record instead
+    /// of truncating a torn tail the process could have avoided.
+    #[test]
+    fn clean_drop_without_sync_loses_nothing() {
+        let dir = tmp_dir("dropflush");
+        {
+            let mut s = DurableFragmentStore::open(&dir).unwrap();
+            for i in 0..25 {
+                assert!(s.insert(frag(i)).unwrap());
+            }
+            // No sync(): the records live in the BufWriter/OS buffers.
+        }
+        let s = DurableFragmentStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 25, "all buffered inserts survived the drop");
+        let ids: Vec<String> = s
+            .index()
+            .fragments_shared()
+            .iter()
+            .map(|f| f.id().to_string())
+            .collect();
+        let want: Vec<String> = (0..25).map(|i| format!("ds-f{i}")).collect();
+        assert_eq!(ids, want, "insertion order intact — no tail truncation");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The same guarantee across segment rolls: only the final segment
+    /// has a live writer at drop time, and earlier segments were
+    /// flushed when they rolled.
+    #[test]
+    fn clean_drop_without_sync_survives_segment_rolls() {
+        let dir = tmp_dir("dropflush-roll");
+        {
+            let mut s = DurableFragmentStore::open_with(&dir, 1, 256).unwrap();
+            for i in 0..40 {
+                s.insert(frag(i)).unwrap();
+            }
+            assert!(s.segment_count() > 2, "got {}", s.segment_count());
+        }
+        let s = DurableFragmentStore::open_with(&dir, 1, 256).unwrap();
+        assert_eq!(s.len(), 40);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -75,8 +75,9 @@ pub mod prelude {
     };
     pub use openwf_mobility::{Motion, Point, SiteMap};
     pub use openwf_runtime::{
-        Community, CommunityBuilder, HostConfig, Preferences, ProblemStatus, RuntimeParams,
-        ServiceDescription, StorageConfig,
+        Community, CommunityBuilder, Driver, HostConfig, HostCore, LoopbackBytesDriver,
+        Preferences, ProblemStatus, RuntimeParams, ServiceDescription, SimDriver, StorageConfig,
+        WorkflowEvent,
     };
     pub use openwf_simnet::{
         ConstantLatency, HostId, SimDuration, SimTime, UniformLatency, Wireless80211g,
