@@ -7,9 +7,21 @@
 //! root. Fast mode (`OPENWF_WIRE_FAST=1`, or `--test` as used by
 //! `cargo test --benches`) runs only the 1k size with few samples and
 //! does not touch the committed file — the CI bit-rot guard for the
-//! encode/decode and durable-replay paths.
+//! encode/decode and durable-replay paths. Fast mode also gates the
+//! decode/encode throughput ratio: steady-state decode (the identity
+//! cache hit path every host runs for re-announced knowhow) must stay
+//! within [`DECODE_ENCODE_SLACK`]× of encode, so the 3× decode gap this
+//! path closed cannot silently reopen — a broken cache alone pushes the
+//! ratio past the gate.
 
 use openwf_bench::wirebench::{default_report_path, run, to_json, WIRE_SIZES};
+
+/// Fast-mode regression gate: steady-state decode (`decode_cached`) mean
+/// time may be at most this many times the encode mean. The measured
+/// ratio is well under 1× on an idle machine; the slack absorbs
+/// shared-runner noise, not a real regression — losing the identity
+/// cache alone lands the ratio near 2×, past this gate.
+const DECODE_ENCODE_SLACK: f64 = 1.5;
 
 fn samples_for(fragments: usize) -> usize {
     match fragments {
@@ -36,11 +48,27 @@ fn main() {
             if r.bytes > 0 {
                 format!(", {} bytes, {:.1} MiB/s", r.bytes, r.mibps)
             } else {
-                String::new()
+                format!(", {:.0} frags/s", r.frags_per_sec)
             },
         );
     }
-    if !fast {
+    if fast {
+        let mean = |op: &str| {
+            results
+                .iter()
+                .find(|r| r.op == op)
+                .map(|r| r.mean_ns)
+                .expect("op measured")
+        };
+        let (enc, dec) = (mean("encode"), mean("decode_cached"));
+        let ratio = dec / enc;
+        println!("wire/gate decode_cached/encode ratio {ratio:.2} (max {DECODE_ENCODE_SLACK:.1})");
+        assert!(
+            ratio <= DECODE_ENCODE_SLACK,
+            "steady-state decode regressed: {dec:.0} ns vs encode {enc:.0} ns \
+             (ratio {ratio:.2} > {DECODE_ENCODE_SLACK:.1})"
+        );
+    } else {
         let path = default_report_path();
         std::fs::write(&path, to_json(&results)).expect("write trajectory file");
         println!("wrote {}", path.display());

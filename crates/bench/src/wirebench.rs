@@ -20,7 +20,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use openwf_core::IncrementalConstructor;
-use openwf_wire::{decode_fragment, encode_fragment, DurableFragmentStore, VocabularyBudget};
+use openwf_wire::{
+    decode_fragment_with, encode_fragment, DecodeScratch, DurableFragmentStore, VocabularyBudget,
+};
 
 use crate::scale::{layered_universe, ScaleUniverse};
 
@@ -30,8 +32,9 @@ pub const WIRE_SIZES: &[usize] = &[1_000, 10_000, 100_000];
 /// One measured cell of the codec/storage suite.
 #[derive(Clone, Debug)]
 pub struct WireMeasurement {
-    /// Operation name (`encode`, `decode`, `construct_memory`,
-    /// `construct_durable`, `durable_populate`, `durable_replay`).
+    /// Operation name (`encode`, `decode`, `decode_cached`,
+    /// `construct_memory`, `construct_durable`, `durable_populate`,
+    /// `durable_replay`).
     pub op: &'static str,
     /// Fragments in the universe.
     pub fragments: usize,
@@ -48,8 +51,12 @@ pub struct WireMeasurement {
     pub p95_ns: f64,
     /// Fastest pass.
     pub min_ns: f64,
-    /// Mean throughput in MiB/s (0 when `bytes` is 0).
+    /// Mean throughput in MiB/s (0 when `bytes` is 0 — such rows are
+    /// reported as `frags_per_sec` only in the JSON).
     pub mibps: f64,
+    /// Mean throughput in fragments/second — meaningful for every op,
+    /// including the non-byte-oriented construction rows.
+    pub frags_per_sec: f64,
 }
 
 use crate::scale::percentile;
@@ -82,6 +89,7 @@ fn cell(op: &'static str, fragments: usize, bytes: u64, times_ns: Vec<f64>) -> W
         p95_ns: percentile(&times_ns, 95.0),
         min_ns: times_ns[0],
         mibps,
+        frags_per_sec: fragments as f64 / (mean_ns / 1e9),
     }
 }
 
@@ -118,24 +126,42 @@ pub fn measure_universe(universe: &ScaleUniverse, samples: usize) -> Vec<WireMea
     });
     results.push(cell("encode", n, bytes, times));
 
-    // Decode throughput (unlimited budget: the trusted-community path).
-    let decode_all = |stream: &[u8]| {
+    // Decode throughput (unlimited budget: the trusted-community path),
+    // via the zero-copy scratch decoder. Cold: a fresh scratch per pass
+    // with the identity cache disabled, so every frame pays the full
+    // rebuild — the number comparable to `encode`.
+    let decode_all = |stream: &[u8], scratch: &mut DecodeScratch| {
         let mut pos = 0;
         let mut budget = VocabularyBudget::unlimited();
         let mut count = 0usize;
         while pos < stream.len() {
-            let (f, used) = decode_fragment(&stream[pos..], &mut budget).expect("valid stream");
+            let (f, used) =
+                decode_fragment_with(&stream[pos..], &mut budget, scratch).expect("valid stream");
             std::hint::black_box(f);
             pos += used;
             count += 1;
         }
         count
     };
-    assert_eq!(decode_all(&stream), n);
+    assert_eq!(
+        decode_all(&stream, &mut DecodeScratch::with_cache_capacity(0)),
+        n
+    );
     let times = measure_ns(samples, || {
-        std::hint::black_box(decode_all(&stream));
+        let mut scratch = DecodeScratch::with_cache_capacity(0);
+        std::hint::black_box(decode_all(&stream, &mut scratch));
     });
     results.push(cell("decode", n, bytes, times));
+
+    // Identity-cache hit path: one warm per-connection scratch whose
+    // cache holds the whole universe — the steady state of a host
+    // receiving re-announced knowhow.
+    let mut warm = DecodeScratch::with_cache_capacity(n.max(1) * 2);
+    assert_eq!(decode_all(&stream, &mut warm), n); // fill the cache
+    let times = measure_ns(samples, || {
+        std::hint::black_box(decode_all(&stream, &mut warm));
+    });
+    results.push(cell("decode_cached", n, bytes, times));
 
     // Construction: in-memory backend.
     let constructor = IncrementalConstructor::new().pre_size(universe.hints());
@@ -204,11 +230,26 @@ pub fn to_json(results: &[WireMeasurement]) -> String {
         String::from("{\n  \"bench\": \"wire_codec\",\n  \"unit\": \"ns\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
+        // `mibps` is only meaningful for byte-oriented ops; rows with
+        // `bytes: 0` report `frags_per_sec` alone instead of a bogus 0.0.
+        let mibps = if r.bytes == 0 {
+            String::new()
+        } else {
+            format!("\"mibps\": {:.1}, ", r.mibps)
+        };
         out.push_str(&format!(
             "    {{\"op\": \"{}\", \"fragments\": {}, \"bytes\": {}, \"samples\": {}, \
              \"mean_ns\": {:.0}, \"p50_ns\": {:.0}, \"p95_ns\": {:.0}, \"min_ns\": {:.0}, \
-             \"mibps\": {:.1}}}{comma}\n",
-            r.op, r.fragments, r.bytes, r.samples, r.mean_ns, r.p50_ns, r.p95_ns, r.min_ns, r.mibps,
+             {mibps}\"frags_per_sec\": {:.0}}}{comma}\n",
+            r.op,
+            r.fragments,
+            r.bytes,
+            r.samples,
+            r.mean_ns,
+            r.p50_ns,
+            r.p95_ns,
+            r.min_ns,
+            r.frags_per_sec,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -237,6 +278,7 @@ mod tests {
             [
                 "encode",
                 "decode",
+                "decode_cached",
                 "construct_memory",
                 "durable_populate",
                 "durable_replay",
@@ -244,9 +286,15 @@ mod tests {
             ]
         );
         assert!(results.iter().all(|r| r.mean_ns > 0.0));
+        assert!(results.iter().all(|r| r.frags_per_sec > 0.0));
         assert!(results[0].bytes > 0, "encode reports stream size");
         let json = to_json(&results);
         assert!(json.contains("\"bench\": \"wire_codec\""));
         assert!(json.contains("construct_durable"));
+        assert!(json.contains("\"frags_per_sec\""));
+        // Non-byte rows must not carry a meaningless 0.0 MiB/s figure.
+        for line in json.lines().filter(|l| l.contains("\"bytes\": 0,")) {
+            assert!(!line.contains("\"mibps\""), "bytes:0 row has mibps: {line}");
+        }
     }
 }

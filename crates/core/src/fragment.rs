@@ -79,6 +79,14 @@ impl From<&FragmentId> for FragmentId {
     }
 }
 
+impl From<crate::ids::Interned> for FragmentId {
+    /// A bit copy — no interner access; the name was already resolved by
+    /// a batch intern (see [`crate::Sym::intern_batch`]).
+    fn from(i: crate::ids::Interned) -> Self {
+        FragmentId(i.name())
+    }
+}
+
 #[cfg(feature = "serde")]
 impl serde::Serialize for FragmentId {
     fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {

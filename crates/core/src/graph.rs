@@ -42,6 +42,41 @@ struct NodeData {
     mode: Mode,
 }
 
+/// One node's complete storage: identity plus all four adjacency lanes.
+///
+/// Keeping a node's neighbor lists in the same slot as its key (instead
+/// of five parallel `Vec`s) means a graph is three allocations total —
+/// slots, index, edge order — rather than seven. The wire decoder builds
+/// a fresh graph per received fragment, so per-graph allocation count is
+/// directly on the decode hot path; traversals also touch a node's key
+/// and adjacency together, which this layout serves from one cache line.
+#[derive(Clone, Debug)]
+struct NodeSlot {
+    data: NodeData,
+    parents: Adj<NodeIdx>,
+    children: Adj<NodeIdx>,
+    /// Dense edge ids parallel to `parents` / `children`:
+    /// `parent_eids[i]` is the id of the edge `parents[i] -> self`.
+    /// Together with the bipartite invariant these replace an edge hash
+    /// map entirely — every edge has a task endpoint, task degrees are
+    /// bounded by declared arity, so duplicate detection and
+    /// [`Graph::edge_id`] are short inline scans of the task side.
+    parent_eids: Adj<u32>,
+    child_eids: Adj<u32>,
+}
+
+impl NodeSlot {
+    fn new(data: NodeData) -> Self {
+        NodeSlot {
+            data,
+            parents: Adj::default(),
+            children: Adj::default(),
+            parent_eids: Adj::default(),
+            child_eids: Adj::default(),
+        }
+    }
+}
+
 /// An adjacency list with inline storage for the common case.
 ///
 /// Workflow graphs are bipartite with small degrees almost everywhere
@@ -183,7 +218,7 @@ impl NodeIndex {
     }
 
     /// Migrates to the dense layout (no-op if already dense).
-    fn densify(&mut self, nodes: &[NodeData]) {
+    fn densify(&mut self, nodes: &[NodeSlot]) {
         if matches!(self, NodeIndex::Dense { .. }) {
             return;
         }
@@ -192,7 +227,7 @@ impl NodeIndex {
             tasks: Vec::new(),
         };
         for (i, n) in nodes.iter().enumerate() {
-            dense.insert(n.key.kind, n.key.name.sym(), NodeIdx(i as u32));
+            dense.insert(n.data.key.kind, n.data.key.name.sym(), NodeIdx(i as u32));
         }
         *self = dense;
     }
@@ -205,19 +240,8 @@ impl NodeIndex {
 /// for reproducibility.
 #[derive(Clone, Default)]
 pub struct Graph {
-    nodes: Vec<NodeData>,
-    /// Per-node predecessor lists, parallel to `nodes`.
-    parents: Vec<Adj<NodeIdx>>,
-    /// Per-node successor lists, parallel to `nodes`.
-    children: Vec<Adj<NodeIdx>>,
-    /// Per-node dense edge ids parallel to `parents` / `children`:
-    /// `parent_eids[n][i]` is the id of the edge `parents(n)[i] -> n`.
-    /// Together with the bipartite invariant these replace an edge hash
-    /// map entirely — every edge has a task endpoint, task degrees are
-    /// bounded by declared arity, so duplicate detection and
-    /// [`Graph::edge_id`] are short inline scans of the task side.
-    parent_eids: Vec<Adj<u32>>,
-    child_eids: Vec<Adj<u32>>,
+    /// Node storage: identity and adjacency together (see [`NodeSlot`]).
+    nodes: Vec<NodeSlot>,
     /// Sym-keyed node index (see [`NodeIndex`]).
     index: NodeIndex,
     edge_order: Vec<(NodeIdx, NodeIdx)>,
@@ -254,7 +278,7 @@ impl Graph {
     pub fn task_count(&self) -> usize {
         self.nodes
             .iter()
-            .filter(|n| n.key.kind == NodeKind::Task)
+            .filter(|n| n.data.key.kind == NodeKind::Task)
             .count()
     }
 
@@ -262,7 +286,7 @@ impl Graph {
     pub fn label_count(&self) -> usize {
         self.nodes
             .iter()
-            .filter(|n| n.key.kind == NodeKind::Label)
+            .filter(|n| n.data.key.kind == NodeKind::Label)
             .count()
     }
 
@@ -299,7 +323,7 @@ impl Graph {
     ) -> Result<NodeIdx, ModelError> {
         let task = task.into();
         if let Some(idx) = self.index.get(NodeKind::Task, task.sym()) {
-            let existing = self.nodes[idx.index()].mode;
+            let existing = self.nodes[idx.index()].data.mode;
             if existing != mode {
                 return Err(ModelError::ConflictingTaskMode {
                     task,
@@ -318,11 +342,7 @@ impl Graph {
             return idx;
         }
         let idx = NodeIdx(self.nodes.len() as u32);
-        self.nodes.push(NodeData { key, mode });
-        self.parents.push(Adj::default());
-        self.children.push(Adj::default());
-        self.parent_eids.push(Adj::default());
-        self.child_eids.push(Adj::default());
+        self.nodes.push(NodeSlot::new(NodeData { key, mode }));
         self.index.insert(kind, sym, idx);
         idx
     }
@@ -350,12 +370,12 @@ impl Graph {
     /// Returns [`ModelError::NotBipartite`] if both endpoints are the same
     /// kind.
     fn insert_edge(&mut self, from: NodeIdx, to: NodeIdx) -> Result<(u32, bool), ModelError> {
-        let fk = self.nodes[from.index()].key.kind;
-        let tk = self.nodes[to.index()].key.kind;
+        let fk = self.nodes[from.index()].data.key.kind;
+        let tk = self.nodes[to.index()].data.key.kind;
         if fk == tk {
             return Err(ModelError::NotBipartite {
-                from: self.nodes[from.index()].key.clone(),
-                to: self.nodes[to.index()].key.clone(),
+                from: self.nodes[from.index()].data.key.clone(),
+                to: self.nodes[to.index()].data.key.clone(),
             });
         }
         if let Some(existing) = self.scan_edge_id(from, to, fk) {
@@ -363,10 +383,12 @@ impl Graph {
         }
         let id = self.edge_order.len() as u32;
         self.edge_order.push((from, to));
-        self.children[from.index()].push(to);
-        self.child_eids[from.index()].push(id);
-        self.parents[to.index()].push(from);
-        self.parent_eids[to.index()].push(id);
+        let f = &mut self.nodes[from.index()];
+        f.children.push(to);
+        f.child_eids.push(id);
+        let t = &mut self.nodes[to.index()];
+        t.parents.push(from);
+        t.parent_eids.push(id);
         Ok((id, true))
     }
 
@@ -378,13 +400,13 @@ impl Graph {
     #[inline]
     fn scan_edge_id(&self, from: NodeIdx, to: NodeIdx, from_kind: NodeKind) -> Option<u32> {
         if from_kind == NodeKind::Task {
-            let children = self.children[from.index()].as_slice();
-            let pos = children.iter().position(|&c| c == to)?;
-            Some(self.child_eids[from.index()].as_slice()[pos])
+            let slot = &self.nodes[from.index()];
+            let pos = slot.children.as_slice().iter().position(|&c| c == to)?;
+            Some(slot.child_eids.as_slice()[pos])
         } else {
-            let parents = self.parents[to.index()].as_slice();
-            let pos = parents.iter().position(|&p| p == from)?;
-            Some(self.parent_eids[to.index()].as_slice()[pos])
+            let slot = &self.nodes[to.index()];
+            let pos = slot.parents.as_slice().iter().position(|&p| p == from)?;
+            Some(slot.parent_eids.as_slice()[pos])
         }
     }
 
@@ -421,7 +443,7 @@ impl Graph {
         if from.index() >= self.nodes.len() || to.index() >= self.nodes.len() {
             return None;
         }
-        self.scan_edge_id(from, to, self.nodes[from.index()].key.kind)
+        self.scan_edge_id(from, to, self.nodes[from.index()].data.key.kind)
     }
 
     /// Pre-sizes the node and edge stores for `nodes` / `edges` further
@@ -429,17 +451,21 @@ impl Graph {
     /// size is known from universe hints) does not pay for incremental
     /// rehash/regrow of the hot-path hash indexes.
     pub fn reserve(&mut self, nodes: usize, edges: usize) {
-        self.reserve_against_universe(nodes, edges, crate::ids::Sym::interned_count());
+        // Only consult the process interner (a read-lock acquisition)
+        // when the graph is big enough for the dense layout to be in
+        // play — per-fragment decodes reserve tiny graphs constantly.
+        let universe = if nodes >= DENSE_INDEX_THRESHOLD {
+            crate::ids::Sym::interned_count()
+        } else {
+            usize::MAX
+        };
+        self.reserve_against_universe(nodes, edges, universe);
     }
 
     /// [`Graph::reserve`] with the symbol-universe size made explicit
     /// (tests inject a universe without polluting the process interner).
     fn reserve_against_universe(&mut self, nodes: usize, edges: usize, universe: usize) {
         self.nodes.reserve(nodes);
-        self.parents.reserve(nodes);
-        self.children.reserve(nodes);
-        self.parent_eids.reserve(nodes);
-        self.child_eids.reserve(nodes);
         if nodes >= DENSE_INDEX_THRESHOLD && dense_layout_is_economical(nodes, universe) {
             // Supergraph scale: switch the node index to the
             // direct-mapped layout (see [`NodeIndex`]). When the process
@@ -461,38 +487,38 @@ impl Graph {
 
     /// The key of a node.
     pub fn key(&self, idx: NodeIdx) -> &NodeKey {
-        &self.nodes[idx.index()].key
+        &self.nodes[idx.index()].data.key
     }
 
     /// The kind of a node.
     pub fn kind(&self, idx: NodeIdx) -> NodeKind {
-        self.nodes[idx.index()].key.kind
+        self.nodes[idx.index()].data.key.kind
     }
 
     /// The mode of a node. Labels are always [`Mode::Disjunctive`]: a label
     /// is available as soon as *any* producer provides it.
     pub fn mode(&self, idx: NodeIdx) -> Mode {
-        self.nodes[idx.index()].mode
+        self.nodes[idx.index()].data.mode
     }
 
     /// Parent (predecessor) indices, in insertion order.
     pub fn parents(&self, idx: NodeIdx) -> &[NodeIdx] {
-        self.parents[idx.index()].as_slice()
+        self.nodes[idx.index()].parents.as_slice()
     }
 
     /// Child (successor) indices, in insertion order.
     pub fn children(&self, idx: NodeIdx) -> &[NodeIdx] {
-        self.children[idx.index()].as_slice()
+        self.nodes[idx.index()].children.as_slice()
     }
 
     /// In-degree of a node.
     pub fn in_degree(&self, idx: NodeIdx) -> usize {
-        self.parents[idx.index()].as_slice().len()
+        self.nodes[idx.index()].parents.as_slice().len()
     }
 
     /// Out-degree of a node.
     pub fn out_degree(&self, idx: NodeIdx) -> usize {
-        self.children[idx.index()].as_slice().len()
+        self.nodes[idx.index()].children.as_slice().len()
     }
 
     /// Iterates over all node indices in insertion order.
@@ -505,7 +531,7 @@ impl Graph {
         self.nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| (NodeIdx(i as u32), &n.key))
+            .map(|(i, n)| (NodeIdx(i as u32), &n.data.key))
     }
 
     /// Iterates over all edges in insertion order.
@@ -524,12 +550,12 @@ impl Graph {
 
     /// All label identifiers present in the graph, in insertion order.
     pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
-        self.nodes.iter().filter_map(|n| n.key.as_label())
+        self.nodes.iter().filter_map(|n| n.data.key.as_label())
     }
 
     /// All task identifiers present in the graph, in insertion order.
     pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.nodes.iter().filter_map(|n| n.key.as_task())
+        self.nodes.iter().filter_map(|n| n.data.key.as_task())
     }
 
     /// Source nodes (no incoming edges), in insertion order.
@@ -544,13 +570,42 @@ impl Graph {
 
     /// True if the graph is acyclic (Kahn's algorithm).
     pub fn is_acyclic(&self) -> bool {
-        self.topological_order().is_some()
+        self.is_acyclic_with(&mut TraversalScratch::default())
+    }
+
+    /// [`Graph::is_acyclic`] with caller-owned scratch buffers.
+    ///
+    /// Kahn's algorithm needs an in-degree array and a work queue; a
+    /// caller validating many small graphs in a row (a wire decoder
+    /// rebuilding fragments per frame) reuses one [`TraversalScratch`]
+    /// across all of them instead of allocating per graph.
+    pub fn is_acyclic_with(&self, scratch: &mut TraversalScratch) -> bool {
+        let TraversalScratch { indeg, queue } = scratch;
+        indeg.clear();
+        indeg.extend(self.nodes.iter().map(|n| n.parents.as_slice().len() as u32));
+        queue.clear();
+        queue.extend(self.node_indices().filter(|i| indeg[i.index()] == 0));
+        let mut visited = 0usize;
+        while let Some(n) = queue.pop() {
+            visited += 1;
+            for &c in self.children(n) {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        visited == self.nodes.len()
     }
 
     /// A topological order of node indices, or `None` if the graph has a
     /// cycle.
     pub fn topological_order(&self) -> Option<Vec<NodeIdx>> {
-        let mut indeg: Vec<usize> = self.parents.iter().map(|p| p.as_slice().len()).collect();
+        let mut indeg: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|n| n.parents.as_slice().len())
+            .collect();
         let mut queue: Vec<NodeIdx> = self
             .node_indices()
             .filter(|i| indeg[i.index()] == 0)
@@ -586,7 +641,7 @@ impl Graph {
         let mut map: HashMap<NodeIdx, NodeIdx> = HashMap::with_capacity(keep_nodes.len());
         for idx in self.node_indices() {
             if keep_nodes.contains(&idx) {
-                let node = &self.nodes[idx.index()];
+                let node = &self.nodes[idx.index()].data;
                 let new = g.intern(node.key.clone(), node.mode);
                 map.insert(idx, new);
             }
@@ -658,13 +713,13 @@ impl Graph {
         map.reserve(other.node_count());
         let mut new_nodes = 0;
         for idx in other.node_indices() {
-            let node = &other.nodes[idx.index()];
+            let node = &other.nodes[idx.index()].data;
             let before = self.nodes.len();
             let new = match node.key.kind {
                 NodeKind::Label => self.intern(node.key.clone(), Mode::Disjunctive),
                 NodeKind::Task => {
                     if let Some(existing) = self.find_sym(NodeKind::Task, node.key.name.sym()) {
-                        let have = self.nodes[existing.index()].mode;
+                        let have = self.nodes[existing.index()].data.mode;
                         if have != node.mode {
                             return Err(ModelError::ConflictingTaskMode {
                                 task: node.key.as_task().expect("task key"),
@@ -699,12 +754,24 @@ impl Graph {
     }
 }
 
+/// Reusable buffers for graph traversals ([`Graph::is_acyclic_with`],
+/// [`crate::validate::validate_with`]).
+///
+/// Holds the in-degree array and work queue Kahn's algorithm needs.
+/// Contents are transient — cleared on every use — so one scratch can be
+/// shared across any sequence of graphs of any sizes.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalScratch {
+    indeg: Vec<u32>,
+    queue: Vec<NodeIdx>,
+}
+
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut s = f.debug_struct("Graph");
         s.field("nodes", &self.node_count());
         s.field("edges", &self.edge_count());
-        let keys: Vec<String> = self.nodes.iter().map(|n| n.key.to_string()).collect();
+        let keys: Vec<String> = self.nodes.iter().map(|n| n.data.key.to_string()).collect();
         s.field("keys", &keys);
         s.finish()
     }

@@ -94,6 +94,76 @@ impl Sym {
             .copied()
     }
 
+    /// Batch [`Sym::lookup`]: probes every name under **one** read-lock
+    /// acquisition, appending `Some(sym)`/`None` per name to `out` in
+    /// iteration order. Never interns.
+    ///
+    /// A frame decoder charging a whole name table against a vocabulary
+    /// budget uses this instead of a per-name probe, turning N lock
+    /// round-trips into one.
+    pub fn lookup_batch<'x, I>(names: I, out: &mut Vec<Option<Sym>>)
+    where
+        I: Iterator<Item = &'x str>,
+    {
+        let int = interner().read().expect("interner lock");
+        out.extend(names.map(|s| int.map.get(s).copied()));
+    }
+
+    /// Batch intern: resolves every name under a **single** interner lock
+    /// pass, appending one [`Interned`] per name to `out` in iteration
+    /// order.
+    ///
+    /// When every name is already interned (the steady state of a frame
+    /// decoder — a community's vocabulary converges quickly) this takes
+    /// one read lock for the whole batch instead of one per name. On the
+    /// first miss it falls back to a single write-lock pass that resolves
+    /// the entire batch, interning the fresh names.
+    pub fn intern_batch<'x, I>(names: I, out: &mut Vec<Interned>)
+    where
+        I: Iterator<Item = &'x str> + Clone,
+    {
+        let start = out.len();
+        {
+            let int = interner().read().expect("interner lock");
+            let mut complete = true;
+            for s in names.clone() {
+                match int.map.get(s) {
+                    Some(&sym) => out.push(Interned(Name {
+                        sym,
+                        text: int.table[sym.0 as usize],
+                    })),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                return;
+            }
+        }
+        // At least one fresh name: redo the batch under one write lock
+        // (which also serves the lookups the read pass already did —
+        // map hits are cheap, lock churn is not).
+        out.truncate(start);
+        let mut int = interner().write().expect("interner lock");
+        for s in names {
+            let (sym, text) = match int.map.get(s) {
+                Some(&sym) => (sym, int.table[sym.0 as usize]),
+                None => {
+                    let text: &'static str = Box::leak(s.to_owned().into_boxed_str());
+                    let sym =
+                        Sym(u32::try_from(int.table.len())
+                            .expect("fewer than 2^32 distinct symbols"));
+                    int.table.push(text);
+                    int.map.insert(text, sym);
+                    (sym, text)
+                }
+            };
+            out.push(Interned(Name { sym, text }));
+        }
+    }
+
     /// Number of distinct symbols interned process-wide so far.
     ///
     /// Monotonically increasing. [`crate::Graph`] consults this when
@@ -193,6 +263,67 @@ impl fmt::Debug for Name {
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+/// A batch-resolved interned name: symbol plus canonical `'static` text.
+///
+/// Produced by [`Sym::intern_batch`] (one interner lock pass over a whole
+/// name table). Converting an `Interned` to a typed identifier —
+/// [`Interned::label`], [`Interned::task`], or `FragmentId::from` — is a
+/// bit copy: no lock, no string hash. This is what lets a wire decoder
+/// resolve a frame's name table once and then mint identifiers per
+/// payload reference for free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interned(Name);
+
+impl Interned {
+    /// The interned symbol.
+    pub fn sym(&self) -> Sym {
+        self.0.sym()
+    }
+
+    /// The canonical interned text.
+    pub fn as_str(&self) -> &'static str {
+        self.0.text
+    }
+
+    /// This name as a label identifier (bit copy, no interner access).
+    pub fn label(&self) -> Label {
+        Label(self.0)
+    }
+
+    /// This name as a task identifier (bit copy, no interner access).
+    pub fn task(&self) -> TaskId {
+        TaskId(self.0)
+    }
+
+    pub(crate) fn name(&self) -> Name {
+        self.0
+    }
+}
+
+impl fmt::Debug for Interned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Interned({:?})", self.0.as_str())
+    }
+}
+
+impl fmt::Display for Interned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0.as_str())
+    }
+}
+
+impl From<Interned> for Label {
+    fn from(i: Interned) -> Self {
+        i.label()
+    }
+}
+
+impl From<Interned> for TaskId {
+    fn from(i: Interned) -> Self {
+        i.task()
     }
 }
 
@@ -461,6 +592,51 @@ mod tests {
         let sym = Sym::intern("sym-lookup-present");
         assert_eq!(Sym::lookup("sym-lookup-present"), Some(sym));
         assert!(Sym::interned_count() > before);
+    }
+
+    #[test]
+    fn intern_batch_matches_per_name_interning() {
+        let names = ["batch-a", "batch-b", "batch-a", "batch-c"];
+        let mut out = Vec::new();
+        Sym::intern_batch(names.iter().copied(), &mut out);
+        assert_eq!(out.len(), 4);
+        for (name, interned) in names.iter().zip(&out) {
+            assert_eq!(interned.sym(), Sym::intern(name));
+            assert_eq!(interned.as_str(), *name);
+        }
+        // A second batch over now-known names (the read-lock fast path)
+        // appends identical resolutions.
+        Sym::intern_batch(names.iter().copied(), &mut out);
+        assert_eq!(out[..4], out[4..]);
+        // Typed conversions carry the same symbol.
+        assert_eq!(out[0].label(), Label::new("batch-a"));
+        assert_eq!(out[1].task(), TaskId::new("batch-b"));
+    }
+
+    #[test]
+    fn intern_batch_mixed_known_and_fresh() {
+        Sym::intern("batch-mixed-known");
+        let mut out = Vec::new();
+        Sym::intern_batch(
+            ["batch-mixed-known", "batch-mixed-fresh"].into_iter(),
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].as_str(), "batch-mixed-known");
+        assert_eq!(Sym::lookup("batch-mixed-fresh"), Some(out[1].sym()));
+    }
+
+    #[test]
+    fn lookup_batch_probes_without_interning() {
+        let known = Sym::intern("batch-probe-known");
+        let before = Sym::interned_count();
+        let mut out = Vec::new();
+        Sym::lookup_batch(
+            ["batch-probe-known", "batch-probe-missing"].into_iter(),
+            &mut out,
+        );
+        assert_eq!(out, vec![Some(known), None]);
+        assert_eq!(Sym::interned_count(), before, "probe must not intern");
     }
 
     #[test]

@@ -92,8 +92,8 @@ pub use construct::{ConstructError, Construction, Constructor, PickOrder};
 pub use error::{ComposeError, ModelError};
 pub use fragment::{Fragment, FragmentBuilder, FragmentId};
 pub use fx::{FxHashMap, FxHashSet};
-pub use graph::{Graph, NodeIdx};
-pub use ids::{Label, Mode, NodeKey, NodeKind, Sym, TaskId};
+pub use graph::{Graph, NodeIdx, TraversalScratch};
+pub use ids::{Interned, Label, Mode, NodeKey, NodeKind, Sym, TaskId};
 pub use spec::Spec;
 pub use store::{
     BackendError, FragmentBackend, InMemoryFragmentStore, ParallelFragmentSource,

@@ -63,7 +63,24 @@ impl Error for ValidityError {}
 ///
 /// Returns the first [`ValidityError`] found, if any.
 pub fn validate(graph: &Graph) -> Result<(), ValidityError> {
-    if !graph.is_acyclic() {
+    validate_with(graph, &mut crate::graph::TraversalScratch::default())
+}
+
+/// [`validate`] with caller-owned traversal scratch.
+///
+/// Identical checks in the identical order; the scratch only removes the
+/// per-call allocations of the acyclicity pass, so callers validating
+/// many small graphs (a wire decoder re-validating every fragment it
+/// rebuilds) amortize them away.
+///
+/// # Errors
+///
+/// Returns the first [`ValidityError`] found, if any.
+pub fn validate_with(
+    graph: &Graph,
+    scratch: &mut crate::graph::TraversalScratch,
+) -> Result<(), ValidityError> {
+    if !graph.is_acyclic_with(scratch) {
         return Err(ValidityError::Cyclic);
     }
     for idx in graph.node_indices() {

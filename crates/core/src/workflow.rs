@@ -5,7 +5,7 @@ use std::fmt;
 
 use crate::graph::{Graph, NodeIdx};
 use crate::ids::{Label, Mode, NodeKind, TaskId};
-use crate::validate::{validate, ValidityError};
+use crate::validate::ValidityError;
 
 /// A valid workflow: "a collection of interlinked abstract tasks" (§2.2).
 ///
@@ -37,7 +37,23 @@ impl Workflow {
     /// Returns the first [`ValidityError`] if the graph violates the
     /// workflow constraints.
     pub fn from_graph(graph: Graph) -> Result<Self, ValidityError> {
-        validate(&graph)?;
+        Self::from_graph_with(graph, &mut crate::graph::TraversalScratch::default())
+    }
+
+    /// [`Workflow::from_graph`] with caller-owned traversal scratch for
+    /// the validity check — same validation, same results, no per-call
+    /// traversal allocations. The wire decoder re-validates every
+    /// fragment it rebuilds through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidityError`] if the graph violates the
+    /// workflow constraints.
+    pub fn from_graph_with(
+        graph: Graph,
+        scratch: &mut crate::graph::TraversalScratch,
+    ) -> Result<Self, ValidityError> {
+        crate::validate::validate_with(&graph, scratch)?;
         let inset = graph
             .sources()
             .filter_map(|i| graph.key(i).as_label())

@@ -19,10 +19,12 @@
 
 use std::sync::Arc;
 
-use openwf_core::{Fragment, Label, TaskId};
+use openwf_core::{Fragment, Interned, Label, TaskId};
 use openwf_simnet::{HostId, SimDuration, SimTime};
-use openwf_wire::model::{read_fragment, write_fragment};
-use openwf_wire::{read_frame, FrameEncoder, PayloadReader, VocabularyBudget, WireError, TAG_MSG};
+use openwf_wire::model::{read_fragment_resolved, read_spec_resolved, write_fragment};
+use openwf_wire::{
+    read_frame, DecodeScratch, FrameEncoder, PayloadReader, VocabularyBudget, WireError, TAG_MSG,
+};
 
 use crate::auction_part::Bid;
 use crate::messages::{Msg, ProblemId};
@@ -83,12 +85,12 @@ fn write_labels(enc: &mut FrameEncoder, labels: &[Label]) {
     }
 }
 
-fn read_labels(r: &mut PayloadReader<'_, '_>) -> Result<Vec<Label>, WireError> {
+fn read_labels(r: &mut PayloadReader<'_, '_>, names: &[Interned]) -> Result<Vec<Label>, WireError> {
     let n = r.varint()?;
     let n = r.guard_count(n, 1)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push(Label::new(r.name()?));
+        out.push(r.interned(names)?.label());
     }
     Ok(out)
 }
@@ -100,12 +102,12 @@ fn write_tasks(enc: &mut FrameEncoder, tasks: &[TaskId]) {
     }
 }
 
-fn read_tasks(r: &mut PayloadReader<'_, '_>) -> Result<Vec<TaskId>, WireError> {
+fn read_tasks(r: &mut PayloadReader<'_, '_>, names: &[Interned]) -> Result<Vec<TaskId>, WireError> {
     let n = r.varint()?;
     let n = r.guard_count(n, 1)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push(TaskId::new(r.name()?));
+        out.push(r.interned(names)?.task());
     }
     Ok(out)
 }
@@ -148,11 +150,14 @@ fn write_metadata(enc: &mut FrameEncoder, meta: &TaskMetadata) {
     write_time(enc, meta.earliest_start);
 }
 
-fn read_metadata(r: &mut PayloadReader<'_, '_>) -> Result<TaskMetadata, WireError> {
+fn read_metadata(
+    r: &mut PayloadReader<'_, '_>,
+    names: &[Interned],
+) -> Result<TaskMetadata, WireError> {
     Ok(TaskMetadata {
         level: r.varint()? as usize,
-        inputs: read_labels(r)?,
-        outputs: read_labels(r)?,
+        inputs: read_labels(r, names)?,
+        outputs: read_labels(r, names)?,
         location: read_opt_string(r)?,
         earliest_start: read_time(r)?,
     })
@@ -212,18 +217,21 @@ fn write_plan(enc: &mut FrameEncoder, plan: &ExecutionPlan) {
     }
 }
 
-fn read_plan(r: &mut PayloadReader<'_, '_>) -> Result<ExecutionPlan, WireError> {
+fn read_plan(
+    r: &mut PayloadReader<'_, '_>,
+    names: &[Interned],
+) -> Result<ExecutionPlan, WireError> {
     let n = r.varint()?;
     let n = r.guard_count(n, 6)?;
     let mut commitments = Vec::with_capacity(n);
     for _ in 0..n {
-        let task = TaskId::new(r.name()?);
-        let inputs = read_labels(r)?;
+        let task = r.interned(names)?.task();
+        let inputs = read_labels(r, names)?;
         let n_out = r.varint()?;
         let n_out = r.guard_count(n_out, 3)?;
         let mut outputs = Vec::with_capacity(n_out);
         for _ in 0..n_out {
-            let label = Label::new(r.name()?);
+            let label = r.interned(names)?.label();
             let n_cons = r.varint()?;
             let n_cons = r.guard_count(n_cons, 1)?;
             let mut consumers = Vec::with_capacity(n_cons);
@@ -365,19 +373,45 @@ pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
 /// Any [`WireError`]; on [`WireError::VocabularyExceeded`] nothing was
 /// interned and nothing was recorded in the budget.
 pub fn decode_msg(buf: &[u8], budget: &mut VocabularyBudget) -> Result<(Msg, usize), WireError> {
-    let (frame, consumed) = read_frame(buf)?;
+    // One-shot decode: fresh scratch, identity cache off (an insert into
+    // a throwaway cache is pure waste). Long-lived receive loops hold a
+    // `DecodeScratch` and call `decode_msg_with` instead.
+    decode_msg_with(buf, budget, &mut DecodeScratch::with_cache_capacity(0))
+}
+
+/// [`decode_msg`] with per-connection decode state: the frame's span
+/// buffer is recycled, its name table is resolved in **one** interner
+/// batch, fragments are staged in reused buffers, and re-announced
+/// fragments are answered from the identity cache as shared
+/// [`Arc<Fragment>`]s without a rebuild.
+///
+/// Budget semantics are identical to [`decode_msg`]: the whole name
+/// table is charged *before* anything is interned or cached.
+///
+/// # Errors
+///
+/// Any [`WireError`]; on [`WireError::VocabularyExceeded`] nothing was
+/// interned and nothing was recorded in the budget.
+pub fn decode_msg_with(
+    buf: &[u8],
+    budget: &mut VocabularyBudget,
+    scratch: &mut DecodeScratch,
+) -> Result<(Msg, usize), WireError> {
+    let (frame, consumed) = scratch.take_frame(buf)?;
     openwf_wire::model::admit_frame(&frame, TAG_MSG, budget)?;
+    scratch.resolve(&frame);
     let mut r = frame.reader();
     let variant = r.byte()?;
+    let (names, frag_scratch, cache) = scratch.split();
     let msg = match variant {
         V_INITIATE => Msg::Initiate {
             problem: read_problem(&mut r)?,
-            spec: openwf_wire::model::read_spec(&mut r)?,
+            spec: read_spec_resolved(&mut r, names)?,
         },
         V_FRAGMENT_QUERY => Msg::FragmentQuery {
             problem: read_problem(&mut r)?,
             round: read_u32(&mut r)?,
-            labels: read_labels(&mut r)?,
+            labels: read_labels(&mut r, names)?,
         },
         V_FRAGMENT_REPLY => {
             let problem = read_problem(&mut r)?;
@@ -386,7 +420,7 @@ pub fn decode_msg(buf: &[u8], budget: &mut VocabularyBudget) -> Result<(Msg, usi
             let n = r.guard_count(n, 3)?;
             let mut fragments: Vec<Arc<Fragment>> = Vec::with_capacity(n);
             for _ in 0..n {
-                fragments.push(Arc::new(read_fragment(&mut r)?));
+                fragments.push(read_fragment_resolved(&mut r, names, frag_scratch, cache)?);
             }
             Msg::FragmentReply {
                 problem,
@@ -397,51 +431,52 @@ pub fn decode_msg(buf: &[u8], budget: &mut VocabularyBudget) -> Result<(Msg, usi
         V_CAPABILITY_QUERY => Msg::CapabilityQuery {
             problem: read_problem(&mut r)?,
             round: read_u32(&mut r)?,
-            tasks: read_tasks(&mut r)?,
+            tasks: read_tasks(&mut r, names)?,
         },
         V_CAPABILITY_REPLY => Msg::CapabilityReply {
             problem: read_problem(&mut r)?,
             round: read_u32(&mut r)?,
-            capable: read_tasks(&mut r)?,
+            capable: read_tasks(&mut r, names)?,
         },
         V_CALL_FOR_BIDS => Msg::CallForBids {
             problem: read_problem(&mut r)?,
-            task: TaskId::new(r.name()?),
-            meta: read_metadata(&mut r)?,
+            task: r.interned(names)?.task(),
+            meta: read_metadata(&mut r, names)?,
         },
         V_BID => Msg::Bid {
             problem: read_problem(&mut r)?,
-            task: TaskId::new(r.name()?),
+            task: r.interned(names)?.task(),
             bid: read_bid(&mut r)?,
         },
         V_DECLINE => Msg::Decline {
             problem: read_problem(&mut r)?,
-            task: TaskId::new(r.name()?),
+            task: r.interned(names)?.task(),
         },
         V_AWARD => Msg::Award {
             problem: read_problem(&mut r)?,
-            task: TaskId::new(r.name()?),
+            task: r.interned(names)?.task(),
             assignment: read_assignment(&mut r)?,
         },
         V_EXECUTE => Msg::Execute {
             problem: read_problem(&mut r)?,
-            plan: read_plan(&mut r)?,
+            plan: read_plan(&mut r, names)?,
         },
         V_INPUT_DELIVERY => Msg::InputDelivery {
             problem: read_problem(&mut r)?,
-            label: Label::new(r.name()?),
+            label: r.interned(names)?.label(),
         },
         V_TASK_COMPLETED => Msg::TaskCompleted {
             problem: read_problem(&mut r)?,
-            task: TaskId::new(r.name()?),
+            task: r.interned(names)?.task(),
         },
         V_GOAL_DELIVERED => Msg::GoalDelivered {
             problem: read_problem(&mut r)?,
-            label: Label::new(r.name()?),
+            label: r.interned(names)?.label(),
         },
         other => return Err(WireError::UnknownTag(other)),
     };
     r.expect_end()?;
+    scratch.recycle(frame);
     Ok((msg, consumed))
 }
 
@@ -496,6 +531,29 @@ pub fn reply_through_wire(
     fragments: Vec<Arc<Fragment>>,
     budget: &mut VocabularyBudget,
 ) -> Result<Vec<Arc<Fragment>>, WireError> {
+    reply_through_wire_with(
+        problem,
+        round,
+        fragments,
+        budget,
+        &mut DecodeScratch::with_cache_capacity(0),
+    )
+}
+
+/// [`reply_through_wire`] with per-connection decode state — the
+/// receive path a long-lived host uses so repeated reply traffic hits
+/// the fragment-identity cache and reuses all decode buffers.
+///
+/// # Errors
+///
+/// Same as [`reply_through_wire`].
+pub fn reply_through_wire_with(
+    problem: ProblemId,
+    round: u32,
+    fragments: Vec<Arc<Fragment>>,
+    budget: &mut VocabularyBudget,
+    scratch: &mut DecodeScratch,
+) -> Result<Vec<Arc<Fragment>>, WireError> {
     let msg = Msg::FragmentReply {
         problem,
         round,
@@ -503,7 +561,7 @@ pub fn reply_through_wire(
     };
     let mut buf = Vec::new();
     encode_msg(&msg, &mut buf);
-    match decode_msg(&buf, budget)? {
+    match decode_msg_with(&buf, budget, scratch)? {
         (Msg::FragmentReply { fragments, .. }, _) => Ok(fragments),
         _ => unreachable!("a FragmentReply frame decodes to a FragmentReply"),
     }

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use openwf_core::{Fragment, Label, TaskId};
 use openwf_mobility::{Motion, Point, SiteMap};
 use openwf_simnet::{HostId, SimDuration, SimTime, TimerToken};
-use openwf_wire::{VocabularyBudget, WireError};
+use openwf_wire::{DecodeScratch, VocabularyBudget, WireError};
 
 use crate::auction::{AuctionAction, ProblemAuctions};
 use crate::auction_part::{AuctionParticipationManager, BidDecision};
@@ -391,6 +391,10 @@ pub struct HostCore {
     /// Vocabulary trust boundary: the decode-side budget capped peer
     /// replies are charged against (see [`crate::codec::reply_through_wire`]).
     vocab: VocabularyBudget,
+    /// Per-host decode state: recycled frame/name/staging buffers plus
+    /// the fragment-identity cache (primed with own knowhow at
+    /// construction, so an echoed fragment decodes to the shared `Arc`).
+    decode: DecodeScratch,
     vocabulary_rejections: u64,
     /// Per-peer vocabulary rejection tallies;
     /// [`HostConfig::max_vocabulary_rejections`] acts on them.
@@ -451,6 +455,8 @@ impl HostCore {
                 vocab.seed_fragment(f);
             }
         }
+        let mut decode = DecodeScratch::new();
+        fragment_mgr.prime_cache(decode.cache_mut());
         let mut service_mgr = ServiceManager::new();
         for s in config.services {
             service_mgr.register(s);
@@ -468,6 +474,7 @@ impl HostCore {
             exec_mgr: ExecutionManager::new(),
             workflow_mgr: WorkflowManager::new(),
             vocab,
+            decode,
             vocabulary_rejections: 0,
             vocab_rejections_by_peer: HashMap::new(),
             max_vocab_rejections: config.max_vocabulary_rejections,
@@ -638,9 +645,9 @@ impl HostCore {
             return q;
         }
         let decoded = if from == self.id() {
-            codec::decode_msg(bytes, &mut VocabularyBudget::unlimited())
+            codec::decode_msg_with(bytes, &mut VocabularyBudget::unlimited(), &mut self.decode)
         } else {
-            codec::decode_msg(bytes, &mut self.vocab)
+            codec::decode_msg_with(bytes, &mut self.vocab, &mut self.decode)
         };
         match decoded {
             Ok((msg, _consumed)) => self.dispatch_msg(from, msg, now, &mut q, true),
@@ -860,7 +867,13 @@ impl HostCore {
                 let fragments = if off_the_wire || self.vocab.cap().is_none() {
                     fragments
                 } else {
-                    match codec::reply_through_wire(problem, round, fragments, &mut self.vocab) {
+                    match codec::reply_through_wire_with(
+                        problem,
+                        round,
+                        fragments,
+                        &mut self.vocab,
+                        &mut self.decode,
+                    ) {
                         Ok(decoded) => decoded,
                         Err(WireError::VocabularyExceeded { .. }) => {
                             // The peer minted past the cap: book the

@@ -196,6 +196,17 @@ impl FragmentManager {
             .into_iter()
             .map(Arc::as_ref)
     }
+
+    /// Primes a decode-side fragment-identity cache with every stored
+    /// fragment ([`openwf_wire::FragmentCache::admit`]). A peer echoing
+    /// this host's own knowhow then decodes to the manager's shared
+    /// `Arc` on first receipt — no graph rebuild, no duplicate
+    /// allocation.
+    pub fn prime_cache(&self, cache: &mut openwf_wire::FragmentCache) {
+        for f in self.backend.index().fragments_shared() {
+            cache.admit(f);
+        }
+    }
 }
 
 fn normalize_threads(threads: usize) -> usize {

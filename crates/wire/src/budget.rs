@@ -89,14 +89,38 @@ impl VocabularyBudget {
     /// [`WireError::VocabularyExceeded`] when admitting the table would
     /// push the distinct-name count past the cap.
     pub fn charge_names(&mut self, names: &[&str]) -> Result<usize, WireError> {
+        self.charge_iter(names.iter().copied())
+    }
+
+    /// [`VocabularyBudget::charge_names`] over any (re-iterable) name
+    /// sequence — what [`crate::model::admit_frame`] feeds a frame's
+    /// borrowed table through without materializing a `Vec<&str>`.
+    ///
+    /// Identical accounting, batched locking: the whole table is probed
+    /// in **one** interner read pass ([`Sym::lookup_batch`]) and — only
+    /// after the cap clears — its fresh names are interned in one more
+    /// pass ([`Sym::intern_batch`]), instead of two lock round-trips per
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::VocabularyExceeded`] when admitting the table would
+    /// push the distinct-name count past the cap; nothing is interned or
+    /// recorded in that case.
+    pub fn charge_iter<'x, I>(&mut self, names: I) -> Result<usize, WireError>
+    where
+        I: Iterator<Item = &'x str> + Clone,
+    {
         let Some(cap) = self.cap else {
             return Ok(0);
         };
+        let mut probes: Vec<Option<Sym>> = Vec::new();
+        Sym::lookup_batch(names.clone(), &mut probes);
         let mut fresh: Vec<&str> = Vec::new();
         let mut fresh_set: FxHashSet<&str> = FxHashSet::default();
-        for &name in names {
-            if let Some(sym) = Sym::lookup(name) {
-                if self.seen.contains(&sym) {
+        for (name, probe) in names.zip(&probes) {
+            if let Some(sym) = probe {
+                if self.seen.contains(sym) {
                     continue;
                 }
             }
@@ -109,10 +133,12 @@ impl VocabularyBudget {
             return Err(WireError::VocabularyExceeded { cap, attempted });
         }
         let admitted = fresh.len();
-        for name in fresh {
-            // Interning happens only now, after the whole table cleared
-            // the cap.
-            self.seen.insert(Sym::intern(name));
+        // Interning happens only now, after the whole table cleared the
+        // cap — one write-lock pass for every fresh name.
+        let mut interned = Vec::with_capacity(admitted);
+        Sym::intern_batch(fresh.into_iter(), &mut interned);
+        for name in interned {
+            self.seen.insert(name.sym());
         }
         Ok(admitted)
     }

@@ -17,10 +17,17 @@
 //! hints) are encoded inline and bypass the table — they never touch the
 //! interner.
 
-use openwf_core::{FxHashMap, Sym};
+use openwf_core::{FxHashMap, Interned, Sym};
 
 use crate::error::WireError;
 use crate::varint;
+
+/// Byte span of one name table entry inside a frame body:
+/// `(start, end)` offsets. Spans are lifetime-free, so a decoder can
+/// pool one span buffer across frames parsed from different input
+/// buffers (see [`read_frame_reusing`]) — something a `Vec<&str>` table
+/// could never do without `unsafe`.
+pub type NameSpan = (u32, u32);
 
 /// The wire format version this crate encodes and decodes.
 pub const WIRE_VERSION: u8 = 1;
@@ -101,7 +108,15 @@ impl FrameEncoder {
 }
 
 /// A parsed frame borrowing the input buffer: header fields, the name
-/// table as **un-interned** string slices, and the raw payload.
+/// table as **un-interned** byte spans, and the raw payload.
+///
+/// The table is stored as [`NameSpan`]s into the borrowed body — parsing
+/// copies no string data, and the span buffer itself can be recycled
+/// across frames ([`read_frame_reusing`] / [`FrameView::into_spans`]).
+/// Decode hot paths resolve the whole table in one interner pass with
+/// [`FrameView::interned_names`] and then index into the resolved table;
+/// per-name borrowed access ([`FrameView::name_at`]) remains for cold
+/// paths and reference decoders.
 #[derive(Debug)]
 pub struct FrameView<'a> {
     /// Wire format version (always [`WIRE_VERSION`] after a successful
@@ -109,27 +124,90 @@ pub struct FrameView<'a> {
     pub version: u8,
     /// Frame type tag.
     pub tag: u8,
-    names: Vec<&'a str>,
-    payload: &'a [u8],
+    body: &'a [u8],
+    spans: Vec<NameSpan>,
+    payload_off: usize,
 }
 
 impl<'a> FrameView<'a> {
-    /// The frame's name table, in first-reference order. Slices borrow
-    /// the input buffer — nothing here has been interned.
-    pub fn names(&self) -> &[&'a str] {
-        &self.names
+    /// Number of entries in the frame's name table.
+    pub fn name_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The table entry at `idx` as a borrowed slice, `None` when out of
+    /// range. Not interned.
+    pub fn name_at(&self, idx: usize) -> Option<&'a str> {
+        let &(start, end) = self.spans.get(idx)?;
+        // UTF-8 was validated when the frame was parsed; this re-check
+        // (instead of an unchecked cast — the crate forbids `unsafe`)
+        // can only fail if the span bookkeeping itself were broken.
+        std::str::from_utf8(&self.body[start as usize..end as usize]).ok()
+    }
+
+    /// Iterates the frame's name table, in first-reference order. Slices
+    /// borrow the input buffer — nothing here has been interned.
+    pub fn names(&self) -> Names<'a, '_> {
+        Names {
+            body: self.body,
+            spans: self.spans.iter(),
+        }
+    }
+
+    /// Resolves the **whole** name table in one interner batch
+    /// ([`Sym::intern_batch`]): one lock pass for the frame instead of a
+    /// lock per name reference. `out` is cleared first, then holds one
+    /// [`Interned`] per table entry, in table order — payload decoders
+    /// index into it via [`PayloadReader::interned`].
+    ///
+    /// Call only *after* the table cleared the vocabulary budget: this
+    /// interns every table entry.
+    pub fn interned_names(&self, out: &mut Vec<Interned>) {
+        out.clear();
+        out.reserve(self.spans.len());
+        Sym::intern_batch(self.names(), out);
     }
 
     /// A cursor over the payload that resolves name references against
     /// this frame's table.
     pub fn reader(&self) -> PayloadReader<'a, '_> {
         PayloadReader {
-            names: &self.names,
-            buf: self.payload,
+            frame: self,
+            buf: &self.body[self.payload_off..],
             pos: 0,
         }
     }
+
+    /// Consumes the view, returning its span buffer for reuse by a later
+    /// [`read_frame_reusing`] call (the spans are lifetime-free).
+    pub fn into_spans(self) -> Vec<NameSpan> {
+        self.spans
+    }
 }
+
+/// Iterator over a frame's name table ([`FrameView::names`]).
+#[derive(Clone, Debug)]
+pub struct Names<'a, 'v> {
+    body: &'a [u8],
+    spans: std::slice::Iter<'v, NameSpan>,
+}
+
+impl<'a> Iterator for Names<'a, '_> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let &(start, end) = self.spans.next()?;
+        // Validated at parse time; the fallback keeps this total without
+        // a panic path.
+        Some(std::str::from_utf8(&self.body[start as usize..end as usize]).unwrap_or(""))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.spans.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Names<'_, '_> {}
 
 /// Length of the complete frame at the head of `buf`, if fully buffered.
 ///
@@ -204,6 +282,22 @@ pub fn frame_tag(buf: &[u8]) -> Result<Option<u8>, WireError> {
 /// [`WireError::Truncated`] when the buffer does not hold a complete
 /// frame; every other variant on corrupt input. Never panics.
 pub fn read_frame(buf: &[u8]) -> Result<(FrameView<'_>, usize), WireError> {
+    read_frame_reusing(buf, Vec::new())
+}
+
+/// [`read_frame`] with a recycled span buffer: `spans` (typically
+/// obtained from a previous view via [`FrameView::into_spans`]) is
+/// cleared and reused for the new frame's name table, so a long-lived
+/// connection parses frames without a per-frame table allocation.
+///
+/// # Errors
+///
+/// Same as [`read_frame`]. On error the span buffer is dropped (errors
+/// are the cold path; the next call simply allocates afresh).
+pub fn read_frame_reusing(
+    buf: &[u8],
+    mut spans: Vec<NameSpan>,
+) -> Result<(FrameView<'_>, usize), WireError> {
     let Some(total) = frame_extent(buf)? else {
         return Err(WireError::Truncated);
     };
@@ -229,7 +323,8 @@ pub fn read_frame(buf: &[u8]) -> Result<(FrameView<'_>, usize), WireError> {
     if n_names > (body.len() - bpos) as u64 {
         return Err(WireError::Malformed("name count exceeds frame size"));
     }
-    let mut names: Vec<&str> = Vec::with_capacity(n_names as usize);
+    spans.clear();
+    spans.reserve(n_names as usize);
     for _ in 0..n_names {
         let len = varint::read(body, &mut bpos)?;
         if len > MAX_NAME_LEN {
@@ -239,17 +334,19 @@ pub fn read_frame(buf: &[u8]) -> Result<(FrameView<'_>, usize), WireError> {
         let Some(bytes) = body.get(bpos..bpos + len) else {
             return Err(WireError::Truncated);
         };
+        std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)?;
+        // Body length is capped at 16 MiB, so offsets always fit u32.
+        spans.push((bpos as u32, (bpos + len) as u32));
         bpos += len;
-        let text = std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)?;
-        names.push(text);
     }
 
     Ok((
         FrameView {
             version,
             tag,
-            names,
-            payload: &body[bpos..],
+            body,
+            spans,
+            payload_off: bpos,
         },
         total,
     ))
@@ -261,7 +358,7 @@ pub fn read_frame(buf: &[u8]) -> Result<(FrameView<'_>, usize), WireError> {
 /// borrow is the [`FrameView`] holding the name table.
 #[derive(Debug)]
 pub struct PayloadReader<'a, 'v> {
-    names: &'v [&'a str],
+    frame: &'v FrameView<'a>,
     buf: &'a [u8],
     pos: usize,
 }
@@ -297,8 +394,37 @@ impl<'a> PayloadReader<'a, '_> {
     /// [`WireError::Malformed`] when the index is out of table range.
     pub fn name(&mut self) -> Result<&'a str, WireError> {
         let idx = self.varint()?;
-        self.names
-            .get(idx as usize)
+        self.frame
+            .name_at(idx as usize)
+            .ok_or(WireError::Malformed("name index out of table range"))
+    }
+
+    /// Reads a name reference, returning its bounds-checked table index
+    /// (for callers that index into a batch-resolved table themselves).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when the index is out of table range.
+    pub fn name_index(&mut self) -> Result<usize, WireError> {
+        let idx = self.varint()? as usize;
+        if idx >= self.frame.name_count() {
+            return Err(WireError::Malformed("name index out of table range"));
+        }
+        Ok(idx)
+    }
+
+    /// Reads a name reference and resolves it against a batch-resolved
+    /// table (see [`FrameView::interned_names`]) — the zero-lock hot
+    /// path: one bounds check and a bit copy, no interner access.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when the index is out of the resolved
+    /// table's range.
+    pub fn interned(&mut self, names: &[Interned]) -> Result<Interned, WireError> {
+        let idx = self.varint()? as usize;
+        names
+            .get(idx)
             .copied()
             .ok_or(WireError::Malformed("name index out of table range"))
     }
@@ -374,8 +500,23 @@ impl FrameDecoder {
     }
 
     /// Appends incoming bytes to the stream.
+    ///
+    /// Consumed bytes are reclaimed without copying whenever the buffer
+    /// has been fully drained (the steady state of a keeping-up reader);
+    /// a memmove compaction of the retained tail happens only under
+    /// capacity pressure, instead of on every feed past a half-consumed
+    /// heuristic. Capacity is therefore bounded by the largest amount of
+    /// *live* (unconsumed) data the stream has ever held, and a
+    /// long-lived connection neither grows without bound nor re-copies
+    /// retained bytes per chunk.
     pub fn feed(&mut self, bytes: &[u8]) {
-        if self.pos > 0 && self.pos >= self.buf.len() / 2 {
+        if self.pos == self.buf.len() {
+            // Fully consumed: reclaim the whole buffer for free.
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 0 && self.buf.len() + bytes.len() > self.buf.capacity() {
+            // Only compact when appending would otherwise grow the
+            // allocation.
             self.buf.drain(..self.pos);
             self.pos = 0;
         }
@@ -431,7 +572,13 @@ mod tests {
         assert_eq!(consumed, bytes.len());
         assert_eq!(frame.version, WIRE_VERSION);
         assert_eq!(frame.tag, 0x2a);
-        assert_eq!(frame.names(), &["frame-test-alpha", "frame-test-beta"]);
+        assert_eq!(
+            frame.names().collect::<Vec<_>>(),
+            ["frame-test-alpha", "frame-test-beta"]
+        );
+        assert_eq!(frame.name_count(), 2);
+        assert_eq!(frame.name_at(0), Some("frame-test-alpha"));
+        assert_eq!(frame.name_at(2), None);
         let mut r = frame.reader();
         assert_eq!(r.name().unwrap(), "frame-test-alpha");
         assert_eq!(r.name().unwrap(), "frame-test-beta");

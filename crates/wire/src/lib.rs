@@ -44,10 +44,12 @@ pub mod varint;
 pub use budget::VocabularyBudget;
 pub use error::WireError;
 pub use frame::{
-    frame_extent, frame_tag, read_frame, FrameDecoder, FrameEncoder, FrameView, PayloadReader,
-    MAX_FRAME_LEN, MAX_NAME_LEN, WIRE_VERSION,
+    frame_extent, frame_tag, read_frame, read_frame_reusing, FrameDecoder, FrameEncoder, FrameView,
+    NameSpan, Names, PayloadReader, MAX_FRAME_LEN, MAX_NAME_LEN, WIRE_VERSION,
 };
 pub use model::{
-    decode_fragment, decode_spec, encode_fragment, encode_spec, TAG_FRAGMENT, TAG_MSG, TAG_SPEC,
+    decode_fragment, decode_fragment_with, decode_spec, encode_fragment, encode_spec,
+    read_fragment_resolved, read_spec_resolved, DecodeScratch, FragKey, FragScratch, FragmentCache,
+    DEFAULT_FRAGMENT_CACHE_CAP, TAG_FRAGMENT, TAG_MSG, TAG_SPEC,
 };
 pub use storage::{crc32, DurableFragmentStore, StorageError, DEFAULT_SEGMENT_BYTES};

@@ -16,10 +16,12 @@
 use std::sync::Arc;
 
 use openwf_core::workflow::Workflow;
-use openwf_core::{Fragment, Graph, Mode, NodeKind, Spec};
+use openwf_core::{
+    Fragment, FxHashMap, Graph, Interned, Mode, NodeIdx, NodeKind, Spec, Sym, TraversalScratch,
+};
 
 use crate::error::WireError;
-use crate::frame::{read_frame, FrameEncoder, FrameView, PayloadReader};
+use crate::frame::{read_frame, FrameEncoder, FrameView, NameSpan, PayloadReader};
 use crate::VocabularyBudget;
 
 /// Frame tag: one [`Fragment`].
@@ -33,23 +35,28 @@ pub const TAG_MSG: u8 = 0x03;
 const NODE_FLAG_TASK: u8 = 0b01;
 const NODE_FLAG_DISJUNCTIVE: u8 = 0b10;
 
+/// The wire flag byte for a graph node — shared by the encoder and the
+/// fragment-identity cache so both derive keys from the same bits.
+fn node_flags(g: &Graph, idx: NodeIdx, kind: NodeKind) -> u8 {
+    match kind {
+        NodeKind::Label => 0,
+        NodeKind::Task => {
+            NODE_FLAG_TASK
+                | match g.mode(idx) {
+                    Mode::Conjunctive => 0,
+                    Mode::Disjunctive => NODE_FLAG_DISJUNCTIVE,
+                }
+        }
+    }
+}
+
 /// Writes a fragment payload onto an open frame.
 pub fn write_fragment(enc: &mut FrameEncoder, fragment: &Fragment) {
     enc.name(fragment.id().sym());
     let g = fragment.graph();
     enc.varint(g.node_count() as u64);
     for (idx, key) in g.nodes() {
-        let flags = match key.kind() {
-            NodeKind::Label => 0,
-            NodeKind::Task => {
-                NODE_FLAG_TASK
-                    | match g.mode(idx) {
-                        Mode::Conjunctive => 0,
-                        Mode::Disjunctive => NODE_FLAG_DISJUNCTIVE,
-                    }
-            }
-        };
-        enc.byte(flags);
+        enc.byte(node_flags(g, idx, key.kind()));
         enc.name(key.sym());
     }
     enc.varint(g.edge_count() as u64);
@@ -60,6 +67,11 @@ pub fn write_fragment(enc: &mut FrameEncoder, fragment: &Fragment) {
 }
 
 /// Reads a fragment payload, rebuilding and re-validating its workflow.
+///
+/// This is the straight-line **reference decoder**: one interner lock
+/// per name reference, fresh allocations per fragment, no caching. The
+/// hot receive path uses [`read_fragment_resolved`] instead; property
+/// tests hold the two bit-identical.
 ///
 /// # Errors
 ///
@@ -141,6 +153,32 @@ pub fn read_spec(r: &mut PayloadReader<'_, '_>) -> Result<Spec, WireError> {
     Ok(Spec::new(triggers, goals))
 }
 
+/// [`read_spec`] against a batch-resolved name table (see
+/// [`FrameView::interned_names`]): every label resolves by table index —
+/// a bit copy — instead of a per-name interner round-trip.
+///
+/// # Errors
+///
+/// Any [`WireError`] on truncated or corrupt input.
+pub fn read_spec_resolved(
+    r: &mut PayloadReader<'_, '_>,
+    names: &[Interned],
+) -> Result<Spec, WireError> {
+    let n_triggers = r.varint()?;
+    let n_triggers = r.guard_count(n_triggers, 1)?;
+    let mut triggers = Vec::with_capacity(n_triggers);
+    for _ in 0..n_triggers {
+        triggers.push(r.interned(names)?.label());
+    }
+    let n_goals = r.varint()?;
+    let n_goals = r.guard_count(n_goals, 1)?;
+    let mut goals = Vec::with_capacity(n_goals);
+    for _ in 0..n_goals {
+        goals.push(r.interned(names)?.label());
+    }
+    Ok(Spec::new(triggers, goals))
+}
+
 /// Checks a parsed frame's version/tag and charges its name table.
 ///
 /// # Errors
@@ -158,7 +196,7 @@ pub fn admit_frame(
             found: frame.tag,
         });
     }
-    budget.charge_names(frame.names())?;
+    budget.charge_iter(frame.names())?;
     Ok(())
 }
 
@@ -211,6 +249,508 @@ pub fn decode_spec(buf: &[u8], budget: &mut VocabularyBudget) -> Result<(Spec, u
     let spec = read_spec(&mut r)?;
     r.expect_end()?;
     Ok((spec, consumed))
+}
+
+/// Default [`FragmentCache`] capacity, in entries.
+pub const DEFAULT_FRAGMENT_CACHE_CAP: usize = 4096;
+
+/// Incremental FNV-1a (64-bit) over a fragment's wire content — the
+/// hash half of a [`FragKey`]. Folded over exactly the same material on
+/// both sides: `(flags, name sym)` per node in wire order, `(from, to)`
+/// per edge in wire order.
+#[derive(Clone, Copy, Debug)]
+struct KeyHasher(u64);
+
+impl KeyHasher {
+    fn new() -> Self {
+        KeyHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Identity of a fragment's *encoded* frame: length plus a 64-bit
+/// FNV-1a over the raw frame bytes (length prefix, header, name table,
+/// payload — everything).
+///
+/// Encoding is deterministic — node order is graph insertion order and
+/// the name table is first-reference order — and decode→re-encode is
+/// bit-identical (property-tested), so a re-announced fragment arrives
+/// as exactly the bytes that keyed its first decode. Probing this key
+/// touches neither the interner nor the payload: hash the frame, look
+/// up, done — which is what lets a cache hit beat encode throughput
+/// even when the process vocabulary no longer fits in cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct RawFrameKey {
+    len: u32,
+    hash: u64,
+}
+
+impl RawFrameKey {
+    fn of_bytes(frame: &[u8]) -> RawFrameKey {
+        let mut h = KeyHasher::new();
+        h.write_bytes(frame);
+        RawFrameKey {
+            len: frame.len() as u32,
+            hash: h.finish(),
+        }
+    }
+}
+
+/// Identity of a fragment's decoded content: its id symbol, node and
+/// edge counts, and a 64-bit content hash over the node/edge structure
+/// (symbols, not strings — symbols are process-stable, and the cache is
+/// per-process).
+///
+/// Two frames with the same key decode to structurally identical
+/// fragments with overwhelming probability; the counts plus the id
+/// symbol narrow the 64-bit hash's collision surface further. A
+/// collision would hand back a structurally different fragment — with a
+/// 64-bit keyed hash over already-validated content this is a
+/// vanishingly unlikely event, accepted by design (same stance as any
+/// content-addressed dedup store).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FragKey {
+    id: Sym,
+    hash: u64,
+    nodes: u32,
+    edges: u32,
+}
+
+impl FragKey {
+    /// The key of an in-memory fragment — by construction the same key
+    /// its [`encode_fragment`] bytes produce when decoded, so a host can
+    /// prime a decode cache from fragments it already holds.
+    pub fn of_fragment(fragment: &Fragment) -> FragKey {
+        let g = fragment.graph();
+        let mut h = KeyHasher::new();
+        for (idx, key) in g.nodes() {
+            h.write_u8(node_flags(g, idx, key.kind()));
+            h.write_u32(key.sym().id());
+        }
+        for (from, to) in g.edges() {
+            h.write_u32(from.index() as u32);
+            h.write_u32(to.index() as u32);
+        }
+        FragKey {
+            id: fragment.id().sym(),
+            hash: h.finish(),
+            nodes: g.node_count() as u32,
+            edges: g.edge_count() as u32,
+        }
+    }
+}
+
+/// Frame-level fragment-identity cache: content key → shared
+/// [`Arc<Fragment>`].
+///
+/// A re-announced fragment (gossip echo, periodic re-advertisement,
+/// storage replay of a hot record) skips graph rebuild and re-validation
+/// entirely and returns the already-decoded `Arc`. An entry is inserted
+/// only after a full successful decode of identical content, so a hit is
+/// bit-identical to a fresh decode by construction.
+///
+/// Eviction is whole-cache: when the entry cap is reached the map is
+/// cleared and refilled by subsequent decodes. Crude but allocation-free
+/// in steady state, and a community's live vocabulary of fragments is
+/// far below the default cap in practice. A capacity of `0` disables
+/// caching (every decode is a miss and nothing is stored) — what cold
+/// benchmarks and one-shot replays want.
+#[derive(Debug)]
+pub struct FragmentCache {
+    map: FxHashMap<FragKey, Arc<Fragment>>,
+    /// Secondary index for standalone fragment frames, keyed by the raw
+    /// frame bytes ([`RawFrameKey`]). A hit here skips name resolution
+    /// and payload parsing entirely. Fragments embedded in larger frames
+    /// (`FragmentReply`) only populate `map` — their name-table indices
+    /// are frame-relative, so their byte ranges are not stable identity.
+    raw: FxHashMap<RawFrameKey, Arc<Fragment>>,
+    /// Scratch buffer for re-encoding admitted fragments into raw keys.
+    enc: Vec<u8>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for FragmentCache {
+    fn default() -> Self {
+        FragmentCache::with_capacity(DEFAULT_FRAGMENT_CACHE_CAP)
+    }
+}
+
+impl FragmentCache {
+    /// A cache with the default capacity
+    /// ([`DEFAULT_FRAGMENT_CACHE_CAP`]).
+    pub fn new() -> Self {
+        FragmentCache::default()
+    }
+
+    /// A cache holding at most `cap` fragments; `0` disables caching.
+    pub fn with_capacity(cap: usize) -> Self {
+        FragmentCache {
+            map: FxHashMap::default(),
+            raw: FxHashMap::default(),
+            enc: Vec::new(),
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Decode lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Decode lookups that fell through to a full rebuild.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.raw.clear();
+    }
+
+    /// Primes the cache with an already-held fragment under both keys:
+    /// its decoded-content key ([`FragKey::of_fragment`]) and the raw
+    /// bytes of its canonical frame encoding — so a host's own knowhow
+    /// echoed back by a peer hits on first receipt, whether it arrives
+    /// standalone or embedded in a reply.
+    pub fn admit(&mut self, fragment: &Arc<Fragment>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.insert(FragKey::of_fragment(fragment), Arc::clone(fragment));
+        self.enc.clear();
+        let mut enc = std::mem::take(&mut self.enc);
+        encode_fragment(fragment, &mut enc);
+        self.raw
+            .insert(RawFrameKey::of_bytes(&enc), Arc::clone(fragment));
+        self.enc = enc;
+    }
+
+    /// True when lookups can ever hit (capacity is non-zero). A disabled
+    /// cache lets the decoder skip computing the identity key entirely.
+    fn is_enabled(&self) -> bool {
+        self.cap != 0
+    }
+
+    fn get(&mut self, key: &FragKey) -> Option<Arc<Fragment>> {
+        if self.cap == 0 {
+            return None;
+        }
+        match self.map.get(key) {
+            Some(f) => {
+                self.hits += 1;
+                Some(Arc::clone(f))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn get_raw(&mut self, key: &RawFrameKey) -> Option<Arc<Fragment>> {
+        if self.cap == 0 {
+            return None;
+        }
+        match self.raw.get(key) {
+            Some(f) => {
+                self.hits += 1;
+                Some(Arc::clone(f))
+            }
+            // No miss count here: the decoder falls through to the
+            // content-keyed lookup, which books the outcome.
+            None => None,
+        }
+    }
+
+    fn insert(&mut self, key: FragKey, fragment: Arc<Fragment>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            // Whole-cache eviction drops both indexes together so a raw
+            // entry can never outlive its content-keyed twin.
+            self.map.clear();
+            self.raw.clear();
+        }
+        self.map.insert(key, fragment);
+    }
+
+    fn insert_raw(&mut self, key: RawFrameKey, fragment: Arc<Fragment>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.raw.insert(key, fragment);
+    }
+}
+
+/// Reusable buffers for [`read_fragment_resolved`]: parsed node/edge
+/// staging, the node-index remap, and the validator's traversal scratch.
+/// All cleared per fragment, none deallocated — steady-state decodes
+/// allocate only the fragment they return.
+#[derive(Debug, Default)]
+pub struct FragScratch {
+    nodes: Vec<(u8, Interned)>,
+    edges: Vec<(u32, u32)>,
+    idx: Vec<NodeIdx>,
+    topo: TraversalScratch,
+}
+
+/// Per-connection decode state: the recycled frame span buffer, the
+/// batch-resolved name table, fragment staging buffers, and the
+/// fragment-identity cache. One of these lives next to each
+/// `FrameDecoder` (or equivalent receive loop) and turns steady-state
+/// decoding allocation-free outside the values actually returned.
+#[derive(Debug)]
+pub struct DecodeScratch {
+    spans: Vec<NameSpan>,
+    names: Vec<Interned>,
+    frag: FragScratch,
+    cache: FragmentCache,
+}
+
+impl Default for DecodeScratch {
+    fn default() -> Self {
+        DecodeScratch::new()
+    }
+}
+
+impl DecodeScratch {
+    /// Fresh scratch with a default-capacity fragment cache.
+    pub fn new() -> Self {
+        DecodeScratch::with_cache_capacity(DEFAULT_FRAGMENT_CACHE_CAP)
+    }
+
+    /// Fresh scratch with an explicit fragment-cache capacity (`0`
+    /// disables the cache).
+    pub fn with_cache_capacity(cap: usize) -> Self {
+        DecodeScratch {
+            spans: Vec::new(),
+            names: Vec::new(),
+            frag: FragScratch::default(),
+            cache: FragmentCache::with_capacity(cap),
+        }
+    }
+
+    /// The fragment-identity cache (hit/miss counters, size).
+    pub fn cache(&self) -> &FragmentCache {
+        &self.cache
+    }
+
+    /// Mutable cache access — for priming ([`FragmentCache::admit`]) and
+    /// invalidation.
+    pub fn cache_mut(&mut self) -> &mut FragmentCache {
+        &mut self.cache
+    }
+
+    /// Parses the frame at the head of `buf` using the recycled span
+    /// buffer. Pair with [`DecodeScratch::recycle`] to return the spans
+    /// once done with the view.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::read_frame`]. On error the span buffer is
+    /// dropped (cold path; the next call re-allocates).
+    pub fn take_frame<'b>(&mut self, buf: &'b [u8]) -> Result<(FrameView<'b>, usize), WireError> {
+        crate::frame::read_frame_reusing(buf, std::mem::take(&mut self.spans))
+    }
+
+    /// Batch-resolves `frame`'s name table into the scratch
+    /// ([`FrameView::interned_names`]). Call only after the frame cleared
+    /// the vocabulary budget.
+    pub fn resolve(&mut self, frame: &FrameView<'_>) {
+        frame.interned_names(&mut self.names);
+    }
+
+    /// Splits the scratch into the resolved name table, the fragment
+    /// staging buffers, and the cache — the three disjoint borrows
+    /// [`read_fragment_resolved`] takes.
+    pub fn split(&mut self) -> (&[Interned], &mut FragScratch, &mut FragmentCache) {
+        (&self.names, &mut self.frag, &mut self.cache)
+    }
+
+    /// Reclaims a finished frame's span buffer for the next
+    /// [`DecodeScratch::take_frame`].
+    pub fn recycle(&mut self, frame: FrameView<'_>) {
+        self.spans = frame.into_spans();
+    }
+}
+
+/// [`read_fragment`] on the zero-copy path: resolves names by index into
+/// the batch-interned table, stages nodes/edges in recycled buffers,
+/// and consults the fragment-identity cache before rebuilding a graph.
+///
+/// Bit-identical accept/decode behaviour to [`read_fragment`]; on
+/// *multiply*-corrupt payloads the reported error variant can differ
+/// (this decoder fully parses the payload before building the graph, so
+/// a later parse error can win over an earlier model error), but every
+/// payload one accepts the other accepts, with an identical fragment.
+///
+/// # Errors
+///
+/// Any [`WireError`] on truncated, corrupt, or model-invalid input.
+pub fn read_fragment_resolved(
+    r: &mut PayloadReader<'_, '_>,
+    names: &[Interned],
+    scratch: &mut FragScratch,
+    cache: &mut FragmentCache,
+) -> Result<Arc<Fragment>, WireError> {
+    let id = r.interned(names)?;
+    let n_nodes = r.varint()?;
+    let n_nodes = r.guard_count(n_nodes, 2)?;
+    // Identity hashing is only worth folding when a hit is possible.
+    let keyed = cache.is_enabled();
+    let mut hasher = KeyHasher::new();
+    scratch.nodes.clear();
+    scratch.nodes.reserve(n_nodes);
+    for _ in 0..n_nodes {
+        let flags = r.byte()?;
+        let name = r.interned(names)?;
+        if flags != 0
+            && (flags & NODE_FLAG_TASK == 0
+                || flags & !(NODE_FLAG_TASK | NODE_FLAG_DISJUNCTIVE) != 0)
+        {
+            return Err(WireError::Malformed("unknown node flag bits"));
+        }
+        if keyed {
+            hasher.write_u8(flags);
+            hasher.write_u32(name.sym().id());
+        }
+        scratch.nodes.push((flags, name));
+    }
+    let n_edges = r.varint()?;
+    let n_edges = r.guard_count(n_edges, 2)?;
+    scratch.edges.clear();
+    scratch.edges.reserve(n_edges);
+    for _ in 0..n_edges {
+        let from = r.varint()?;
+        let to = r.varint()?;
+        if from >= n_nodes as u64 || to >= n_nodes as u64 {
+            return Err(WireError::Malformed("edge endpoint out of node range"));
+        }
+        let (from, to) = (from as u32, to as u32);
+        if keyed {
+            hasher.write_u32(from);
+            hasher.write_u32(to);
+        }
+        scratch.edges.push((from, to));
+    }
+    let key = FragKey {
+        id: id.sym(),
+        hash: hasher.finish(),
+        nodes: n_nodes as u32,
+        edges: n_edges as u32,
+    };
+    if let Some(hit) = cache.get(&key) {
+        return Ok(hit);
+    }
+    let mut graph = Graph::new();
+    graph.reserve(n_nodes, n_edges);
+    scratch.idx.clear();
+    scratch.idx.reserve(n_nodes);
+    for &(flags, name) in &scratch.nodes {
+        let idx = if flags == 0 {
+            graph.add_label(name.label())
+        } else {
+            let mode = if flags & NODE_FLAG_DISJUNCTIVE != 0 {
+                Mode::Disjunctive
+            } else {
+                Mode::Conjunctive
+            };
+            graph
+                .try_add_task(name.task(), mode)
+                .map_err(|e| WireError::InvalidModel(e.to_string()))?
+        };
+        scratch.idx.push(idx);
+    }
+    for &(from, to) in &scratch.edges {
+        graph
+            .add_edge(scratch.idx[from as usize], scratch.idx[to as usize])
+            .map_err(|e| WireError::InvalidModel(e.to_string()))?;
+    }
+    let workflow = Workflow::from_graph_with(graph, &mut scratch.topo)
+        .map_err(|e| WireError::InvalidModel(e.to_string()))?;
+    let fragment = Arc::new(Fragment::from_workflow(id, workflow));
+    cache.insert(key, Arc::clone(&fragment));
+    Ok(fragment)
+}
+
+/// [`decode_fragment`] on the zero-copy path: recycled span buffer, one
+/// interner batch for the name table, staged rebuild, identity cache.
+/// Budget charging happens first and is unchanged — a frame past the
+/// vocabulary cap is rejected before anything is interned or cached.
+///
+/// # Errors
+///
+/// Any [`WireError`]; on [`WireError::VocabularyExceeded`] no name was
+/// interned.
+pub fn decode_fragment_with(
+    buf: &[u8],
+    budget: &mut VocabularyBudget,
+    scratch: &mut DecodeScratch,
+) -> Result<(Arc<Fragment>, usize), WireError> {
+    let (frame, consumed) = scratch.take_frame(buf)?;
+    admit_frame(&frame, TAG_FRAGMENT, budget)?;
+    // Raw-frame fast path: a standalone fragment frame is identified by
+    // its exact bytes, so a re-announcement is answered from the cache
+    // without touching the interner or the payload. Budget charging
+    // already happened above — rejection and counter semantics are
+    // identical whether or not the bytes are cached.
+    let raw_key = if scratch.cache().is_enabled() {
+        let key = RawFrameKey::of_bytes(&buf[..consumed]);
+        if let Some(hit) = scratch.cache_mut().get_raw(&key) {
+            scratch.recycle(frame);
+            return Ok((hit, consumed));
+        }
+        Some(key)
+    } else {
+        None
+    };
+    scratch.resolve(&frame);
+    let mut r = frame.reader();
+    let fragment = {
+        let (names, frag, cache) = scratch.split();
+        read_fragment_resolved(&mut r, names, frag, cache)?
+    };
+    r.expect_end()?;
+    scratch.recycle(frame);
+    if let Some(key) = raw_key {
+        scratch.cache_mut().insert_raw(key, Arc::clone(&fragment));
+    }
+    Ok((fragment, consumed))
 }
 
 #[cfg(test)]

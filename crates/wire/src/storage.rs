@@ -38,7 +38,7 @@ use openwf_core::construct::incremental::FragmentSource;
 use openwf_core::store::{BackendError, FragmentBackend};
 use openwf_core::{Fragment, FragmentId, Label, ParallelFragmentSource, ShardedFragmentStore};
 
-use crate::model::{decode_fragment, encode_fragment};
+use crate::model::{decode_fragment_with, encode_fragment, DecodeScratch};
 use crate::VocabularyBudget;
 
 const SEGMENT_MAGIC: &[u8; 6] = b"OWFSEG";
@@ -220,9 +220,20 @@ impl DurableFragmentStore {
         let mut index = ShardedFragmentStore::with_shards(shards);
         let mut log_bytes = 0u64;
         let mut last_len = SEGMENT_HEADER_LEN;
+        // One scratch for the whole replay: span/name/staging buffers are
+        // reused across every record. The identity cache is disabled —
+        // replay decodes each stored fragment once, so caching would only
+        // pin memory.
+        let mut scratch = DecodeScratch::with_cache_capacity(0);
         for (i, &seq) in seqs.iter().enumerate() {
             let last = i + 1 == seqs.len();
-            let len = replay_segment(&segment_path(&dir, seq), last, &mut index, &mut log_bytes)?;
+            let len = replay_segment(
+                &segment_path(&dir, seq),
+                last,
+                &mut index,
+                &mut log_bytes,
+                &mut scratch,
+            )?;
             if last {
                 last_len = len;
             }
@@ -404,6 +415,7 @@ fn replay_segment(
     last: bool,
     index: &mut ShardedFragmentStore,
     log_bytes: &mut u64,
+    scratch: &mut DecodeScratch,
 ) -> Result<u64, StorageError> {
     let corrupt = |offset: u64, detail: &str| StorageError::Corrupt {
         segment: path.to_path_buf(),
@@ -447,7 +459,7 @@ fn replay_segment(
         if crc32(payload) != crc {
             return tail_or_corrupt(path, last, record_start, "record CRC mismatch", corrupt);
         }
-        match decode_fragment(payload, &mut VocabularyBudget::unlimited()) {
+        match decode_fragment_with(payload, &mut VocabularyBudget::unlimited(), scratch) {
             Ok((fragment, consumed)) if consumed == payload.len() => {
                 index.insert(fragment);
             }
