@@ -1,0 +1,90 @@
+//! Durable-store restart bench: cold full-history replay vs snapshot +
+//! tail restart under supersede churn.
+//!
+//! Full mode (`cargo bench --bench durable_restart`) measures
+//! 1k/10k/100k live fragments × 0%/50%/90% churn and writes the
+//! trajectory file `BENCH_durable_restart.json` at the workspace root.
+//! Fast mode (`OPENWF_RESTART_FAST=1`, or `--test` as used by
+//! `cargo test --benches`) runs one small 90%-churn schedule with few
+//! samples and does not touch the committed file — the CI bit-rot guard
+//! for the snapshot-load path. Fast mode also gates the within-run
+//! cold/snapshot ratio: at 90% churn the snapshot restart decodes
+//! ~1.5× the live set while the cold replay decodes 10×, so the ratio
+//! sits near 6× on an idle machine; a broken or ignored snapshot drops
+//! it to 1× and trips the gate long before the committed numbers could
+//! quietly rot.
+
+use openwf_bench::restart::{
+    churn_schedule, default_report_path, measure_schedule, run, to_json, CHURN_PERCENTS,
+    RESTART_SIZES,
+};
+
+/// Fast-mode regression gate: at 90% churn, cold replay must cost at
+/// least this many times a snapshot + tail restart. Theoretical record
+/// ratio at a 95%-of-history snapshot is ~6.7×; the slack absorbs
+/// shared-runner noise, not a real regression — a restart that ignores
+/// its snapshot lands at 1×.
+const COLD_SNAPSHOT_MIN_RATIO: f64 = 2.0;
+
+/// Fast-mode live-set size: big enough that decode work dominates the
+/// per-open constant costs, small enough for CI.
+const FAST_LIVE: usize = 2_000;
+
+fn samples_for(fragments: usize) -> usize {
+    match fragments {
+        n if n <= 1_000 => 20,
+        n if n <= 10_000 => 10,
+        _ => 5,
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("OPENWF_RESTART_FAST").is_some()
+        || std::env::args().any(|a| a == "--test");
+    let results = if fast {
+        let schedule = churn_schedule(FAST_LIVE, 90, 0xfa57);
+        measure_schedule(&schedule, openwf_wire::DEFAULT_SEGMENT_BYTES, 5)
+    } else {
+        run(RESTART_SIZES, CHURN_PERCENTS, samples_for)
+    };
+    for r in &results {
+        println!(
+            "restart/{}/{:<7} churn {:>2}% {:>12.0} ns mean  p50 {:>12.0}  p95 {:>12.0}  \
+             ({} samples, {} records, {} bytes, {:.0} frags/s)",
+            r.op,
+            r.fragments,
+            r.churn_percent,
+            r.mean_ns,
+            r.p50_ns,
+            r.p95_ns,
+            r.samples,
+            r.records,
+            r.bytes,
+            r.frags_per_sec,
+        );
+    }
+    if fast {
+        let mean = |op: &str| {
+            results
+                .iter()
+                .find(|r| r.op == op)
+                .map(|r| r.mean_ns)
+                .expect("op measured")
+        };
+        let (cold, snap) = (mean("cold_replay"), mean("snapshot_restart"));
+        let ratio = cold / snap;
+        println!(
+            "restart/gate cold_replay/snapshot_restart ratio {ratio:.2} \
+             (min {COLD_SNAPSHOT_MIN_RATIO:.1})"
+        );
+        assert!(
+            ratio >= COLD_SNAPSHOT_MIN_RATIO,
+            "snapshot restart lost its advantage: cold {cold:.0} ns vs snapshot {snap:.0} ns \
+             (ratio {ratio:.2} < {COLD_SNAPSHOT_MIN_RATIO:.1})"
+        );
+    } else {
+        let path = default_report_path();
+        std::fs::write(&path, to_json(&results)).expect("write trajectory file");
+        println!("wrote {}", path.display());
+    }
+}

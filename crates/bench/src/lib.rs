@@ -23,6 +23,7 @@ use openwf_scenario::{ExperimentConfig, LatencyKind, SeriesPoint};
 
 pub mod ablation;
 pub mod repair;
+pub mod restart;
 pub mod scale;
 pub mod wirebench;
 

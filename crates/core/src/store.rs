@@ -416,6 +416,66 @@ impl ShardedFragmentStore {
         self.by_id.is_empty()
     }
 
+    /// The sequence number the next *new* fragment id will be assigned.
+    ///
+    /// Fragments are never removed (a replace keeps its slot and
+    /// sequence), so this always equals [`ShardedFragmentStore::len`] —
+    /// exposed separately because checkpoint formats record it
+    /// explicitly rather than deriving it from an invariant they would
+    /// then silently depend on.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// One shard's `(global sequence, fragment)` entries in slot order —
+    /// the exact physical layout of the database. Within a shard, slot
+    /// order equals sequence order (slots are assigned at first insert
+    /// and never move). Snapshot writers persist this layout;
+    /// bit-identity checks compare it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shard_count()`.
+    pub fn shard_entries(&self, shard: usize) -> impl Iterator<Item = (u64, &Arc<Fragment>)> + '_ {
+        self.shards[shard].fragments.iter().map(|(s, f)| (*s, f))
+    }
+
+    /// Restores a fragment into an explicit `(shard, sequence)` position
+    /// — the checkpoint-load dual of [`ShardedFragmentStore::insert`].
+    ///
+    /// The fragment is appended to `shard % shard_count()` (the modulus
+    /// makes a snapshot taken under one shard count loadable — though no
+    /// longer layout-identical — under another) and keeps the given
+    /// global sequence, so a store rebuilt by restoring a snapshot's
+    /// [`ShardedFragmentStore::shard_entries`] in ascending sequence
+    /// order is bit-identical to the one snapshotted: same shards, same
+    /// slots, same sequences, same query answers. `next_seq` advances
+    /// past every restored sequence; tail inserts then continue the
+    /// original numbering.
+    ///
+    /// Returns `false` (and replaces, keeping the existing slot and
+    /// sequence) if the id is already present — a well-formed snapshot
+    /// never hits this.
+    pub fn restore_fragment(&mut self, shard: u32, seq: u64, fragment: Arc<Fragment>) -> bool {
+        if self.by_id.contains_key(fragment.id()) {
+            self.insert(fragment);
+            return false;
+        }
+        let shard_idx = shard as usize % self.shards.len();
+        self.next_seq = self.next_seq.max(seq + 1);
+        self.by_id.insert(
+            fragment.id().clone(),
+            (
+                shard_idx as u32,
+                self.shards[shard_idx].fragments.len() as u32,
+            ),
+        );
+        let shard = &mut self.shards[shard_idx];
+        shard.fragments.push((seq, fragment));
+        shard.index_slot(shard.fragments.len() - 1);
+        true
+    }
+
     /// Looks up a fragment by id.
     pub fn get(&self, id: &FragmentId) -> Option<&Arc<Fragment>> {
         self.by_id
@@ -713,6 +773,88 @@ mod tests {
             .map(|f| f.id().to_string())
             .collect();
         assert_eq!(ids, ["f0", "f1"]);
+    }
+
+    #[test]
+    fn restore_rebuilds_the_exact_layout() {
+        // Build a store with interleaved inserts and replaces, then
+        // rebuild it from its own shard_entries — shards, slots,
+        // sequences and query answers must all come back identical.
+        let mut original = ShardedFragmentStore::with_shards(3);
+        for i in 0..20 {
+            original.insert(frag(
+                &format!("f{i}"),
+                &format!("t{i}"),
+                &[&format!("in{}", i % 4)],
+                &[&format!("out{}", i % 6)],
+            ));
+        }
+        // Replaces: new consumed labels, new produced labels (the
+        // fragment stays in its original shard regardless).
+        for i in [3usize, 7, 11] {
+            assert!(!original.insert(frag(
+                &format!("f{i}"),
+                &format!("t{i}"),
+                &["swapped"],
+                &["elsewhere"],
+            )));
+        }
+
+        let mut entries: Vec<(u32, u64, Arc<Fragment>)> = Vec::new();
+        for shard in 0..original.shard_count() {
+            for (seq, f) in original.shard_entries(shard) {
+                entries.push((shard as u32, seq, Arc::clone(f)));
+            }
+        }
+        entries.sort_by_key(|&(_, seq, _)| seq);
+
+        let mut restored = ShardedFragmentStore::with_shards(original.shard_count());
+        for (shard, seq, f) in entries {
+            assert!(restored.restore_fragment(shard, seq, f));
+        }
+        assert_eq!(restored.next_seq(), original.next_seq());
+        assert_eq!(restored.len(), original.len());
+        for shard in 0..original.shard_count() {
+            let a: Vec<(u64, &str)> = original
+                .shard_entries(shard)
+                .map(|(s, f)| (s, f.id().as_str()))
+                .collect();
+            let b: Vec<(u64, &str)> = restored
+                .shard_entries(shard)
+                .map(|(s, f)| (s, f.id().as_str()))
+                .collect();
+            assert_eq!(a, b, "shard {shard} layout differs");
+        }
+        for q in ["in0", "in3", "swapped", "absent"] {
+            let a: Vec<String> = original
+                .consuming(&[Label::new(q)])
+                .iter()
+                .map(|f| f.id().to_string())
+                .collect();
+            let b: Vec<String> = restored
+                .consuming(&[Label::new(q)])
+                .iter()
+                .map(|f| f.id().to_string())
+                .collect();
+            assert_eq!(a, b, "query {q} differs");
+        }
+        // Tail inserts continue the original numbering.
+        restored.insert(frag("f-new", "t-new", &["x"], &["y"]));
+        let new_seq = (0..restored.shard_count())
+            .flat_map(|s| restored.shard_entries(s))
+            .find(|(_, f)| f.id().as_str() == "f-new")
+            .map(|(seq, _)| seq)
+            .unwrap();
+        assert_eq!(new_seq, original.next_seq());
+    }
+
+    #[test]
+    fn restore_with_duplicate_id_degrades_to_replace() {
+        let mut s = ShardedFragmentStore::with_shards(2);
+        s.insert(frag("f", "t", &["a"], &["b"]));
+        assert!(!s.restore_fragment(1, 99, Arc::new(frag("f", "t", &["x"], &["b"]))));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.consuming(&[Label::new("x")]).len(), 1);
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub enum StorageConfig {
         /// Segment roll size in bytes
         /// ([`openwf_wire::DEFAULT_SEGMENT_BYTES`] unless overridden).
         segment_bytes: u64,
+        /// When the log snapshots its live set and compacts covered
+        /// segments ([`openwf_wire::StoragePolicy`]; the default is
+        /// manual only). Snapshots bound restart cost to O(live +
+        /// tail) instead of O(insert history).
+        policy: openwf_wire::StoragePolicy,
     },
 }
 
@@ -198,12 +203,28 @@ impl HostConfig {
     }
 
     /// Persists this host's knowhow in a durable segment log at `dir`
-    /// (replayed on restart; see [`StorageConfig::Durable`]).
+    /// (replayed on restart; see [`StorageConfig::Durable`]) with
+    /// manual-only snapshot/compaction.
     pub fn with_durable_storage(mut self, dir: impl Into<PathBuf>) -> Self {
         self.storage = StorageConfig::Durable {
             dir: dir.into(),
             segment_bytes: openwf_wire::DEFAULT_SEGMENT_BYTES,
+            policy: openwf_wire::StoragePolicy::default(),
         };
+        self
+    }
+
+    /// Sets the durable log's snapshot/compaction policy (no-op advice
+    /// for in-memory storage: the backend must already be
+    /// [`StorageConfig::Durable`], e.g. via
+    /// [`HostConfig::with_durable_storage`]).
+    pub fn with_storage_policy(mut self, policy: openwf_wire::StoragePolicy) -> Self {
+        if let StorageConfig::Durable {
+            policy: configured, ..
+        } = &mut self.storage
+        {
+            *configured = policy;
+        }
         self
     }
 }
@@ -422,10 +443,17 @@ impl HostCore {
             StorageConfig::InMemory => {
                 FragmentManager::with_parallelism(config.construction_threads)
             }
-            StorageConfig::Durable { dir, segment_bytes } => {
-                FragmentManager::durable(dir, config.construction_threads, segment_bytes)
-                    .expect("open the durable fragment log")
-            }
+            StorageConfig::Durable {
+                dir,
+                segment_bytes,
+                policy,
+            } => FragmentManager::durable_with(
+                dir,
+                config.construction_threads,
+                segment_bytes,
+                policy,
+            )
+            .expect("open the durable fragment log"),
         };
         for f in config.fragments {
             // A durable backend may have replayed this exact fragment

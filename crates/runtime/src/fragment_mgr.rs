@@ -82,8 +82,36 @@ impl FragmentManager {
         threads: usize,
         segment_bytes: u64,
     ) -> Result<Self, openwf_wire::StorageError> {
+        FragmentManager::durable_with(
+            dir,
+            threads,
+            segment_bytes,
+            openwf_wire::StoragePolicy::default(),
+        )
+    }
+
+    /// [`FragmentManager::durable`] with an explicit snapshot/compaction
+    /// [`openwf_wire::StoragePolicy`]: the log checkpoints its live set
+    /// and deletes covered segments per the policy's triggers, so
+    /// restart replay costs O(live + tail) instead of O(insert history).
+    ///
+    /// # Errors
+    ///
+    /// [`openwf_wire::StorageError`] when the log cannot be opened or is
+    /// corrupt beyond crash recovery.
+    pub fn durable_with(
+        dir: impl Into<std::path::PathBuf>,
+        threads: usize,
+        segment_bytes: u64,
+        policy: openwf_wire::StoragePolicy,
+    ) -> Result<Self, openwf_wire::StorageError> {
         let threads = normalize_threads(threads);
-        let backend = openwf_wire::DurableFragmentStore::open_with(dir, threads, segment_bytes)?;
+        let backend = openwf_wire::DurableFragmentStore::open_with_policy(
+            dir,
+            threads,
+            segment_bytes,
+            policy,
+        )?;
         Ok(FragmentManager::with_backend(Box::new(backend), threads))
     }
 

@@ -193,6 +193,7 @@ fn durable_host_completes_and_survives_restart() {
     let storage = StorageConfig::Durable {
         dir: dir.clone(),
         segment_bytes: 4096,
+        policy: openwf_wire::StoragePolicy::default(),
     };
     {
         let mut community = CommunityBuilder::new(79)
@@ -245,6 +246,7 @@ fn capped_durable_restart_reseeds_budget_and_keeps_log_flat() {
     let storage = StorageConfig::Durable {
         dir: dir.clone(),
         segment_bytes: openwf_wire::DEFAULT_SEGMENT_BYTES,
+        policy: openwf_wire::StoragePolicy::default(),
     };
     let config = || {
         HostConfig::new()
@@ -286,6 +288,69 @@ fn capped_durable_restart_reseeds_budget_and_keeps_log_flat() {
     let host = OwmsHost::new(bare, RuntimeParams::default());
     assert_eq!(host.vocabulary_names(), 4);
     drop(host);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An aggressive snapshot/compaction policy wired through
+/// `HostConfig::with_storage_policy` keeps the log bounded while
+/// repeated config "upgrades" churn every fragment, and a restarted
+/// host still rebuilds the **latest** knowhow from snapshot + tail.
+#[test]
+fn storage_policy_compacts_log_and_restart_keeps_latest_knowhow() {
+    use openwf_runtime::{OwmsHost, RuntimeParams};
+    let dir = tmp_dir("policy");
+    let base = || {
+        HostConfig::new()
+            .with_storage(StorageConfig::Durable {
+                dir: dir.clone(),
+                segment_bytes: 512,
+                policy: openwf_wire::StoragePolicy::default(),
+            })
+            .with_storage_policy(
+                openwf_wire::StoragePolicy::manual()
+                    .snapshot_every(8)
+                    .compact_below_live_percent(50)
+                    .compact_min_bytes(1),
+            )
+    };
+    // Four generations of the same 16 fragment ids: each re-run
+    // supersedes the whole knowhow set, so most of the insert history
+    // is garbage the policy should reclaim.
+    for generation in 0..4 {
+        let mut config = base();
+        for i in 0..16 {
+            config = config.with_fragment(frag(
+                &format!("pol-f{i}"),
+                &format!("pol-t{i}"),
+                &format!("pol-a{i}-g{generation}"),
+                &format!("pol-b{i}-g{generation}"),
+            ));
+        }
+        drop(OwmsHost::new(config, RuntimeParams::default()));
+    }
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().to_str().map(String::from))
+        .collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("snap-")),
+        "policy produced a snapshot: {names:?}"
+    );
+
+    // Restart with no config fragments: the store holds exactly the 16
+    // live fragments carrying the final generation's labels.
+    let mut host = OwmsHost::new(base(), RuntimeParams::default());
+    let fm = host.core_mut().fragment_mgr_mut();
+    assert_eq!(fm.len(), 16, "one live fragment per id");
+    assert_eq!(
+        fm.query(&[Label::new("pol-a3-g3")]).len(),
+        1,
+        "latest generation survives"
+    );
+    assert!(
+        fm.query(&[Label::new("pol-a3-g0")]).is_empty(),
+        "superseded generation is gone"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -52,4 +52,7 @@ pub use model::{
     read_fragment_resolved, read_spec_resolved, DecodeScratch, FragKey, FragScratch, FragmentCache,
     DEFAULT_FRAGMENT_CACHE_CAP, TAG_FRAGMENT, TAG_MSG, TAG_SPEC,
 };
-pub use storage::{crc32, DurableFragmentStore, StorageError, DEFAULT_SEGMENT_BYTES};
+pub use storage::{
+    crc32, DurableFragmentStore, StorageError, StoragePolicy, DEFAULT_COMPACT_MIN_BYTES,
+    DEFAULT_SEGMENT_BYTES,
+};

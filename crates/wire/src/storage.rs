@@ -1,4 +1,5 @@
-//! Durable fragment storage: an append-only, CRC-checked segment log.
+//! Durable fragment storage: an append-only, CRC-checked segment log
+//! with snapshots and log compaction for O(live) restarts.
 //!
 //! [`DurableFragmentStore`] persists every inserted fragment as one
 //! encoded wire frame in a log of rolling segment files, and keeps an
@@ -9,15 +10,38 @@
 //! host answers every consumed-label query identically and reconstructs
 //! bit-identical supergraphs from its recovered knowhow.
 //!
+//! Replaying the whole log costs O(insert history): every superseded
+//! fragment a community ever churned is re-decoded on restart. A
+//! **snapshot** bounds that: a side file holding the encoded *live*
+//! fragment set plus the `(shard, seq)` placement metadata needed to
+//! rebuild the index bit-identically (the global sequence numbers the
+//! merge-order invariant depends on), stamped with the first segment it
+//! does **not** cover. Restart then loads the newest intact snapshot
+//! and replays only the tail segments after it — O(live + tail).
+//! **Compaction** deletes the segments a snapshot covers, bounding the
+//! disk footprint too. Both run on demand ([`DurableFragmentStore::snapshot`],
+//! [`DurableFragmentStore::compact`]) or automatically under a
+//! [`StoragePolicy`].
+//!
 //! On-disk layout (all integers little-endian):
 //!
 //! ```text
-//! dir/seg-00000000.owfl, dir/seg-00000001.owfl, …
-//! segment := header record*
-//! header  := magic "OWFSEG" version:u8 reserved:u8        (8 bytes)
-//! record  := len:u32 crc:u32 payload[len]                 (crc = CRC-32/IEEE of payload)
-//! payload := one TAG_FRAGMENT wire frame
+//! dir/seg-00000000.owfl, dir/seg-00000001.owfl, …   segment log
+//! dir/snap-00000003.owfs                            newest snapshot (tail starts at seg 3)
+//! segment  := seg-header record*
+//! seg-header := magic "OWFSEG" version:u8 reserved:u8      (8 bytes)
+//! record   := len:u32 crc:u32 payload[len]                 (crc = CRC-32/IEEE of payload)
+//! snapshot := snap-header meta-record frag-record*
+//! snap-header := magic "OWFSNP" version:u8 reserved:u8     (8 bytes)
+//! meta-record := record with payload
+//!                tail_seg:u64 next_seq:u64 live:u64 record_count:u64 shards:u32
+//! frag-record := record with payload shard:u32 seq:u64 fragment-frame
 //! ```
+//!
+//! A segment-log record's payload is one `TAG_FRAGMENT` wire frame; a
+//! snapshot frag-record prefixes the frame with the index placement the
+//! restored fragment must reoccupy. Snapshot frag-records are written
+//! in global sequence order, so loading one is a single in-order pass.
 //!
 //! Crash recovery: a torn append leaves a partial record (or a record
 //! whose CRC no longer matches) at the **tail of the final segment**;
@@ -26,17 +50,32 @@
 //! *else* (a bad record with intact records after it, a bad header on a
 //! non-final segment) is not a crash signature and is reported as
 //! [`StorageError::Corrupt`] instead of being silently dropped.
+//!
+//! Snapshots are crash-safe by construction: written to a `*.tmp` file,
+//! fsynced, atomically renamed into place, and the directory fsynced —
+//! a crash at any byte leaves either the previous state or the complete
+//! new snapshot, never a half one. A torn or damaged snapshot file
+//! fails its CRC/shape validation at open and is simply *ignored*:
+//! recovery falls back to an older snapshot or to full log replay.
+//! Compaction deletes covered segments only **after** the covering
+//! snapshot is durable, so the snapshot + surviving tail always
+//! reconstructs the full store; if the log prefix is gone *and* no
+//! intact snapshot covers it, open refuses with
+//! [`StorageError::Corrupt`] rather than resurrecting a partial store.
 
 use std::error::Error;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::BufWriter;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use openwf_core::construct::incremental::FragmentSource;
 use openwf_core::store::{BackendError, FragmentBackend};
-use openwf_core::{Fragment, FragmentId, Label, ParallelFragmentSource, ShardedFragmentStore};
+use openwf_core::{
+    Fragment, FragmentId, FxHashMap, Label, ParallelFragmentSource, ShardedFragmentStore,
+};
 
 use crate::model::{decode_fragment_with, encode_fragment, DecodeScratch};
 use crate::VocabularyBudget;
@@ -46,8 +85,22 @@ const SEGMENT_VERSION: u8 = 1;
 const SEGMENT_HEADER_LEN: u64 = 8;
 const RECORD_HEADER_LEN: u64 = 8;
 
+const SNAPSHOT_MAGIC: &[u8; 6] = b"OWFSNP";
+const SNAPSHOT_VERSION: u8 = 1;
+const SNAPSHOT_HEADER_LEN: u64 = 8;
+/// Snapshot meta-record payload: tail_seg, next_seq, live, record_count
+/// (u64 each) + shard count (u32).
+const SNAPSHOT_META_LEN: usize = 36;
+/// Bytes a snapshot frag-record spends on index placement (shard:u32 +
+/// seq:u64) before the fragment frame starts.
+const SNAPSHOT_PLACEMENT_LEN: usize = 12;
+
 /// Default segment roll size: 8 MiB.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Default floor under [`StoragePolicy::compact_live_percent`]: don't
+/// bother compacting until at least this much garbage exists (64 KiB).
+pub const DEFAULT_COMPACT_MIN_BYTES: u64 = 64 * 1024;
 
 /// Cap on a single record's payload length; larger prefixes are
 /// corruption, not allocation requests.
@@ -143,8 +196,178 @@ impl From<std::io::Error> for StorageError {
     }
 }
 
+/// When the store snapshots and compacts on its own.
+///
+/// The default is **manual only**: nothing happens unless
+/// [`DurableFragmentStore::snapshot`] / [`DurableFragmentStore::compact`]
+/// are called — exactly the PR 4 behaviour. Each knob arms one trigger,
+/// checked after every insert:
+///
+/// * `snapshot_every_inserts: Some(n)` — snapshot once `n` records have
+///   been appended since the last snapshot (or since open).
+/// * `snapshot_garbage_bytes: Some(m)` — snapshot once the garbage
+///   estimate has **grown** by `m` bytes since the last snapshot (a
+///   delta, so one big legacy log doesn't re-trigger forever).
+/// * `compact_live_percent: Some(p)` — compact (snapshot + delete the
+///   covered segments) when live bytes fall below `p`% of all persisted
+///   bytes (log + snapshot), provided at least `compact_min_bytes` of
+///   garbage exist — the floor that keeps tiny, churny stores from
+///   compacting on every insert.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoragePolicy {
+    /// Snapshot after this many inserts since the last snapshot.
+    pub snapshot_every_inserts: Option<u64>,
+    /// Snapshot after garbage grows by this many bytes since the last
+    /// snapshot.
+    pub snapshot_garbage_bytes: Option<u64>,
+    /// Compact when live bytes fall below this percentage (0–100) of
+    /// persisted bytes.
+    pub compact_live_percent: Option<u8>,
+    /// Minimum garbage bytes before `compact_live_percent` may fire.
+    pub compact_min_bytes: u64,
+}
+
+impl Default for StoragePolicy {
+    fn default() -> Self {
+        StoragePolicy {
+            snapshot_every_inserts: None,
+            snapshot_garbage_bytes: None,
+            compact_live_percent: None,
+            compact_min_bytes: DEFAULT_COMPACT_MIN_BYTES,
+        }
+    }
+}
+
+impl StoragePolicy {
+    /// Manual snapshots/compaction only (the default).
+    pub fn manual() -> Self {
+        StoragePolicy::default()
+    }
+
+    /// Arms the insert-count snapshot trigger.
+    #[must_use]
+    pub fn snapshot_every(mut self, inserts: u64) -> Self {
+        self.snapshot_every_inserts = Some(inserts);
+        self
+    }
+
+    /// Arms the garbage-growth snapshot trigger.
+    #[must_use]
+    pub fn snapshot_on_garbage(mut self, bytes: u64) -> Self {
+        self.snapshot_garbage_bytes = Some(bytes);
+        self
+    }
+
+    /// Arms the live-ratio compaction trigger (percent clamped to 100).
+    #[must_use]
+    pub fn compact_below_live_percent(mut self, percent: u8) -> Self {
+        self.compact_live_percent = Some(percent.min(100));
+        self
+    }
+
+    /// Overrides the compaction garbage floor.
+    #[must_use]
+    pub fn compact_min_bytes(mut self, bytes: u64) -> Self {
+        self.compact_min_bytes = bytes;
+        self
+    }
+}
+
 fn segment_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("seg-{seq:08}.owfl"))
+}
+
+fn snapshot_path(dir: &Path, tail_seg: u64) -> PathBuf {
+    dir.join(format!("snap-{tail_seg:08}.owfs"))
+}
+
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Bytes one record occupies on disk (header + payload).
+const fn record_cost(payload_len: u64) -> u64 {
+    RECORD_HEADER_LEN + payload_len
+}
+
+/// Appends one CRC'd record to `w`.
+fn write_record(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("record payload under 4 GiB");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Fsyncs the directory so a rename/unlink inside it is durable.
+/// Best-effort: some platforms/filesystems refuse directory handles,
+/// and recovery *correctness* never depends on it — only on the
+/// validated-or-ignored snapshot contract.
+fn fsync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Updates the latest-persisted-copy size for `id` and the live-bytes
+/// total it rolls up into.
+fn account_live(
+    rec_sizes: &mut FxHashMap<FragmentId, u32>,
+    live_bytes: &mut u64,
+    id: &FragmentId,
+    payload_len: u64,
+) {
+    let cost = record_cost(payload_len);
+    match rec_sizes.insert(id.clone(), payload_len as u32) {
+        Some(old) => *live_bytes = *live_bytes + cost - record_cost(u64::from(old)),
+        None => *live_bytes += cost,
+    }
+}
+
+/// The newest durable snapshot, as tracked in memory.
+#[derive(Clone, Copy, Debug)]
+struct SnapshotState {
+    /// First segment the snapshot does **not** cover (tail replay
+    /// starts here).
+    tail_seg: u64,
+    /// Disk bytes its frag-records would cost as log records — the
+    /// live set's persisted footprint inside the snapshot, comparable
+    /// with `log_bytes` for garbage accounting.
+    record_bytes: u64,
+    /// Whole snapshot file size.
+    file_bytes: u64,
+}
+
+/// Mutable state threaded through open-time restoration (snapshot load
+/// plus tail replay): the index under construction and the accounting
+/// the finished store inherits.
+struct RestoreState {
+    index: ShardedFragmentStore,
+    log_bytes: u64,
+    record_count: u64,
+    live_bytes: u64,
+    rec_sizes: FxHashMap<FragmentId, u32>,
+    decode: DecodeScratch,
+}
+
+impl RestoreState {
+    fn new(shards: usize) -> Self {
+        RestoreState {
+            index: ShardedFragmentStore::with_shards(shards),
+            log_bytes: 0,
+            record_count: 0,
+            live_bytes: 0,
+            rec_sizes: FxHashMap::default(),
+            // One scratch for the whole restore: span/name/staging
+            // buffers are reused across every record, names resolve via
+            // batch interning. The identity cache is disabled — restore
+            // decodes each stored fragment once, so caching would only
+            // pin memory.
+            decode: DecodeScratch::with_cache_capacity(0),
+        }
+    }
 }
 
 /// A fragment database whose record of inserts survives process death.
@@ -162,8 +385,27 @@ pub struct DurableFragmentStore {
     seg_len: u64,
     /// Roll threshold.
     segment_bytes: u64,
-    /// Total payload + record-header bytes across all segments.
+    /// Total record bytes (headers included, segment headers excluded)
+    /// across the segment files currently on disk.
     log_bytes: u64,
+    /// Segment files currently on disk (the one being appended
+    /// included); compaction shrinks it.
+    segments: u64,
+    /// Insert-history length: records covered by the snapshot, replayed
+    /// from the tail, and appended since — survives compaction.
+    record_count: u64,
+    /// Σ record cost of the latest persisted copy of each live fragment.
+    live_bytes: u64,
+    /// Latest persisted frame length per live id (drives `live_bytes`).
+    rec_sizes: FxHashMap<FragmentId, u32>,
+    /// The newest durable snapshot, if any.
+    snapshot: Option<SnapshotState>,
+    /// Records appended since the last snapshot (or open).
+    inserts_since_snapshot: u64,
+    /// Garbage estimate when the last snapshot was taken — the baseline
+    /// for the delta trigger.
+    garbage_at_snapshot: u64,
+    policy: StoragePolicy,
     scratch: Vec<u8>,
 }
 
@@ -172,8 +414,11 @@ impl fmt::Debug for DurableFragmentStore {
         f.debug_struct("DurableFragmentStore")
             .field("dir", &self.dir)
             .field("fragments", &self.index.len())
-            .field("segments", &(self.seg_seq + 1))
+            .field("record_count", &self.record_count)
+            .field("segments", &self.segments)
             .field("log_bytes", &self.log_bytes)
+            .field("garbage_bytes", &self.garbage_bytes())
+            .field("snapshot_seg", &self.snapshot.map(|s| s.tail_seg))
             .finish()
     }
 }
@@ -190,7 +435,7 @@ impl DurableFragmentStore {
     }
 
     /// Opens the log in `dir` with `shards` index shards and a custom
-    /// segment roll size.
+    /// segment roll size, manual-only maintenance.
     ///
     /// # Errors
     ///
@@ -200,49 +445,117 @@ impl DurableFragmentStore {
         shards: usize,
         segment_bytes: u64,
     ) -> Result<Self, StorageError> {
+        DurableFragmentStore::open_with_policy(dir, shards, segment_bytes, StoragePolicy::default())
+    }
+
+    /// Opens the log in `dir` with `shards` index shards, a custom
+    /// segment roll size, and a snapshot/compaction [`StoragePolicy`].
+    ///
+    /// Restoration prefers the newest intact snapshot: its live set is
+    /// loaded back into the exact `(shard, seq)` placements it held,
+    /// then only the tail segments after it replay — O(live + tail)
+    /// work instead of O(insert history). A torn or damaged snapshot is
+    /// ignored in favour of an older one or full replay.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on I/O failure, non-recoverable log corruption,
+    /// or a compacted-away prefix with no intact snapshot covering it.
+    pub fn open_with_policy(
+        dir: impl Into<PathBuf>,
+        shards: usize,
+        segment_bytes: u64,
+        policy: StoragePolicy,
+    ) -> Result<Self, StorageError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
 
         let mut seqs: Vec<u64> = Vec::new();
+        let mut snaps: Vec<u64> = Vec::new();
         for entry in std::fs::read_dir(&dir)? {
-            let name = entry?.file_name();
+            let entry = entry?;
+            let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if let Some(seq) = name
-                .strip_prefix("seg-")
-                .and_then(|s| s.strip_suffix(".owfl"))
-                .and_then(|s| s.parse::<u64>().ok())
-            {
+            if name.ends_with(".tmp") {
+                // A snapshot write the crash interrupted before its
+                // atomic rename: never valid, always safe to discard.
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(seq) = parse_seq(name, "seg-", ".owfl") {
                 seqs.push(seq);
+            } else if let Some(seq) = parse_seq(name, "snap-", ".owfs") {
+                snaps.push(seq);
             }
         }
         seqs.sort_unstable();
+        snaps.sort_unstable();
 
-        let mut index = ShardedFragmentStore::with_shards(shards);
-        let mut log_bytes = 0u64;
+        // Newest intact snapshot wins; a torn one falls back to an
+        // older one or to full replay. A candidate is only usable when
+        // the log it expects to replay after itself actually starts at
+        // its tail boundary — otherwise records would silently vanish.
+        let mut restored: Option<(RestoreState, SnapshotState)> = None;
+        for &snap_seq in snaps.iter().rev() {
+            let tail_ok = match seqs.iter().find(|&&s| s >= snap_seq) {
+                None => true,
+                Some(&s) => s == snap_seq,
+            };
+            if !tail_ok {
+                continue;
+            }
+            if let Some(loaded) = load_snapshot(&snapshot_path(&dir, snap_seq), snap_seq, shards)? {
+                restored = Some(loaded);
+                break;
+            }
+        }
+        let (mut state, snapshot) = match restored {
+            Some((state, snap)) => (state, Some(snap)),
+            None => {
+                // Full replay is only honest when the whole history
+                // survives: a compacted-away prefix without an intact
+                // covering snapshot must refuse, not resurrect a
+                // partial store.
+                if let Some(&first) = seqs.first() {
+                    if first != 0 {
+                        return Err(StorageError::Corrupt {
+                            segment: segment_path(&dir, first),
+                            offset: 0,
+                            detail:
+                                "log prefix was compacted away and no intact snapshot covers it"
+                                    .to_string(),
+                        });
+                    }
+                }
+                (RestoreState::new(shards), None)
+            }
+        };
+        let tail_start = snapshot.map_or(0, |s| s.tail_seg);
+        let covered_records = state.record_count;
+
+        // Segments wholly covered by the snapshot are never read —
+        // that's the O(live) restart. Their record bytes still count
+        // toward `log_bytes` (from file sizes) so garbage accounting
+        // stays truthful until compaction deletes them.
+        for &seq in seqs.iter().filter(|&&s| s < tail_start) {
+            let len = std::fs::metadata(segment_path(&dir, seq))?.len();
+            state.log_bytes += len.saturating_sub(SEGMENT_HEADER_LEN);
+        }
+
+        let tail_seqs: Vec<u64> = seqs.iter().copied().filter(|&s| s >= tail_start).collect();
         let mut last_len = SEGMENT_HEADER_LEN;
-        // One scratch for the whole replay: span/name/staging buffers are
-        // reused across every record. The identity cache is disabled —
-        // replay decodes each stored fragment once, so caching would only
-        // pin memory.
-        let mut scratch = DecodeScratch::with_cache_capacity(0);
-        for (i, &seq) in seqs.iter().enumerate() {
-            let last = i + 1 == seqs.len();
-            let len = replay_segment(
-                &segment_path(&dir, seq),
-                last,
-                &mut index,
-                &mut log_bytes,
-                &mut scratch,
-            )?;
+        for (i, &seq) in tail_seqs.iter().enumerate() {
+            let last = i + 1 == tail_seqs.len();
+            let len = replay_segment(&segment_path(&dir, seq), last, &mut state)?;
             if last {
                 last_len = len;
             }
         }
 
-        let (seg_seq, mut seg_len) = match seqs.last() {
+        let (seg_seq, mut seg_len) = match tail_seqs.last() {
             Some(&seq) if last_len < segment_bytes => (seq, last_len),
             Some(&seq) => (seq + 1, SEGMENT_HEADER_LEN),
-            None => (0, SEGMENT_HEADER_LEN),
+            None => (tail_start, SEGMENT_HEADER_LEN),
         };
         let path = segment_path(&dir, seg_seq);
         // A segment that was torn below its header (or does not exist
@@ -262,17 +575,28 @@ impl DurableFragmentStore {
         } else {
             OpenOptions::new().append(true).open(&path)?
         };
+        let segments = seqs.len() as u64 + u64::from(!seqs.contains(&seg_seq));
 
-        Ok(DurableFragmentStore {
+        let mut store = DurableFragmentStore {
             dir,
-            index,
+            index: state.index,
             writer: BufWriter::new(file),
             seg_seq,
             seg_len,
             segment_bytes,
-            log_bytes,
+            log_bytes: state.log_bytes,
+            segments,
+            record_count: state.record_count,
+            live_bytes: state.live_bytes,
+            rec_sizes: state.rec_sizes,
+            snapshot,
+            inserts_since_snapshot: state.record_count - covered_records,
+            garbage_at_snapshot: 0,
+            policy,
             scratch: Vec::new(),
-        })
+        };
+        store.garbage_at_snapshot = store.garbage_bytes();
+        Ok(store)
     }
 
     /// Appends a fragment to the log and indexes it. Returns `true` when
@@ -280,7 +604,10 @@ impl DurableFragmentStore {
     /// in-memory stores; a replayed replace re-applies in log order).
     ///
     /// Writes are buffered — call [`DurableFragmentStore::sync`] for a
-    /// durability point.
+    /// durability point. With a non-manual [`StoragePolicy`] this may
+    /// also run a snapshot or compaction; an error from that
+    /// maintenance is surfaced here even though the insert itself is
+    /// already persisted and indexed.
     ///
     /// # Errors
     ///
@@ -318,20 +645,28 @@ impl DurableFragmentStore {
         if self.seg_len >= self.segment_bytes {
             self.roll()?;
         }
-        let len = u32::try_from(self.scratch.len()).expect("fragment frame under 4 GiB");
-        self.writer.write_all(&len.to_le_bytes())?;
-        self.writer.write_all(&crc32(&self.scratch).to_le_bytes())?;
-        self.writer.write_all(&self.scratch)?;
-        let appended = RECORD_HEADER_LEN + u64::from(len);
+        write_record(&mut self.writer, &self.scratch)?;
+        let appended = record_cost(self.scratch.len() as u64);
         self.seg_len += appended;
         self.log_bytes += appended;
-        Ok(self.index.insert(fragment))
+        self.record_count += 1;
+        self.inserts_since_snapshot += 1;
+        account_live(
+            &mut self.rec_sizes,
+            &mut self.live_bytes,
+            fragment.id(),
+            self.scratch.len() as u64,
+        );
+        let new = self.index.insert(fragment);
+        self.maybe_maintain()?;
+        Ok(new)
     }
 
     fn roll(&mut self) -> Result<(), StorageError> {
         self.writer.flush()?;
         self.seg_seq += 1;
         self.seg_len = SEGMENT_HEADER_LEN;
+        self.segments += 1;
         let mut file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -342,6 +677,181 @@ impl DurableFragmentStore {
         header[6] = SEGMENT_VERSION;
         file.write_all(&header)?;
         self.writer = BufWriter::new(file);
+        Ok(())
+    }
+
+    /// Runs the [`StoragePolicy`] triggers after an insert.
+    fn maybe_maintain(&mut self) -> Result<(), StorageError> {
+        if let Some(pct) = self.policy.compact_live_percent {
+            let garbage = self.garbage_bytes();
+            let persisted = self.log_bytes + self.snapshot.map_or(0, |s| s.record_bytes);
+            if garbage >= self.policy.compact_min_bytes
+                && self.live_bytes.saturating_mul(100)
+                    < u64::from(pct.min(100)).saturating_mul(persisted)
+            {
+                self.compact()?;
+                return Ok(());
+            }
+        }
+        let snap_due = self
+            .policy
+            .snapshot_every_inserts
+            .is_some_and(|n| n > 0 && self.inserts_since_snapshot >= n)
+            || self.policy.snapshot_garbage_bytes.is_some_and(|m| {
+                self.garbage_bytes()
+                    .saturating_sub(self.garbage_at_snapshot)
+                    >= m
+            });
+        if snap_due {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a snapshot of the live fragment set, superseding any
+    /// older one. Returns `false` (and does nothing) when the newest
+    /// snapshot already covers every record.
+    ///
+    /// The tail segment is sealed first (flush + fsync + roll), so the
+    /// snapshot covers whole segments; the snapshot itself is written
+    /// to a temp file, fsynced, atomically renamed, and the directory
+    /// fsynced — a crash at any byte leaves recovery either the old
+    /// state or the complete new snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] when writing fails; the log is unaffected.
+    pub fn snapshot(&mut self) -> Result<bool, StorageError> {
+        if self.snapshot.is_some() && self.inserts_since_snapshot == 0 {
+            return Ok(false);
+        }
+        // Seal the boundary the snapshot claims before the claim: tail
+        // records must be durable, and the tail segment rolled so the
+        // snapshot covers whole segments only.
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        if self.seg_len > SEGMENT_HEADER_LEN {
+            self.roll()?;
+        }
+        let tail_seg = self.seg_seq;
+        let snap = self.write_snapshot(tail_seg)?;
+        self.remove_snapshots_except(tail_seg)?;
+        self.snapshot = Some(snap);
+        self.inserts_since_snapshot = 0;
+        self.garbage_at_snapshot = self.garbage_bytes();
+        Ok(true)
+    }
+
+    fn write_snapshot(&mut self, tail_seg: u64) -> Result<SnapshotState, StorageError> {
+        let final_path = snapshot_path(&self.dir, tail_seg);
+        let tmp_path = self.dir.join(format!("snap-{tail_seg:08}.owfs.tmp"));
+
+        // The live set with its index placement, in global sequence
+        // order: load is then a single in-order pass that reproduces
+        // per-shard slot order (slot order == seq order, an invariant
+        // `ShardedFragmentStore` maintains because replaces keep their
+        // slot and seq).
+        let mut entries: Vec<(u32, u64, Arc<Fragment>)> = Vec::with_capacity(self.index.len());
+        for shard in 0..self.index.shard_count() {
+            entries.extend(
+                self.index
+                    .shard_entries(shard)
+                    .map(|(seq, f)| (shard as u32, seq, Arc::clone(f))),
+            );
+        }
+        entries.sort_unstable_by_key(|&(_, seq, _)| seq);
+
+        let mut w = BufWriter::new(File::create(&tmp_path)?);
+        let mut header = [0u8; SNAPSHOT_HEADER_LEN as usize];
+        header[..6].copy_from_slice(SNAPSHOT_MAGIC);
+        header[6] = SNAPSHOT_VERSION;
+        w.write_all(&header)?;
+
+        let mut meta = [0u8; SNAPSHOT_META_LEN];
+        meta[0..8].copy_from_slice(&tail_seg.to_le_bytes());
+        meta[8..16].copy_from_slice(&self.index.next_seq().to_le_bytes());
+        meta[16..24].copy_from_slice(&(entries.len() as u64).to_le_bytes());
+        meta[24..32].copy_from_slice(&self.record_count.to_le_bytes());
+        meta[32..36].copy_from_slice(&(self.index.shard_count() as u32).to_le_bytes());
+        write_record(&mut w, &meta)?;
+
+        let mut record_bytes = 0u64;
+        for (shard, seq, f) in &entries {
+            self.scratch.clear();
+            self.scratch.extend_from_slice(&shard.to_le_bytes());
+            self.scratch.extend_from_slice(&seq.to_le_bytes());
+            encode_fragment(f, &mut self.scratch);
+            write_record(&mut w, &self.scratch)?;
+            record_bytes += record_cost((self.scratch.len() - SNAPSHOT_PLACEMENT_LEN) as u64);
+        }
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        drop(w);
+        std::fs::rename(&tmp_path, &final_path)?;
+        fsync_dir(&self.dir);
+        let file_bytes = std::fs::metadata(&final_path)?.len();
+        Ok(SnapshotState {
+            tail_seg,
+            record_bytes,
+            file_bytes,
+        })
+    }
+
+    fn remove_snapshots_except(&self, keep: u64) -> Result<(), StorageError> {
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = parse_seq(name, "snap-", ".owfs") {
+                if seq != keep {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compacts the log: snapshots (if anything changed since the last
+    /// one) and deletes every segment the snapshot covers. Restart cost
+    /// drops to O(live + tail) and the covered garbage is reclaimed.
+    ///
+    /// Covered segments are deleted only after the covering snapshot is
+    /// durable, so a crash at any point leaves a recoverable store.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Io`] when snapshotting or deleting fails.
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        self.snapshot()?;
+        let tail = self
+            .snapshot
+            .as_ref()
+            .expect("snapshot() leaves a snapshot in place")
+            .tail_seg;
+        let mut removed = false;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = parse_seq(name, "seg-", ".owfl") else {
+                continue;
+            };
+            if seq >= tail {
+                continue;
+            }
+            let bytes = entry
+                .metadata()
+                .map(|m| m.len().saturating_sub(SEGMENT_HEADER_LEN))
+                .unwrap_or(0);
+            std::fs::remove_file(entry.path())?;
+            self.log_bytes = self.log_bytes.saturating_sub(bytes);
+            self.segments = self.segments.saturating_sub(1);
+            removed = true;
+        }
+        if removed {
+            fsync_dir(&self.dir);
+        }
+        self.garbage_at_snapshot = self.garbage_bytes();
         Ok(())
     }
 
@@ -382,15 +892,68 @@ impl DurableFragmentStore {
         self.index.get(id)
     }
 
+    /// Number of live fragments — an explicit alias of
+    /// [`DurableFragmentStore::len`] for call sites contrasting it with
+    /// [`DurableFragmentStore::record_count`].
+    pub fn live_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total inserts ever applied (live + superseded), surviving
+    /// restarts and compaction — the length replay would have had
+    /// without snapshots.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Disk bytes occupied by the latest persisted copy of each live
+    /// fragment (record headers included).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Estimated reclaimable bytes: everything persisted (log +
+    /// snapshot records) beyond the latest copy of each live fragment.
+    /// Superseded records, and — once a snapshot exists — the whole
+    /// covered prefix, count as garbage until compaction deletes them.
+    pub fn garbage_bytes(&self) -> u64 {
+        (self.log_bytes + self.snapshot.map_or(0, |s| s.record_bytes))
+            .saturating_sub(self.live_bytes)
+    }
+
     /// Total record bytes in the log (headers included, segment headers
-    /// excluded). Replays plus appends.
+    /// excluded) across the segment files currently on disk. Shrinks
+    /// when compaction deletes covered segments.
     pub fn log_bytes(&self) -> u64 {
         self.log_bytes
     }
 
-    /// Number of segment files (the one being appended included).
+    /// Size of the newest snapshot file on disk (0 without one).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot.map_or(0, |s| s.file_bytes)
+    }
+
+    /// First segment the newest snapshot does not cover — where tail
+    /// replay starts on the next open. `None` without a snapshot.
+    pub fn snapshot_segment(&self) -> Option<u64> {
+        self.snapshot.map(|s| s.tail_seg)
+    }
+
+    /// Number of segment files on disk (the one being appended
+    /// included). Shrinks when compaction deletes covered segments.
     pub fn segment_count(&self) -> u64 {
-        self.seg_seq + 1
+        self.segments
+    }
+
+    /// The active snapshot/compaction policy.
+    pub fn policy(&self) -> &StoragePolicy {
+        &self.policy
+    }
+
+    /// Replaces the snapshot/compaction policy; triggers apply from the
+    /// next insert.
+    pub fn set_policy(&mut self, policy: StoragePolicy) {
+        self.policy = policy;
     }
 }
 
@@ -407,16 +970,120 @@ impl Drop for DurableFragmentStore {
     }
 }
 
-/// Replays one segment into the index. `last` selects crash semantics:
-/// a torn/invalid tail is truncated on the final segment and fatal on
-/// any other. Returns the segment's (possibly truncated) byte length.
-fn replay_segment(
+/// Loads one snapshot file. `Ok(None)` means the file is torn or
+/// damaged in any way — the caller falls back to an older snapshot or
+/// full replay; only real I/O failures are errors. A loaded snapshot
+/// passed every CRC, decoded exactly its declared live set with dense
+/// placements, and ended cleanly.
+fn load_snapshot(
     path: &Path,
-    last: bool,
-    index: &mut ShardedFragmentStore,
-    log_bytes: &mut u64,
-    scratch: &mut DecodeScratch,
-) -> Result<u64, StorageError> {
+    expect_tail: u64,
+    shards: usize,
+) -> Result<Option<(RestoreState, SnapshotState)>, StorageError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < SNAPSHOT_HEADER_LEN as usize
+        || &bytes[..6] != SNAPSHOT_MAGIC
+        || bytes[6] != SNAPSHOT_VERSION
+    {
+        return Ok(None);
+    }
+    let mut pos = SNAPSHOT_HEADER_LEN as usize;
+    let next_record = |bytes: &[u8], pos: &mut usize| -> Option<(usize, usize)> {
+        let header = bytes.get(*pos..*pos + RECORD_HEADER_LEN as usize)?;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            return None;
+        }
+        let start = *pos + RECORD_HEADER_LEN as usize;
+        let payload = bytes.get(start..start + len as usize)?;
+        if crc32(payload) != crc {
+            return None;
+        }
+        *pos = start + len as usize;
+        Some((start, start + len as usize))
+    };
+
+    let Some((meta_start, meta_end)) = next_record(&bytes, &mut pos) else {
+        return Ok(None);
+    };
+    let meta = &bytes[meta_start..meta_end];
+    if meta.len() != SNAPSHOT_META_LEN {
+        return Ok(None);
+    }
+    let tail_seg = u64::from_le_bytes(meta[0..8].try_into().expect("8 bytes"));
+    let next_seq = u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes"));
+    let live = u64::from_le_bytes(meta[16..24].try_into().expect("8 bytes"));
+    let record_count = u64::from_le_bytes(meta[24..32].try_into().expect("8 bytes"));
+    // meta[32..36]: the writer's shard count — informational only; the
+    // placement shard is taken modulo the opener's shard count, so a
+    // snapshot stays loadable (and query-equivalent, placements' seqs
+    // preserved) under a different sharding.
+    if tail_seg != expect_tail || live > record_count || next_seq != live {
+        return Ok(None);
+    }
+
+    let mut state = RestoreState::new(shards);
+    let mut budget = VocabularyBudget::unlimited();
+    for _ in 0..live {
+        let Some((start, end)) = next_record(&bytes, &mut pos) else {
+            return Ok(None);
+        };
+        let payload = &bytes[start..end];
+        if payload.len() < SNAPSHOT_PLACEMENT_LEN {
+            return Ok(None);
+        }
+        let shard = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(payload[4..12].try_into().expect("8 bytes"));
+        let frame = &payload[SNAPSHOT_PLACEMENT_LEN..];
+        match decode_fragment_with(frame, &mut budget, &mut state.decode) {
+            Ok((fragment, consumed)) if consumed == frame.len() => {
+                if seq >= next_seq {
+                    return Ok(None);
+                }
+                let id = fragment.id().clone();
+                if !state.index.restore_fragment(shard, seq, fragment) {
+                    // Duplicate id inside one snapshot: not a shape a
+                    // writer produces.
+                    return Ok(None);
+                }
+                account_live(
+                    &mut state.rec_sizes,
+                    &mut state.live_bytes,
+                    &id,
+                    frame.len() as u64,
+                );
+            }
+            _ => return Ok(None),
+        }
+    }
+    if pos != bytes.len() || state.index.next_seq() != next_seq {
+        return Ok(None);
+    }
+    state.record_count = record_count;
+    // The snapshot's live-set footprint in log-record terms: every
+    // restored fragment is live, so `live_bytes` holds exactly the sum
+    // of its frag-record costs.
+    let record_bytes = state.live_bytes;
+    Ok(Some((
+        state,
+        SnapshotState {
+            tail_seg,
+            record_bytes,
+            file_bytes: bytes.len() as u64,
+        },
+    )))
+}
+
+/// Replays one segment into the restore state. `last` selects crash
+/// semantics: a torn/invalid tail is truncated on the final segment and
+/// fatal on any other. Returns the segment's (possibly truncated) byte
+/// length.
+fn replay_segment(path: &Path, last: bool, state: &mut RestoreState) -> Result<u64, StorageError> {
     let corrupt = |offset: u64, detail: &str| StorageError::Corrupt {
         segment: path.to_path_buf(),
         offset,
@@ -459,9 +1126,20 @@ fn replay_segment(
         if crc32(payload) != crc {
             return tail_or_corrupt(path, last, record_start, "record CRC mismatch", corrupt);
         }
-        match decode_fragment_with(payload, &mut VocabularyBudget::unlimited(), scratch) {
+        match decode_fragment_with(
+            payload,
+            &mut VocabularyBudget::unlimited(),
+            &mut state.decode,
+        ) {
             Ok((fragment, consumed)) if consumed == payload.len() => {
-                index.insert(fragment);
+                state.record_count += 1;
+                account_live(
+                    &mut state.rec_sizes,
+                    &mut state.live_bytes,
+                    fragment.id(),
+                    u64::from(len),
+                );
+                state.index.insert(fragment);
             }
             Ok(_) => {
                 return tail_or_corrupt(
@@ -479,7 +1157,7 @@ fn replay_segment(
             }
         }
         pos += len as usize;
-        *log_bytes += RECORD_HEADER_LEN + u64::from(len);
+        state.log_bytes += record_cost(u64::from(len));
     }
 }
 
@@ -565,6 +1243,41 @@ mod tests {
             [format!("ds-l{}", i + 1)],
         )
         .unwrap()
+    }
+
+    /// A replacement for `frag(i)`: same id, different task/labels, so
+    /// inserting it supersedes the original record.
+    fn frag_v2(i: usize) -> Fragment {
+        Fragment::single_task(
+            format!("ds-f{i}"),
+            format!("ds-t{i}-v2"),
+            Mode::Disjunctive,
+            [format!("ds-l{i}-v2")],
+            [format!("ds-l{}-v2", i + 1)],
+        )
+        .unwrap()
+    }
+
+    /// The store's observable identity: per-shard `(seq, encoded
+    /// frame)` listings plus the next sequence number. Two stores with
+    /// equal dumps answer every query identically and assign identical
+    /// seqs to future inserts — the bit-identical restart contract.
+    type Dump = (u64, Vec<Vec<(u64, Vec<u8>)>>);
+
+    fn dump(store: &ShardedFragmentStore) -> Dump {
+        let shards = (0..store.shard_count())
+            .map(|s| {
+                store
+                    .shard_entries(s)
+                    .map(|(seq, f)| {
+                        let mut buf = Vec::new();
+                        encode_fragment(f, &mut buf);
+                        (seq, buf)
+                    })
+                    .collect()
+            })
+            .collect();
+        (store.next_seq(), shards)
     }
 
     #[test]
@@ -723,6 +1436,261 @@ mod tests {
         std::fs::write(&seg, &bytes).unwrap();
         let err = DurableFragmentStore::open_with(&dir, 1, 128).unwrap_err();
         assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identical_store_with_tail() {
+        let dir = tmp_dir("snap-bitident");
+        let want;
+        {
+            let mut s = DurableFragmentStore::open_with(&dir, 3, 512).unwrap();
+            for i in 0..30 {
+                s.insert(frag(i)).unwrap();
+            }
+            for i in (0..30).step_by(3) {
+                assert!(!s.insert(frag_v2(i)).unwrap(), "supersede");
+            }
+            assert!(s.snapshot().unwrap());
+            assert!(s.snapshot_segment().is_some());
+            // Tail records after the snapshot, including a supersede of
+            // a snapshotted fragment.
+            for i in 30..40 {
+                s.insert(frag(i)).unwrap();
+            }
+            assert!(!s.insert(frag_v2(5)).unwrap());
+            assert_eq!(s.record_count(), 30 + 10 + 11);
+            assert_eq!(s.live_len(), 40);
+            want = dump(s.index());
+        }
+        let s = DurableFragmentStore::open_with(&dir, 3, 512).unwrap();
+        assert_eq!(dump(s.index()), want, "snapshot + tail == original");
+        assert_eq!(s.record_count(), 51, "history length survives restart");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_is_noop_when_clean_and_supersedes_older_ones() {
+        let dir = tmp_dir("snap-noop");
+        let mut s = DurableFragmentStore::open_with(&dir, 1, 256).unwrap();
+        for i in 0..10 {
+            s.insert(frag(i)).unwrap();
+        }
+        assert!(s.snapshot().unwrap());
+        let first = s.snapshot_segment().unwrap();
+        assert!(!s.snapshot().unwrap(), "clean store: no new snapshot");
+        s.insert(frag(10)).unwrap();
+        assert!(s.snapshot().unwrap(), "dirty store: new snapshot");
+        let second = s.snapshot_segment().unwrap();
+        assert!(second > first);
+        let snaps: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().to_str().map(String::from))
+            .filter(|n| n.starts_with("snap-"))
+            .collect();
+        assert_eq!(snaps.len(), 1, "older snapshot removed: {snaps:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_deletes_covered_segments_and_keeps_answers() {
+        let dir = tmp_dir("compact");
+        let want;
+        {
+            let mut s = DurableFragmentStore::open_with(&dir, 2, 256).unwrap();
+            for i in 0..40 {
+                s.insert(frag(i)).unwrap();
+            }
+            for i in 0..40 {
+                s.insert(frag_v2(i)).unwrap();
+            }
+            let before_segments = s.segment_count();
+            let before_log = s.log_bytes();
+            assert!(s.garbage_bytes() > 0, "supersedes created garbage");
+            s.compact().unwrap();
+            assert!(s.segment_count() < before_segments);
+            assert!(s.log_bytes() < before_log);
+            assert_eq!(s.live_len(), 40);
+            assert_eq!(s.record_count(), 80);
+            // Post-compaction, persisted bytes ≈ live bytes: the only
+            // remaining garbage would be tail records, and there are none.
+            assert_eq!(s.garbage_bytes(), 0, "covered garbage reclaimed");
+            want = dump(s.index());
+        }
+        let s = DurableFragmentStore::open_with(&dir, 2, 256).unwrap();
+        assert_eq!(
+            dump(s.index()),
+            want,
+            "compacted store restores identically"
+        );
+        assert_eq!(s.record_count(), 80);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_snapshot_falls_back_to_full_replay() {
+        let dir = tmp_dir("snap-torn");
+        let want;
+        {
+            let mut s = DurableFragmentStore::open_with(&dir, 1, 256).unwrap();
+            for i in 0..20 {
+                s.insert(frag(i)).unwrap();
+            }
+            s.snapshot().unwrap();
+            want = dump(s.index());
+        }
+        // Damage the snapshot: flip one payload byte. The log is intact,
+        // so recovery must fall back to full replay and still match.
+        let snap = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.to_str().is_some_and(|s| s.contains("snap-")))
+            .expect("snapshot file exists");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let idx = bytes.len() - 2;
+        bytes[idx] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        let s = DurableFragmentStore::open_with(&dir, 1, 256).unwrap();
+        assert_eq!(
+            dump(s.index()),
+            want,
+            "full replay covered for the torn snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_snapshot_after_compaction_is_refused_not_partial() {
+        let dir = tmp_dir("snap-torn-compacted");
+        {
+            let mut s = DurableFragmentStore::open_with(&dir, 1, 256).unwrap();
+            for i in 0..20 {
+                s.insert(frag(i)).unwrap();
+            }
+            s.compact().unwrap();
+            assert!(s.segment_count() < 3, "prefix segments deleted");
+        }
+        let snap = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.to_str().is_some_and(|s| s.contains("snap-")))
+            .expect("snapshot file exists");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let idx = bytes.len() - 2;
+        bytes[idx] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        // The prefix is gone and the only snapshot covering it is torn:
+        // opening must refuse rather than resurrect a partial store.
+        let err = DurableFragmentStore::open_with(&dir, 1, 256).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_tmp_snapshot_is_discarded() {
+        let dir = tmp_dir("snap-tmp");
+        {
+            let mut s = DurableFragmentStore::open(&dir).unwrap();
+            for i in 0..5 {
+                s.insert(frag(i)).unwrap();
+            }
+        }
+        // Simulate a crash mid-snapshot-write: a half-written temp file.
+        std::fs::write(dir.join("snap-00000009.owfs.tmp"), b"OWFSNP half").unwrap();
+        let s = DurableFragmentStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(
+            !dir.join("snap-00000009.owfs.tmp").exists(),
+            "temp file cleaned up at open"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn accounting_tracks_live_garbage_and_history() {
+        let dir = tmp_dir("accounting");
+        let mut s = DurableFragmentStore::open(&dir).unwrap();
+        assert_eq!(s.garbage_bytes(), 0);
+        s.insert(frag(0)).unwrap();
+        s.insert(frag(1)).unwrap();
+        assert_eq!(s.garbage_bytes(), 0, "no supersedes yet");
+        assert_eq!(s.live_bytes(), s.log_bytes());
+        let before = s.log_bytes();
+        s.insert(frag_v2(0)).unwrap();
+        assert!(s.log_bytes() > before);
+        assert!(s.garbage_bytes() > 0, "the superseded record is garbage");
+        assert_eq!(s.record_count(), 3);
+        assert_eq!(s.live_len(), 2);
+        assert_eq!(
+            s.garbage_bytes(),
+            s.log_bytes() - s.live_bytes(),
+            "garbage == superseded record bytes before any snapshot"
+        );
+        // A snapshot makes the whole covered prefix reclaimable.
+        s.snapshot().unwrap();
+        assert_eq!(s.garbage_bytes(), s.log_bytes(), "prefix fully reclaimable");
+        s.compact().unwrap();
+        assert_eq!(s.garbage_bytes(), 0);
+        assert_eq!(s.record_count(), 3, "history survives compaction");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_snapshots_and_compacts_automatically() {
+        let dir = tmp_dir("policy-auto");
+        let policy = StoragePolicy::manual()
+            .snapshot_every(16)
+            .compact_below_live_percent(50)
+            .compact_min_bytes(1);
+        let mut s = DurableFragmentStore::open_with_policy(&dir, 1, 256, policy).unwrap();
+        for i in 0..16 {
+            s.insert(frag(i)).unwrap();
+        }
+        assert!(
+            s.snapshot_segment().is_some(),
+            "insert-count trigger fired a snapshot"
+        );
+        // Churn everything: live share of persisted bytes drops under
+        // 50% and the ratio trigger compacts.
+        let segments_before = s.segment_count();
+        for i in 0..16 {
+            s.insert(frag_v2(i)).unwrap();
+        }
+        assert!(
+            s.segment_count() <= segments_before,
+            "compaction kept the segment count bounded"
+        );
+        assert_eq!(s.live_len(), 16);
+        assert_eq!(s.record_count(), 32);
+        drop(s);
+        let s = DurableFragmentStore::open_with(&dir, 1, 256).unwrap();
+        assert_eq!(s.live_len(), 16);
+        assert_eq!(s.record_count(), 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_loads_under_different_shard_count() {
+        let dir = tmp_dir("snap-reshard");
+        {
+            let mut s = DurableFragmentStore::open_with(&dir, 4, 256).unwrap();
+            for i in 0..20 {
+                s.insert(frag(i)).unwrap();
+            }
+            s.compact().unwrap();
+        }
+        // Reopen with a different sharding: placements fold modulo the
+        // new shard count, seqs are preserved, answers are identical.
+        let s = DurableFragmentStore::open_with(&dir, 2, 256).unwrap();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.index().next_seq(), 20);
+        for i in 0..20 {
+            assert_eq!(
+                s.index().consuming(&[Label::new(format!("ds-l{i}"))]).len(),
+                1,
+                "label ds-l{i}"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
