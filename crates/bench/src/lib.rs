@@ -25,6 +25,7 @@ pub mod ablation;
 pub mod repair;
 pub mod restart;
 pub mod scale;
+pub mod soak;
 pub mod wirebench;
 
 /// Host counts of Figure 4.

@@ -144,6 +144,12 @@ impl ProblemAuctions {
             // its slot until the deadline; it will expire it on its own.
             return AuctionAction::None;
         }
+        if a.responded.contains(&from) {
+            // Duplicate delivery of a counted response: counting it again
+            // could hit community_size early and decide before honest
+            // bids arrive.
+            return AuctionAction::None;
+        }
         a.responded.push(from);
         let cand = (from, bid);
         let improved = match &a.best {
@@ -154,7 +160,7 @@ impl ProblemAuctions {
             a.best = Some(cand);
         }
         if a.responded.len() >= self.community_size {
-            return self.decide(task);
+            return self.decide(task, false);
         }
         if improved {
             let deadline = a.best.as_ref().expect("just set").1.deadline;
@@ -171,11 +177,34 @@ impl ProblemAuctions {
         if a.decided.is_some() {
             return AuctionAction::None;
         }
+        if a.responded.contains(&from) {
+            return AuctionAction::None;
+        }
         a.responded.push(from);
         if a.responded.len() >= self.community_size {
-            return self.decide(task);
+            return self.decide(task, false);
         }
         AuctionAction::None
+    }
+
+    /// Forces a decision on every undecided auction, in task order: the
+    /// allocation-phase timeout fired, so waiting longer cannot help.
+    /// Tasks with a bid award to the best so far; tasks with none become
+    /// unallocatable (feeding the repair path) — even with responses
+    /// still outstanding, because on a lossy network those responses may
+    /// never arrive and the timeout is the last timer this problem has.
+    pub fn force_decide_all(&mut self) -> Vec<AuctionAction> {
+        let mut undecided: Vec<TaskId> = self
+            .auctions
+            .iter()
+            .filter(|(_, a)| a.decided.is_none())
+            .map(|(t, _)| t.clone())
+            .collect();
+        undecided.sort();
+        undecided
+            .into_iter()
+            .map(|t| self.decide(&t, true))
+            .collect()
     }
 
     /// The decision timer fired for `task` (the tentative winner's
@@ -187,10 +216,10 @@ impl ProblemAuctions {
         if a.decided.is_some() {
             return AuctionAction::None;
         }
-        self.decide(task)
+        self.decide(task, false)
     }
 
-    fn decide(&mut self, task: &TaskId) -> AuctionAction {
+    fn decide(&mut self, task: &TaskId, forced: bool) -> AuctionAction {
         let a = self.auctions.get_mut(task).expect("auction exists");
         debug_assert!(a.decided.is_none());
         match a.best.take() {
@@ -207,8 +236,10 @@ impl ProblemAuctions {
                 AuctionAction::Award(task.clone(), host, assignment)
             }
             None => {
-                // All responses in (or deadline passed) with no bid.
-                if a.responded.len() >= self.community_size {
+                // No bid. Normally wait for the stragglers, but a forced
+                // decision is the final word on this problem: mark the
+                // task unallocatable so repair can run.
+                if forced || a.responded.len() >= self.community_size {
                     self.undecided -= 1;
                     AuctionAction::Unallocatable(task.clone())
                 } else {
@@ -317,6 +348,20 @@ mod tests {
         assert!(matches!(a, AuctionAction::Award(_, h, _) if h == HostId(2)));
         // A later deadline timer is ignored.
         assert_eq!(pa.on_deadline(&t), AuctionAction::None);
+    }
+
+    #[test]
+    fn forced_decision_with_partial_responses_and_no_bid_is_unallocatable() {
+        // 3 of 5 hosts declined, the rest lost on the wire: the timeout
+        // backstop must still resolve the task instead of wedging the
+        // problem in Allocating with no timer left.
+        let (mut pa, t) = open_one(5);
+        pa.on_decline(&t, HostId(0));
+        pa.on_decline(&t, HostId(1));
+        pa.on_decline(&t, HostId(3));
+        let actions = pa.force_decide_all();
+        assert_eq!(actions, vec![AuctionAction::Unallocatable(t)]);
+        assert!(pa.all_decided());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::fmt;
 use openwf_core::Spec;
 use openwf_simnet::{HostId, LatencyModel, NetStats, SimNetwork, SimTime};
 
+use crate::core_sm::WorkflowEvent;
 use crate::driver::{Driver, SimDriver};
 use crate::host::{HostConfig, OwmsHost};
 use crate::messages::Msg;
@@ -131,6 +132,24 @@ impl Community {
     /// Network traffic counters.
     pub fn stats(&self) -> NetStats {
         self.driver.stats()
+    }
+
+    /// Workflow events every host surfaced so far, tagged with the host
+    /// that emitted them — the community-wide view a soak harness's
+    /// invariant checks need (quarantines, completions, repairs). Hosts
+    /// in id order; per-host events in firing order.
+    pub fn all_events(&self) -> Vec<(HostId, WorkflowEvent)> {
+        self.hosts()
+            .into_iter()
+            .flat_map(|h| {
+                self.host(h)
+                    .events()
+                    .iter()
+                    .cloned()
+                    .map(move |e| (h, e))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     /// Submits a problem specification to `initiator` (the Workflow

@@ -75,7 +75,11 @@ pub enum StorageConfig {
 /// Static configuration of one host: its knowhow, capabilities, place and
 /// disposition (the paper's deployment steps 2 and 3: "adding knowhow in
 /// the form of workflow fragments, and adding service descriptions").
-#[derive(Debug)]
+///
+/// `Clone` lets a driver keep the config it built a host from and rebuild
+/// the host after a kill — with durable storage, the clone reopens the
+/// same on-disk store (the chaos soak's kill-restart path).
+#[derive(Clone, Debug)]
 pub struct HostConfig {
     /// Workflow fragments this host knows (shared handles; scenario
     /// generators hand the same allocation to every consumer).
@@ -381,6 +385,7 @@ pub enum OutboundMode {
 enum TimerPurpose {
     RoundTimeout { problem: ProblemId, round: u32 },
     AuctionDeadline { problem: ProblemId, task: TaskId },
+    AuctionTimeout { problem: ProblemId },
     BidHoldExpiry { problem: ProblemId, task: TaskId },
     ExecStart { problem: ProblemId, task: TaskId },
     ExecFinish { problem: ProblemId, task: TaskId },
@@ -921,6 +926,7 @@ impl HostCore {
                 };
                 let actions = match self.workflow_mgr.get_mut(&problem) {
                     Some(ws) => ws.on_fragment_reply(
+                        from,
                         round,
                         fragments,
                         &self.fragment_mgr,
@@ -955,6 +961,7 @@ impl HostCore {
             } => {
                 let actions = match self.workflow_mgr.get_mut(&problem) {
                     Some(ws) => ws.on_capability_reply(
+                        from,
                         round,
                         capable,
                         &self.fragment_mgr,
@@ -1075,6 +1082,24 @@ impl HostCore {
                     .unwrap_or(AuctionAction::None);
                 self.handle_auction_action(problem, action, now, q);
             }
+            TimerPurpose::AuctionTimeout { problem } => {
+                let still_allocating = self
+                    .workflow_mgr
+                    .get(&problem)
+                    .map(|ws| ws.phase == Phase::Allocating)
+                    .unwrap_or(false);
+                if still_allocating {
+                    let actions = self
+                        .workflow_mgr
+                        .get_mut(&problem)
+                        .and_then(|ws| ws.auctions.as_mut())
+                        .map(|a| a.force_decide_all())
+                        .unwrap_or_default();
+                    for action in actions {
+                        self.handle_auction_action(problem, action, now, q);
+                    }
+                }
+            }
             TimerPurpose::BidHoldExpiry { problem, task } => {
                 let _ = self
                     .auction_part
@@ -1175,6 +1200,12 @@ impl HostCore {
             self.finalize_allocation(problem, now, q);
             return;
         }
+
+        // Liveness backstop: if bids never arrive (lost calls, crashed
+        // bidders), force the allocation decision after auction_timeout
+        // instead of waiting on per-bid deadlines that never get armed.
+        let timeout = self.params.auction_timeout;
+        self.arm(q, now, timeout, TimerPurpose::AuctionTimeout { problem });
 
         // Call for bids: pairwise to every other member…
         let others = self.others();

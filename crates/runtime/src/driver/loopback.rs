@@ -26,6 +26,8 @@ use std::fmt;
 
 use openwf_core::Spec;
 use openwf_simnet::{HostId, SimDuration, SimTime, TimerToken};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::codec;
 use crate::core_sm::{Action, ActionQueue, HostConfig, HostCore, OutboundMode, WorkflowEvent};
@@ -56,6 +58,48 @@ pub struct LoopbackStats {
     pub bytes_delivered: u64,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Frames dropped by wire chaos.
+    pub frames_dropped: u64,
+    /// Frames whose bytes were corrupted by wire chaos.
+    pub frames_corrupted: u64,
+    /// Frames truncated by wire chaos.
+    pub frames_truncated: u64,
+    /// Extra frame copies injected by wire chaos.
+    pub frames_duplicated: u64,
+}
+
+/// Wire-level chaos for the loopback transport: per-frame byte damage a
+/// real radio link inflicts, decided by a dedicated RNG seeded from
+/// `seed` so a run is a deterministic function of its configuration.
+/// Damage applies only to cross-host frames (self-sends never touch the
+/// wire), and the receiving core's decode path is total — corrupted or
+/// truncated frames degrade into transport loss or protocol errors,
+/// never a panic.
+#[derive(Clone, Debug)]
+pub struct WireChaos {
+    /// Probability a frame is lost outright.
+    pub drop_probability: f64,
+    /// Probability one random byte of the frame is bit-flipped.
+    pub corrupt_probability: f64,
+    /// Probability the frame is cut short at a random length.
+    pub truncate_probability: f64,
+    /// Probability the frame is delivered twice.
+    pub duplicate_probability: f64,
+    /// Seed of the chaos RNG.
+    pub seed: u64,
+}
+
+impl WireChaos {
+    /// No damage; a starting point for builder-style field updates.
+    pub fn none(seed: u64) -> Self {
+        WireChaos {
+            drop_probability: 0.0,
+            corrupt_probability: 0.0,
+            truncate_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed,
+        }
+    }
 }
 
 /// Drives a community of [`HostCore`]s entirely over encoded frames.
@@ -74,6 +118,10 @@ pub struct LoopbackBytesDriver {
     next_seq: u32,
     stats: LoopbackStats,
     events: Vec<(HostId, WorkflowEvent)>,
+    /// Wire fault model plus its dedicated RNG; `None` means a clean
+    /// wire and zero RNG draws, so chaos-free runs are byte-identical
+    /// to builds that predate the fault model.
+    wire_chaos: Option<(WireChaos, StdRng)>,
 }
 
 impl LoopbackBytesDriver {
@@ -109,7 +157,21 @@ impl LoopbackBytesDriver {
             next_seq: 0,
             stats: LoopbackStats::default(),
             events: Vec::new(),
+            wire_chaos: None,
         }
+    }
+
+    /// Installs (or replaces) the wire fault model. The chaos RNG is
+    /// seeded from `chaos.seed`, so installing the same configuration on
+    /// the same scenario replays the same damage.
+    pub fn set_wire_chaos(&mut self, chaos: WireChaos) {
+        let rng = StdRng::seed_from_u64(chaos.seed);
+        self.wire_chaos = Some((chaos, rng));
+    }
+
+    /// Removes the wire fault model; subsequent frames travel clean.
+    pub fn clear_wire_chaos(&mut self) {
+        self.wire_chaos = None;
     }
 
     /// Traffic counters (exact wire bytes).
@@ -134,6 +196,58 @@ impl LoopbackBytesDriver {
         self.queue.insert(key, ev);
     }
 
+    /// Schedules one outbound frame, passing cross-host frames through
+    /// the wire fault model. Self-sends never touch the wire and are
+    /// exempt — the protocol's local bootstrap (`Initiate`) must not be
+    /// damageable. Every RNG draw is gated on its probability being
+    /// non-zero, so partially-enabled chaos keeps a stable draw stream.
+    fn send_frame(&mut self, from: HostId, to: HostId, mut bytes: Vec<u8>, effective_now: SimTime) {
+        if to == from {
+            self.schedule(effective_now, Ev::Frame { from, to, bytes });
+            return;
+        }
+        let at = effective_now + self.latency;
+        let mut duplicate = false;
+        if let Some((chaos, rng)) = self.wire_chaos.as_mut() {
+            if chaos.drop_probability > 0.0 && rng.random_bool(chaos.drop_probability) {
+                self.stats.frames_dropped += 1;
+                return;
+            }
+            if chaos.corrupt_probability > 0.0
+                && !bytes.is_empty()
+                && rng.random_bool(chaos.corrupt_probability)
+            {
+                let idx = rng.random_range(0..bytes.len());
+                let bit = rng.random_range(0..8u32);
+                bytes[idx] ^= 1 << bit;
+                self.stats.frames_corrupted += 1;
+            }
+            if chaos.truncate_probability > 0.0
+                && !bytes.is_empty()
+                && rng.random_bool(chaos.truncate_probability)
+            {
+                let keep = rng.random_range(0..bytes.len());
+                bytes.truncate(keep);
+                self.stats.frames_truncated += 1;
+            }
+            if chaos.duplicate_probability > 0.0 && rng.random_bool(chaos.duplicate_probability) {
+                duplicate = true;
+            }
+        }
+        if duplicate {
+            self.stats.frames_duplicated += 1;
+            self.schedule(
+                at,
+                Ev::Frame {
+                    from,
+                    to,
+                    bytes: bytes.clone(),
+                },
+            );
+        }
+        self.schedule(at, Ev::Frame { from, to, bytes });
+    }
+
     /// Applies one core's action queue, scheduling deliveries and
     /// timers. Mirrors `SimNetwork::dispatch`: the compute charge delays
     /// every emitted effect and makes the host busy until then.
@@ -146,19 +260,7 @@ impl LoopbackBytesDriver {
         for action in queue {
             match action {
                 Action::SendBytes { to, bytes } => {
-                    let at = if to == host {
-                        effective_now // local delivery: no wire involved
-                    } else {
-                        effective_now + self.latency
-                    };
-                    self.schedule(
-                        at,
-                        Ev::Frame {
-                            from: host,
-                            to,
-                            bytes,
-                        },
-                    );
+                    self.send_frame(host, to, bytes, effective_now);
                 }
                 Action::Send { to, msg } => {
                     // An encoded-mode core never emits typed sends, but a
@@ -167,19 +269,7 @@ impl LoopbackBytesDriver {
                     // encode it here and carry it as a frame.
                     let mut bytes = Vec::new();
                     codec::encode_msg(&msg, &mut bytes);
-                    let at = if to == host {
-                        effective_now
-                    } else {
-                        effective_now + self.latency
-                    };
-                    self.schedule(
-                        at,
-                        Ev::Frame {
-                            from: host,
-                            to,
-                            bytes,
-                        },
-                    );
+                    self.send_frame(host, to, bytes, effective_now);
                 }
                 Action::SetTimer { delay, token } => {
                     self.schedule(effective_now + delay, Ev::Timer { host, token });
@@ -371,5 +461,108 @@ mod tests {
             driver.core(initiator).vocabulary_rejections() >= 1,
             "the minting reply was rejected at decode"
         );
+    }
+
+    /// The full quarantine story over the wire: a flooding peer minting
+    /// past the initiator's vocabulary budget is quarantined once its
+    /// rejection count crosses `max_vocabulary_rejections`, the event is
+    /// surfaced, and the honest cooperation still completes.
+    #[test]
+    fn flooding_peer_is_quarantined_end_to_end() {
+        let flood = |prefix: &str, input: &str| -> Vec<Fragment> {
+            (0..8)
+                .map(|i| {
+                    frag(
+                        &format!("{prefix}-f{i}"),
+                        &format!("{prefix}-t{i}"),
+                        input,
+                        &format!("{prefix}-out{i}"),
+                    )
+                })
+                .collect()
+        };
+        let mut driver = LoopbackBytesDriver::build(
+            RuntimeParams::default(),
+            vec![
+                HostConfig::new()
+                    .with_fragment(frag("lbq-f1", "lbq-t1", "lbq-a", "lbq-b"))
+                    .with_service(service("lbq-t2"))
+                    .with_vocabulary_cap(16)
+                    .with_max_vocabulary_rejections(2),
+                HostConfig::new()
+                    .with_fragment(frag("lbq-f2", "lbq-t2", "lbq-b", "lbq-c"))
+                    .with_service(service("lbq-t1")),
+                // The flooder mints fresh symbols keyed to both the
+                // spec input and the intermediate label, so it offends
+                // in every query wave of the construction.
+                HostConfig::new()
+                    .with_fragments_from(flood("lbq-mint-a", "lbq-a"))
+                    .with_fragments_from(flood("lbq-mint-b", "lbq-b")),
+            ],
+        );
+        let initiator = driver.hosts()[0];
+        let flooder = HostId(2);
+        let handle = driver.submit(initiator, Spec::new(["lbq-a"], ["lbq-c"]));
+        let report = driver.run_until_complete(handle);
+        assert!(
+            matches!(report.status, crate::report::ProblemStatus::Completed),
+            "honest peers complete despite the flooder: {report}"
+        );
+        assert!(
+            driver.core(initiator).is_quarantined(flooder),
+            "rejections seen: {}",
+            driver.core(initiator).vocabulary_rejections()
+        );
+        assert!(
+            !driver.core(initiator).is_quarantined(HostId(1)),
+            "the honest peer must stay trusted"
+        );
+        assert!(
+            driver.events().iter().any(|(h, e)| *h == initiator
+                && matches!(e, WorkflowEvent::PeerQuarantined { peer, .. } if *peer == flooder)),
+            "quarantine surfaces as a workflow event"
+        );
+    }
+
+    /// A wire storm (drops, bit flips, truncation, duplication) never
+    /// panics the decode path, and the whole run — outcome and damage
+    /// counters alike — is a deterministic function of the chaos seed.
+    #[test]
+    fn wire_chaos_is_deterministic_and_panic_free() {
+        let run = |seed: u64| {
+            let mut driver = LoopbackBytesDriver::build(
+                RuntimeParams::default(),
+                vec![
+                    HostConfig::new()
+                        .with_fragment(frag("lwx-f1", "lwx-t1", "lwx-a", "lwx-b"))
+                        .with_service(service("lwx-t2")),
+                    HostConfig::new()
+                        .with_fragment(frag("lwx-f2", "lwx-t2", "lwx-b", "lwx-c"))
+                        .with_service(service("lwx-t1")),
+                ],
+            );
+            let mut chaos = WireChaos::none(seed);
+            chaos.drop_probability = 0.05;
+            chaos.corrupt_probability = 0.25;
+            chaos.truncate_probability = 0.10;
+            chaos.duplicate_probability = 0.25;
+            driver.set_wire_chaos(chaos);
+            let initiator = driver.hosts()[0];
+            let handle = driver.submit(initiator, Spec::new(["lwx-a"], ["lwx-c"]));
+            let report = driver.run_until_complete(handle);
+            driver.run_until_quiescent();
+            (format!("{:?}", report.status), driver.stats())
+        };
+        let (status_a, stats_a) = run(0xC0FFEE);
+        let (status_b, stats_b) = run(0xC0FFEE);
+        assert_eq!(status_a, status_b, "same seed, same outcome");
+        assert_eq!(stats_a, stats_b, "same seed, same wire trace");
+        let damage = stats_a.frames_dropped
+            + stats_a.frames_corrupted
+            + stats_a.frames_truncated
+            + stats_a.frames_duplicated;
+        assert!(damage > 0, "the storm left a mark: {stats_a:?}");
+        let (_, stats_c) = run(0xBEEF);
+        assert_ne!(stats_a, stats_c, "different seeds take different traces");
     }
 }

@@ -34,7 +34,7 @@ use crate::workflow_mgr::Phase;
 mod loopback;
 mod sim;
 
-pub use loopback::{LoopbackBytesDriver, LoopbackStats};
+pub use loopback::{LoopbackBytesDriver, LoopbackStats, WireChaos};
 pub use sim::SimDriver;
 
 /// Handle to a submitted problem.

@@ -60,7 +60,7 @@ pub mod workflow_mgr;
 pub use codec::{decode_msg, encode_msg};
 pub use community::{Community, CommunityBuilder, ProblemHandle};
 pub use core_sm::{Action, ActionQueue, HostCore, OutboundMode, WorkflowEvent};
-pub use driver::{Driver, LoopbackBytesDriver, SimDriver};
+pub use driver::{Driver, LoopbackBytesDriver, SimDriver, WireChaos};
 pub use host::{HostConfig, OwmsHost, StorageConfig};
 pub use messages::{Msg, ProblemId};
 pub use metadata::{Assignment, TaskMetadata};

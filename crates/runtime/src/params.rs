@@ -25,6 +25,13 @@ pub struct RuntimeParams {
     /// How long the initiator waits for query replies before proceeding
     /// with whatever arrived (tolerates crashed/partitioned hosts).
     pub round_timeout: SimDuration,
+    /// Backstop for the whole allocation phase: if some auction still has
+    /// no decision this long after the calls for bids went out — every
+    /// capable host crashed, or every bid was lost — the initiator forces
+    /// a decision (best bid so far, else unallocatable → repair) instead
+    /// of idling forever. Per-task deadlines from actual bids still
+    /// decide earlier in the common case.
+    pub auction_timeout: SimDuration,
     /// Watchdog: how long after allocation the initiator waits for all
     /// goals before declaring the attempt failed and repairing.
     pub execution_watchdog: SimDuration,
@@ -42,6 +49,7 @@ impl Default for RuntimeParams {
             bid_evaluation_cost: SimDuration::from_micros(10),
             bid_patience: SimDuration::from_millis(50),
             round_timeout: SimDuration::from_millis(500),
+            auction_timeout: SimDuration::from_secs(5),
             // Generous: real-world services (cooking, decontamination…)
             // run for hours of virtual time before repair should trigger.
             execution_watchdog: SimDuration::from_secs(24 * 3_600),

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use openwf_core::construct::explore::{explore_with, ExploreOutcome, ExploreScratch};
 use openwf_core::construct::{self, ColorState, ConstructStats, Construction, PickOrder};
 use openwf_core::{Fragment, FxHashSet, Label, Spec, Supergraph, TaskId};
-use openwf_simnet::{SimDuration, SimTime};
+use openwf_simnet::{HostId, SimDuration, SimTime};
 
 use crate::auction::ProblemAuctions;
 use crate::fragment_mgr::FragmentManager;
@@ -77,6 +77,11 @@ struct Collect {
     kind: CollectKind,
     round: u32,
     pending: usize,
+    /// Peers whose reply was already counted this round. Networks with
+    /// duplication faults can deliver the same reply twice; counting it
+    /// twice would close the round early and discard late honest replies
+    /// as stale.
+    replied: BTreeSet<HostId>,
     fragments: Vec<Arc<Fragment>>,
     capable: BTreeSet<TaskId>,
 }
@@ -201,9 +206,10 @@ impl Workspace {
         self.start_fragment_round(frontier, local_fragments, local_services, params)
     }
 
-    /// Handles a fragment reply for `round`.
+    /// Handles a fragment reply from `from` for `round`.
     pub fn on_fragment_reply(
         &mut self,
+        from: HostId,
         round: u32,
         fragments: Vec<Arc<Fragment>>,
         local_fragments: &FragmentManager,
@@ -216,6 +222,9 @@ impl Workspace {
         if c.kind != CollectKind::Fragments || c.round != round {
             return Vec::new(); // stale reply (e.g. after a timeout)
         }
+        if !c.replied.insert(from) {
+            return Vec::new(); // duplicate delivery of a counted reply
+        }
         c.fragments.extend(fragments);
         c.pending = c.pending.saturating_sub(1);
         if c.pending == 0 {
@@ -224,9 +233,10 @@ impl Workspace {
         Vec::new()
     }
 
-    /// Handles a capability reply for `round`.
+    /// Handles a capability reply from `from` for `round`.
     pub fn on_capability_reply(
         &mut self,
+        from: HostId,
         round: u32,
         capable: Vec<TaskId>,
         local_fragments: &FragmentManager,
@@ -238,6 +248,9 @@ impl Workspace {
         };
         if c.kind != CollectKind::Capabilities || c.round != round {
             return Vec::new();
+        }
+        if !c.replied.insert(from) {
+            return Vec::new(); // duplicate delivery of a counted reply
         }
         c.capable.extend(capable);
         c.pending = c.pending.saturating_sub(1);
@@ -278,6 +291,7 @@ impl Workspace {
             kind: CollectKind::Fragments,
             round: self.round,
             pending: self.n_peers,
+            replied: BTreeSet::new(),
             fragments: local,
             capable: BTreeSet::new(),
         });
@@ -307,6 +321,7 @@ impl Workspace {
             kind: CollectKind::Capabilities,
             round: self.round,
             pending: self.n_peers,
+            replied: BTreeSet::new(),
             fragments: Vec::new(),
             capable: local.into_iter().collect(),
         });
@@ -599,6 +614,7 @@ mod tests {
 
         // Peer replies with the fragment that produces b.
         let actions = ws.on_fragment_reply(
+            HostId(1),
             round,
             vec![Arc::new(frag("f1", "t1", "a", "b"))],
             &fm,
@@ -618,7 +634,7 @@ mod tests {
             .expect("capability query expected");
 
         // Peer can serve t1 too (or not — local service suffices).
-        let actions = ws.on_capability_reply(cap_round, vec![], &fm, &sm, &params);
+        let actions = ws.on_capability_reply(HostId(1), cap_round, vec![], &fm, &sm, &params);
         assert!(actions.contains(&WsAction::Constructed), "{actions:?}");
         assert_eq!(ws.report.query_rounds, 1);
         assert_eq!(ws.report.fragments_pulled, 1);
@@ -665,10 +681,10 @@ mod tests {
         let mut ws = Workspace::new(pid(), Spec::new(["a"], ["b"]), SimTime::ZERO, 1);
         let _ = ws.begin(&fm, &sm, &params);
         // Reply for a wrong round: no effect.
-        let actions = ws.on_fragment_reply(99, vec![], &fm, &sm, &params);
+        let actions = ws.on_fragment_reply(HostId(1), 99, vec![], &fm, &sm, &params);
         assert!(actions.is_empty());
         // Capability reply while in a fragment round: ignored.
-        let actions = ws.on_capability_reply(1, vec![], &fm, &sm, &params);
+        let actions = ws.on_capability_reply(HostId(1), 1, vec![], &fm, &sm, &params);
         assert!(actions.is_empty());
     }
 

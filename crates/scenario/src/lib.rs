@@ -33,10 +33,12 @@ pub mod experiment;
 pub mod field_hospital;
 pub mod generator;
 pub mod mobility_driver;
+pub mod soak;
 pub mod stats;
 
 pub use distribute::distribute_knowledge;
 pub use experiment::{run_series, ExperimentConfig, LatencyKind, SeriesPoint};
 pub use generator::{GeneratedKnowledge, PathSpec};
 pub use mobility_driver::RangeMobility;
+pub use soak::{chaos_schedule, run_soak, ChaosProfile, SoakConfig, SoakOutcome};
 pub use stats::Summary;

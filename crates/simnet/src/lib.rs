@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod actor;
+pub mod chaos;
 pub mod event;
 pub mod fault;
 pub mod latency;
@@ -62,6 +63,7 @@ pub mod topology;
 pub mod trace;
 
 pub use actor::{Actor, Context, TimerToken};
+pub use chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
 pub use event::{Event, EventKind};
 pub use fault::FaultInjector;
 pub use latency::{ConstantLatency, LatencyModel, UniformLatency, Wireless80211g};

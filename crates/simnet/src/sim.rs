@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::actor::{Actor, Context, TimerToken};
+use crate::chaos::ChaosSchedule;
 use crate::event::{EventKind, EventQueue};
 use crate::fault::FaultInjector;
 use crate::latency::{ConstantLatency, LatencyModel};
@@ -37,6 +38,7 @@ pub struct SimNetwork<M: Message, A: Actor<M>> {
     topology: Topology,
     latency: Box<dyn LatencyModel>,
     faults: FaultInjector,
+    chaos: Option<ChaosSchedule>,
     stats: NetStats,
     rng: StdRng,
     started: bool,
@@ -55,6 +57,7 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
             topology: Topology::full_mesh(),
             latency: Box::new(ConstantLatency::default()),
             faults: FaultInjector::none(),
+            chaos: None,
             stats: NetStats::default(),
             rng: StdRng::seed_from_u64(seed),
             started: false,
@@ -132,6 +135,19 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
         &mut self.faults
     }
 
+    /// Installs a chaos schedule. Each scheduled action is applied to the
+    /// topology and fault plan just before the first simulation event at
+    /// or after its time is processed — observationally exact, since
+    /// routing only happens while events are processed.
+    pub fn set_chaos(&mut self, schedule: ChaosSchedule) {
+        self.chaos = Some(schedule);
+    }
+
+    /// The installed chaos schedule, if any (applied-so-far state included).
+    pub fn chaos(&self) -> Option<&ChaosSchedule> {
+        self.chaos.as_ref()
+    }
+
     /// Injects a message from `from` to `to` at the current time, as if
     /// `from` had sent it. The usual latency/topology/fault rules apply
     /// (self-sends are delivered immediately).
@@ -159,6 +175,7 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
             return false;
         };
         debug_assert!(ev.at >= self.now, "time must be monotone");
+        self.apply_chaos_due(ev.at);
         self.now = ev.at;
         // Sequential-processor semantics: a busy host defers the event
         // until it is free again (order among deferred events is kept by
@@ -223,6 +240,20 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
         self.now
     }
 
+    /// Processes every event due by `t`, then advances the idle clock to
+    /// `t` (applying any chaos due on the way). Drivers that inject work
+    /// at scheduled times use this so a submission at `t` sees the
+    /// network state — partitions healed, hosts revived — as of `t`, even
+    /// when the event queue drained early.
+    pub fn advance_to(&mut self, t: SimTime) -> SimTime {
+        self.run_until(t);
+        if t > self.now {
+            self.apply_chaos_due(t);
+            self.now = t;
+        }
+        self.now
+    }
+
     /// Runs until `pred` holds on the network (checked after every event)
     /// or the queue empties. Returns `true` if the predicate held.
     pub fn run_until_pred(&mut self, mut pred: impl FnMut(&Self) -> bool) -> bool {
@@ -265,7 +296,19 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
         }
     }
 
+    fn apply_chaos_due(&mut self, upto: SimTime) {
+        if let Some(chaos) = &mut self.chaos {
+            if chaos.next_due().is_some_and(|t| t <= upto) {
+                let all: Vec<HostId> = (0..self.actors.len() as u32).map(HostId).collect();
+                chaos.apply_due(upto, &mut self.topology, &mut self.faults, &all);
+            }
+        }
+    }
+
     fn route(&mut self, from: HostId, to: HostId, msg: M, at: SimTime) {
+        // Compute charges can push a send past pending chaos points;
+        // route under the fault state as of the send time.
+        self.apply_chaos_due(at);
         self.stats.sent += 1;
         if from == to {
             // Local delivery: no network involved.
@@ -277,9 +320,33 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
             self.stats.dropped += 1;
             return;
         }
-        let delay = self
+        let mut delay = self
             .latency
             .delay(at, from, to, msg.wire_size(), &mut self.rng);
+        if let Some(jitter) = self.faults.reorder_jitter(&mut self.rng) {
+            delay += jitter;
+        }
+        if self.faults.should_duplicate(&mut self.rng) {
+            // The copy is an independent network artifact with its own
+            // latency (and its own shot at the reorder storm), so it can
+            // arrive before or after the original.
+            let mut dup_delay = self
+                .latency
+                .delay(at, from, to, msg.wire_size(), &mut self.rng);
+            if let Some(jitter) = self.faults.reorder_jitter(&mut self.rng) {
+                dup_delay += jitter;
+            }
+            self.stats.sent += 1;
+            self.stats.duplicated += 1;
+            self.queue.schedule(
+                at + dup_delay,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
         self.queue
             .schedule(at + delay, EventKind::Deliver { from, to, msg });
     }
@@ -522,6 +589,90 @@ mod tests {
         assert_eq!(first.to, b);
         assert!(first.summary.contains("Ping"), "{}", first.summary);
         assert_eq!(tracer.bytes_to(b), 2 * 64, "b received Ping(0) and Ping(2)");
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let (mut net, a, b) = two_pingers(0, 1); // limit 0: no replies
+        net.faults_mut().set_duplicate_probability(1.0);
+        net.send_external(a, b, Msg::Ping(0));
+        net.run_until_quiescent();
+        assert_eq!(net.stats().delivered, 2, "original + duplicate");
+        assert_eq!(net.stats().duplicated, 1);
+        assert_eq!(net.stats().in_flight(), 0, "duplicates are counted sent");
+        assert_eq!(net.host(b).log.len(), 2);
+    }
+
+    #[test]
+    fn reorder_jitter_keeps_runs_deterministic() {
+        let run = |seed| {
+            let (mut net, a, b) = two_pingers(6, seed);
+            net.faults_mut()
+                .set_reorder(0.5, SimDuration::from_millis(2));
+            net.send_external(a, b, Msg::Ping(0));
+            net.run_until_quiescent();
+            (net.now(), net.stats(), net.host(b).log.clone())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn chaos_schedule_applies_at_event_times() {
+        use crate::chaos::{ChaosAction, ChaosSchedule};
+
+        // b echoes pings back forever; crash b for a window mid-run.
+        let (mut net, a, b) = two_pingers(u32::MAX, 3);
+        let mut chaos = ChaosSchedule::new();
+        chaos.push(SimTime::from_micros(500), ChaosAction::Crash(b));
+        chaos.push(SimTime::from_micros(10_000), ChaosAction::Revive(b));
+        net.set_chaos(chaos);
+        net.send_external(a, b, Msg::Ping(0));
+        // With constant 200µs hops the ping-pong dies when b crashes
+        // (delivery to a crashed host is dropped), and nothing restarts
+        // it after the revive: the run goes quiescent.
+        net.run_until(SimTime::from_micros(50_000));
+        assert_eq!(net.pending_events(), 0);
+        let delivered_to_b = net.host(b).log.len();
+        assert!(
+            (1..=3).contains(&delivered_to_b),
+            "crash at 500µs caps the exchange, got {delivered_to_b}"
+        );
+        assert_eq!(net.stats().dropped, 1, "the in-flight ping at the crash");
+        // The revive event was consumed even though no traffic remained.
+        assert!(
+            !net.faults_mut().is_crashed(b) || net.chaos().is_some_and(|c| !c.is_exhausted()),
+            "revive applies once an event at/after its time is processed"
+        );
+    }
+
+    #[test]
+    fn chaos_partition_heals_mid_run() {
+        use crate::chaos::{ChaosAction, ChaosSchedule};
+
+        // Endless ping-pong; partition a|b for a window. Deliveries in
+        // flight survive, but sends during the window are dropped,
+        // killing the exchange — heal alone cannot restart it.
+        let (mut net, a, b) = two_pingers(u32::MAX, 7);
+        let mut chaos = ChaosSchedule::new();
+        chaos.push(
+            SimTime::from_micros(300),
+            ChaosAction::Partition {
+                groups: vec![vec![a], vec![b]],
+            },
+        );
+        chaos.push(SimTime::from_micros(600), ChaosAction::HealPartitions);
+        net.set_chaos(chaos);
+        net.send_external(a, b, Msg::Ping(0));
+        net.advance_to(SimTime::from_micros(5_000));
+        assert_eq!(net.pending_events(), 0, "exchange severed by partition");
+        assert_eq!(net.stats().dropped, 1);
+        // After heal (advance_to applied it), new traffic flows again.
+        net.send_external(a, b, Msg::Ping(100));
+        net.run_until_pred(|n| n.stats().dropped > 1 || n.stats().delivered > 3);
+        assert!(
+            net.host(b).log.iter().any(|&(_, n)| n == 100),
+            "post-heal send delivered"
+        );
     }
 
     #[test]

@@ -20,13 +20,21 @@ pub struct NetStats {
     pub bytes_delivered: u64,
     /// Timer events fired.
     pub timers_fired: u64,
+    /// Extra message copies injected by duplication faults (each copy is
+    /// also counted in `sent` so `in_flight` stays balanced).
+    pub duplicated: u64,
 }
 
 impl NetStats {
     /// Messages currently in flight (sent but neither delivered nor
     /// dropped).
+    ///
+    /// Saturating: counters merged or reset out of order (e.g. a stats
+    /// snapshot diffed against a later reset) must not underflow.
     pub fn in_flight(&self) -> u64 {
-        self.sent - self.delivered - self.dropped
+        self.sent
+            .saturating_sub(self.delivered)
+            .saturating_sub(self.dropped)
     }
 }
 
@@ -34,8 +42,13 @@ impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent={} delivered={} dropped={} bytes={} timers={}",
-            self.sent, self.delivered, self.dropped, self.bytes_delivered, self.timers_fired
+            "sent={} delivered={} dropped={} bytes={} timers={} dup={}",
+            self.sent,
+            self.delivered,
+            self.dropped,
+            self.bytes_delivered,
+            self.timers_fired,
+            self.duplicated
         )
     }
 }
@@ -56,6 +69,20 @@ mod tests {
     }
 
     #[test]
+    fn in_flight_saturates_instead_of_underflowing() {
+        // A snapshot diffed against a later reset can leave
+        // delivered+dropped > sent; that is "nothing in flight", not a
+        // panic or a u64 wraparound.
+        let s = NetStats {
+            sent: 3,
+            delivered: 6,
+            dropped: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
     fn display_lists_counters() {
         let s = NetStats {
             sent: 2,
@@ -64,7 +91,7 @@ mod tests {
         };
         assert_eq!(
             s.to_string(),
-            "sent=2 delivered=1 dropped=0 bytes=0 timers=0"
+            "sent=2 delivered=1 dropped=0 bytes=0 timers=0 dup=0"
         );
     }
 }

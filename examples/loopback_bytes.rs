@@ -59,6 +59,7 @@ fn main() {
         frames_delivered,
         bytes_delivered,
         timers_fired,
+        ..
     } = driver.stats();
 
     println!("status        : {:?}", report.status);
