@@ -59,6 +59,8 @@ pub fn to_json(results: &[SoakOutcome]) -> String {
              \"seed\": {}, \"problems\": {}, \"completed\": {}, \"failed\": {}, \
              \"stuck\": {}, \"validated\": {}, \"quarantined\": {}, \
              \"restarts\": {}, \"restart_matches\": {}, \"delivered\": {}, \
+             \"dropped\": {}, \"duplicated\": {}, \"decode_cache_hits\": {}, \
+             \"decode_cache_misses\": {}, \"cache_hit_rate_percent\": {:.2}, \
              \"message_budget\": {}, \"end_virtual_ms\": {}, \"pass\": {}, \
              \"violations\": {}}}{comma}\n",
             r.profile,
@@ -74,6 +76,11 @@ pub fn to_json(results: &[SoakOutcome]) -> String {
             r.restarts,
             r.restart_matches,
             r.delivered,
+            r.dropped,
+            r.duplicated,
+            r.decode_cache_hits,
+            r.decode_cache_misses,
+            r.cache_hit_rate_percent(),
             r.message_budget,
             r.end_virtual_ms,
             r.invariants_hold(),
@@ -108,6 +115,8 @@ mod tests {
         assert!(json.contains("\"profile\": \"lossy-urban\""));
         assert!(json.contains("\"pass\": true"));
         assert!(!json.contains("\"pass\": false"));
+        assert!(json.contains("\"decode_cache_hits\""));
+        assert!(json.contains("\"cache_hit_rate_percent\""));
     }
 
     #[test]

@@ -249,6 +249,15 @@ pub trait FragmentBackend: Send {
     fn sync(&mut self) -> Result<(), BackendError> {
         Ok(())
     }
+
+    /// Backend-defined numeric metrics as stable `(name, value)` pairs,
+    /// e.g. a durable backend's snapshot/compaction/replay tallies and
+    /// live/garbage byte counts. Observability layers publish these
+    /// into a metrics registry by delta, so values may move in either
+    /// direction between calls. In-memory backends report nothing.
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 impl FragmentBackend for ShardedFragmentStore {

@@ -1,0 +1,268 @@
+//! Causal workflow tracing: a compact span/event record keyed by
+//! `(trace id, host)` with virtual-time timestamps, and a shared sink
+//! that collects them across hosts.
+//!
+//! A *trace id* identifies one problem attempt; [`pack_trace_id`] packs
+//! the `(initiator, seq, attempt)` triple of a runtime `ProblemId` into
+//! a single `u64` so the id can ride in messages and index exporters
+//! without this crate depending on runtime types. Events from every
+//! host carrying the same trace id stitch into one cross-host timeline
+//! (see [`crate::export`]).
+//!
+//! Like the metrics registry, a disabled sink (the default) is a no-op:
+//! [`TraceSink::is_enabled`] lets hot paths skip building event details
+//! entirely, and recording through a disabled sink does nothing.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Packs a problem identity into a trace-correlation id:
+/// `initiator << 40 | seq << 8 | attempt`. With initiators below 2^13
+/// the result stays under 2^53, so it survives a round trip through
+/// JSON doubles (Chrome's trace viewer parses `pid` that way).
+pub fn pack_trace_id(initiator: u32, seq: u32, attempt: u32) -> u64 {
+    (u64::from(initiator) << 40) | (u64::from(seq) << 8) | u64::from(attempt & 0xFF)
+}
+
+/// Inverse of [`pack_trace_id`]: `(initiator, seq, attempt)`.
+pub fn unpack_trace_id(trace: u64) -> (u32, u32, u32) {
+    (
+        (trace >> 40) as u32,
+        ((trace >> 8) & 0xFFFF_FFFF) as u32,
+        (trace & 0xFF) as u32,
+    )
+}
+
+/// Renders a trace id in the runtime's `ProblemId` debug shape.
+pub fn trace_id_label(trace: u64) -> String {
+    let (initiator, seq, attempt) = unpack_trace_id(trace);
+    format!("p{initiator}/{seq}#{attempt}")
+}
+
+/// Phase of a span event, mirroring the Chrome `trace_event` phases we
+/// export: async begin/end pairs (which tolerate interleaving across
+/// problems on one host), point-in-time instants, and complete spans
+/// with a known duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanPhase {
+    /// Opens a span (`ph: "b"`, async begin keyed by trace id).
+    Begin,
+    /// Closes a span (`ph: "e"`).
+    End,
+    /// A point event (`ph: "i"`).
+    Instant,
+    /// A span whose duration is known up front (`ph: "X"`); the event's
+    /// `dur_us` carries the length.
+    Complete,
+}
+
+impl SpanPhase {
+    /// One-letter tag used by the JSONL exporter.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SpanPhase::Begin => "B",
+            SpanPhase::End => "E",
+            SpanPhase::Instant => "I",
+            SpanPhase::Complete => "X",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time in microseconds since simulation start.
+    pub at_us: u64,
+    /// Host the event happened on.
+    pub host: u32,
+    /// Trace-correlation id (see [`pack_trace_id`]); 0 when the event
+    /// is not tied to a problem.
+    pub trace: u64,
+    /// Span or event name, e.g. `"construct"`, `"announce"`.
+    pub name: &'static str,
+    /// Event phase.
+    pub phase: SpanPhase,
+    /// Duration in microseconds for [`SpanPhase::Complete`] events.
+    pub dur_us: u64,
+    /// Free-form detail (empty when the caller had nothing to add).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.at_us as f64 / 1_000_000.0;
+        write!(
+            f,
+            "[t={secs:.6}s] host{} {} {} {}",
+            self.host,
+            trace_id_label(self.trace),
+            self.phase.tag(),
+            self.name,
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Recover the event buffer even if a panicking recorder poisoned the
+/// lock: a `Vec` push has no cross-element invariant to corrupt.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A shared, clone-to-share sink of [`TraceEvent`]s. The default
+/// (disabled) sink records nothing.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSink {
+    events: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+}
+
+impl TraceSink {
+    /// An enabled sink with live storage.
+    pub fn new() -> Self {
+        Self {
+            events: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// The no-op sink.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether recording does anything. Hot paths should check this
+    /// before building an event (and especially its `detail` string).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Appends one event (no-op when disabled).
+    pub fn record(&self, event: TraceEvent) {
+        if let Some(events) = &self.events {
+            lock_unpoisoned(events).push(event);
+        }
+    }
+
+    /// Copies out every recorded event in arrival order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events
+            .as_ref()
+            .map_or_else(Vec::new, |events| lock_unpoisoned(events).clone())
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events
+            .as_ref()
+            .map_or(0, |events| lock_unpoisoned(events).len())
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        if let Some(events) = &self.events {
+            lock_unpoisoned(events).clear();
+        }
+    }
+}
+
+/// Flight-recorder tail: the last `limit` events involving `host`,
+/// rendered one per line. This is what the soak harness dumps for each
+/// host implicated in an invariant failure.
+pub fn flight_tail(events: &[TraceEvent], host: u32, limit: usize) -> String {
+    let involved: Vec<&TraceEvent> = events.iter().filter(|e| e.host == host).collect();
+    let skip = involved.len().saturating_sub(limit);
+    let mut out = String::new();
+    for event in &involved[skip..] {
+        out.push_str(&event.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_us: u64, host: u32, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            at_us,
+            host,
+            trace: pack_trace_id(host, 1, 0),
+            name,
+            phase: SpanPhase::Instant,
+            dur_us: 0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn trace_id_round_trips() {
+        let id = pack_trace_id(7, 123_456, 3);
+        assert_eq!(unpack_trace_id(id), (7, 123_456, 3));
+        assert_eq!(trace_id_label(id), "p7/123456#3");
+        // Distinct attempts of the same problem get distinct ids.
+        assert_ne!(pack_trace_id(7, 9, 0), pack_trace_id(7, 9, 1));
+    }
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.record(ev(1, 0, "x"));
+        assert!(sink.is_empty());
+        assert!(sink.snapshot().is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let sink = TraceSink::new();
+        let other = sink.clone();
+        other.record(ev(1, 0, "a"));
+        sink.record(ev(2, 1, "b"));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(other.snapshot()[1].name, "b");
+        sink.clear();
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn poisoned_sink_recovers() {
+        let sink = TraceSink::new();
+        let poisoner = sink.clone();
+        let _ = std::thread::spawn(move || {
+            poisoner.record(ev(1, 0, "pre"));
+            panic!("poison the sink");
+        })
+        .join();
+        sink.record(ev(2, 0, "post"));
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn flight_tail_filters_by_host_and_truncates() {
+        let events = vec![ev(1, 0, "a"), ev(2, 1, "b"), ev(3, 0, "c"), ev(4, 0, "d")];
+        let tail = flight_tail(&events, 0, 2);
+        assert!(!tail.contains(" a"));
+        assert!(!tail.contains("host1"));
+        assert!(tail.contains("c"));
+        assert!(tail.ends_with("d\n"));
+    }
+
+    #[test]
+    fn event_display_is_compact() {
+        let mut event = ev(1_500_000, 3, "announce");
+        event.detail = "wave 0".into();
+        assert_eq!(
+            event.to_string(),
+            "[t=1.500000s] host3 p3/1#0 I announce (wave 0)"
+        );
+    }
+}

@@ -30,7 +30,8 @@ use std::sync::Arc;
 
 use openwf_core::{Fragment, Label, TaskId};
 use openwf_mobility::{Motion, Point, SiteMap};
-use openwf_simnet::{HostId, SimDuration, SimTime, TimerToken};
+use openwf_obs::{Counter, Histogram, Obs, SpanPhase, TraceEvent};
+use openwf_simnet::{HostId, Message, SimDuration, SimTime, TimerToken};
 use openwf_wire::{DecodeScratch, VocabularyBudget, WireError};
 
 use crate::auction::{AuctionAction, ProblemAuctions};
@@ -122,6 +123,13 @@ pub struct HostConfig {
     /// Fragment storage backend (see [`StorageConfig`]). The default is
     /// in-memory.
     pub storage: StorageConfig,
+    /// Observability collectors (metrics registry + trace sink) this
+    /// host records into. The default is fully disabled: every record
+    /// call is a single-branch no-op, and enabling collection never
+    /// changes protocol behaviour — collectors draw no randomness, arm
+    /// no timers, and send nothing (the scenario layer property-tests
+    /// bit-identical outcomes with collectors on or off).
+    pub obs: Obs,
 }
 
 impl Default for HostConfig {
@@ -137,6 +145,7 @@ impl Default for HostConfig {
             max_interned_names: None,
             max_vocabulary_rejections: None,
             storage: StorageConfig::InMemory,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -215,6 +224,15 @@ impl HostConfig {
             segment_bytes: openwf_wire::DEFAULT_SEGMENT_BYTES,
             policy: openwf_wire::StoragePolicy::default(),
         };
+        self
+    }
+
+    /// Attaches observability collectors (see [`HostConfig::obs`]).
+    /// Clone one [`Obs`] into every host of a community so metrics
+    /// aggregate in a single registry and trace events land in one
+    /// sink.
+    pub fn with_observability(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -398,6 +416,69 @@ struct ArmedTimer {
     purpose: TimerPurpose,
 }
 
+/// Storage-backend metric names published as gauges (point-in-time
+/// sizes that move both ways); everything else a backend reports is
+/// monotonic and published as a counter. See
+/// [`HostCore::publish_metrics`].
+const STORAGE_GAUGE_NAMES: &[&str] = &["live_bytes", "garbage_bytes", "log_bytes", "segments"];
+
+/// Resolved per-host metric handles (all no-ops when the registry is
+/// disabled) plus the baselines [`HostCore::publish_metrics`] diffs
+/// pull-style sources against, so multiple hosts sharing one registry
+/// publish correct community-wide totals.
+#[derive(Debug, Default)]
+struct CoreMetrics {
+    /// `core.messages` — protocol messages dispatched.
+    messages: Counter,
+    /// `core.rounds` — construction rounds opened (round timeouts armed).
+    rounds: Counter,
+    /// `core.auctions` — task auctions opened.
+    auctions: Counter,
+    /// `core.vocab_rejections` — frames rejected at the vocabulary
+    /// trust boundary.
+    vocab_rejections: Counter,
+    /// `core.quarantines` — peers quarantined for repeated minting.
+    quarantines: Counter,
+    /// `core.timer_lag_us` — how late timers fire relative to their due
+    /// time (µs of virtual time; a driver servicing timers promptly
+    /// keeps this at 0).
+    timer_lag_us: Histogram,
+    /// `core.queue_depth` — actions emitted per poll call.
+    queue_depth: Histogram,
+    /// Last-published values of pull-style sources (decode cache,
+    /// storage backend), keyed by source-local name.
+    published: HashMap<&'static str, u64>,
+}
+
+impl CoreMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        let m = &obs.metrics;
+        CoreMetrics {
+            messages: m.counter("core.messages"),
+            rounds: m.counter("core.rounds"),
+            auctions: m.counter("core.auctions"),
+            vocab_rejections: m.counter("core.vocab_rejections"),
+            quarantines: m.counter("core.quarantines"),
+            timer_lag_us: m.histogram("core.timer_lag_us"),
+            queue_depth: m.histogram("core.queue_depth"),
+            published: HashMap::new(),
+        }
+    }
+
+    /// Unsigned delta of a monotonic source value since its last
+    /// publish (and records the new baseline).
+    fn delta(&mut self, name: &'static str, value: u64) -> u64 {
+        let prev = self.published.insert(name, value).unwrap_or(0);
+        value.saturating_sub(prev)
+    }
+
+    /// Signed delta for gauge-like sources that move both ways.
+    fn gauge_delta(&mut self, name: &'static str, value: u64) -> i64 {
+        let prev = self.published.insert(name, value).unwrap_or(0);
+        value as i64 - prev as i64
+    }
+}
+
 /// One participant's complete protocol state machine (all §4.2 managers),
 /// driven sans-io through the poll surface described in the module docs.
 pub struct HostCore {
@@ -434,6 +515,11 @@ pub struct HostCore {
     /// may sleep.
     timers: HashMap<u64, ArmedTimer>,
     next_timer: u64,
+    /// Observability collectors (disabled by default; see
+    /// [`HostConfig::obs`]).
+    obs: Obs,
+    /// Resolved metric handles + publish baselines.
+    metrics: CoreMetrics,
 }
 
 impl HostCore {
@@ -515,6 +601,8 @@ impl HostCore {
             outbound: OutboundMode::Typed,
             timers: HashMap::new(),
             next_timer: 0,
+            metrics: CoreMetrics::resolve(&config.obs),
+            obs: config.obs,
         }
     }
 
@@ -631,6 +719,125 @@ impl HostCore {
         self.timers.values().map(|t| t.due).min()
     }
 
+    /// The observability collectors this core records into (disabled
+    /// unless [`HostConfig::obs`] attached enabled ones).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Decode-side fragment-identity cache statistics `(hits, misses)`
+    /// — how often a peer-sent fragment decoded to an already-known
+    /// shared `Arc` instead of rebuilding the graph.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        let cache = self.decode.cache();
+        (cache.hits(), cache.misses())
+    }
+
+    /// Publishes this host's *pull-style* metrics into the registry:
+    /// decode-path statistics (`decode.cache_hits`, `decode.cache_misses`,
+    /// `decode.frames`, `decode.span_reuses`) and the fragment storage
+    /// backend's report (`storage.*` — log/snapshot/compaction/replay
+    /// figures from [`openwf_core::FragmentBackend::metrics`]).
+    ///
+    /// Cheap per-poll metrics (counters, timer lag) are recorded live;
+    /// this call syncs the sources that would cost a read or an
+    /// allocation per poll. Drivers call it at a barrier (end of run).
+    /// Publishing repeatedly is safe: every value is published as a
+    /// **delta** against the previous publish — monotonic sources as
+    /// counter increments, sizes as signed gauge moves — so any number
+    /// of hosts can share one registry and its totals stay correct.
+    pub fn publish_metrics(&mut self) {
+        if !self.obs.metrics.is_enabled() {
+            return;
+        }
+        let cache = self.decode.cache();
+        let decode_stats: [(&'static str, u64); 4] = [
+            ("decode.cache_hits", cache.hits()),
+            ("decode.cache_misses", cache.misses()),
+            ("decode.frames", self.decode.frames_decoded()),
+            ("decode.span_reuses", self.decode.span_reuses()),
+        ];
+        for (name, value) in decode_stats {
+            let d = self.metrics.delta(name, value);
+            if d > 0 {
+                self.obs.metrics.counter(name).add(d);
+            }
+        }
+
+        let report = self.fragment_mgr.backend_metrics();
+        if report.is_empty() {
+            return;
+        }
+        let lookup: HashMap<&'static str, u64> = report.iter().copied().collect();
+        let snapshots_before = self
+            .metrics
+            .published
+            .get("snapshots")
+            .copied()
+            .unwrap_or(0);
+        let compactions_before = self
+            .metrics
+            .published
+            .get("compactions")
+            .copied()
+            .unwrap_or(0);
+        for (name, value) in report {
+            match name {
+                // Fed into histograms below, keyed off their op counts.
+                "last_snapshot_micros" | "last_compaction_micros" => {
+                    self.metrics.published.insert(name, value);
+                }
+                n if STORAGE_GAUGE_NAMES.contains(&n) => {
+                    let d = self.metrics.gauge_delta(name, value);
+                    if d != 0 {
+                        self.obs.metrics.gauge(&format!("storage.{name}")).add(d);
+                    }
+                }
+                _ => {
+                    let d = self.metrics.delta(name, value);
+                    if d > 0 {
+                        self.obs.metrics.counter(&format!("storage.{name}")).add(d);
+                    }
+                }
+            }
+        }
+        if lookup.get("snapshots").copied().unwrap_or(0) > snapshots_before {
+            self.obs
+                .metrics
+                .histogram("storage.snapshot_us")
+                .record(lookup.get("last_snapshot_micros").copied().unwrap_or(0));
+        }
+        if lookup.get("compactions").copied().unwrap_or(0) > compactions_before {
+            self.obs
+                .metrics
+                .histogram("storage.compaction_us")
+                .record(lookup.get("last_compaction_micros").copied().unwrap_or(0));
+        }
+    }
+
+    /// Records one causal trace event for `problem` (no-op unless the
+    /// trace sink is enabled; callers building a `detail` string should
+    /// gate on [`openwf_obs::TraceSink::is_enabled`] first).
+    fn trace(
+        &self,
+        now: SimTime,
+        problem: ProblemId,
+        name: &'static str,
+        phase: SpanPhase,
+        dur_us: u64,
+        detail: String,
+    ) {
+        self.obs.trace.record(TraceEvent {
+            at_us: now.as_micros(),
+            host: self.me.map(|h| h.0).unwrap_or(u32::MAX),
+            trace: problem.trace_id(),
+            name,
+            phase,
+            dur_us,
+            detail,
+        });
+    }
+
     // ---- the poll surface ------------------------------------------------
 
     /// Handles one delivered typed protocol message, returning the
@@ -641,6 +848,7 @@ impl HostCore {
             return q; // dropped on arrival, nothing charged
         }
         self.dispatch_msg(from, msg, now, &mut q, false);
+        self.metrics.queue_depth.record(q.len() as u64);
         q
     }
 
@@ -687,11 +895,12 @@ impl HostCore {
             Err(WireError::VocabularyExceeded { .. }) => {
                 // Cold path: re-parse only to classify the offence.
                 if codec::frame_is_fragment_reply(bytes).unwrap_or(false) {
-                    self.note_rejection(from, &mut q);
+                    self.note_rejection(from, now, &mut q);
                 }
             }
             Err(_) => {}
         }
+        self.metrics.queue_depth.record(q.len() as u64);
         q
     }
 
@@ -702,7 +911,11 @@ impl HostCore {
         let Some(armed) = self.timers.remove(&token.0) else {
             return q;
         };
+        self.metrics
+            .timer_lag_us
+            .record(now.since(armed.due).as_micros());
         self.fire_timer(armed.purpose, now, &mut q);
+        self.metrics.queue_depth.record(q.len() as u64);
         q
     }
 
@@ -725,9 +938,13 @@ impl HostCore {
                 .map(|(&tok, t)| (t.due, tok))
                 .min();
             let Some((_, token)) = due else {
+                self.metrics.queue_depth.record(q.len() as u64);
                 return q;
             };
             let armed = self.timers.remove(&token).expect("selected above");
+            self.metrics
+                .timer_lag_us
+                .record(now.since(armed.due).as_micros());
             self.fire_timer(armed.purpose, now, &mut q);
         }
     }
@@ -824,13 +1041,27 @@ impl HostCore {
             .collect()
     }
 
-    fn note_rejection(&mut self, from: HostId, q: &mut ActionQueue) {
+    fn note_rejection(&mut self, from: HostId, now: SimTime, q: &mut ActionQueue) {
         self.vocabulary_rejections += 1;
+        self.metrics.vocab_rejections.inc();
         let count = self.vocab_rejections_by_peer.entry(from).or_insert(0);
         *count += 1;
         let count = *count;
         if let Some(cap) = self.max_vocab_rejections {
             if count >= cap && self.quarantined.insert(from) {
+                self.metrics.quarantines.inc();
+                if self.obs.trace.is_enabled() {
+                    // Quarantine is host- not problem-scoped: trace id 0.
+                    self.obs.trace.record(TraceEvent {
+                        at_us: now.as_micros(),
+                        host: self.me.map(|h| h.0).unwrap_or(u32::MAX),
+                        trace: 0,
+                        name: "quarantine",
+                        phase: SpanPhase::Instant,
+                        dur_us: 0,
+                        detail: format!("peer host{} after {count} rejections", from.0),
+                    });
+                }
                 q.push(Action::Event(WorkflowEvent::PeerQuarantined {
                     peer: from,
                     rejections: count,
@@ -854,8 +1085,38 @@ impl HostCore {
         off_the_wire: bool,
     ) {
         q.charge(self.params.per_message_cost);
+        self.metrics.messages.inc();
+        if self.obs.trace.is_enabled() {
+            self.trace(
+                now,
+                msg.problem(),
+                msg.kind().as_str(),
+                SpanPhase::Instant,
+                0,
+                format!("from host{}", from.0),
+            );
+        }
         match msg {
             Msg::Initiate { problem, spec } => {
+                if self.obs.trace.is_enabled() {
+                    let goals = spec.goals().len();
+                    self.trace(
+                        now,
+                        problem,
+                        "problem",
+                        SpanPhase::Begin,
+                        0,
+                        format!("announce: {goals} goal(s)"),
+                    );
+                    self.trace(
+                        now,
+                        problem,
+                        "construct",
+                        SpanPhase::Begin,
+                        0,
+                        String::new(),
+                    );
+                }
                 let n_peers = self.community.len().saturating_sub(1);
                 self.workflow_mgr.create(problem, spec, now, n_peers);
                 let actions = match self.workflow_mgr.get_mut(&problem) {
@@ -911,7 +1172,7 @@ impl HostCore {
                         Err(WireError::VocabularyExceeded { .. }) => {
                             // The peer minted past the cap: book the
                             // protocol error against it.
-                            self.note_rejection(from, q);
+                            self.note_rejection(from, now, q);
                             Vec::new()
                         }
                         Err(_) => {
@@ -1158,11 +1419,16 @@ impl HostCore {
                     self.emit_all(q, &others, msg);
                 }
                 WsAction::ArmRoundTimeout { round } => {
+                    self.metrics.rounds.inc();
                     let delay = self.params.round_timeout;
                     self.arm(q, now, delay, TimerPurpose::RoundTimeout { problem, round });
                 }
                 WsAction::Charge(d) => q.charge(d),
                 WsAction::Constructed => {
+                    if self.obs.trace.is_enabled() {
+                        self.trace(now, problem, "construct", SpanPhase::End, 0, String::new());
+                        self.trace(now, problem, "allocate", SpanPhase::Begin, 0, String::new());
+                    }
                     q.push(Action::Event(WorkflowEvent::Constructed { problem }));
                     self.start_allocation(problem, now, q);
                 }
@@ -1171,6 +1437,17 @@ impl HostCore {
                     // knowledge cannot satisfy the spec. (Repair handles
                     // allocation/execution failures, where retrying can
                     // help because community state changed.)
+                    if self.obs.trace.is_enabled() {
+                        self.trace(
+                            now,
+                            problem,
+                            "failed",
+                            SpanPhase::Instant,
+                            0,
+                            reason.clone(),
+                        );
+                        self.trace(now, problem, "problem", SpanPhase::End, 0, String::new());
+                    }
                     q.push(Action::Event(WorkflowEvent::Failed { problem, reason }));
                 }
             }
@@ -1194,6 +1471,7 @@ impl HostCore {
         // descriptions; the initiator does not constrain locations here.
         let metas = compute_metadata(&workflow, now, SimDuration::ZERO, |_| None);
         ws.auctions = Some(ProblemAuctions::open(metas.clone(), community_size));
+        self.metrics.auctions.add(metas.len() as u64);
 
         if metas.is_empty() {
             // Trivial workflow (goals were triggers): skip auctions.
@@ -1358,6 +1636,18 @@ impl HostCore {
             ws.report.goals_delivered.push(g.clone());
         }
 
+        if self.obs.trace.is_enabled() {
+            self.trace(
+                now,
+                problem,
+                "allocate",
+                SpanPhase::End,
+                0,
+                format!("{} assignment(s)", assignments.len()),
+            );
+            self.trace(now, problem, "execute", SpanPhase::Begin, 0, String::new());
+        }
+
         // Dispatch execution plans (self-sends included for uniformity).
         let plans = build_plans(&workflow, &assignments, &goals);
         for (host, plan) in plans {
@@ -1407,6 +1697,18 @@ impl HostCore {
             ws.phase = Phase::Completed;
             ws.report.status = ProblemStatus::Completed;
             ws.report.timings.completed_at = Some(now);
+            if self.obs.trace.is_enabled() {
+                self.trace(
+                    now,
+                    problem,
+                    "completed",
+                    SpanPhase::Instant,
+                    0,
+                    String::new(),
+                );
+                self.trace(now, problem, "execute", SpanPhase::End, 0, String::new());
+                self.trace(now, problem, "problem", SpanPhase::End, 0, String::new());
+            }
             q.push(Action::Event(WorkflowEvent::Completed { problem }));
         }
     }
@@ -1433,6 +1735,17 @@ impl HostCore {
             None => return,
         };
         if attempts_used >= self.params.max_repair_attempts {
+            if self.obs.trace.is_enabled() {
+                self.trace(
+                    now,
+                    problem,
+                    "failed",
+                    SpanPhase::Instant,
+                    0,
+                    reason.clone(),
+                );
+                self.trace(now, problem, "problem", SpanPhase::End, 0, String::new());
+            }
             q.push(Action::Event(WorkflowEvent::Failed { problem, reason }));
             return;
         }
@@ -1442,6 +1755,26 @@ impl HostCore {
         // simply never answer; round timeouts carry construction forward
         // with the knowledge that is still alive.
         let next = problem.next_attempt();
+        if self.obs.trace.is_enabled() {
+            self.trace(
+                now,
+                problem,
+                "repair",
+                SpanPhase::Instant,
+                0,
+                format!("{reason}; retrying as attempt {}", next.attempt),
+            );
+            self.trace(now, problem, "problem", SpanPhase::End, 0, String::new());
+            self.trace(
+                now,
+                next,
+                "problem",
+                SpanPhase::Begin,
+                0,
+                format!("repair attempt {}", next.attempt),
+            );
+            self.trace(now, next, "construct", SpanPhase::Begin, 0, String::new());
+        }
         self.exec_mgr.abandon(&problem);
         self.schedule.release_problem(problem);
         let n_peers = self.community.len().saturating_sub(1);
@@ -1468,6 +1801,16 @@ impl HostCore {
                     self.arm_at(q, now, at, TimerPurpose::ExecStart { problem, task });
                 }
                 ExecEvent::Begin { task, duration } => {
+                    if self.obs.trace.is_enabled() {
+                        self.trace(
+                            now,
+                            problem,
+                            "task",
+                            SpanPhase::Complete,
+                            duration.as_micros(),
+                            task.as_str().to_string(),
+                        );
+                    }
                     self.arm(q, now, duration, TimerPurpose::ExecFinish { problem, task });
                 }
             }
@@ -1616,6 +1959,90 @@ mod tests {
             !fired.is_empty(),
             "round timeout fires work (local fragment round proceeds)"
         );
+    }
+
+    /// With enabled collectors attached, a full local problem run
+    /// records live counters and a well-formed span stream for the
+    /// attempt — and `publish_metrics` is idempotent (delta-based).
+    #[test]
+    fn observed_core_records_counters_and_spans() {
+        let obs = Obs::enabled();
+        let cfg = HostConfig::new()
+            .with_fragment(frag("ob-f1", "ob-t1", "ob-a", "ob-b"))
+            .with_service(service("ob-t1"))
+            .with_observability(obs.clone());
+        let mut core = HostCore::new(cfg, RuntimeParams::default());
+        let me = HostId(0);
+        core.bind(me);
+        core.set_community(vec![me]);
+        let problem = ProblemId::new(me, 0);
+        let mut now = SimTime::ZERO;
+        let mut inbox: Vec<Msg> = Vec::new();
+        let mut q = core.initiate(problem, Spec::new(["ob-a"], ["ob-b"]), now);
+        for _ in 0..1_000 {
+            for action in q {
+                if let Action::Send { msg, .. } = action {
+                    inbox.push(msg);
+                }
+            }
+            if let Some(msg) = inbox.pop() {
+                q = core.handle_msg(me, msg, now);
+                continue;
+            }
+            let Some(due) = core.next_timer_due() else {
+                break;
+            };
+            now = due;
+            q = core.tick(now);
+        }
+        assert_eq!(
+            core.latest_attempt(problem).expect("workspace").phase,
+            Phase::Completed
+        );
+
+        assert!(obs.metrics.counter("core.messages").get() > 0);
+        assert_eq!(obs.metrics.counter("core.auctions").get(), 1);
+        assert!(obs.metrics.histogram("core.queue_depth").count() > 0);
+
+        let events = obs.trace.snapshot();
+        let spans: Vec<(&str, SpanPhase)> = events
+            .iter()
+            .filter(|e| e.trace == problem.trace_id())
+            .map(|e| (e.name, e.phase))
+            .collect();
+        for required in [
+            ("problem", SpanPhase::Begin),
+            ("construct", SpanPhase::Begin),
+            ("construct", SpanPhase::End),
+            ("allocate", SpanPhase::Begin),
+            ("allocate", SpanPhase::End),
+            ("execute", SpanPhase::Begin),
+            ("task", SpanPhase::Complete),
+            ("completed", SpanPhase::Instant),
+            ("execute", SpanPhase::End),
+            ("problem", SpanPhase::End),
+        ] {
+            assert!(
+                spans.contains(&required),
+                "missing {required:?} in {spans:?}"
+            );
+        }
+        // The span stream is causally ordered: begin precedes end.
+        let begin = spans
+            .iter()
+            .position(|s| *s == ("problem", SpanPhase::Begin))
+            .unwrap();
+        let end = spans
+            .iter()
+            .position(|s| *s == ("problem", SpanPhase::End))
+            .unwrap();
+        assert!(begin < end);
+
+        // Delta publishing: a second publish adds nothing new.
+        core.publish_metrics();
+        let hits_once = obs.metrics.counter("decode.cache_hits").get();
+        core.publish_metrics();
+        assert_eq!(obs.metrics.counter("decode.cache_hits").get(), hits_once);
     }
 
     /// Binding twice to the same id is fine; a different id panics.

@@ -125,6 +125,14 @@ impl FragmentManager {
         self.backend.backend_kind()
     }
 
+    /// The backend's observability report
+    /// ([`FragmentBackend::metrics`]): named figures such as log bytes
+    /// and snapshot/compaction/replay counts for a durable store. Empty
+    /// for the in-memory backend.
+    pub fn backend_metrics(&self) -> Vec<(&'static str, u64)> {
+        self.backend.metrics()
+    }
+
     /// Lowers the parallel-query size threshold (tests exercise the
     /// threaded path without building a huge database).
     #[cfg(test)]

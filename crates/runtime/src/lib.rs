@@ -57,7 +57,7 @@ pub mod service;
 pub mod vocab;
 pub mod workflow_mgr;
 
-pub use codec::{decode_msg, encode_msg};
+pub use codec::{decode_msg, decode_msg_traced_with, encode_msg, encode_msg_traced};
 pub use community::{Community, CommunityBuilder, ProblemHandle};
 pub use core_sm::{Action, ActionQueue, HostCore, OutboundMode, WorkflowEvent};
 pub use driver::{Driver, LoopbackBytesDriver, SimDriver, WireChaos};

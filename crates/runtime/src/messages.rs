@@ -48,6 +48,15 @@ impl ProblemId {
     pub fn same_problem(self, other: ProblemId) -> bool {
         self.initiator == other.initiator && self.seq == other.seq
     }
+
+    /// The trace-correlation id of this attempt: the
+    /// `(initiator, seq, attempt)` triple packed into a `u64` (see
+    /// `openwf_obs::pack_trace_id`). Every protocol message carries a
+    /// `ProblemId`, so this id stitches one attempt's events across
+    /// hosts without any extra wire bytes.
+    pub fn trace_id(self) -> u64 {
+        openwf_obs::pack_trace_id(self.initiator.0, self.seq, self.attempt)
+    }
 }
 
 impl fmt::Debug for ProblemId {
@@ -194,6 +203,34 @@ pub enum Msg {
     },
 }
 
+impl Msg {
+    /// The problem (attempt) this message belongs to. Every variant
+    /// carries one — it doubles as the trace-correlation key
+    /// ([`ProblemId::trace_id`]).
+    pub fn problem(&self) -> ProblemId {
+        match self {
+            Msg::Initiate { problem, .. }
+            | Msg::FragmentQuery { problem, .. }
+            | Msg::FragmentReply { problem, .. }
+            | Msg::CapabilityQuery { problem, .. }
+            | Msg::CapabilityReply { problem, .. }
+            | Msg::CallForBids { problem, .. }
+            | Msg::Bid { problem, .. }
+            | Msg::Decline { problem, .. }
+            | Msg::Award { problem, .. }
+            | Msg::Execute { problem, .. }
+            | Msg::InputDelivery { problem, .. }
+            | Msg::TaskCompleted { problem, .. }
+            | Msg::GoalDelivered { problem, .. } => *problem,
+        }
+    }
+
+    /// Shorthand for `self.problem().trace_id()`.
+    pub fn trace_id(&self) -> u64 {
+        self.problem().trace_id()
+    }
+}
+
 impl Message for Msg {
     fn wire_size(&self) -> usize {
         // Rough serialized sizes; the wireless model charges bandwidth by
@@ -225,6 +262,24 @@ impl Message for Msg {
             Msg::GoalDelivered { .. } => 40,
         }
     }
+
+    fn kind(&self) -> openwf_simnet::MsgKind {
+        openwf_simnet::MsgKind(match self {
+            Msg::Initiate { .. } => "Initiate",
+            Msg::FragmentQuery { .. } => "FragmentQuery",
+            Msg::FragmentReply { .. } => "FragmentReply",
+            Msg::CapabilityQuery { .. } => "CapabilityQuery",
+            Msg::CapabilityReply { .. } => "CapabilityReply",
+            Msg::CallForBids { .. } => "CallForBids",
+            Msg::Bid { .. } => "Bid",
+            Msg::Decline { .. } => "Decline",
+            Msg::Award { .. } => "Award",
+            Msg::Execute { .. } => "Execute",
+            Msg::InputDelivery { .. } => "InputDelivery",
+            Msg::TaskCompleted { .. } => "TaskCompleted",
+            Msg::GoalDelivered { .. } => "GoalDelivered",
+        })
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +297,25 @@ mod tests {
         assert_ne!(p, r);
         assert!(!p.same_problem(ProblemId::new(HostId(2), 8)));
         assert_eq!(format!("{p}"), "p2/7#0");
+    }
+
+    #[test]
+    fn trace_ids_are_distinct_per_attempt_and_match_the_id() {
+        let p = ProblemId::new(HostId(2), 7);
+        assert_ne!(p.trace_id(), p.next_attempt().trace_id());
+        assert_ne!(p.trace_id(), ProblemId::new(HostId(3), 7).trace_id());
+        assert_eq!(
+            openwf_obs::unpack_trace_id(p.trace_id()),
+            (2, 7, 0),
+            "trace id must round-trip the identity triple"
+        );
+        let m = Msg::TaskCompleted {
+            problem: p,
+            task: TaskId::new("t"),
+        };
+        assert_eq!(m.problem(), p);
+        assert_eq!(m.trace_id(), p.trace_id());
+        assert_eq!(m.kind().as_str(), "TaskCompleted");
     }
 
     #[test]

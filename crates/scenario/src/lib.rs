@@ -40,5 +40,7 @@ pub use distribute::distribute_knowledge;
 pub use experiment::{run_series, ExperimentConfig, LatencyKind, SeriesPoint};
 pub use generator::{GeneratedKnowledge, PathSpec};
 pub use mobility_driver::RangeMobility;
-pub use soak::{chaos_schedule, run_soak, ChaosProfile, SoakConfig, SoakOutcome};
+pub use soak::{
+    chaos_schedule, run_soak, run_soak_observed, ChaosProfile, SoakConfig, SoakOutcome,
+};
 pub use stats::Summary;

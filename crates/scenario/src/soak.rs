@@ -35,6 +35,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 use openwf_core::{Fragment, Label, Mode};
+use openwf_obs::Obs;
 use openwf_runtime::{
     CommunityBuilder, HostConfig, OwmsHost, ProblemHandle, RuntimeParams, WorkflowEvent,
 };
@@ -232,6 +233,18 @@ pub struct SoakOutcome {
     pub restart_matches: usize,
     /// Messages the simulator delivered.
     pub delivered: u64,
+    /// Messages the simulator dropped (faults, crashes, topology).
+    pub dropped: u64,
+    /// Messages the simulator duplicated.
+    pub duplicated: u64,
+    /// Decode-side fragment-identity cache hits summed over all hosts
+    /// (counted by `DecodeScratch` whether or not collectors are
+    /// attached, so this digest is identical with observability on or
+    /// off).
+    pub decode_cache_hits: u64,
+    /// Decode-side fragment-identity cache misses summed over all
+    /// hosts.
+    pub decode_cache_misses: u64,
     /// The budget `delivered` was held against.
     pub message_budget: u64,
     /// Virtual end time of the run, in milliseconds.
@@ -245,6 +258,17 @@ impl SoakOutcome {
     /// True when every invariant held.
     pub fn invariants_hold(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Decode-cache hit rate in percent (0 when the cache was never
+    /// consulted — e.g. an all-typed transport with no capped hosts).
+    pub fn cache_hit_rate_percent(&self) -> f64 {
+        let total = self.decode_cache_hits + self.decode_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.decode_cache_hits as f64 * 100.0 / total as f64
+        }
     }
 }
 
@@ -423,12 +447,36 @@ struct Submitted {
 
 /// Runs one soak to completion and returns its verdict.
 ///
+/// Equivalent to [`run_soak_observed`] with disabled collectors.
+///
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (`districts == 0`,
 /// `district_hosts < 4`, `waves == 0`) or, for the churn profile, when
 /// scratch durable storage cannot be created.
 pub fn run_soak(config: &SoakConfig) -> SoakOutcome {
+    run_soak_observed(config, &Obs::disabled())
+}
+
+/// [`run_soak`] with observability collectors threaded through every
+/// layer: the shared `obs` handle is cloned into each host's
+/// [`HostConfig`] (core counters, spans, storage metrics), attached to
+/// the simulator (`net.*` counters), and each host's pull-style metrics
+/// are published into the registry at the end of the run.
+///
+/// Collection never changes the outcome: `run_soak_observed(cfg, &Obs
+/// ::enabled()) == run_soak(cfg)` for every configuration — collectors
+/// draw no randomness, arm no timers, and send nothing (the
+/// observability gate property-tests this).
+///
+/// When the trace sink is enabled and an invariant is violated, a
+/// flight-recorder tail for the hosts implicated in the failures is
+/// dumped to stderr before returning.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_soak`].
+pub fn run_soak_observed(config: &SoakConfig, obs: &Obs) -> SoakOutcome {
     assert!(config.districts > 0, "need at least one district");
     assert!(
         config.district_hosts >= 4,
@@ -482,6 +530,13 @@ pub fn run_soak(config: &SoakConfig) -> SoakOutcome {
                 .collect();
             configs.push(flooder_config(d, config.district_tasks));
         }
+        // Attach the shared collectors before any config is cloned for
+        // durable rebuilds, so a restarted host keeps recording. A
+        // disabled handle clones to two no-op handles — free.
+        let mut configs: Vec<HostConfig> = configs
+            .into_iter()
+            .map(|c| c.with_observability(obs.clone()))
+            .collect();
         if churn {
             let dir = scratch
                 .as_ref()
@@ -513,6 +568,7 @@ pub fn run_soak(config: &SoakConfig) -> SoakOutcome {
         }
     }
     community.net_mut().set_chaos(chaos_schedule(config));
+    community.net_mut().set_metrics(&obs.metrics);
 
     // ---- drive waves through the storm -------------------------------------
     let mut submitted: Vec<Submitted> = Vec::new();
@@ -571,6 +627,8 @@ pub fn run_soak(config: &SoakConfig) -> SoakOutcome {
     let mut validated = 0usize;
     let mut late_problems = 0usize;
     let mut late_completed = 0usize;
+    // Hosts named in failures — the flight recorder dumps their tails.
+    let mut implicated: Vec<HostId> = Vec::new();
     for s in &submitted {
         if s.wave > 0 {
             late_problems += 1;
@@ -596,9 +654,13 @@ pub fn run_soak(config: &SoakConfig) -> SoakOutcome {
                     validated += 1;
                 }
             }
-            openwf_runtime::ProblemStatus::Failed { .. } => failed += 1,
+            openwf_runtime::ProblemStatus::Failed { .. } => {
+                failed += 1;
+                implicated.push(s.handle.id.initiator);
+            }
             _ => {
                 stuck += 1;
+                implicated.push(s.handle.id.initiator);
             }
         }
     }
@@ -607,8 +669,23 @@ pub fn run_soak(config: &SoakConfig) -> SoakOutcome {
         .iter()
         .filter(|(_, e)| matches!(e, WorkflowEvent::PeerQuarantined { .. }))
         .count();
-    let delivered = community.stats().delivered;
+    let stats = community.stats();
+    let delivered = stats.delivered;
     let end_virtual_ms = community.now().as_micros() / 1_000;
+
+    // Sum decode-cache statistics (counted unconditionally by every
+    // host's `DecodeScratch`) and publish each host's pull-style
+    // metrics into the shared registry.
+    let mut decode_cache_hits = 0u64;
+    let mut decode_cache_misses = 0u64;
+    for h in community.hosts() {
+        let (hits, misses) = community.host(h).core().decode_cache_stats();
+        decode_cache_hits += hits;
+        decode_cache_misses += misses;
+        if obs.metrics.is_enabled() {
+            community.host_mut(h).core_mut().publish_metrics();
+        }
+    }
 
     if let Some(dir) = &scratch {
         let _ = std::fs::remove_dir_all(dir);
@@ -660,6 +737,25 @@ pub fn run_soak(config: &SoakConfig) -> SoakOutcome {
         ));
     }
 
+    // Flight recorder: on an invariant failure with tracing enabled,
+    // dump the last trace events of every implicated host so the
+    // failure is diagnosable without re-running.
+    if !violations.is_empty() && obs.trace.is_enabled() {
+        implicated.sort();
+        implicated.dedup();
+        implicated.truncate(8);
+        let events = obs.trace.snapshot();
+        eprintln!(
+            "soak FAILED ({} violations); flight recorder for {} implicated host(s):",
+            violations.len(),
+            implicated.len()
+        );
+        for h in &implicated {
+            eprintln!("--- host{} tail ---", h.0);
+            eprint!("{}", openwf_obs::flight_tail(&events, h.0, 40));
+        }
+    }
+
     SoakOutcome {
         profile: config.profile.name(),
         districts: config.districts,
@@ -676,6 +772,10 @@ pub fn run_soak(config: &SoakConfig) -> SoakOutcome {
         restarts,
         restart_matches,
         delivered,
+        dropped: stats.dropped,
+        duplicated: stats.duplicated,
+        decode_cache_hits,
+        decode_cache_misses,
         message_budget,
         end_virtual_ms,
         violations,

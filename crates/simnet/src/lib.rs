@@ -73,4 +73,4 @@ pub use stats::NetStats;
 pub use thread_net::ThreadNetwork;
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;
-pub use trace::{TraceRecord, TraceRecorder};
+pub use trace::{MsgKind, TraceRecord, TraceRecorder};

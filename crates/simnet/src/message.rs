@@ -41,6 +41,12 @@ pub trait Message: Clone + Send + fmt::Debug + 'static {
     fn wire_size(&self) -> usize {
         128
     }
+
+    /// Static variant tag for tracing (see
+    /// [`MsgKind`](crate::trace::MsgKind)); must not allocate or format.
+    fn kind(&self) -> crate::trace::MsgKind {
+        crate::trace::MsgKind::OTHER
+    }
 }
 
 #[cfg(test)]

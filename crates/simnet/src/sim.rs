@@ -21,7 +21,35 @@ use crate::message::{HostId, Message};
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
-use crate::trace::{summarize, TraceRecord, TraceRecorder};
+use crate::trace::{TraceRecord, TraceRecorder};
+
+use openwf_obs::{Counter, MetricsRegistry};
+
+/// Pre-resolved registry counters mirroring [`NetStats`]. With no
+/// registry installed every handle is disabled and each increment is a
+/// single branch, so the kernel pays nothing for the hook.
+#[derive(Debug, Default)]
+struct NetMetrics {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    bytes_delivered: Counter,
+    timers_fired: Counter,
+}
+
+impl NetMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        NetMetrics {
+            sent: registry.counter("net.sent"),
+            delivered: registry.counter("net.delivered"),
+            dropped: registry.counter("net.dropped"),
+            duplicated: registry.counter("net.duplicated"),
+            bytes_delivered: registry.counter("net.bytes_delivered"),
+            timers_fired: registry.counter("net.timers_fired"),
+        }
+    }
+}
 
 /// A deterministic simulated network of actors.
 ///
@@ -44,6 +72,7 @@ pub struct SimNetwork<M: Message, A: Actor<M>> {
     started: bool,
     busy_until: Vec<SimTime>,
     tracer: Option<TraceRecorder>,
+    metrics: NetMetrics,
 }
 
 impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
@@ -63,12 +92,21 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
             started: false,
             busy_until: Vec::new(),
             tracer: None,
+            metrics: NetMetrics::default(),
         }
     }
 
     /// Installs a message tracer; keep a clone to read the recording.
     pub fn set_tracer(&mut self, tracer: TraceRecorder) {
         self.tracer = Some(tracer);
+    }
+
+    /// Mirrors [`NetStats`] into `registry` as `net.*` counters,
+    /// updated as the kernel runs. Collection never touches the RNG or
+    /// the event queue, so installing a registry cannot perturb a
+    /// seeded run.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = NetMetrics::resolve(registry);
     }
 
     /// Replaces the latency model (before or during a run).
@@ -194,17 +232,20 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
                 if self.faults.is_crashed(to) {
                     // Crashed while the message was in flight.
                     self.stats.dropped += 1;
+                    self.metrics.dropped.inc();
                     return true;
                 }
                 self.stats.delivered += 1;
                 self.stats.bytes_delivered += msg.wire_size() as u64;
+                self.metrics.delivered.inc();
+                self.metrics.bytes_delivered.add(msg.wire_size() as u64);
                 if let Some(tracer) = &self.tracer {
                     tracer.record(TraceRecord {
                         at: self.now,
                         from,
                         to,
                         bytes: msg.wire_size(),
-                        summary: summarize(&format!("{msg:?}")),
+                        kind: msg.kind(),
                     });
                 }
                 self.dispatch(to, |actor, ctx| actor.on_message(from, msg, ctx));
@@ -214,6 +255,7 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
                     return true;
                 }
                 self.stats.timers_fired += 1;
+                self.metrics.timers_fired.inc();
                 self.dispatch(host, |actor, ctx| actor.on_timer(token, ctx));
             }
         }
@@ -310,6 +352,7 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
         // route under the fault state as of the send time.
         self.apply_chaos_due(at);
         self.stats.sent += 1;
+        self.metrics.sent.inc();
         if from == to {
             // Local delivery: no network involved.
             self.queue
@@ -318,6 +361,7 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
         }
         if !self.topology.connected(from, to) || self.faults.should_drop(from, to, &mut self.rng) {
             self.stats.dropped += 1;
+            self.metrics.dropped.inc();
             return;
         }
         let mut delay = self
@@ -338,6 +382,8 @@ impl<M: Message, A: Actor<M>> SimNetwork<M, A> {
             }
             self.stats.sent += 1;
             self.stats.duplicated += 1;
+            self.metrics.sent.inc();
+            self.metrics.duplicated.inc();
             self.queue.schedule(
                 at + dup_delay,
                 EventKind::Deliver {
@@ -375,6 +421,13 @@ mod tests {
     impl Message for Msg {
         fn wire_size(&self) -> usize {
             64
+        }
+
+        fn kind(&self) -> crate::trace::MsgKind {
+            match self {
+                Msg::Ping(_) => crate::trace::MsgKind("Ping"),
+                Msg::Gossip(_) => crate::trace::MsgKind("Gossip"),
+            }
         }
     }
 
@@ -587,8 +640,30 @@ mod tests {
         let first = &tracer.snapshot()[0];
         assert_eq!(first.from, a);
         assert_eq!(first.to, b);
-        assert!(first.summary.contains("Ping"), "{}", first.summary);
+        assert_eq!(first.kind.as_str(), "Ping");
         assert_eq!(tracer.bytes_to(b), 2 * 64, "b received Ping(0) and Ping(2)");
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_net_stats() {
+        let registry = openwf_obs::MetricsRegistry::new();
+        let (mut net, a, b) = two_pingers(2, 1);
+        net.set_metrics(&registry);
+        net.send_external(a, b, Msg::Ping(0));
+        net.run_until_quiescent();
+        assert_eq!(registry.counter("net.sent").get(), net.stats().sent);
+        assert_eq!(
+            registry.counter("net.delivered").get(),
+            net.stats().delivered
+        );
+        assert_eq!(
+            registry.counter("net.bytes_delivered").get(),
+            net.stats().bytes_delivered
+        );
+        assert_eq!(
+            registry.counter("net.timers_fired").get(),
+            net.stats().timers_fired
+        );
     }
 
     #[test]

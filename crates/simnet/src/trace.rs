@@ -4,12 +4,39 @@
 //! the network, not just how much ([`crate::NetStats`]). A
 //! [`TraceRecorder`] captures one [`TraceRecord`] per delivered message;
 //! the kernel feeds it when installed via `SimNetwork::set_tracer`.
+//! Messages are tagged with a static [`MsgKind`] (reported by
+//! [`crate::Message::kind`]), so tracing never formats or allocates a
+//! per-message summary string.
 
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::message::HostId;
 use crate::time::SimTime;
+
+/// A static tag naming a message's variant — `"CallForBids"`, `"Bid"` —
+/// without carrying (or formatting) the message body. Protocol crates
+/// report it through [`crate::Message::kind`]; the default for untagged
+/// message types is [`MsgKind::OTHER`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MsgKind(pub &'static str);
+
+impl MsgKind {
+    /// The tag of message types that don't override
+    /// [`crate::Message::kind`].
+    pub const OTHER: MsgKind = MsgKind("msg");
+
+    /// The tag as a string slice.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
 
 /// One delivered message, as seen by the tracer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,8 +49,8 @@ pub struct TraceRecord {
     pub to: HostId,
     /// Wire size in bytes.
     pub bytes: usize,
-    /// `Debug` rendering of the message (truncated to 120 chars).
-    pub summary: String,
+    /// The message's variant tag.
+    pub kind: MsgKind,
 }
 
 impl fmt::Display for TraceRecord {
@@ -31,9 +58,16 @@ impl fmt::Display for TraceRecord {
         write!(
             f,
             "{} {} -> {} ({}B): {}",
-            self.at, self.from, self.to, self.bytes, self.summary
+            self.at, self.from, self.to, self.bytes, self.kind
         )
     }
+}
+
+/// Recover the record buffer even if a panicking thread poisoned the
+/// lock — a `Vec` of records has no invariant a partial push can break,
+/// and the sim kernel must not turn an unrelated panic into its own.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A shared, thread-safe recording of delivered messages.
@@ -53,17 +87,17 @@ impl TraceRecorder {
 
     /// Appends a record (called by the kernel).
     pub fn record(&self, rec: TraceRecord) {
-        self.records.lock().expect("tracer lock").push(rec);
+        lock_unpoisoned(&self.records).push(rec);
     }
 
     /// Snapshot of all records so far.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.records.lock().expect("tracer lock").clone()
+        lock_unpoisoned(&self.records).clone()
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.lock().expect("tracer lock").len()
+        lock_unpoisoned(&self.records).len()
     }
 
     /// True if nothing was recorded.
@@ -90,21 +124,7 @@ impl TraceRecorder {
 
     /// Clears the recording.
     pub fn clear(&self) {
-        self.records.lock().expect("tracer lock").clear();
-    }
-}
-
-/// Truncates a message's `Debug` form for the trace.
-pub fn summarize(debug: &str) -> String {
-    const LIMIT: usize = 120;
-    if debug.len() <= LIMIT {
-        debug.to_string()
-    } else {
-        let mut cut = LIMIT;
-        while !debug.is_char_boundary(cut) {
-            cut -= 1;
-        }
-        format!("{}…", &debug[..cut])
+        lock_unpoisoned(&self.records).clear();
     }
 }
 
@@ -118,7 +138,7 @@ mod tests {
             from: HostId(from),
             to: HostId(to),
             bytes,
-            summary: "Ping".into(),
+            kind: MsgKind("Ping"),
         }
     }
 
@@ -146,20 +166,28 @@ mod tests {
     }
 
     #[test]
-    fn summaries_truncate_on_char_boundaries() {
-        let short = summarize("Ping(1)");
-        assert_eq!(short, "Ping(1)");
-        let long = summarize(&"x".repeat(300));
-        assert!(long.len() <= 124);
-        assert!(long.ends_with('…'));
-        // Multibyte safety.
-        let uni = summarize(&"ω".repeat(100));
-        assert!(uni.ends_with('…'));
-    }
-
-    #[test]
     fn record_display() {
         let r = rec(1_000_000, 0, 1, 64);
         assert_eq!(r.to_string(), "t=1.000000s host0 -> host1 (64B): Ping");
+    }
+
+    #[test]
+    fn default_kind_is_other() {
+        assert_eq!(MsgKind::OTHER.as_str(), "msg");
+        assert_eq!(MsgKind::OTHER.to_string(), "msg");
+    }
+
+    #[test]
+    fn poisoned_recorder_recovers() {
+        let t = TraceRecorder::new();
+        let poisoner = t.clone();
+        let _ = std::thread::spawn(move || {
+            poisoner.record(rec(1, 0, 1, 10));
+            panic!("poison the tracer");
+        })
+        .join();
+        t.record(rec(2, 1, 0, 20));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.snapshot().len(), 2);
     }
 }

@@ -53,6 +53,6 @@ pub use model::{
     DEFAULT_FRAGMENT_CACHE_CAP, TAG_FRAGMENT, TAG_MSG, TAG_SPEC,
 };
 pub use storage::{
-    crc32, DurableFragmentStore, StorageError, StoragePolicy, DEFAULT_COMPACT_MIN_BYTES,
-    DEFAULT_SEGMENT_BYTES,
+    crc32, DurableFragmentStore, StorageError, StoragePolicy, StoreOpStats,
+    DEFAULT_COMPACT_MIN_BYTES, DEFAULT_SEGMENT_BYTES,
 };

@@ -540,6 +540,8 @@ pub struct DecodeScratch {
     names: Vec<Interned>,
     frag: FragScratch,
     cache: FragmentCache,
+    frames: u64,
+    reuses: u64,
 }
 
 impl Default for DecodeScratch {
@@ -562,7 +564,21 @@ impl DecodeScratch {
             names: Vec::new(),
             frag: FragScratch::default(),
             cache: FragmentCache::with_capacity(cap),
+            frames: 0,
+            reuses: 0,
         }
+    }
+
+    /// Total frames parsed through [`DecodeScratch::take_frame`].
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames
+    }
+
+    /// How many of those frames reused a recycled span buffer instead
+    /// of allocating one (`frames_decoded - 1` in an ideal steady
+    /// state; decode errors drop the buffer and reset the streak).
+    pub fn span_reuses(&self) -> u64 {
+        self.reuses
     }
 
     /// The fragment-identity cache (hit/miss counters, size).
@@ -585,7 +601,12 @@ impl DecodeScratch {
     /// Same as [`crate::read_frame`]. On error the span buffer is
     /// dropped (cold path; the next call re-allocates).
     pub fn take_frame<'b>(&mut self, buf: &'b [u8]) -> Result<(FrameView<'b>, usize), WireError> {
-        crate::frame::read_frame_reusing(buf, std::mem::take(&mut self.spans))
+        self.frames += 1;
+        let spans = std::mem::take(&mut self.spans);
+        if spans.capacity() > 0 {
+            self.reuses += 1;
+        }
+        crate::frame::read_frame_reusing(buf, spans)
     }
 
     /// Batch-resolves `frame`'s name table into the scratch

@@ -370,6 +370,31 @@ impl RestoreState {
     }
 }
 
+/// Maintenance-operation tallies for one [`DurableFragmentStore`]:
+/// how many snapshots/compactions ran, how long they took, and how much
+/// the last open replayed. Timings are wall-clock microseconds —
+/// observational only, they feed the metrics registry and never affect
+/// the store's behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreOpStats {
+    /// Snapshots actually written (no-op calls excluded).
+    pub snapshots: u64,
+    /// Cumulative wall-clock time writing snapshots, in microseconds.
+    pub snapshot_micros: u64,
+    /// Wall-clock time of the most recent snapshot, in microseconds.
+    pub last_snapshot_micros: u64,
+    /// Compaction passes run (each includes its covering snapshot).
+    pub compactions: u64,
+    /// Cumulative wall-clock time compacting, in microseconds.
+    pub compaction_micros: u64,
+    /// Wall-clock time of the most recent compaction, in microseconds.
+    pub last_compaction_micros: u64,
+    /// Tail records replayed by the open that created this store.
+    pub replayed_records: u64,
+    /// Wall-clock time of that tail replay, in microseconds.
+    pub replay_micros: u64,
+}
+
 /// A fragment database whose record of inserts survives process death.
 ///
 /// See the module docs for the format and recovery semantics. Queries
@@ -407,6 +432,7 @@ pub struct DurableFragmentStore {
     garbage_at_snapshot: u64,
     policy: StoragePolicy,
     scratch: Vec<u8>,
+    ops: StoreOpStats,
 }
 
 impl fmt::Debug for DurableFragmentStore {
@@ -544,6 +570,7 @@ impl DurableFragmentStore {
 
         let tail_seqs: Vec<u64> = seqs.iter().copied().filter(|&s| s >= tail_start).collect();
         let mut last_len = SEGMENT_HEADER_LEN;
+        let replay_started = std::time::Instant::now();
         for (i, &seq) in tail_seqs.iter().enumerate() {
             let last = i + 1 == tail_seqs.len();
             let len = replay_segment(&segment_path(&dir, seq), last, &mut state)?;
@@ -551,6 +578,7 @@ impl DurableFragmentStore {
                 last_len = len;
             }
         }
+        let replay_micros = replay_started.elapsed().as_micros() as u64;
 
         let (seg_seq, mut seg_len) = match tail_seqs.last() {
             Some(&seq) if last_len < segment_bytes => (seq, last_len),
@@ -594,6 +622,11 @@ impl DurableFragmentStore {
             garbage_at_snapshot: 0,
             policy,
             scratch: Vec::new(),
+            ops: StoreOpStats {
+                replayed_records: state.record_count - covered_records,
+                replay_micros,
+                ..StoreOpStats::default()
+            },
         };
         store.garbage_at_snapshot = store.garbage_bytes();
         Ok(store)
@@ -725,6 +758,7 @@ impl DurableFragmentStore {
         if self.snapshot.is_some() && self.inserts_since_snapshot == 0 {
             return Ok(false);
         }
+        let started = std::time::Instant::now();
         // Seal the boundary the snapshot claims before the claim: tail
         // records must be durable, and the tail segment rolled so the
         // snapshot covers whole segments only.
@@ -739,6 +773,10 @@ impl DurableFragmentStore {
         self.snapshot = Some(snap);
         self.inserts_since_snapshot = 0;
         self.garbage_at_snapshot = self.garbage_bytes();
+        let micros = started.elapsed().as_micros() as u64;
+        self.ops.snapshots += 1;
+        self.ops.snapshot_micros += micros;
+        self.ops.last_snapshot_micros = micros;
         Ok(true)
     }
 
@@ -822,6 +860,7 @@ impl DurableFragmentStore {
     ///
     /// [`StorageError::Io`] when snapshotting or deleting fails.
     pub fn compact(&mut self) -> Result<(), StorageError> {
+        let started = std::time::Instant::now();
         self.snapshot()?;
         let tail = self
             .snapshot
@@ -852,6 +891,10 @@ impl DurableFragmentStore {
             fsync_dir(&self.dir);
         }
         self.garbage_at_snapshot = self.garbage_bytes();
+        let micros = started.elapsed().as_micros() as u64;
+        self.ops.compactions += 1;
+        self.ops.compaction_micros += micros;
+        self.ops.last_compaction_micros = micros;
         Ok(())
     }
 
@@ -926,6 +969,12 @@ impl DurableFragmentStore {
     /// when compaction deletes covered segments.
     pub fn log_bytes(&self) -> u64 {
         self.log_bytes
+    }
+
+    /// Maintenance-operation tallies (snapshot/compaction/replay counts
+    /// and wall-clock timings) since this store was opened.
+    pub fn op_stats(&self) -> StoreOpStats {
+        self.ops
     }
 
     /// Size of the newest snapshot file on disk (0 without one).
@@ -1200,6 +1249,24 @@ impl FragmentBackend for DurableFragmentStore {
 
     fn sync(&mut self) -> Result<(), BackendError> {
         DurableFragmentStore::sync(self).map_err(BackendError::from)
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("live_bytes", self.live_bytes()),
+            ("garbage_bytes", self.garbage_bytes()),
+            ("log_bytes", self.log_bytes()),
+            ("segments", self.segments),
+            ("records", self.record_count()),
+            ("snapshots", self.ops.snapshots),
+            ("snapshot_micros", self.ops.snapshot_micros),
+            ("last_snapshot_micros", self.ops.last_snapshot_micros),
+            ("compactions", self.ops.compactions),
+            ("compaction_micros", self.ops.compaction_micros),
+            ("last_compaction_micros", self.ops.last_compaction_micros),
+            ("replayed_records", self.ops.replayed_records),
+            ("replay_micros", self.ops.replay_micros),
+        ]
     }
 }
 

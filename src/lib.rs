@@ -13,6 +13,7 @@
 //! | layer | crate | contents |
 //! |---|---|---|
 //! | [`wfcore`] | `openwf-core` | workflow model, fragments, composition, pruning, Algorithm 1 |
+//! | [`obs`] | `openwf-obs` | metrics registry, causal workflow tracing, trace exporters |
 //! | [`wire`] | `openwf-wire` | binary wire codec, vocabulary budget, durable fragment log |
 //! | [`simnet`] | `openwf-simnet` | DES kernel, transports, latency models, faults |
 //! | [`mobility`] | `openwf-mobility` | 2D locations, travel, waypoint mobility |
@@ -62,6 +63,7 @@
 
 pub use openwf_core as wfcore;
 pub use openwf_mobility as mobility;
+pub use openwf_obs as obs;
 pub use openwf_runtime as runtime;
 pub use openwf_scenario as scenario;
 pub use openwf_simnet as simnet;
@@ -74,6 +76,7 @@ pub mod prelude {
         IncrementalConstructor, Label, Mode, PickOrder, Spec, Supergraph, TaskId, Workflow,
     };
     pub use openwf_mobility::{Motion, Point, SiteMap};
+    pub use openwf_obs::Obs;
     pub use openwf_runtime::{
         Community, CommunityBuilder, Driver, HostConfig, HostCore, LoopbackBytesDriver,
         Preferences, ProblemStatus, RuntimeParams, ServiceDescription, SimDriver, StorageConfig,

@@ -39,7 +39,7 @@ fn tracer_captures_the_protocol_conversation() {
     assert_eq!(records.len() as u64, community.stats().delivered);
 
     // Every message family of Figure 3 must appear on the wire.
-    let summaries: Vec<&str> = records.iter().map(|r| r.summary.as_str()).collect();
+    let kinds: Vec<&str> = records.iter().map(|r| r.kind.as_str()).collect();
     for family in [
         "Initiate",
         "FragmentQuery",
@@ -52,10 +52,7 @@ fn tracer_captures_the_protocol_conversation() {
         "InputDelivery",
         "GoalDelivered",
     ] {
-        assert!(
-            summaries.iter().any(|s| s.starts_with(family)),
-            "missing {family} in trace"
-        );
+        assert!(kinds.contains(&family), "missing {family} in trace");
     }
 
     // Pairwise conversation: host0 (initiator) exchanged messages with
@@ -94,6 +91,126 @@ fn traffic_grows_with_community_size() {
         large > small * 3,
         "8 bystanders should multiply query traffic: {large} vs {small}"
     );
+}
+
+/// The [`WorkflowEvent`] stream well-formedness contract, checked on one
+/// driver's event log: a `Completed` is always preceded (same host) by a
+/// `Constructed` for the same problem, completions are unique per
+/// problem, and every `PeerQuarantined` names the actual offender with a
+/// rejection count at or past the host's quarantine threshold.
+fn assert_event_stream_well_formed(
+    events: &[(HostId, WorkflowEvent)],
+    flooder: HostId,
+    rejection_threshold: u64,
+) {
+    for (i, (host, event)) in events.iter().enumerate() {
+        match event {
+            WorkflowEvent::Completed { problem } => {
+                let constructed = events[..i].iter().any(|(h, e)| {
+                    h == host
+                        && matches!(e, WorkflowEvent::Constructed { problem: p } if p == problem)
+                });
+                assert!(
+                    constructed,
+                    "Completed({problem:?}) on {host:?} without a prior Constructed"
+                );
+                let dup = events[i + 1..].iter().any(|(h, e)| {
+                    h == host
+                        && matches!(e, WorkflowEvent::Completed { problem: p } if p == problem)
+                });
+                assert!(!dup, "duplicate Completed({problem:?}) on {host:?}");
+            }
+            WorkflowEvent::PeerQuarantined { peer, rejections } => {
+                assert_eq!(*peer, flooder, "quarantine must name the offender");
+                assert!(
+                    *rejections >= rejection_threshold,
+                    "quarantine tripped below threshold: {rejections}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, WorkflowEvent::Completed { .. })),
+        "scenario must complete at least one problem"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, WorkflowEvent::PeerQuarantined { .. })),
+        "scenario must quarantine the flooder"
+    );
+}
+
+/// The two-honest-hosts-plus-flooder scenario used to provoke a full
+/// event alphabet (Constructed, Completed, PeerQuarantined) on both
+/// drivers: the flooder mints fresh symbols keyed to every label the
+/// honest construction queries, so it offends in each wave.
+fn flooder_scenario_configs() -> Vec<HostConfig> {
+    let mint = |prefix: &str, input: &str| -> Vec<Fragment> {
+        (0..8)
+            .map(|i| {
+                frag(
+                    &format!("{prefix}-f{i}"),
+                    &format!("{prefix}-t{i}"),
+                    input,
+                    &format!("{prefix}-out{i}"),
+                )
+            })
+            .collect()
+    };
+    let mut flooder = HostConfig::new();
+    for f in mint("obs-mint-a", "obs-a")
+        .into_iter()
+        .chain(mint("obs-mint-b", "obs-b"))
+    {
+        flooder = flooder.with_fragment(f);
+    }
+    vec![
+        HostConfig::new()
+            .with_fragment(frag("obs-f1", "obs-t1", "obs-a", "obs-b"))
+            .with_service(service("obs-t2"))
+            .with_vocabulary_cap(16)
+            .with_max_vocabulary_rejections(2),
+        HostConfig::new()
+            .with_fragment(frag("obs-f2", "obs-t2", "obs-b", "obs-c"))
+            .with_service(service("obs-t1")),
+        flooder,
+    ]
+}
+
+#[test]
+fn workflow_event_stream_is_well_formed_on_the_sim_driver() {
+    let mut builder = CommunityBuilder::new(64);
+    for config in flooder_scenario_configs() {
+        builder = builder.host(config);
+    }
+    let mut community = builder.build();
+    let hosts = community.hosts();
+    let handle = community.submit(hosts[0], Spec::new(["obs-a"], ["obs-c"]));
+    let report = community.run_until_complete(handle);
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "honest peers complete despite the flooder: {report}"
+    );
+    assert_event_stream_well_formed(&community.all_events(), hosts[2], 2);
+}
+
+#[test]
+fn workflow_event_stream_is_well_formed_on_the_loopback_driver() {
+    let mut driver =
+        LoopbackBytesDriver::build(RuntimeParams::default(), flooder_scenario_configs());
+    let initiator = driver.hosts()[0];
+    let flooder = driver.hosts()[2];
+    let handle = driver.submit(initiator, Spec::new(["obs-a"], ["obs-c"]));
+    let report = driver.run_until_complete(handle);
+    assert!(
+        matches!(report.status, ProblemStatus::Completed),
+        "honest peers complete despite the flooder: {report}"
+    );
+    assert_event_stream_well_formed(driver.events(), flooder, 2);
 }
 
 /// A task with several outputs routes each label to its own consumers
