@@ -1,0 +1,59 @@
+//! Socket transport bench: frame-ingest throughput and end-to-end
+//! workflow latency over real localhost TCP.
+//!
+//! Full mode (`cargo bench --bench socket`) blasts 100k frames and
+//! runs 20 workflow constructions, then writes the trajectory file
+//! `BENCH_socket.json` at the workspace root. Fast mode
+//! (`OPENWF_SOCKET_FAST=1`, or `--test` as used by
+//! `cargo test --benches`) runs a bounded smoke — 2k frames, 3
+//! workflows — with the same assertions and does not touch the
+//! committed file: the CI gate that the socket path keeps working and
+//! keeps its order of magnitude.
+
+use openwf_bench::socket::{default_report_path, run_e2e, run_ingest, to_json};
+
+fn main() {
+    let fast =
+        std::env::var_os("OPENWF_SOCKET_FAST").is_some() || std::env::args().any(|a| a == "--test");
+    let (frames, workflows) = if fast { (2_000, 3) } else { (100_000, 20) };
+    println!("socket/mode {}", if fast { "fast" } else { "full" });
+
+    let ingest = run_ingest(frames);
+    println!(
+        "socket/ingest {} frames in {:.1}ms -> {:.0} frames/s, {:.2} MiB/s",
+        ingest.frames,
+        ingest.elapsed.as_secs_f64() * 1000.0,
+        ingest.frames_per_sec(),
+        ingest.mib_per_sec(),
+    );
+    // Order-of-magnitude floor, not a tight SLA: a debug build on a
+    // loaded CI box still decodes thousands of frames a second; only a
+    // broken transport (e.g. one poll per frame) falls under it.
+    assert!(
+        ingest.frames_per_sec() > 1_000.0,
+        "socket ingest collapsed: {:.0} frames/s",
+        ingest.frames_per_sec()
+    );
+
+    let e2e = run_e2e(workflows);
+    println!(
+        "socket/e2e {} workflows: p50 {:.0}ms p95 {:.0}ms max {:.0}ms",
+        e2e.latencies.len(),
+        e2e.quantile_ms(0.50),
+        e2e.quantile_ms(0.95),
+        e2e.quantile_ms(1.0),
+    );
+    // Protocol timers bound completion from below (~round + auction);
+    // the ceiling catches wedges that only resolve via watchdogs.
+    assert!(
+        e2e.quantile_ms(1.0) < 8_000.0,
+        "socket e2e latency wedged: max {:.0}ms",
+        e2e.quantile_ms(1.0)
+    );
+
+    if !fast {
+        let path = default_report_path();
+        std::fs::write(&path, to_json(&ingest, &e2e)).expect("write trajectory file");
+        println!("wrote {}", path.display());
+    }
+}

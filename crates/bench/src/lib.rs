@@ -26,6 +26,7 @@ pub mod repair;
 pub mod restart;
 pub mod scale;
 pub mod soak;
+pub mod socket;
 pub mod wirebench;
 
 /// Host counts of Figure 4.

@@ -1,0 +1,404 @@
+//! Per-connection I/O: a blocking reader thread, a writer thread
+//! draining a **bounded** outbound queue, and the backpressure contract
+//! between them.
+//!
+//! The reactor core ([`crate::NetServer`]) is single-threaded; sockets
+//! are not. Each accepted or dialed connection gets exactly two
+//! threads:
+//!
+//! * the **reader** blocks in `read`, forwarding raw chunks to the
+//!   server's event channel (framing is reassembled server-side by the
+//!   per-connection [`openwf_wire::FrameDecoder`], so a chunk may end
+//!   mid-varint, mid-name-table, anywhere);
+//! * the **writer** blocks on the [`OutboundQueue`] condvar, popping
+//!   complete frames and `write_all`-ing them to the socket.
+//!
+//! The queue is the backpressure boundary: it is bounded in both frame
+//! count and bytes, [`OutboundQueue::push`] never blocks the reactor,
+//! and a full queue is a *policy decision* surfaced to the caller
+//! ([`PushError::Full`]) — the server's slow-peer policy disconnects
+//! rather than buffer without bound or stall every other connection.
+//! On graceful close the writer drains whatever was queued before
+//! exiting, so joining it is the "outbound flushed" barrier.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Identifies one live connection within a server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// Caps on one connection's outbound queue.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueCaps {
+    /// Maximum queued frames.
+    pub max_frames: usize,
+    /// Maximum queued bytes (sum of frame lengths).
+    pub max_bytes: usize,
+}
+
+impl Default for QueueCaps {
+    fn default() -> Self {
+        QueueCaps {
+            max_frames: 1024,
+            max_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at one of its caps; the peer is not keeping up.
+    Full,
+    /// The queue was closed (connection tearing down).
+    Closed,
+}
+
+#[derive(Default)]
+struct QueueState {
+    frames: VecDeque<Vec<u8>>,
+    bytes: usize,
+    /// No further pushes; the writer exits once the queue drains.
+    closed: bool,
+    /// Drop queued frames instead of writing them (error teardown).
+    discard: bool,
+}
+
+struct QueueInner {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+fn lock_state(inner: &QueueInner) -> std::sync::MutexGuard<'_, QueueState> {
+    // A poisoned lock means an I/O thread panicked mid-pop; the queue
+    // holds plain data with no invariant a partial update could break.
+    inner
+        .state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The bounded outbound frame queue shared by the reactor (producer)
+/// and one writer thread (consumer).
+#[derive(Clone)]
+pub struct OutboundQueue {
+    inner: Arc<QueueInner>,
+    caps: QueueCaps,
+}
+
+impl std::fmt::Debug for OutboundQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutboundQueue")
+            .field("depth", &self.depth())
+            .field("caps", &self.caps)
+            .finish()
+    }
+}
+
+impl OutboundQueue {
+    /// An empty queue with the given caps.
+    pub fn new(caps: QueueCaps) -> Self {
+        OutboundQueue {
+            inner: Arc::new(QueueInner {
+                state: Mutex::new(QueueState::default()),
+                cv: Condvar::new(),
+            }),
+            caps,
+        }
+    }
+
+    /// Enqueues one complete frame for the writer. Never blocks.
+    /// Returns the queue depth (in frames) *after* the push, for the
+    /// caller's depth histogram.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when either cap is hit (slow peer — caller
+    /// decides the policy), [`PushError::Closed`] during teardown.
+    pub fn push(&self, frame: Vec<u8>) -> Result<usize, PushError> {
+        let mut state = lock_state(&self.inner);
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.frames.len() >= self.caps.max_frames
+            || state.bytes + frame.len() > self.caps.max_bytes
+        {
+            return Err(PushError::Full);
+        }
+        state.bytes += frame.len();
+        state.frames.push_back(frame);
+        let depth = state.frames.len();
+        drop(state);
+        self.inner.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Closes the queue. With `discard` false the writer drains what is
+    /// already queued before exiting (graceful close); with `discard`
+    /// true queued frames are dropped (error/slow-peer teardown).
+    pub fn close(&self, discard: bool) {
+        let mut state = lock_state(&self.inner);
+        state.closed = true;
+        if discard {
+            state.discard = true;
+            state.frames.clear();
+            state.bytes = 0;
+        }
+        drop(state);
+        self.inner.cv.notify_all();
+    }
+
+    /// Current depth in frames.
+    pub fn depth(&self) -> usize {
+        lock_state(&self.inner).frames.len()
+    }
+
+    /// Blocks until a frame is available (returning it) or the queue is
+    /// closed-and-drained (returning `None`). Writer-thread side.
+    fn pop_blocking(&self) -> Option<Vec<u8>> {
+        let mut state = lock_state(&self.inner);
+        loop {
+            if state.discard {
+                return None;
+            }
+            if let Some(frame) = state.frames.pop_front() {
+                state.bytes -= frame.len();
+                return Some(frame);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .inner
+                .cv
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Raw input from the I/O threads, delivered to the reactor's channel.
+#[derive(Debug)]
+pub enum IoEvent {
+    /// The listener thread accepted an inbound connection; the reactor
+    /// registers it (spawning its I/O threads) on the next poll.
+    Accepted {
+        /// The accepted socket.
+        stream: TcpStream,
+        /// The remote (ephemeral) address, for diagnostics.
+        peer: std::net::SocketAddr,
+    },
+    /// A chunk of bytes read from the socket (arbitrary segmentation).
+    Bytes {
+        /// Source connection.
+        conn: ConnId,
+        /// The raw chunk.
+        bytes: Vec<u8>,
+    },
+    /// The connection reached EOF or errored; no more bytes will come.
+    Closed {
+        /// The finished connection.
+        conn: ConnId,
+    },
+}
+
+/// The per-connection I/O bundle the server keeps.
+#[derive(Debug)]
+pub struct ConnIo {
+    /// Outbound frames (reactor pushes, writer drains).
+    pub queue: OutboundQueue,
+    /// A handle onto the socket for `shutdown` (threads own clones).
+    pub stream: TcpStream,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ConnIo {
+    /// Severs the connection immediately: queued frames are dropped and
+    /// both socket directions are shut down, which unblocks the reader
+    /// (EOF) and lets it report [`IoEvent::Closed`].
+    pub fn sever(&mut self) {
+        self.queue.close(true);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.join_writer();
+    }
+
+    /// Graceful close: lets the writer drain everything already queued,
+    /// joins it (the flush barrier), then shuts the socket down.
+    pub fn close_graceful(&mut self) {
+        self.queue.close(false);
+        self.join_writer();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn join_writer(&mut self) {
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ConnIo {
+    fn drop(&mut self) {
+        self.sever();
+    }
+}
+
+/// Spawns the reader and writer threads for `stream` and returns the
+/// server-side bundle. `events` receives every inbound chunk and the
+/// final [`IoEvent::Closed`]; the reader exits on its own when the
+/// socket closes or the server (receiver) goes away.
+///
+/// # Errors
+///
+/// Fails when the stream cannot be cloned for the second thread.
+pub fn spawn_io(
+    stream: TcpStream,
+    id: ConnId,
+    caps: QueueCaps,
+    events: Sender<IoEvent>,
+) -> std::io::Result<ConnIo> {
+    let queue = OutboundQueue::new(caps);
+    let writer_stream = stream.try_clone()?;
+    let reader_stream = stream.try_clone()?;
+
+    let writer_queue = queue.clone();
+    let writer = std::thread::Builder::new()
+        .name(format!("owms-net-writer-{}", id.0))
+        .spawn(move || {
+            let mut stream = writer_stream;
+            while let Some(frame) = writer_queue.pop_blocking() {
+                if stream.write_all(&frame).is_err() {
+                    // The peer is gone; the reader will observe the same
+                    // failure and report Closed. Discard the backlog.
+                    writer_queue.close(true);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            let _ = stream.flush();
+        })?;
+
+    std::thread::Builder::new()
+        .name(format!("owms-net-reader-{}", id.0))
+        .spawn(move || {
+            let mut stream = reader_stream;
+            let mut buf = vec![0u8; 16 * 1024];
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => {
+                        let _ = events.send(IoEvent::Closed { conn: id });
+                        return;
+                    }
+                    Ok(n) => {
+                        if events
+                            .send(IoEvent::Bytes {
+                                conn: id,
+                                bytes: buf[..n].to_vec(),
+                            })
+                            .is_err()
+                        {
+                            return; // server gone; stop reading
+                        }
+                    }
+                }
+            }
+        })?;
+
+    Ok(ConnIo {
+        queue,
+        stream,
+        writer: Some(writer),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn queue_enforces_both_caps_and_close_semantics() {
+        let q = OutboundQueue::new(QueueCaps {
+            max_frames: 2,
+            max_bytes: 10,
+        });
+        assert_eq!(q.push(vec![0; 4]), Ok(1));
+        assert_eq!(q.push(vec![0; 4]), Ok(2));
+        assert_eq!(q.push(vec![0; 1]), Err(PushError::Full), "frame cap");
+        assert_eq!(q.pop_blocking().unwrap().len(), 4);
+        assert_eq!(q.push(vec![0; 9]), Err(PushError::Full), "byte cap");
+        assert_eq!(q.push(vec![0; 2]), Ok(2));
+        q.close(false);
+        assert_eq!(q.push(vec![0; 1]), Err(PushError::Closed));
+        // Drain semantics: both queued frames still come out.
+        assert!(q.pop_blocking().is_some());
+        assert!(q.pop_blocking().is_some());
+        assert!(q.pop_blocking().is_none());
+    }
+
+    #[test]
+    fn discard_close_drops_the_backlog() {
+        let q = OutboundQueue::new(QueueCaps::default());
+        q.push(vec![1, 2, 3]).unwrap();
+        q.close(true);
+        assert!(q.pop_blocking().is_none());
+        assert_eq!(q.depth(), 0);
+    }
+
+    /// Graceful close flushes every queued frame onto the socket before
+    /// the writer exits — the serving path's drop-flush guarantee.
+    #[test]
+    fn graceful_close_drains_queued_frames_to_the_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let (tx, rx) = channel();
+        let mut io = spawn_io(server_side, ConnId(1), QueueCaps::default(), tx).unwrap();
+        for i in 0..50u8 {
+            io.queue.push(vec![i; 100]).unwrap();
+        }
+        io.close_graceful();
+
+        let mut got = Vec::new();
+        let mut client = client;
+        client.read_to_end(&mut got).unwrap();
+        assert_eq!(got.len(), 50 * 100, "every queued byte arrived");
+        drop(rx);
+    }
+
+    #[test]
+    fn reader_reports_closed_on_peer_disconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let (tx, rx) = channel();
+        let mut io = spawn_io(server_side, ConnId(7), QueueCaps::default(), tx).unwrap();
+        client.shutdown(Shutdown::Both).unwrap();
+        drop(client);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match rx.recv_timeout(std::time::Duration::from_millis(100)) {
+                Ok(IoEvent::Closed { conn }) => {
+                    assert_eq!(conn, ConnId(7));
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) if std::time::Instant::now() > deadline => {
+                    panic!("reader never reported Closed")
+                }
+                Err(_) => {}
+            }
+        }
+        io.sever();
+    }
+}

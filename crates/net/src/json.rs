@@ -1,0 +1,97 @@
+//! Rendering a serde-shim [`Value`] tree as JSON text — what a metrics
+//! scrape prints. The workspace's serde shim carries no serializer
+//! backends, so the few lines of emission live here.
+
+use serde::Value;
+
+/// Renders `value` as compact JSON.
+pub fn value_to_json(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match key {
+                    Value::Str(s) => write_string(s, out),
+                    other => write_string(&value_to_json(other), out),
+                }
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_as_valid_json() {
+        let v = Value::Map(vec![
+            (
+                Value::Str("counters".into()),
+                Value::Map(vec![(Value::Str("net.rx\"x\"".into()), Value::U64(3))]),
+            ),
+            (
+                Value::Str("seq".into()),
+                Value::Seq(vec![Value::I64(-1), Value::Bool(true), Value::Unit]),
+            ),
+        ]);
+        let json = value_to_json(&v);
+        assert_eq!(
+            json,
+            r#"{"counters":{"net.rx\"x\"":3},"seq":[-1,true,null]}"#
+        );
+        openwf_obs::validate_json(&json).expect("valid json");
+    }
+}

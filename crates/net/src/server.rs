@@ -1,0 +1,965 @@
+//! The serving reactor: many [`HostCore`]s, one process, real sockets.
+//!
+//! A [`NetServer`] owns every protocol core this process serves (keyed
+//! by `(community, host)`), one optional `TcpListener`, and the routing
+//! state that maps remote `(community, host)` pairs onto live
+//! connections. All protocol logic runs single-threaded inside
+//! [`NetServer::poll`]; only the byte-moving edges (accept, read,
+//! write) live on threads (see [`crate::conn`]). That keeps the cores'
+//! sans-io discipline intact — the reactor is just another driver that
+//! feeds [`HostCore::handle_frame`] and polls [`HostCore::tick`].
+//!
+//! # Timers
+//!
+//! The cores track their own armed timers; [`Action::SetTimer`] is
+//! deliberately ignored and [`HostCore::tick`] fires everything due at
+//! each poll (the documented alternative to timer delivery — doing both
+//! would double-fire). [`NetServer::poll`] bounds its socket wait by
+//! the earliest [`HostCore::next_timer_due`] across all local cores, so
+//! a silent peer cannot stall timeout-driven progress: the wait wakes
+//! exactly when the next timeout matures.
+//!
+//! # Backpressure
+//!
+//! Every connection's outbound queue is bounded ([`QueueCaps`]). A push
+//! that finds the queue full marks the peer *slow* and the policy is to
+//! disconnect it (`net.conn_slow_drops`): the alternative — buffering
+//! without bound or blocking the reactor — would let one stalled peer
+//! starve every community this process serves. Workflow-layer repair
+//! (timeouts, re-auction) recovers whatever the dropped frames carried.
+//!
+//! # Quarantine
+//!
+//! When a core quarantines a peer
+//! ([`WorkflowEvent::PeerQuarantined`]), the server escalates the
+//! protocol-level verdict to the transport: connections serving that
+//! peer are severed, outbound frames to it are dropped
+//! (`net.conn_quarantine_drops`), and future handshakes announcing the
+//! denied `(community, host)` pair are refused (`net.conn_denied`).
+//! This is deliberately blunt — one bad host condemns the connection
+//! announcing it — because a process that houses a flooding host is not
+//! a peer worth multiplexing with.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use openwf_obs::{Counter, Histogram, Obs};
+use openwf_runtime::{
+    encode_msg_traced, Action, ActionQueue, HostConfig, HostCore, Msg, OutboundMode, ProblemHandle,
+    ProblemId, RuntimeParams, WorkflowEvent,
+};
+use openwf_simnet::HostId;
+use openwf_wire::{frame_tag, FrameDecoder, VocabularyBudget, TAG_FRAGMENT, TAG_MSG, TAG_SPEC};
+use serde::Value;
+
+use crate::clock::WallClock;
+use crate::conn::{spawn_io, ConnId, ConnIo, IoEvent, PushError, QueueCaps};
+use crate::proto::{
+    encode_envelope, encode_goodbye, encode_hello, encode_shutdown, read_envelope, read_hello,
+    Hello, NET_PROTO_VERSION, TAG_NET_ENVELOPE, TAG_NET_GOODBYE, TAG_NET_HELLO, TAG_NET_SHUTDOWN,
+};
+
+/// Construction parameters for a [`NetServer`].
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Process name announced in handshakes (diagnostics only).
+    pub name: String,
+    /// Listen address (`"127.0.0.1:0"` for an ephemeral port), or
+    /// `None` for a pure client (initiator-only) process.
+    pub listen: Option<String>,
+    /// Outbound queue caps applied to every connection.
+    pub queue_caps: QueueCaps,
+    /// TCP connect timeout for on-demand dials.
+    pub connect_timeout: Duration,
+    /// How long a failed dial suppresses re-dials of the same address.
+    pub dial_backoff: Duration,
+    /// Observability sinks; `net.*` transport metrics land here. Pass
+    /// the same [`Obs`] to each core's
+    /// [`HostConfig::with_observability`] to get one unified registry.
+    pub obs: Obs,
+    /// The wall-clock anchor. Every server of one logical deployment
+    /// step (e.g. a [`crate::TcpCommunityDriver`]) shares one anchor so
+    /// the cores agree on "now"; the default is a fresh anchor.
+    pub clock: WallClock,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            name: "owms".into(),
+            listen: Some("127.0.0.1:0".into()),
+            queue_caps: QueueCaps::default(),
+            connect_timeout: Duration::from_millis(500),
+            dial_backoff: Duration::from_millis(250),
+            obs: Obs::enabled(),
+            clock: WallClock::new(),
+        }
+    }
+}
+
+/// Transport metric handles, registered once at construction.
+struct NetMetrics {
+    conn_accepted: Counter,
+    conn_dialed: Counter,
+    conn_closed: Counter,
+    conn_denied: Counter,
+    conn_slow_drops: Counter,
+    conn_quarantine_drops: Counter,
+    rx_frames: Counter,
+    rx_bytes: Counter,
+    tx_frames: Counter,
+    tx_bytes: Counter,
+    tx_dropped: Counter,
+    decode_rejections: Counter,
+    rx_misrouted: Counter,
+    tx_queue_depth: Histogram,
+}
+
+impl NetMetrics {
+    fn register(obs: &Obs) -> Self {
+        let m = &obs.metrics;
+        NetMetrics {
+            conn_accepted: m.counter("net.conn_accepted"),
+            conn_dialed: m.counter("net.conn_dialed"),
+            conn_closed: m.counter("net.conn_closed"),
+            conn_denied: m.counter("net.conn_denied"),
+            conn_slow_drops: m.counter("net.conn_slow_drops"),
+            conn_quarantine_drops: m.counter("net.conn_quarantine_drops"),
+            rx_frames: m.counter("net.rx_frames"),
+            rx_bytes: m.counter("net.rx_bytes"),
+            tx_frames: m.counter("net.tx_frames"),
+            tx_bytes: m.counter("net.tx_bytes"),
+            tx_dropped: m.counter("net.tx_dropped"),
+            decode_rejections: m.counter("net.decode_rejections"),
+            rx_misrouted: m.counter("net.rx_misrouted"),
+            tx_queue_depth: m.histogram("net.tx_queue_depth"),
+        }
+    }
+}
+
+/// One live connection's reactor-side state.
+struct Conn {
+    io: ConnIo,
+    peer: SocketAddr,
+    decoder: FrameDecoder,
+    /// Peer process name, once its hello arrived.
+    name: Option<String>,
+    /// Every `(community, host)` the peer announced.
+    announced: Vec<(u64, HostId)>,
+}
+
+/// A frame decoded off a connection, lifted to owned data so the
+/// decoder borrow ends before the reactor reacts (which may write to
+/// other connections).
+enum Inbound {
+    Hello(Hello),
+    Envelope {
+        community: u64,
+        from: HostId,
+        to: HostId,
+        inner: Vec<u8>,
+    },
+    Goodbye,
+    Shutdown,
+    Unknown,
+    Corrupt,
+}
+
+/// What a graceful [`NetServer::shutdown`] accomplished.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShutdownReport {
+    /// Connections whose outbound queues were drained to the socket.
+    pub flushed_conns: usize,
+    /// Cores whose fragment stores were synced.
+    pub synced_cores: usize,
+    /// Durable-store sync failures (already-lost peers etc.).
+    pub sync_errors: usize,
+}
+
+/// The serving reactor (see module docs).
+pub struct NetServer {
+    name: String,
+    clock: WallClock,
+    obs: Obs,
+    metrics: NetMetrics,
+    /// `(community, host)` → its protocol core. `BTreeMap` so every
+    /// iteration (hellos, digests, shutdown sync) is in stable order.
+    cores: BTreeMap<(u64, HostId), HostCore>,
+    /// Static + hello-learned dial addresses for remote hosts.
+    routes: HashMap<(u64, HostId), SocketAddr>,
+    /// Which live connection currently serves a remote host.
+    conn_of: HashMap<(u64, HostId), ConnId>,
+    conns: HashMap<ConnId, Conn>,
+    /// Quarantine-denied pairs: no sends, no dials, no hellos.
+    denied: HashSet<(u64, HostId)>,
+    events_tx: Sender<IoEvent>,
+    events_rx: Receiver<IoEvent>,
+    listener_stop: Arc<AtomicBool>,
+    listener: Option<JoinHandle<()>>,
+    listen_addr: Option<SocketAddr>,
+    next_conn: u64,
+    next_seq: HashMap<(u64, HostId), u32>,
+    /// Frames between cores of this process: `(community, from, to,
+    /// inner)` delivered without touching a socket.
+    local: VecDeque<(u64, HostId, HostId, Vec<u8>)>,
+    /// Workflow events the embedder has not drained yet.
+    events: Vec<(u64, HostId, WorkflowEvent)>,
+    /// Failed dial suppression.
+    backoff: HashMap<SocketAddr, Instant>,
+    queue_caps: QueueCaps,
+    connect_timeout: Duration,
+    dial_backoff: Duration,
+    shutdown_requested: bool,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("name", &self.name)
+            .field("listen", &self.listen_addr)
+            .field("cores", &self.cores.len())
+            .field("conns", &self.conns.len())
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Builds the reactor, binds the listener (when configured) and
+    /// starts its accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn new(config: ServerConfig) -> std::io::Result<Self> {
+        let (events_tx, events_rx) = channel();
+        let metrics = NetMetrics::register(&config.obs);
+        let listener_stop = Arc::new(AtomicBool::new(false));
+        let (listener, listen_addr) = match &config.listen {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let local = listener.local_addr()?;
+                listener.set_nonblocking(true)?;
+                let tx = events_tx.clone();
+                let stop = Arc::clone(&listener_stop);
+                let handle = std::thread::Builder::new()
+                    .name(format!("owms-net-accept-{}", config.name))
+                    .spawn(move || accept_loop(listener, tx, stop))?;
+                (Some(handle), Some(local))
+            }
+            None => (None, None),
+        };
+        Ok(NetServer {
+            name: config.name,
+            clock: config.clock,
+            obs: config.obs,
+            metrics,
+            cores: BTreeMap::new(),
+            routes: HashMap::new(),
+            conn_of: HashMap::new(),
+            conns: HashMap::new(),
+            denied: HashSet::new(),
+            events_tx,
+            events_rx,
+            listener_stop,
+            listener,
+            listen_addr,
+            next_conn: 0,
+            next_seq: HashMap::new(),
+            local: VecDeque::new(),
+            events: Vec::new(),
+            backoff: HashMap::new(),
+            queue_caps: config.queue_caps,
+            connect_timeout: config.connect_timeout,
+            dial_backoff: config.dial_backoff,
+            shutdown_requested: false,
+        })
+    }
+
+    /// The bound listen address (`None` for a pure client).
+    pub fn listen_addr(&self) -> Option<SocketAddr> {
+        self.listen_addr
+    }
+
+    /// The shared clock anchor.
+    pub fn clock(&self) -> WallClock {
+        self.clock
+    }
+
+    /// The observability sinks (transport metrics live here).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Adds a local host to serve. The core is bound, kept in
+    /// [`OutboundMode::Typed`] (the server encodes outbound messages
+    /// itself through [`encode_msg_traced`] so every wire frame carries
+    /// its trace-correlation id), and polled from then on.
+    pub fn add_core(
+        &mut self,
+        community: u64,
+        host: HostId,
+        config: HostConfig,
+        params: RuntimeParams,
+    ) {
+        let mut core = HostCore::new(config, params);
+        core.bind(host);
+        core.set_outbound_mode(OutboundMode::Typed);
+        self.cores.insert((community, host), core);
+    }
+
+    /// Sets the membership list of `community` on every local core of
+    /// that community.
+    pub fn set_community(&mut self, community: u64, hosts: Vec<HostId>) {
+        for ((c, _), core) in self.cores.iter_mut() {
+            if *c == community {
+                core.set_community(hosts.clone());
+            }
+        }
+    }
+
+    /// Registers a static dial address for a remote host.
+    pub fn add_route(&mut self, community: u64, host: HostId, addr: SocketAddr) {
+        self.routes.insert((community, host), addr);
+    }
+
+    /// Dials every routed address that has no live connection yet and
+    /// sends the handshake — used by processes that must know their
+    /// peers are reachable *before* acting (e.g. an initiator honoring
+    /// `--wait-peers`). On-demand dialing makes this optional.
+    pub fn dial_routes(&mut self) {
+        let targets: Vec<(u64, HostId)> = self
+            .routes
+            .keys()
+            .filter(|key| !self.conn_of.contains_key(*key) && !self.denied.contains(*key))
+            .copied()
+            .collect();
+        for key in targets {
+            let _ = self.conn_for(key);
+        }
+    }
+
+    /// Remote `(community, host)` pairs currently reachable over a live,
+    /// handshaken connection.
+    pub fn connected_remote_hosts(&self) -> usize {
+        self.conn_of.len()
+    }
+
+    /// The local cores, in stable `(community, host)` order.
+    pub fn local_cores(&self) -> Vec<(u64, HostId)> {
+        self.cores.keys().copied().collect()
+    }
+
+    /// One local core, for inspection. Panics when absent — serving a
+    /// host you never added is a caller bug, not a runtime condition.
+    pub fn core(&self, community: u64, host: HostId) -> &HostCore {
+        &self.cores[&(community, host)]
+    }
+
+    /// Mutable access to one local core (service hooks, test plumbing).
+    /// Panics when absent, as [`NetServer::core`] does.
+    pub fn core_mut(&mut self, community: u64, host: HostId) -> &mut HostCore {
+        self.cores.get_mut(&(community, host)).expect("local core")
+    }
+
+    /// True once a [`TAG_NET_SHUTDOWN`] frame arrived: the process
+    /// owning the run asked this server to stop.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested
+    }
+
+    /// Drains the workflow events observed since the last call, tagged
+    /// with the `(community, host)` that emitted each.
+    pub fn drain_workflow_events(&mut self) -> Vec<(u64, HostId, WorkflowEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Submits a problem to a local initiator core (the Workflow
+    /// Initiator role): typed local bootstrap, no wire frame, like the
+    /// simulator drivers.
+    pub fn submit(
+        &mut self,
+        community: u64,
+        initiator: HostId,
+        spec: openwf_core::Spec,
+    ) -> ProblemHandle {
+        let seq = self.next_seq.entry((community, initiator)).or_insert(0);
+        let id = ProblemId::new(initiator, *seq);
+        *seq += 1;
+        let now = self.clock.now();
+        let q = self
+            .cores
+            .get_mut(&(community, initiator))
+            .expect("local core")
+            .initiate(id, spec, now);
+        self.apply_actions(community, initiator, q);
+        ProblemHandle { id }
+    }
+
+    /// One reactor turn: waits up to `max_wait` for socket input
+    /// (bounded by the earliest core timer), processes everything
+    /// pending — inbound frames, local deliveries, due timers — and
+    /// returns whether anything happened.
+    pub fn poll(&mut self, max_wait: Duration) -> bool {
+        let mut activity = self.pump_local();
+        let wait = if activity {
+            Duration::ZERO
+        } else {
+            self.bounded_wait(max_wait)
+        };
+        match self.events_rx.recv_timeout(wait) {
+            Ok(ev) => {
+                activity = true;
+                self.on_io_event(ev);
+                // Drain the backlog without further waiting.
+                while let Ok(ev) = self.events_rx.try_recv() {
+                    self.on_io_event(ev);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {}
+        }
+        activity |= self.pump_local();
+        activity |= self.fire_due_timers();
+        activity |= self.pump_local();
+        activity
+    }
+
+    /// Earliest timer due across every local core.
+    pub fn next_timer_due(&self) -> Option<openwf_simnet::SimTime> {
+        self.cores
+            .values()
+            .filter_map(HostCore::next_timer_due)
+            .min()
+    }
+
+    /// Publishes every core's metric deltas and snapshots the registry —
+    /// the scrape endpoint's body.
+    pub fn scrape(&mut self) -> Value {
+        for core in self.cores.values_mut() {
+            core.publish_metrics();
+        }
+        self.obs.metrics.snapshot()
+    }
+
+    /// The know-how digest of one local core: every stored fragment's
+    /// wire encoding, sorted. Order-insensitive, so a socket run and a
+    /// simulator run of the same scenario compare bit-identical.
+    pub fn knowhow_digest(&self, community: u64, host: HostId) -> Vec<Vec<u8>> {
+        let mut digest: Vec<Vec<u8>> = self
+            .core(community, host)
+            .fragment_mgr()
+            .fragments()
+            .map(|f| {
+                let mut bytes = Vec::new();
+                openwf_wire::encode_fragment(f, &mut bytes);
+                bytes
+            })
+            .collect();
+        digest.sort();
+        digest
+    }
+
+    /// [`NetServer::knowhow_digest`] folded to a printable 64-bit FNV-1a
+    /// hex string — what `owms-serve` prints so a test can compare
+    /// digests across OS processes.
+    pub fn knowhow_digest_hex(&self, community: u64, host: HostId) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for enc in self.knowhow_digest(community, host) {
+            eat(&(enc.len() as u64).to_le_bytes());
+            eat(&enc);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Sends a [`TAG_NET_SHUTDOWN`] to every routed peer and every live
+    /// connection — the run owner's "we are done, stop cleanly".
+    pub fn broadcast_shutdown(&mut self) {
+        let mut frame = Vec::new();
+        encode_shutdown(&mut frame);
+        let targets: Vec<(u64, HostId)> = self
+            .routes
+            .keys()
+            .filter(|key| !self.denied.contains(*key))
+            .copied()
+            .collect();
+        let mut sent: HashSet<ConnId> = HashSet::new();
+        for key in targets {
+            if let Some(conn_id) = self.conn_for(key) {
+                if sent.insert(conn_id) {
+                    self.push_frame(conn_id, frame.clone());
+                }
+            }
+        }
+        let rest: Vec<ConnId> = self
+            .conns
+            .keys()
+            .filter(|id| !sent.contains(id))
+            .copied()
+            .collect();
+        for conn_id in rest {
+            self.push_frame(conn_id, frame.clone());
+        }
+    }
+
+    /// Graceful stop: stops accepting, announces goodbye on and drains
+    /// every outbound queue (joining the writers — the flush barrier),
+    /// syncs every core's fragment store, and publishes final metric
+    /// deltas. Clean stop must lose no accepted state.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.listener_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.listener.take() {
+            let _ = handle.join();
+        }
+        let mut report = ShutdownReport::default();
+        let mut goodbye = Vec::new();
+        encode_goodbye("shutdown", &mut goodbye);
+        for (_, mut conn) in self.conns.drain() {
+            let _ = conn.io.queue.push(goodbye.clone());
+            conn.io.close_graceful();
+            report.flushed_conns += 1;
+        }
+        self.conn_of.clear();
+        for core in self.cores.values_mut() {
+            match core.fragment_mgr_mut().sync() {
+                Ok(()) => report.synced_cores += 1,
+                Err(_) => report.sync_errors += 1,
+            }
+            core.publish_metrics();
+        }
+        report
+    }
+
+    // ---- reactor internals ----------------------------------------------
+
+    /// The socket wait for this poll: `max_wait`, shortened to the
+    /// earliest core timer so timeouts fire on time even when every
+    /// peer is silent.
+    fn bounded_wait(&self, max_wait: Duration) -> Duration {
+        match self.next_timer_due() {
+            Some(due) => max_wait.min(self.clock.until(due)),
+            None => max_wait,
+        }
+    }
+
+    /// Fires `tick` on every core with a matured timer.
+    fn fire_due_timers(&mut self) -> bool {
+        let now = self.clock.now();
+        let due: Vec<(u64, HostId)> = self
+            .cores
+            .iter()
+            .filter(|(_, core)| core.next_timer_due().is_some_and(|t| t <= now))
+            .map(|(key, _)| *key)
+            .collect();
+        let mut fired = false;
+        for (community, host) in due {
+            let q = self
+                .cores
+                .get_mut(&(community, host))
+                .expect("key from iteration")
+                .tick(now);
+            fired |= !q.is_empty();
+            self.apply_actions(community, host, q);
+        }
+        fired
+    }
+
+    /// Delivers queued local (same-process) frames until none remain.
+    /// Inter-host frames stay on the full wire-trust path —
+    /// [`HostCore::handle_frame`] with vocabulary budgeting — even when
+    /// both hosts live in this process.
+    fn pump_local(&mut self) -> bool {
+        let mut any = false;
+        while let Some((community, from, to, inner)) = self.local.pop_front() {
+            any = true;
+            let now = self.clock.now();
+            let Some(core) = self.cores.get_mut(&(community, to)) else {
+                self.metrics.rx_misrouted.inc();
+                continue;
+            };
+            let q = core.handle_frame(from, &inner, now);
+            self.apply_actions(community, to, q);
+        }
+        any
+    }
+
+    /// Performs one core's action queue: encode + route sends, surface
+    /// events, ignore timer arms (tick discipline, see module docs).
+    fn apply_actions(&mut self, community: u64, me: HostId, q: ActionQueue) {
+        for action in q {
+            match action {
+                Action::Send { to, msg } => self.send_msg(community, me, to, &msg),
+                Action::SendBytes { to, bytes } => self.route_inner(community, me, to, bytes),
+                Action::SetTimer { .. } => {}
+                Action::Event(ev) => self.on_workflow_event(community, me, ev),
+                // `Action` is non-exhaustive; a future variant is a bug
+                // here, not something to silently drop — but there is no
+                // sane fallback, so count it as misrouted.
+                _ => self.metrics.rx_misrouted.inc(),
+            }
+        }
+    }
+
+    /// Encodes a typed outbound message — with its trace-correlation id
+    /// on the wire — and routes it.
+    fn send_msg(&mut self, community: u64, from: HostId, to: HostId, msg: &Msg) {
+        let mut inner = Vec::new();
+        encode_msg_traced(msg, msg.trace_id(), &mut inner);
+        self.route_inner(community, from, to, inner);
+    }
+
+    /// Routes one complete inner frame: local queue for a core of this
+    /// process, an envelope over a connection otherwise.
+    fn route_inner(&mut self, community: u64, from: HostId, to: HostId, inner: Vec<u8>) {
+        if self.cores.contains_key(&(community, to)) {
+            self.local.push_back((community, from, to, inner));
+            return;
+        }
+        if self.denied.contains(&(community, to)) {
+            self.metrics.conn_quarantine_drops.inc();
+            return;
+        }
+        let Some(conn_id) = self.conn_for((community, to)) else {
+            self.metrics.tx_dropped.inc();
+            return;
+        };
+        let mut frame = Vec::new();
+        encode_envelope(community, from, to, None, &inner, &mut frame);
+        self.push_frame(conn_id, frame);
+    }
+
+    /// Pushes one outbound frame, applying the slow-peer policy on a
+    /// full queue.
+    fn push_frame(&mut self, conn_id: ConnId, frame: Vec<u8>) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            self.metrics.tx_dropped.inc();
+            return;
+        };
+        let len = frame.len() as u64;
+        match conn.io.queue.push(frame) {
+            Ok(depth) => {
+                self.metrics.tx_frames.inc();
+                self.metrics.tx_bytes.add(len);
+                self.metrics.tx_queue_depth.record(depth as u64);
+            }
+            Err(PushError::Full) => {
+                self.metrics.conn_slow_drops.inc();
+                self.metrics.tx_dropped.inc();
+                self.sever_conn(conn_id);
+            }
+            Err(PushError::Closed) => {
+                self.metrics.tx_dropped.inc();
+            }
+        }
+    }
+
+    /// The live connection serving a remote pair, dialing on demand.
+    fn conn_for(&mut self, key: (u64, HostId)) -> Option<ConnId> {
+        if let Some(&id) = self.conn_of.get(&key) {
+            if self.conns.contains_key(&id) {
+                return Some(id);
+            }
+            self.conn_of.remove(&key);
+        }
+        let addr = *self.routes.get(&key)?;
+        if self
+            .backoff
+            .get(&addr)
+            .is_some_and(|until| Instant::now() < *until)
+        {
+            return None;
+        }
+        match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+            Ok(stream) => {
+                let id = self.register_conn(stream, addr)?;
+                self.metrics.conn_dialed.inc();
+                // The dial address authoritatively serves this pair; the
+                // peer's hello will confirm (and widen) the mapping.
+                self.conn_of.insert(key, id);
+                Some(id)
+            }
+            Err(_) => {
+                self.backoff
+                    .insert(addr, Instant::now() + self.dial_backoff);
+                None
+            }
+        }
+    }
+
+    /// Registers a socket (accepted or dialed): spawns its I/O threads
+    /// and queues our handshake as the first outbound frame.
+    fn register_conn(&mut self, stream: TcpStream, peer: SocketAddr) -> Option<ConnId> {
+        let _ = stream.set_nodelay(true);
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        let io = match spawn_io(stream, id, self.queue_caps, self.events_tx.clone()) {
+            Ok(io) => io,
+            Err(_) => return None,
+        };
+        let mut hello = Vec::new();
+        encode_hello(
+            &Hello {
+                proto: NET_PROTO_VERSION,
+                name: self.name.clone(),
+                listen: self.listen_addr.map(|a| a.to_string()).unwrap_or_default(),
+                hosts: self.local_cores(),
+            },
+            &mut hello,
+        );
+        let _ = io.queue.push(hello);
+        self.conns.insert(
+            id,
+            Conn {
+                io,
+                peer,
+                decoder: FrameDecoder::new(),
+                name: None,
+                announced: Vec::new(),
+            },
+        );
+        Some(id)
+    }
+
+    fn on_io_event(&mut self, ev: IoEvent) {
+        match ev {
+            IoEvent::Accepted { stream, peer } => {
+                if self.register_conn(stream, peer).is_some() {
+                    self.metrics.conn_accepted.inc();
+                }
+            }
+            IoEvent::Bytes { conn, bytes } => self.on_bytes(conn, &bytes),
+            IoEvent::Closed { conn } => {
+                if self.conns.contains_key(&conn) {
+                    self.sever_conn(conn);
+                }
+            }
+        }
+    }
+
+    /// Feeds a raw chunk through the connection's streaming decoder and
+    /// reacts to every completed frame.
+    fn on_bytes(&mut self, conn_id: ConnId, bytes: &[u8]) {
+        self.metrics.rx_bytes.add(bytes.len() as u64);
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return; // raced with a sever; drop the tail
+        };
+        conn.decoder.feed(bytes);
+        // Lift completed frames to owned data first: reacting to a frame
+        // may write to other connections, which needs `&mut self`.
+        let mut decoder = std::mem::take(&mut conn.decoder);
+        let mut inbound = Vec::new();
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => inbound.push(match frame.tag {
+                    TAG_NET_HELLO => match read_hello(&mut frame.reader()) {
+                        Ok(hello) => Inbound::Hello(hello),
+                        Err(_) => Inbound::Corrupt,
+                    },
+                    TAG_NET_ENVELOPE => match read_envelope(&mut frame.reader()) {
+                        Ok(env) => Inbound::Envelope {
+                            community: env.community,
+                            from: env.from,
+                            to: env.to,
+                            inner: env.inner.to_vec(),
+                        },
+                        Err(_) => Inbound::Corrupt,
+                    },
+                    TAG_NET_GOODBYE => Inbound::Goodbye,
+                    TAG_NET_SHUTDOWN => Inbound::Shutdown,
+                    _ => Inbound::Unknown,
+                }),
+                Ok(None) => break,
+                Err(_) => {
+                    inbound.push(Inbound::Corrupt);
+                    break;
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.decoder = decoder;
+        }
+        for frame in inbound {
+            self.metrics.rx_frames.inc();
+            match frame {
+                Inbound::Hello(hello) => self.on_hello(conn_id, hello),
+                Inbound::Envelope {
+                    community,
+                    from,
+                    to,
+                    inner,
+                } => self.on_envelope(conn_id, community, from, to, inner),
+                Inbound::Goodbye => {
+                    // The peer announced an orderly close; our reader
+                    // will see EOF shortly. Nothing to flush for them.
+                }
+                Inbound::Shutdown => self.shutdown_requested = true,
+                Inbound::Unknown => self.metrics.rx_misrouted.inc(),
+                Inbound::Corrupt => {
+                    // Framing is lost; the stream is unrecoverable.
+                    self.metrics.decode_rejections.inc();
+                    self.sever_conn(conn_id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Handshake processing: version gate, quarantine gate, then route
+    /// learning.
+    fn on_hello(&mut self, conn_id: ConnId, hello: Hello) {
+        if hello.proto != NET_PROTO_VERSION {
+            self.metrics.conn_denied.inc();
+            self.sever_conn(conn_id);
+            return;
+        }
+        if hello.hosts.iter().any(|pair| self.denied.contains(pair)) {
+            // A connection willing to carry a quarantined host's traffic
+            // is refused wholesale (see module docs).
+            self.metrics.conn_denied.inc();
+            self.send_goodbye(conn_id, "quarantined");
+            self.sever_conn(conn_id);
+            return;
+        }
+        let listen: Option<SocketAddr> = hello.listen.parse().ok();
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.name = Some(hello.name);
+            conn.announced = hello.hosts.clone();
+        }
+        for pair in hello.hosts {
+            self.conn_of.insert(pair, conn_id);
+            if let Some(addr) = listen {
+                self.routes.insert(pair, addr);
+            }
+        }
+    }
+
+    /// Routed traffic: find the destination core, then dispatch the
+    /// inner frame by its own tag.
+    fn on_envelope(
+        &mut self,
+        conn_id: ConnId,
+        community: u64,
+        from: HostId,
+        to: HostId,
+        inner: Vec<u8>,
+    ) {
+        if !self.cores.contains_key(&(community, to)) {
+            self.metrics.rx_misrouted.inc();
+            return;
+        }
+        let now = self.clock.now();
+        match frame_tag(&inner) {
+            Ok(Some(TAG_MSG)) => {
+                let q = self
+                    .cores
+                    .get_mut(&(community, to))
+                    .expect("checked above")
+                    .handle_frame(from, &inner, now);
+                self.apply_actions(community, to, q);
+            }
+            Ok(Some(TAG_FRAGMENT)) => {
+                // Operator/admin plane: direct know-how ingest (seeding,
+                // replication). Unbudgeted by design — it arrives from
+                // the process operator, not an untrusted protocol peer.
+                match openwf_wire::decode_fragment(&inner, &mut VocabularyBudget::unlimited()) {
+                    Ok((fragment, _)) => {
+                        let core = self.cores.get_mut(&(community, to)).expect("checked above");
+                        if core.fragment_mgr_mut().try_add(fragment).is_err() {
+                            self.metrics.decode_rejections.inc();
+                        }
+                    }
+                    Err(_) => {
+                        self.metrics.decode_rejections.inc();
+                        self.sever_conn(conn_id);
+                    }
+                }
+            }
+            Ok(Some(TAG_SPEC)) => {
+                // Remote problem submission: the addressed core becomes
+                // the initiator.
+                match openwf_wire::decode_spec(&inner, &mut VocabularyBudget::unlimited()) {
+                    Ok((spec, _)) => {
+                        let _ = self.submit(community, to, spec);
+                    }
+                    Err(_) => {
+                        self.metrics.decode_rejections.inc();
+                        self.sever_conn(conn_id);
+                    }
+                }
+            }
+            _ => self.metrics.rx_misrouted.inc(),
+        }
+    }
+
+    /// Records a workflow event and escalates quarantine verdicts to the
+    /// transport.
+    fn on_workflow_event(&mut self, community: u64, me: HostId, ev: WorkflowEvent) {
+        if let WorkflowEvent::PeerQuarantined { peer, .. } = &ev {
+            let pair = (community, *peer);
+            self.denied.insert(pair);
+            self.routes.remove(&pair);
+            // Sever every connection that announced the quarantined
+            // host — it has agreed to carry the flooder's traffic.
+            let guilty: Vec<ConnId> = self
+                .conns
+                .iter()
+                .filter(|(_, conn)| conn.announced.contains(&pair))
+                .map(|(id, _)| *id)
+                .collect();
+            let routed = self.conn_of.get(&pair).copied();
+            for conn_id in guilty.into_iter().chain(routed) {
+                if self.conns.contains_key(&conn_id) {
+                    self.metrics.conn_quarantine_drops.inc();
+                    self.send_goodbye(conn_id, "quarantined");
+                    self.sever_conn(conn_id);
+                }
+            }
+        }
+        self.events.push((community, me, ev));
+    }
+
+    fn send_goodbye(&mut self, conn_id: ConnId, reason: &str) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            let mut frame = Vec::new();
+            encode_goodbye(reason, &mut frame);
+            let _ = conn.io.queue.push(frame);
+        }
+    }
+
+    /// Drops a connection immediately and unmaps every pair it served.
+    fn sever_conn(&mut self, conn_id: ConnId) {
+        if let Some(mut conn) = self.conns.remove(&conn_id) {
+            conn.io.sever();
+            self.metrics.conn_closed.inc();
+            let _ = conn.peer; // diagnostics only
+        }
+        self.conn_of.retain(|_, id| *id != conn_id);
+    }
+}
+
+/// The accept thread: non-blocking accept with a stop flag, forwarding
+/// sockets to the reactor's event channel.
+fn accept_loop(listener: TcpListener, tx: Sender<IoEvent>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if tx.send(IoEvent::Accepted { stream, peer }).is_err() {
+                    return; // reactor gone
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}

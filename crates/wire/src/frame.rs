@@ -90,6 +90,15 @@ impl FrameEncoder {
         self.payload.extend_from_slice(s.as_bytes());
     }
 
+    /// Appends raw bytes verbatim — no length prefix, no name-table
+    /// involvement. The transport-envelope pattern: an outer frame whose
+    /// payload *tail* is a complete inner frame (the inner frame's own
+    /// length prefix delimits it, so no second prefix is needed). The
+    /// decode-side counterpart is [`PayloadReader::rest`].
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.payload.extend_from_slice(bytes);
+    }
+
     /// Assembles the complete length-prefixed frame onto `out`.
     pub fn finish(self, out: &mut Vec<u8>) {
         let mut body: Vec<u8> = Vec::with_capacity(self.payload.len() + 16);
@@ -468,6 +477,16 @@ impl<'a> PayloadReader<'a, '_> {
         self.buf.len() - self.pos
     }
 
+    /// Consumes and returns every byte left in the payload — the
+    /// decode-side counterpart of [`FrameEncoder::bytes`], used by
+    /// transport envelopes whose payload tail embeds a complete inner
+    /// frame. After this call [`PayloadReader::expect_end`] holds.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let tail = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        tail
+    }
+
     /// Asserts the payload was consumed exactly.
     ///
     /// # Errors
@@ -670,6 +689,29 @@ mod tests {
         varint::write(MAX_FRAME_LEN + 1, &mut giant);
         dec.feed(&giant);
         assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn raw_bytes_embed_an_inner_frame() {
+        let inner = sample_frame();
+        let mut enc = FrameEncoder::new(0x50);
+        enc.varint(7); // an envelope header field
+        enc.bytes(&inner);
+        let mut outer = Vec::new();
+        enc.finish(&mut outer);
+
+        let (frame, consumed) = read_frame(&outer).unwrap();
+        assert_eq!(consumed, outer.len());
+        assert_eq!(frame.tag, 0x50);
+        let mut r = frame.reader();
+        assert_eq!(r.varint().unwrap(), 7);
+        let tail = r.rest();
+        assert_eq!(tail, &inner[..], "the embedded frame survives verbatim");
+        r.expect_end().unwrap();
+        // The tail is itself a complete frame.
+        let (inner_frame, inner_consumed) = read_frame(tail).unwrap();
+        assert_eq!(inner_consumed, inner.len());
+        assert_eq!(inner_frame.tag, 0x2a);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`simnet`] | `openwf-simnet` | DES kernel, transports, latency models, faults |
 //! | [`mobility`] | `openwf-mobility` | 2D locations, travel, waypoint mobility |
 //! | [`runtime`] | `openwf-runtime` | the per-host managers and community harness |
+//! | [`net`] | `openwf-net` | TCP serving tier: socket driver, `owms-serve` community server |
 //! | [`scenario`] | `openwf-scenario` | supergraph generator, catering/emergency scenarios, experiments |
 //!
 //! ## Quickstart
@@ -63,6 +64,7 @@
 
 pub use openwf_core as wfcore;
 pub use openwf_mobility as mobility;
+pub use openwf_net as net;
 pub use openwf_obs as obs;
 pub use openwf_runtime as runtime;
 pub use openwf_scenario as scenario;
@@ -76,6 +78,7 @@ pub mod prelude {
         IncrementalConstructor, Label, Mode, PickOrder, Spec, Supergraph, TaskId, Workflow,
     };
     pub use openwf_mobility::{Motion, Point, SiteMap};
+    pub use openwf_net::{NetServer, ServerConfig, TcpCommunityDriver};
     pub use openwf_obs::Obs;
     pub use openwf_runtime::{
         Community, CommunityBuilder, Driver, HostConfig, HostCore, LoopbackBytesDriver,
