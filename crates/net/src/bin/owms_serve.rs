@@ -65,6 +65,7 @@ struct Args {
     seed: Option<u64>,
     queue_frames: usize,
     compact_min_bytes: Option<u64>,
+    operator_ingest: Option<usize>,
 }
 
 fn usage(err: &str) -> String {
@@ -77,7 +78,7 @@ fn usage(err: &str) -> String {
            [--pause-ms MS]\n\
            [--max-runtime-ms MS] [--metrics] [--trace-jsonl PATH]\n\
            [--print-digest C:H]... [--seed N] [--queue-frames N]\n\
-           [--compact-min-bytes N]"
+           [--compact-min-bytes N] [--operator-ingest NAME_CAP]"
     )
 }
 
@@ -135,6 +136,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: None,
         queue_frames: QueueCaps::default().max_frames,
         compact_min_bytes: None,
+        operator_ingest: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -226,6 +228,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "bad --compact-min-bytes".to_string())?,
                 );
             }
+            // Off by default: accepting fragment/spec envelopes from
+            // the open listen socket is the operator's call, and the
+            // cap bounds the names each connection may intern.
+            "--operator-ingest" => {
+                args.operator_ingest = Some(
+                    value("--operator-ingest")?
+                        .parse()
+                        .map_err(|_| "bad --operator-ingest".to_string())?,
+                );
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -259,6 +271,7 @@ fn main() -> ExitCode {
         },
         obs: obs.clone(),
         clock: WallClock::new(),
+        operator_ingest: args.operator_ingest,
         ..ServerConfig::default()
     }) {
         Ok(server) => server,

@@ -19,26 +19,47 @@
 //! ([`PushError::Full`]) — the server's slow-peer policy disconnects
 //! rather than buffer without bound or stall every other connection.
 //! On graceful close the writer drains whatever was queued before
-//! exiting, so joining it is the "outbound flushed" barrier.
+//! exiting, so joining it is the "outbound flushed" barrier — bounded
+//! by a drain deadline, because a peer that stopped *reading* must not
+//! hang shutdown (past the deadline the backlog is discarded and the
+//! socket severed).
+//!
+//! Inbound is bounded symmetrically: the reader charges every chunk it
+//! forwards against [`QueueCaps::max_rx_inflight_bytes`] and pauses at
+//! the cap until the reactor credits processed chunks back
+//! ([`ConnIo::rx_credit`]). A paused reader stops draining the kernel
+//! receive buffer, so TCP flow control pushes back on the peer instead
+//! of the reactor's event channel growing without bound.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a graceful close waits for the writer to drain the
+/// outbound backlog before giving up and severing (see
+/// [`ConnIo::close_graceful`]).
+pub const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 
 /// Identifies one live connection within a server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u64);
 
-/// Caps on one connection's outbound queue.
+/// Caps on one connection's queues, both directions.
 #[derive(Clone, Copy, Debug)]
 pub struct QueueCaps {
-    /// Maximum queued frames.
+    /// Maximum queued outbound frames.
     pub max_frames: usize,
-    /// Maximum queued bytes (sum of frame lengths).
+    /// Maximum queued outbound bytes (sum of frame lengths).
     pub max_bytes: usize,
+    /// Maximum inbound bytes forwarded to the reactor but not yet
+    /// processed; at the cap the reader pauses (and TCP flow control
+    /// pushes back on the peer) until [`ConnIo::rx_credit`] frees room.
+    pub max_rx_inflight_bytes: usize,
 }
 
 impl Default for QueueCaps {
@@ -46,6 +67,7 @@ impl Default for QueueCaps {
         QueueCaps {
             max_frames: 1024,
             max_bytes: 8 * 1024 * 1024,
+            max_rx_inflight_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -215,6 +237,12 @@ pub struct ConnIo {
     /// A handle onto the socket for `shutdown` (threads own clones).
     pub stream: TcpStream,
     writer: Option<JoinHandle<()>>,
+    /// Inbound bytes forwarded but not yet credited back (shared with
+    /// the reader, which pauses at the cap).
+    rx_inflight: Arc<AtomicUsize>,
+    /// Set on teardown so a reader paused at the inbound cap exits
+    /// instead of waiting for credits that will never come.
+    closed: Arc<AtomicBool>,
 }
 
 impl ConnIo {
@@ -222,17 +250,57 @@ impl ConnIo {
     /// both socket directions are shut down, which unblocks the reader
     /// (EOF) and lets it report [`IoEvent::Closed`].
     pub fn sever(&mut self) {
+        self.closed.store(true, Ordering::Release);
         self.queue.close(true);
         let _ = self.stream.shutdown(Shutdown::Both);
         self.join_writer();
     }
 
     /// Graceful close: lets the writer drain everything already queued,
-    /// joins it (the flush barrier), then shuts the socket down.
+    /// joins it (the flush barrier), then shuts the socket down. The
+    /// drain is bounded by [`DRAIN_DEADLINE`]: a peer that stopped
+    /// reading (more queued than its socket buffers absorb) would block
+    /// the writer's `write_all` forever, so past the deadline the
+    /// backlog is discarded and the socket severed instead of hanging
+    /// the caller — typically `NetServer::shutdown`.
     pub fn close_graceful(&mut self) {
+        self.close_graceful_within(DRAIN_DEADLINE);
+    }
+
+    /// [`ConnIo::close_graceful`] with an explicit drain deadline.
+    pub fn close_graceful_within(&mut self, deadline: Duration) {
         self.queue.close(false);
+        self.closed.store(true, Ordering::Release);
+        let drained = self.wait_writer_finished(deadline);
+        if !drained {
+            // Abandon the drain: drop the backlog and shut the socket
+            // down, which errors the blocked write and ends the writer.
+            self.queue.close(true);
+            let _ = self.stream.shutdown(Shutdown::Both);
+        }
         self.join_writer();
         let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Returns `n` inbound bytes to the reader's budget once the
+    /// reactor has processed them.
+    pub fn rx_credit(&self, n: usize) {
+        self.rx_inflight.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    /// Polls the writer thread up to `deadline`; `std` has no timed
+    /// join, and the writer may be blocked in `write_all` on a peer
+    /// that stopped reading.
+    fn wait_writer_finished(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        loop {
+            match &self.writer {
+                None => return true,
+                Some(h) if h.is_finished() => return true,
+                Some(_) if Instant::now() >= until => return false,
+                Some(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
     }
 
     fn join_writer(&mut self) {
@@ -263,6 +331,8 @@ pub fn spawn_io(
     events: Sender<IoEvent>,
 ) -> std::io::Result<ConnIo> {
     let queue = OutboundQueue::new(caps);
+    let rx_inflight = Arc::new(AtomicUsize::new(0));
+    let closed = Arc::new(AtomicBool::new(false));
     let writer_stream = stream.try_clone()?;
     let reader_stream = stream.try_clone()?;
 
@@ -283,18 +353,31 @@ pub fn spawn_io(
             let _ = stream.flush();
         })?;
 
+    let reader_inflight = Arc::clone(&rx_inflight);
+    let reader_closed = Arc::clone(&closed);
     std::thread::Builder::new()
         .name(format!("owms-net-reader-{}", id.0))
         .spawn(move || {
             let mut stream = reader_stream;
             let mut buf = vec![0u8; 16 * 1024];
             loop {
+                // Inbound backpressure: at the in-flight cap, stop
+                // draining the kernel buffer until the reactor credits
+                // processed chunks back — TCP flow control then pushes
+                // back on the peer instead of reactor memory growing.
+                while reader_inflight.load(Ordering::Acquire) >= caps.max_rx_inflight_bytes {
+                    if reader_closed.load(Ordering::Acquire) {
+                        return; // severed while paused; credits stop coming
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
                 match stream.read(&mut buf) {
                     Ok(0) | Err(_) => {
                         let _ = events.send(IoEvent::Closed { conn: id });
                         return;
                     }
                     Ok(n) => {
+                        reader_inflight.fetch_add(n, Ordering::AcqRel);
                         if events
                             .send(IoEvent::Bytes {
                                 conn: id,
@@ -313,6 +396,8 @@ pub fn spawn_io(
         queue,
         stream,
         writer: Some(writer),
+        rx_inflight,
+        closed,
     })
 }
 
@@ -327,6 +412,7 @@ mod tests {
         let q = OutboundQueue::new(QueueCaps {
             max_frames: 2,
             max_bytes: 10,
+            ..QueueCaps::default()
         });
         assert_eq!(q.push(vec![0; 4]), Ok(1));
         assert_eq!(q.push(vec![0; 4]), Ok(2));
@@ -372,6 +458,84 @@ mod tests {
         client.read_to_end(&mut got).unwrap();
         assert_eq!(got.len(), 50 * 100, "every queued byte arrived");
         drop(rx);
+    }
+
+    /// A peer that stops *reading* cannot hang graceful close: once the
+    /// drain deadline passes, the backlog is discarded and the close
+    /// returns instead of blocking on the writer's stalled `write_all`.
+    #[test]
+    fn graceful_close_gives_up_on_a_peer_that_stops_reading() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let (tx, _rx) = channel();
+        let mut io = spawn_io(server_side, ConnId(3), QueueCaps::default(), tx).unwrap();
+        // Queue far more than loopback socket buffers absorb; the
+        // client never reads a byte, so the writer wedges mid-drain.
+        let mut queued = 0usize;
+        while queued < 8 * 1024 * 1024 {
+            match io.queue.push(vec![0u8; 64 * 1024]) {
+                Ok(_) => queued += 64 * 1024,
+                Err(PushError::Full) => break,
+                Err(PushError::Closed) => panic!("queue closed early"),
+            }
+        }
+        let started = std::time::Instant::now();
+        io.close_graceful_within(Duration::from_millis(300));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "bounded drain must not hang on an unread backlog"
+        );
+        drop(client);
+    }
+
+    /// The reader pauses at the inbound in-flight cap and resumes when
+    /// the reactor credits processed bytes back — the inbound
+    /// counterpart of the bounded outbound queue.
+    #[test]
+    fn reader_pauses_at_the_inbound_cap_until_credited() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let caps = QueueCaps {
+            max_rx_inflight_bytes: 4 * 1024,
+            ..QueueCaps::default()
+        };
+        let (tx, rx) = channel();
+        let mut io = spawn_io(server_side, ConnId(5), caps, tx).unwrap();
+        client.write_all(&vec![0u8; 256 * 1024]).unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+
+        // Without credits the reader forwards at most cap + one read
+        // chunk (the cap check precedes each read of up to 16 KiB).
+        let mut first = 0usize;
+        while let Ok(ev) = rx.try_recv() {
+            if let IoEvent::Bytes { bytes, .. } = ev {
+                first += bytes.len();
+            }
+        }
+        assert!(first > 0, "some bytes must flow");
+        assert!(
+            first <= 4 * 1024 + 16 * 1024,
+            "reader must pause at the inbound cap, forwarded {first}"
+        );
+
+        // Crediting the processed bytes resumes the flow.
+        io.rx_credit(first);
+        std::thread::sleep(Duration::from_millis(300));
+        let mut second = 0usize;
+        while let Ok(ev) = rx.try_recv() {
+            if let IoEvent::Bytes { bytes, .. } = ev {
+                second += bytes.len();
+            }
+        }
+        assert!(second > 0, "credits must unpause the reader");
+        io.sever();
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //! without bound or blocking the reactor — would let one stalled peer
 //! starve every community this process serves. Workflow-layer repair
 //! (timeouts, re-auction) recovers whatever the dropped frames carried.
+//! Inbound is bounded too: each reader pauses at
+//! [`QueueCaps::max_rx_inflight_bytes`] of unprocessed chunks, letting
+//! TCP flow control hold back a peer that sends faster than the
+//! reactor dispatches (see [`crate::conn`]).
 //!
 //! # Quarantine
 //!
@@ -34,11 +38,17 @@
 //! ([`WorkflowEvent::PeerQuarantined`]), the server escalates the
 //! protocol-level verdict to the transport: connections serving that
 //! peer are severed, outbound frames to it are dropped
-//! (`net.conn_quarantine_drops`), and future handshakes announcing the
-//! denied `(community, host)` pair are refused (`net.conn_denied`).
-//! This is deliberately blunt — one bad host condemns the connection
-//! announcing it — because a process that houses a flooding host is not
-//! a peer worth multiplexing with.
+//! (`net.conn_quarantine_drops`), future handshakes announcing the
+//! denied `(community, host)` pair are refused (`net.conn_denied`), and
+//! inbound envelopes *from* a denied pair are dropped regardless of
+//! which connection delivers them — reconnecting with a sanitized hello
+//! does not lift the verdict. Envelopes on a connection that has not
+//! completed its handshake are refused outright: hello is always the
+//! first frame a conforming peer sends, so pre-hello traffic is an
+//! unannounced peer dodging these gates. This is deliberately blunt —
+//! one bad host condemns the connection announcing it — because a
+//! process that houses a flooding host is not a peer worth
+//! multiplexing with.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -86,6 +96,15 @@ pub struct ServerConfig {
     /// step (e.g. a [`crate::TcpCommunityDriver`]) shares one anchor so
     /// the cores agree on "now"; the default is a fresh anchor.
     pub clock: WallClock,
+    /// Operator-plane ingest policy. `Some(cap)` accepts `TAG_FRAGMENT`
+    /// (direct know-how ingest) and `TAG_SPEC` (remote problem
+    /// submission) envelopes from handshaken connections, with `cap`
+    /// bounding the distinct names each connection may intern — the
+    /// same wire-trust budgeting the protocol plane enforces. The
+    /// default `None` refuses both tags (`net.rx_ingest_refused`):
+    /// anyone can dial the listen socket, so ingest must be opted into
+    /// by the operator, never on by default.
+    pub operator_ingest: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +117,7 @@ impl Default for ServerConfig {
             dial_backoff: Duration::from_millis(250),
             obs: Obs::enabled(),
             clock: WallClock::new(),
+            operator_ingest: None,
         }
     }
 }
@@ -117,6 +137,7 @@ struct NetMetrics {
     tx_dropped: Counter,
     decode_rejections: Counter,
     rx_misrouted: Counter,
+    rx_ingest_refused: Counter,
     tx_queue_depth: Histogram,
 }
 
@@ -137,6 +158,7 @@ impl NetMetrics {
             tx_dropped: m.counter("net.tx_dropped"),
             decode_rejections: m.counter("net.decode_rejections"),
             rx_misrouted: m.counter("net.rx_misrouted"),
+            rx_ingest_refused: m.counter("net.rx_ingest_refused"),
             tx_queue_depth: m.histogram("net.tx_queue_depth"),
         }
     }
@@ -151,6 +173,15 @@ struct Conn {
     name: Option<String>,
     /// Every `(community, host)` the peer announced.
     announced: Vec<(u64, HostId)>,
+    /// True once a valid hello arrived. Envelopes before the handshake
+    /// are a protocol violation and sever the connection — a peer must
+    /// announce itself (and survive the quarantine gate) before any of
+    /// its traffic is dispatched.
+    hello_done: bool,
+    /// Vocabulary budget charged by operator-plane ingest
+    /// ([`TAG_FRAGMENT`]/[`TAG_SPEC`]) on this connection; capped by
+    /// [`ServerConfig::operator_ingest`].
+    ingest_vocab: VocabularyBudget,
 }
 
 /// A frame decoded off a connection, lifted to owned data so the
@@ -214,6 +245,7 @@ pub struct NetServer {
     queue_caps: QueueCaps,
     connect_timeout: Duration,
     dial_backoff: Duration,
+    operator_ingest: Option<usize>,
     shutdown_requested: bool,
 }
 
@@ -276,6 +308,7 @@ impl NetServer {
             queue_caps: config.queue_caps,
             connect_timeout: config.connect_timeout,
             dial_backoff: config.dial_backoff,
+            operator_ingest: config.operator_ingest,
             shutdown_requested: false,
         })
     }
@@ -512,9 +545,11 @@ impl NetServer {
     }
 
     /// Graceful stop: stops accepting, announces goodbye on and drains
-    /// every outbound queue (joining the writers — the flush barrier),
-    /// syncs every core's fragment store, and publishes final metric
-    /// deltas. Clean stop must lose no accepted state.
+    /// every outbound queue (joining the writers — the flush barrier,
+    /// bounded per connection by [`crate::conn::DRAIN_DEADLINE`] so a
+    /// peer that stopped reading cannot hang shutdown), syncs every
+    /// core's fragment store, and publishes final metric deltas. Clean
+    /// stop must lose no accepted state.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.listener_stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.listener.take() {
@@ -724,6 +759,11 @@ impl NetServer {
                 decoder: FrameDecoder::new(),
                 name: None,
                 announced: Vec::new(),
+                hello_done: false,
+                ingest_vocab: match self.operator_ingest {
+                    Some(cap) => VocabularyBudget::with_cap(cap),
+                    None => VocabularyBudget::unlimited(), // never consulted
+                },
             },
         );
         Some(id)
@@ -752,6 +792,10 @@ impl NetServer {
         let Some(conn) = self.conns.get_mut(&conn_id) else {
             return; // raced with a sever; drop the tail
         };
+        // The chunk is processed synchronously below; return it to the
+        // reader's in-flight budget (inbound backpressure counterpart
+        // of the bounded outbound queue).
+        conn.io.rx_credit(bytes.len());
         conn.decoder.feed(bytes);
         // Lift completed frames to owned data first: reacting to a frame
         // may write to other connections, which needs `&mut self`.
@@ -788,6 +832,12 @@ impl NetServer {
             conn.decoder = decoder;
         }
         for frame in inbound {
+            // Reacting to an earlier frame may have severed this
+            // connection (refused hello, quarantine escalation); the
+            // rest of its chunk must not reach the cores.
+            if !self.conns.contains_key(&conn_id) {
+                break;
+            }
             self.metrics.rx_frames.inc();
             match frame {
                 Inbound::Hello(hello) => self.on_hello(conn_id, hello),
@@ -833,6 +883,7 @@ impl NetServer {
         if let Some(conn) = self.conns.get_mut(&conn_id) {
             conn.name = Some(hello.name);
             conn.announced = hello.hosts.clone();
+            conn.hello_done = true;
         }
         for pair in hello.hosts {
             self.conn_of.insert(pair, conn_id);
@@ -842,8 +893,9 @@ impl NetServer {
         }
     }
 
-    /// Routed traffic: find the destination core, then dispatch the
-    /// inner frame by its own tag.
+    /// Routed traffic: gate on the handshake and the quarantine verdict,
+    /// find the destination core, then dispatch the inner frame by its
+    /// own tag.
     fn on_envelope(
         &mut self,
         conn_id: ConnId,
@@ -852,6 +904,24 @@ impl NetServer {
         to: HostId,
         inner: Vec<u8>,
     ) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        if !conn.hello_done {
+            // Hello is always the first frame a conforming peer sends;
+            // traffic before it is an unannounced (possibly evasive)
+            // peer. Refuse the connection rather than dispatch blind.
+            self.metrics.conn_denied.inc();
+            self.sever_conn(conn_id);
+            return;
+        }
+        if self.denied.contains(&(community, from)) {
+            // The quarantine verdict outlives the severed socket: a
+            // reconnecting peer delivering for a denied pair is dropped
+            // even though its hello did not announce the pair.
+            self.metrics.conn_quarantine_drops.inc();
+            return;
+        }
         if !self.cores.contains_key(&(community, to)) {
             self.metrics.rx_misrouted.inc();
             return;
@@ -868,9 +938,19 @@ impl NetServer {
             }
             Ok(Some(TAG_FRAGMENT)) => {
                 // Operator/admin plane: direct know-how ingest (seeding,
-                // replication). Unbudgeted by design — it arrives from
-                // the process operator, not an untrusted protocol peer.
-                match openwf_wire::decode_fragment(&inner, &mut VocabularyBudget::unlimited()) {
+                // replication). Off by default — any peer can dial the
+                // listen socket, so acceptance requires the operator's
+                // explicit [`ServerConfig::operator_ingest`] opt-in and
+                // decodes through a per-connection vocabulary budget.
+                if self.operator_ingest.is_none() {
+                    self.metrics.rx_ingest_refused.inc();
+                    return;
+                }
+                let decoded = {
+                    let conn = self.conns.get_mut(&conn_id).expect("checked above");
+                    openwf_wire::decode_fragment(&inner, &mut conn.ingest_vocab)
+                };
+                match decoded {
                     Ok((fragment, _)) => {
                         let core = self.cores.get_mut(&(community, to)).expect("checked above");
                         if core.fragment_mgr_mut().try_add(fragment).is_err() {
@@ -878,6 +958,9 @@ impl NetServer {
                         }
                     }
                     Err(_) => {
+                        // Corrupt or over-budget (a flooding "operator"
+                        // minting unbounded names): either way the
+                        // connection is not worth keeping.
                         self.metrics.decode_rejections.inc();
                         self.sever_conn(conn_id);
                     }
@@ -885,8 +968,17 @@ impl NetServer {
             }
             Ok(Some(TAG_SPEC)) => {
                 // Remote problem submission: the addressed core becomes
-                // the initiator.
-                match openwf_wire::decode_spec(&inner, &mut VocabularyBudget::unlimited()) {
+                // the initiator. Same operator opt-in and budget as
+                // fragment ingest.
+                if self.operator_ingest.is_none() {
+                    self.metrics.rx_ingest_refused.inc();
+                    return;
+                }
+                let decoded = {
+                    let conn = self.conns.get_mut(&conn_id).expect("checked above");
+                    openwf_wire::decode_spec(&inner, &mut conn.ingest_vocab)
+                };
+                match decoded {
                     Ok((spec, _)) => {
                         let _ = self.submit(community, to, spec);
                     }
@@ -961,5 +1053,167 @@ fn accept_loop(listener: TcpListener, tx: Sender<IoEvent>, stop: Arc<AtomicBool>
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{encode_envelope, encode_hello};
+    use openwf_core::{Fragment, Mode};
+    use std::io::Write as _;
+
+    fn frag(id: &str, task: &str, input: &str, output: &str) -> Fragment {
+        Fragment::single_task(id, task, Mode::Disjunctive, [input], [output]).unwrap()
+    }
+
+    fn test_server(operator_ingest: Option<usize>) -> NetServer {
+        let mut server = NetServer::new(ServerConfig {
+            name: "gate-test".into(),
+            operator_ingest,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        server.add_core(
+            0,
+            HostId(0),
+            HostConfig::new().with_fragment(frag("svt-f0", "svt-t0", "svt-a", "svt-b")),
+            RuntimeParams::default(),
+        );
+        server
+    }
+
+    fn hello_bytes(hosts: Vec<(u64, HostId)>) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        encode_hello(
+            &Hello {
+                proto: NET_PROTO_VERSION,
+                name: "client".into(),
+                listen: String::new(),
+                hosts,
+            },
+            &mut bytes,
+        );
+        bytes
+    }
+
+    fn fragment_envelope(from: HostId, fragment: &Fragment) -> Vec<u8> {
+        let mut inner = Vec::new();
+        openwf_wire::encode_fragment(fragment, &mut inner);
+        let mut bytes = Vec::new();
+        encode_envelope(0, from, HostId(0), None, &inner, &mut bytes);
+        bytes
+    }
+
+    fn poll_until(server: &mut NetServer, mut done: impl FnMut(&NetServer) -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !done(server) {
+            assert!(Instant::now() < deadline, "condition never reached");
+            server.poll(Duration::from_millis(10));
+        }
+    }
+
+    /// Envelopes before the handshake sever the connection: an
+    /// unannounced peer cannot slip traffic past the hello gates, even
+    /// with operator ingest enabled.
+    #[test]
+    fn pre_hello_envelope_is_refused_and_severs() {
+        let mut server = test_server(Some(64));
+        let addr = server.listen_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(&fragment_envelope(
+                HostId(9),
+                &frag("svp-f1", "svp-t1", "svp-b", "svp-c"),
+            ))
+            .unwrap();
+        client.flush().unwrap();
+        poll_until(&mut server, |s| s.metrics.conn_denied.get() >= 1);
+        assert_eq!(
+            server.core(0, HostId(0)).fragment_mgr().len(),
+            1,
+            "nothing ingested from the unannounced peer"
+        );
+        assert!(server.conns.is_empty(), "connection severed");
+    }
+
+    /// The quarantine verdict gates inbound envelopes by *source*, not
+    /// just hellos: a denied pair delivering over a fresh connection
+    /// with a sanitized hello is still dropped.
+    #[test]
+    fn denied_source_envelopes_are_dropped_even_after_reconnect() {
+        let mut server = test_server(Some(64));
+        server.denied.insert((0, HostId(9)));
+        let addr = server.listen_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        // The hello does not announce the denied pair, so it passes.
+        let mut bytes = hello_bytes(vec![(0, HostId(8))]);
+        bytes.extend(fragment_envelope(
+            HostId(9),
+            &frag("svd-f1", "svd-t1", "svd-b", "svd-c"),
+        ));
+        client.write_all(&bytes).unwrap();
+        client.flush().unwrap();
+        poll_until(&mut server, |s| s.metrics.conn_quarantine_drops.get() >= 1);
+        assert_eq!(
+            server.core(0, HostId(0)).fragment_mgr().len(),
+            1,
+            "denied source must not ingest"
+        );
+    }
+
+    /// Fragment/spec ingest is an explicit operator opt-in: the default
+    /// configuration refuses the envelopes (counted, connection kept).
+    #[test]
+    fn fragment_ingest_requires_operator_opt_in() {
+        let mut server = test_server(None);
+        let addr = server.listen_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut bytes = hello_bytes(vec![(0, HostId(8))]);
+        bytes.extend(fragment_envelope(
+            HostId(8),
+            &frag("svo-f1", "svo-t1", "svo-b", "svo-c"),
+        ));
+        client.write_all(&bytes).unwrap();
+        client.flush().unwrap();
+        poll_until(&mut server, |s| s.metrics.rx_ingest_refused.get() >= 1);
+        assert_eq!(
+            server.core(0, HostId(0)).fragment_mgr().len(),
+            1,
+            "ingest is off by default"
+        );
+        assert_eq!(server.conns.len(), 1, "refusal is a drop, not a sever");
+    }
+
+    /// An enabled operator plane still budgets vocabulary: a connection
+    /// minting more distinct names than the configured cap is severed
+    /// with nothing interned, closing the flooding loophole the
+    /// protocol plane already guards against.
+    #[test]
+    fn operator_ingest_budget_severs_a_flooding_connection() {
+        let mut server = test_server(Some(6));
+        let addr = server.listen_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut bytes = hello_bytes(vec![(0, HostId(8))]);
+        // Within budget: one fragment (4 distinct names) ingests.
+        bytes.extend(fragment_envelope(
+            HostId(8),
+            &frag("svb-f1", "svb-t1", "svb-b", "svb-c"),
+        ));
+        // Over budget: a second fragment of 4 fresh names blows the cap
+        // of 6 and must sever the connection, interning nothing.
+        bytes.extend(fragment_envelope(
+            HostId(8),
+            &frag("svb-f2", "svb-t2", "svb-d", "svb-e"),
+        ));
+        client.write_all(&bytes).unwrap();
+        client.flush().unwrap();
+        poll_until(&mut server, |s| s.metrics.decode_rejections.get() >= 1);
+        assert_eq!(
+            server.core(0, HostId(0)).fragment_mgr().len(),
+            2,
+            "the within-budget fragment ingested"
+        );
+        assert!(server.conns.is_empty(), "the flooding connection severed");
     }
 }

@@ -284,6 +284,9 @@ fn graceful_shutdown_flushes_accepted_fragments_to_disk() {
         name: "shutdown-test".into(),
         obs: obs.clone(),
         clock: WallClock::new(),
+        // The operator plane is off by default; this test *is* the
+        // operator, seeding know-how over the wire under a real budget.
+        operator_ingest: Some(64),
         ..ServerConfig::default()
     })
     .unwrap();
